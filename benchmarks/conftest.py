@@ -1,0 +1,47 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark regenerates one table/figure of the paper, prints it (run
+with ``-s`` to see it inline) and writes it to ``benchmarks/results/`` so
+the paper-vs-measured comparison in EXPERIMENTS.md can be refreshed from
+the files.
+
+The Fig. 7/8 sweep is expensive (4 policies x 18 counts x 6 repeats), so it
+is computed once per session and shared by both figure benchmarks and the
+tables.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.multi import DEFAULT_SEED, sweep
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def record_output(results_dir):
+    """record_output(name, text): print + persist one regenerated artifact."""
+
+    def _record(name: str, text: str) -> None:
+        print()
+        print(text)
+        path = os.path.join(results_dir, f"{name}.txt")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+
+    return _record
+
+
+@pytest.fixture(scope="session")
+def paper_sweep():
+    """The full §IV-C grid: counts 4..38, all four policies, 6 repeats."""
+    return sweep(repeats=6, seed=DEFAULT_SEED)

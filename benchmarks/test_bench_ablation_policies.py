@@ -1,0 +1,50 @@
+"""Ablation — extended policy sweep (beyond the paper's four).
+
+Adds Worst-Fit (anti-Best-Fit) and Smallest-Insufficiency-First (SJF-like)
+to the §IV-C comparison at heavy load, probing *why* Best-Fit wins: is it
+the closest-fit matching (throughput) or simply preferring large/small
+containers?
+"""
+
+import statistics
+
+from repro.experiments.multi import run_schedule
+from repro.experiments.report import format_table
+
+POLICIES = ("FIFO", "BF", "RU", "Rand", "WF", "SF")
+SEEDS = (31, 32, 33, 34)
+COUNT = 30
+
+
+def _grid():
+    rows = {}
+    for policy in POLICIES:
+        results = [run_schedule(policy, COUNT, seed) for seed in SEEDS]
+        assert all(r.failures == 0 for r in results)
+        rows[policy] = (
+            statistics.fmean(r.finished_time for r in results),
+            statistics.fmean(r.avg_suspended for r in results),
+        )
+    return rows
+
+
+def test_bench_ablation_extended_policies(benchmark, record_output):
+    rows = benchmark.pedantic(_grid, rounds=1, iterations=1)
+    record_output(
+        "ablation_extended_policies",
+        format_table(
+            ("policy", "finished time (s)", "avg suspended (s)"),
+            [
+                (name, f"{metrics[0]:.1f}", f"{metrics[1]:.1f}")
+                for name, metrics in sorted(rows.items(), key=lambda kv: kv[1][0])
+            ],
+            title=f"Ablation — extended policy set ({COUNT} containers, "
+            f"{len(SEEDS)} seeds)",
+        )
+        + "\n\nWF = Worst-Fit (most-insufficient first); "
+        "SF = least-insufficient first",
+    )
+    # The paper's winner must stay competitive against the extras: BF within
+    # 10% of the best policy overall.
+    best = min(metrics[0] for metrics in rows.values())
+    assert rows["BF"][0] <= best * 1.10

@@ -1,0 +1,67 @@
+"""Extension bench (§V future work) — multi-GPU and swarm scaling.
+
+Not a paper figure: quantifies the future-work directions the conclusion
+names.  Measures (a) makespan versus cluster size for the same workload and
+(b) the dispatch-strategy trade-off at fixed size.
+"""
+
+from repro.cluster.swarm import SwarmCluster
+from repro.experiments.report import format_table
+from repro.sim.rng import SeedSequenceFactory
+from repro.workloads.arrivals import cloud_arrivals
+
+SEED = 77
+COUNT = 30
+#: Tighter than the paper's 5 s so a single node saturates and the
+#: cluster's extra capacity is visible.
+INTERVAL = 1.0
+
+
+def _arrivals():
+    return cloud_arrivals(
+        COUNT, SeedSequenceFactory(SEED).generator("arrivals"), interval=INTERVAL
+    )
+
+
+def test_bench_ext_cluster_scaling(benchmark, record_output):
+    def run_all():
+        by_nodes = {}
+        for nodes in (1, 2, 4):
+            result = SwarmCluster(nodes, strategy="spread").run_schedule(_arrivals())
+            assert result.failures == 0
+            by_nodes[nodes] = result
+        by_strategy = {}
+        for strategy in ("spread", "binpack", "random"):
+            result = SwarmCluster(2, strategy=strategy).run_schedule(_arrivals())
+            assert result.failures == 0
+            by_strategy[strategy] = result
+        return by_nodes, by_strategy
+
+    by_nodes, by_strategy = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    scaling = format_table(
+        ("nodes (1 GPU each)", "finished time (s)", "avg suspended (s)"),
+        [
+            (str(n), f"{r.finished_time:.1f}", f"{r.avg_suspended:.1f}")
+            for n, r in by_nodes.items()
+        ],
+        title=f"Extension — cluster scaling ({COUNT} containers, one every {INTERVAL:.0f} s)",
+    )
+    strategies = format_table(
+        ("dispatch strategy", "finished time (s)", "avg suspended (s)", "node loads"),
+        [
+            (
+                s,
+                f"{r.finished_time:.1f}",
+                f"{r.avg_suspended:.1f}",
+                "/".join(str(v) for v in r.per_node_containers.values()),
+            )
+            for s, r in by_strategy.items()
+        ],
+        title="Extension — dispatch strategies (2 nodes)",
+    )
+    record_output("ext_cluster_scaling", scaling + "\n\n" + strategies)
+
+    # Scaling claim: more nodes never hurt, and help at this load.
+    assert by_nodes[4].finished_time <= by_nodes[2].finished_time
+    assert by_nodes[2].finished_time <= by_nodes[1].finished_time
+    assert by_nodes[4].avg_suspended < by_nodes[1].avg_suspended

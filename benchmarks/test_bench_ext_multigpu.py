@@ -1,0 +1,97 @@
+"""Extension bench (§V) — multi-GPU single-host scaling and placement.
+
+Runs the paper's cloud workload through the full middleware stack
+(nvidia-docker device narrowing included) on 1- and 2-GPU hosts, and
+compares placement policies on the 2-GPU host.
+"""
+
+from repro.container.image import make_cuda_image
+from repro.core.middleware import ConVGPU
+from repro.experiments.report import format_table
+from repro.sim.engine import Environment
+from repro.sim.rng import SeedSequenceFactory
+from repro.workloads.api import ProcessApi
+from repro.workloads.arrivals import cloud_arrivals
+from repro.workloads.runner import SimIpcBridge, SimProgramRunner
+from repro.workloads.sample import make_sample_command
+
+SEED = 41
+COUNT = 24
+INTERVAL = 2.0
+
+
+def _run_host(device_count: int, placement: str) -> tuple[float, float, int]:
+    env = Environment()
+    system = ConVGPU(
+        policy="BF",
+        clock=lambda: env.now,
+        device_count=device_count,
+        placement=placement,
+    )
+    system.engine.images.add(make_cuda_image("sample"))
+    bridge = SimIpcBridge(env, system.service.handle)
+    runner = SimProgramRunner(env, system.device, bridge)
+    arrivals = cloud_arrivals(
+        COUNT, SeedSequenceFactory(SEED).generator("arrivals"), interval=INTERVAL
+    )
+    suspended: list[float] = []
+    failures = [0]
+
+    def submit(arrival):
+        yield env.timeout(arrival.time)
+        container = system.nvdocker.run(
+            "sample",
+            name=arrival.name,
+            container_type=arrival.container_type,
+            command=make_sample_command(arrival.container_type, lambda: env.now),
+        )
+        device = system.devices.get(system.device_of(arrival.name))
+        proc = runner.run_program(
+            ProcessApi(container.main_process),
+            on_exit=lambda code: system.engine.notify_main_exit(
+                container.container_id, code
+            ),
+            device=device,
+        )
+        record = system.scheduler.container(arrival.name)
+        code = yield proc
+        if code != 0:
+            failures[0] += 1
+        suspended.append(record.suspended_total)
+
+    for arrival in arrivals:
+        env.process(submit(arrival))
+    env.run()
+    system.scheduler.check_invariants()
+    return env.now, sum(suspended) / len(suspended), failures[0]
+
+
+def test_bench_ext_multigpu_host(benchmark, record_output):
+    def run_all():
+        results = {}
+        results["1 GPU"] = _run_host(1, "most-free")
+        for placement in ("most-free", "best-fit", "round-robin"):
+            results[f"2 GPUs ({placement})"] = _run_host(2, placement)
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    record_output(
+        "ext_multigpu_host",
+        format_table(
+            ("host", "finished time (s)", "avg suspended (s)", "failures"),
+            [
+                (name, f"{r[0]:.1f}", f"{r[1]:.1f}", str(r[2]))
+                for name, r in results.items()
+            ],
+            title=f"Extension — multi-GPU host ({COUNT} containers, "
+            f"one every {INTERVAL:.0f} s, BF per device)",
+        )
+        + "\n\nplacement decided at registration; nvidia-docker attaches only "
+        "the placed /dev/nvidiaN",
+    )
+    assert all(r[2] == 0 for r in results.values())
+    # Two GPUs never lose to one on the same workload.
+    one = results["1 GPU"][0]
+    assert all(
+        results[name][0] <= one * 1.01 for name in results if name != "1 GPU"
+    )

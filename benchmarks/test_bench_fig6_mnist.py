@@ -1,0 +1,29 @@
+"""Fig. 6 — overall runtime of the TensorFlow MNIST program.
+
+Paper: 402.10 s without ConVGPU, 404.93 s with (+0.7 %).  The trainer's
+full 20 000-step CUDA call profile is replayed in virtual time.
+"""
+
+from repro.experiments.report import format_table
+from repro.experiments.single import mnist_runtime_experiment
+
+
+def test_bench_fig6_mnist_runtime(benchmark, record_output):
+    result = benchmark.pedantic(mnist_runtime_experiment, rounds=1, iterations=1)
+    record_output(
+        "fig6_mnist_runtime",
+        format_table(
+            ("series", "runtime (s)"),
+            [
+                ("without ConVGPU", f"{result.without_convgpu:.2f}"),
+                ("with ConVGPU", f"{result.with_convgpu:.2f}"),
+                ("overhead", f"{result.overhead_percent:.2f}%"),
+            ],
+            title="Fig. 6 — overall runtime of TensorFlow MNIST program",
+        )
+        + "\n\npaper: 402.10 s -> 404.93 s (+0.7%)",
+    )
+    # Shape: a ~400 s program with sub-1% middleware overhead.
+    assert 380 < result.without_convgpu < 430
+    assert result.with_convgpu > result.without_convgpu
+    assert result.overhead_percent < 1.5

@@ -1,0 +1,54 @@
+"""Fig. 8 + Table V — average suspended time of each container.
+
+Regenerates Table V and an ASCII Fig. 8 from the shared sweep and checks
+the qualitative story: suspension grows with load, and Best-Fit — which
+wins the makespan — pays for it with above-average suspension at heavy
+load (the starvation trade-off of §IV-C).
+"""
+
+import statistics
+
+from repro.experiments.report import ascii_series_plot, format_policy_table
+
+
+def test_bench_fig8_suspended_time(benchmark, record_output, paper_sweep):
+    from repro.experiments.multi import run_schedule
+
+    benchmark.pedantic(
+        lambda: run_schedule("Rand", 16, 2017), rounds=3, iterations=1
+    )
+    result = paper_sweep
+    table = format_policy_table(
+        result.suspended,
+        result.counts,
+        title="Table V — average suspended time of given number of containers (s)",
+    )
+    plot = ascii_series_plot(
+        {p: result.suspended_row(p) for p in result.policies},
+        list(result.counts),
+        title="Fig. 8 — average suspended time comparison with the four algorithms",
+    )
+    record_output(
+        "fig8_table5_suspended_time",
+        table + "\n\n" + plot + "\n\npaper at 38: FIFO 182.7, BF 289.4, RU 182.6, Rand 174.2",
+    )
+
+    # Claim 1: suspension increases with load for every policy.
+    for policy in result.policies:
+        light = statistics.fmean(result.suspended[policy][c] for c in (4, 6, 8))
+        heavy = statistics.fmean(result.suspended[policy][c] for c in (34, 36, 38))
+        assert heavy > 2 * light
+
+    # Claim 2 (§IV-C): suspension at low load is small in absolute terms.
+    for policy in result.policies:
+        assert result.suspended[policy][4] < 60.0
+
+    # Claim 3: the BF makespan advantage does not come from suspending less
+    # (it's a throughput-vs-fairness trade: BF is NOT the uniformly lowest
+    # suspension policy at heavy load).
+    heavy_counts = [c for c in result.counts if c >= 26]
+    bf_lowest_everywhere = all(
+        result.suspended["BF"][c] == min(result.suspended[p][c] for p in result.policies)
+        for c in heavy_counts
+    )
+    assert not bf_lowest_everywhere

@@ -1,0 +1,14 @@
+"""Table I — comparing the Remote-API frameworks (background, §II-B)."""
+
+from repro.experiments.background import REMOTE_API_FRAMEWORKS, format_table_i
+
+
+def test_bench_table1_remote_api_frameworks(benchmark, record_output):
+    text = benchmark(format_table_i)
+    record_output("table1_remote_api_frameworks", text)
+    assert [f.name for f in REMOTE_API_FRAMEWORKS] == [
+        "GViM",
+        "gVirtuS",
+        "vCUDA",
+        "rCUDA",
+    ]

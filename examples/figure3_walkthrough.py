@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Figure 3 of the paper, step by step, with live scheduler snapshots.
+
+§III-E's scenario: containers A and B run on the GPU; C arrives and gets a
+*partial* reservation; C suspends when it outgrows it; D arrives with
+nothing and suspends immediately; B terminates, C is guaranteed its full
+requirement and resumes; D receives the leftovers but stays suspended.
+
+Every sub-figure (3a-3d) is printed as a ``docker stats``-style snapshot
+taken at that exact moment, so you can diff this output against the paper's
+drawing.
+
+Run:  python examples/figure3_walkthrough.py
+"""
+
+from repro.core.scheduler.core import GpuMemoryScheduler
+from repro.core.scheduler.policies import make_policy
+from repro.core.scheduler.stats import format_snapshot, snapshot
+from repro.units import GiB, MiB
+
+
+class Clock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+def show(label: str, scheduler: GpuMemoryScheduler) -> None:
+    print(f"--- {label} ---")
+    print(format_snapshot(snapshot(scheduler)))
+    print()
+
+
+def main() -> None:
+    clock = Clock()
+    # 4 GiB GPU, FIFO redistribution, no context overhead (keeps the
+    # arithmetic identical to the figure's idealized boxes).
+    scheduler = GpuMemoryScheduler(
+        4 * GiB, make_policy("FIFO"), clock=clock, context_overhead=0
+    )
+
+    # (a) Container A and B running on GPU.
+    scheduler.register_container("A", int(1.5 * GiB))
+    scheduler.register_container("B", int(1.5 * GiB))
+    scheduler.request_allocation("A", 1, int(1.2 * GiB))
+    scheduler.commit_allocation("A", 1, 0xA0, int(1.2 * GiB))
+    scheduler.request_allocation("B", 2, int(1.4 * GiB))
+    scheduler.commit_allocation("B", 2, 0xB0, int(1.4 * GiB))
+    show("Fig. 3a — A and B running on the GPU", scheduler)
+
+    # (b) C is assigned partial GPU memory (1 GiB of its 2 GiB request)
+    #     but runs fine within it.
+    clock.t = 10.0
+    record_c = scheduler.register_container("C", 2 * GiB)
+    assert record_c.assigned == 1 * GiB, "C gets only what's unreserved"
+    scheduler.request_allocation("C", 3, 768 * MiB)
+    scheduler.commit_allocation("C", 3, 0xC0, 768 * MiB)
+    show("Fig. 3b — C assigned partially, running within it", scheduler)
+
+    # (c) C tries to allocate beyond its assignment -> suspended (valid:
+    #     still within its declared 2 GiB).  D arrives with nothing
+    #     assigned and suspends immediately.
+    clock.t = 20.0
+    c_replies, d_replies = [], []
+    decision = scheduler.request_allocation(
+        "C", 3, 1 * GiB, on_resume=c_replies.append
+    )
+    assert decision.paused
+    record_d = scheduler.register_container("D", int(1.5 * GiB))
+    assert record_d.assigned == 0
+    assert scheduler.request_allocation(
+        "D", 4, 1 * GiB, on_resume=d_replies.append
+    ).paused
+    show("Fig. 3c — C and D suspended", scheduler)
+
+    # (d) B terminates; the scheduler guarantees C's full requirement
+    #     (C resumes) and hands the remainder to D (still insufficient).
+    clock.t = 30.0
+    scheduler.container_exit("B")
+    assert c_replies == [{"decision": "grant"}], "C resumed"
+    assert d_replies == [], "D still waiting"
+    scheduler.commit_allocation("C", 3, 0xC1, 1 * GiB)
+    show("Fig. 3d — B gone: C resumed with its full 2 GiB; D partial, waiting",
+         scheduler)
+
+    print("scheduler event log:")
+    for event in scheduler.log:
+        print(f"  t={event.time:5.1f}  {type(event).__name__:22s} {event.container_id}")
+
+
+if __name__ == "__main__":
+    main()

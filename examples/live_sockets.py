@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Live mode: the real middleware plumbing, on real UNIX sockets.
+
+Unlike the other examples (virtual time), this one starts the actual
+scheduler daemon — per-container directories, AF_UNIX sockets, JSON frames,
+a wrapper module blocking in ``recv`` while paused — and demonstrates a
+pause/resume across OS threads, exactly the mechanics §III describes.
+
+Run:  python examples/live_sockets.py
+"""
+
+import threading
+import time
+
+from repro import ConVGPU, format_size
+from repro.container.image import make_cuda_image
+from repro.cuda.errors import cudaError
+from repro.experiments.live import LiveProgramRunner
+from repro.units import GiB
+from repro.workloads.api import ProcessApi
+
+
+def main() -> None:
+    system = ConVGPU(policy="FIFO", live=True)
+    try:
+        system.engine.images.add(make_cuda_image("app"))
+        print(f"scheduler daemon up; control socket: {system.daemon.control_path}")
+
+        # --- container 1: hogs 4 GiB -----------------------------------
+        def hog(api):
+            err, ptr = yield from api.cudaMalloc(4 * GiB)
+            assert err is cudaError.cudaSuccess
+            print("  [hog ] holding 4 GiB")
+            return 0
+
+        hog_container = system.nvdocker.run(
+            "app", name="hog", command=hog, nvidia_memory=5 * GiB
+        )
+        print(f"per-container socket: {system.container_socket_path('hog')}")
+        with LiveProgramRunner(
+            system.device, socket_path=system.container_socket_path("hog")
+        ) as runner:
+            runner.run_program(ProcessApi(hog_container.main_process))
+
+        # --- container 2: wants 2 GiB -> pauses in a real recv() --------
+        def late(api):
+            t0 = time.monotonic()
+            err, ptr = yield from api.cudaMalloc(2 * GiB)
+            waited = time.monotonic() - t0
+            assert err is cudaError.cudaSuccess
+            print(f"  [late] resumed after blocking {waited:.2f}s in recv()")
+            return 0
+
+        late_container = system.nvdocker.run(
+            "app", name="late", command=late, nvidia_memory=3 * GiB
+        )
+
+        def run_late():
+            with LiveProgramRunner(
+                system.device, socket_path=system.container_socket_path("late")
+            ) as runner:
+                runner.run_program(ProcessApi(late_container.main_process))
+            system.engine.notify_main_exit(late_container.container_id, 0)
+
+        thread = threading.Thread(target=run_late)
+        thread.start()
+        time.sleep(1.0)
+        print(
+            "  [late] is paused "
+            f"(scheduler shows paused={system.scheduler.container('late').paused})"
+        )
+
+        print("  [hog ] exiting; dummy-volume unmount sends the close signal")
+        system.engine.notify_main_exit(hog_container.container_id, 0)
+        thread.join(timeout=10)
+        print(
+            f"\nfinal state: reserved={format_size(system.scheduler.reserved)}, "
+            f"device used={format_size(system.device.allocator.used)}"
+        )
+    finally:
+        system.close()
+        print("daemon stopped, sockets removed")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Quickstart: share one GPU between containers with ConVGPU.
+
+This walks the paper's Fig. 1/2 pipeline end to end, in-process and in
+virtual time:
+
+1. build the middleware (simulated Tesla K20m + scheduler + nvidia-docker);
+2. ``nvidia-docker run --nvidia-memory=512m ...`` a CUDA container;
+3. watch the LD_PRELOAD wrapper intercept its allocations;
+4. see the container's *virtualized* memory view (its limit, not the GPU);
+5. observe full cleanup when the container exits.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ConVGPU, Environment, format_size
+from repro.container.image import make_cuda_image
+from repro.cuda.errors import cudaError
+from repro.units import MiB
+from repro.workloads.api import ProcessApi
+from repro.workloads.runner import SimIpcBridge, SimProgramRunner
+
+
+def my_gpu_program(api):
+    """A user program - ordinary CUDA calls; ConVGPU is invisible to it."""
+    err, ptr = yield from api.cudaMalloc(200 * MiB)
+    assert err is cudaError.cudaSuccess, err
+    print(f"  [container] cudaMalloc(200 MiB) -> {ptr:#x}")
+
+    err, (free, total) = yield from api.cudaMemGetInfo()
+    print(
+        f"  [container] cudaMemGetInfo: free={format_size(free)} "
+        f"total={format_size(total)}  <- the container sees its 512 MiB "
+        "slice, not the 5 GiB device"
+    )
+
+    err, _ = yield from api.cudaMemcpy(200 * MiB, "h2d")
+    err, _ = yield from api.cudaLaunchKernel(2.0, name="my_kernel")
+    err, _ = yield from api.cudaMemcpy(200 * MiB, "d2h")
+    err, _ = yield from api.cudaFree(ptr)
+    assert err is cudaError.cudaSuccess
+    print("  [container] work done, memory freed")
+    return 0
+
+
+def main() -> None:
+    env = Environment()
+    system = ConVGPU(policy="BF", clock=lambda: env.now)
+    system.engine.images.add(make_cuda_image("my-cuda-app"))
+
+    print("== nvidia-docker run --nvidia-memory=512m my-cuda-app ==")
+    container = system.nvdocker.run(
+        "my-cuda-app",
+        name="quickstart",
+        nvidia_memory="512m",
+        command=my_gpu_program,
+    )
+    print(f"container {container.short_id} started")
+    print(f"  LD_PRELOAD = {container.config.env['LD_PRELOAD']}")
+    record = system.container_record(container)
+    print(
+        f"  scheduler: limit={format_size(record.limit)} "
+        f"assigned={format_size(record.assigned)}"
+    )
+
+    runner = SimProgramRunner(
+        env, system.device, SimIpcBridge(env, system.service.handle)
+    )
+    proc = runner.run_program(
+        ProcessApi(container.main_process),
+        on_exit=lambda code: system.engine.notify_main_exit(
+            container.container_id, code
+        ),
+    )
+    env.run()
+
+    print(f"\nexit code: {proc.value}, virtual time elapsed: {env.now:.2f}s")
+    print(f"close signals received by the plugin: {system.plugin.close_signals}")
+    print(
+        f"GPU memory in use after exit: "
+        f"{format_size(system.device.allocator.used)} "
+        f"(reserved: {format_size(system.scheduler.reserved)})"
+    )
+    print("\nScheduler event log:")
+    for event in system.scheduler.log:
+        print(f"  t={event.time:7.3f}  {type(event).__name__:22s} {event.container_id}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Shim for offline editable installs (`pip install -e . --no-use-pep517`).
+
+The environment has no `wheel` package and no network access, so the PEP 517
+editable path (which requires bdist_wheel) is unavailable; this file lets
+pip fall back to `setup.py develop`. All metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,42 @@
+"""ConVGPU reproduction — GPU management middleware for containers.
+
+A from-scratch Python implementation of *"ConVGPU: GPU Management Middleware
+in Container Based Virtualized Environment"* (Kang et al., IEEE CLUSTER
+2017), including every substrate the paper depends on: a simulated GPU and
+CUDA Runtime/Driver API, a Docker-like container engine with LD_PRELOAD
+semantics, the customized nvidia-docker layer, real UNIX-socket JSON IPC,
+the GPU memory scheduler with its four algorithms, and the full evaluation
+harness (Fig. 4-8, Tables IV/V).
+
+See README.md and examples/quickstart.py.
+"""
+
+from repro.core.middleware import ConVGPU
+from repro.core.scheduler import (
+    CONTEXT_OVERHEAD_CHARGE,
+    GpuMemoryScheduler,
+    PAPER_POLICIES,
+    make_policy,
+)
+from repro.gpu.properties import TESLA_K20M, DeviceProperties
+from repro.sim.engine import Environment
+from repro.units import GiB, KiB, MiB, format_size, parse_size
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConVGPU",
+    "GpuMemoryScheduler",
+    "make_policy",
+    "PAPER_POLICIES",
+    "CONTEXT_OVERHEAD_CHARGE",
+    "Environment",
+    "DeviceProperties",
+    "TESLA_K20M",
+    "KiB",
+    "MiB",
+    "GiB",
+    "parse_size",
+    "format_size",
+    "__version__",
+]

@@ -1,0 +1,227 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Regenerates the paper's evaluation from a shell, the way a user of the
+original system would drive it:
+
+- ``fig4`` / ``fig5`` / ``fig6``  — single-container experiments;
+- ``run``      — one multi-container schedule, with the per-container table;
+- ``sweep``    — the full Fig. 7/8 grid (Tables IV and V);
+- ``deadlock`` — the §I failure scenarios with and without ConVGPU;
+- ``export``   — write all results as JSON/CSV into a directory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.experiments import export as export_mod
+from repro.experiments.failure import deadlock_experiment, overcommit_experiment
+from repro.experiments.multi import DEFAULT_SEED, run_schedule, sweep
+from repro.experiments.report import (
+    ascii_series_plot,
+    format_fig4,
+    format_policy_table,
+    format_table,
+)
+from repro.experiments.single import (
+    api_response_experiment,
+    creation_time_experiment,
+    mnist_runtime_experiment,
+)
+from repro.workloads.arrivals import PAPER_CONTAINER_COUNTS
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ConVGPU reproduction (CLUSTER 2017) — experiment runner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig4 = sub.add_parser("fig4", help="API response time (Fig. 4)")
+    fig4.add_argument("--repeats", type=int, default=10)
+    fig4.add_argument("--mode", choices=("sim", "live"), default="sim")
+
+    fig5 = sub.add_parser("fig5", help="container creation time (Fig. 5)")
+    fig5.add_argument("--repeats", type=int, default=10)
+    fig5.add_argument("--mode", choices=("sim", "live"), default="sim")
+
+    fig6 = sub.add_parser("fig6", help="MNIST trainer runtime (Fig. 6)")
+    fig6.add_argument("--steps", type=int, default=20_000)
+
+    run = sub.add_parser("run", help="one multi-container schedule")
+    run.add_argument("--policy", default="BF")
+    run.add_argument("--count", type=int, default=16)
+    run.add_argument("--seed", type=int, default=DEFAULT_SEED)
+
+    sweep_cmd = sub.add_parser("sweep", help="the full Fig. 7/8 grid")
+    sweep_cmd.add_argument("--repeats", type=int, default=6)
+    sweep_cmd.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    sweep_cmd.add_argument(
+        "--counts",
+        default=",".join(str(c) for c in PAPER_CONTAINER_COUNTS),
+        help="comma-separated container counts",
+    )
+
+    sub.add_parser("deadlock", help="the §I failure scenarios")
+
+    export_cmd = sub.add_parser("export", help="write JSON/CSV results")
+    export_cmd.add_argument("--out", default="results")
+    export_cmd.add_argument("--repeats", type=int, default=6)
+    export_cmd.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    return parser
+
+
+def _cmd_fig4(args) -> int:
+    result = api_response_experiment(repeats=args.repeats, mode=args.mode)
+    print(format_fig4(result.with_convgpu, result.without_convgpu))
+    return 0
+
+
+def _cmd_fig5(args) -> int:
+    result = creation_time_experiment(repeats=args.repeats, mode=args.mode)
+    print(
+        format_table(
+            ("series", "creation time (s)"),
+            [
+                ("without ConVGPU", f"{result.without_convgpu:.4f}"),
+                ("with ConVGPU", f"{result.with_convgpu:.4f}"),
+                ("overhead", f"{result.overhead:.4f} ({result.overhead_percent:.1f}%)"),
+            ],
+            title="Fig. 5 — creation time of the container",
+        )
+    )
+    return 0
+
+
+def _cmd_fig6(args) -> int:
+    from repro.workloads.mnist import MnistConfig
+
+    result = mnist_runtime_experiment(MnistConfig().scaled(args.steps))
+    print(
+        format_table(
+            ("series", "runtime (s)"),
+            [
+                ("without ConVGPU", f"{result.without_convgpu:.2f}"),
+                ("with ConVGPU", f"{result.with_convgpu:.2f}"),
+                ("overhead", f"{result.overhead_percent:.2f}%"),
+            ],
+            title="Fig. 6 — overall runtime of TensorFlow MNIST program",
+        )
+    )
+    return 0
+
+
+def _cmd_run(args) -> int:
+    result = run_schedule(args.policy, args.count, args.seed)
+    print(
+        format_table(
+            ("container", "type", "submitted", "finished", "suspended (s)", "exit"),
+            [
+                (
+                    o.name,
+                    o.type_name,
+                    f"{o.submitted_at:.0f}s",
+                    f"{o.finished_at:.1f}s",
+                    f"{o.suspended:.1f}",
+                    str(o.exit_code),
+                )
+                for o in result.outcomes
+            ],
+            title=(
+                f"{args.policy}: {result.count} containers, seed {result.seed} — "
+                f"finished {result.finished_time:.1f}s, "
+                f"avg suspended {result.avg_suspended:.1f}s, "
+                f"failures {result.failures}"
+            ),
+        )
+    )
+    return 0 if result.failures == 0 else 1
+
+
+def _cmd_sweep(args) -> int:
+    counts = tuple(int(token) for token in args.counts.split(","))
+    result = sweep(counts=counts, repeats=args.repeats, seed=args.seed)
+    print(
+        format_policy_table(
+            result.finished, result.counts,
+            title="Table IV — finished time (s)",
+        )
+    )
+    print()
+    print(
+        format_policy_table(
+            result.suspended, result.counts,
+            title="Table V — average suspended time (s)",
+        )
+    )
+    print()
+    print(
+        ascii_series_plot(
+            {p: result.finished_row(p) for p in result.policies},
+            list(result.counts),
+            title="Fig. 7 — finished time",
+        )
+    )
+    return 0
+
+
+def _cmd_deadlock(args) -> int:
+    for label, experiment in (
+        ("over-commit", overcommit_experiment),
+        ("deadlock", deadlock_experiment),
+    ):
+        for managed in (False, True):
+            outcome = experiment(managed)
+            mode = "with ConVGPU" if managed else "without ConVGPU"
+            print(
+                f"{label:11s} {mode:16s} exits={outcome.exit_codes} "
+                f"deadlocked={outcome.deadlocked} wall={outcome.wall_time:.1f}s"
+            )
+    return 0
+
+
+def _cmd_export(args) -> int:
+    os.makedirs(args.out, exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        path = os.path.join(args.out, name)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"wrote {path}")
+
+    sweep_result = sweep(repeats=args.repeats, seed=args.seed)
+    write("sweep.json", export_mod.sweep_to_json(sweep_result))
+    write("table4_finished.csv", export_mod.sweep_to_csv(sweep_result, "finished"))
+    write("table5_suspended.csv", export_mod.sweep_to_csv(sweep_result, "suspended"))
+    fig4 = api_response_experiment(repeats=10, mode="sim")
+    fig5 = creation_time_experiment(repeats=10, mode="sim")
+    fig6 = mnist_runtime_experiment()
+    write("single.json", export_mod.single_results_to_json(fig4, fig5, fig6))
+    one_run = run_schedule("BF", 16, args.seed)
+    write("schedule_bf_16.json", export_mod.schedule_to_json(one_run))
+    return 0
+
+
+_COMMANDS = {
+    "fig4": _cmd_fig4,
+    "fig5": _cmd_fig5,
+    "fig6": _cmd_fig6,
+    "run": _cmd_run,
+    "sweep": _cmd_sweep,
+    "deadlock": _cmd_deadlock,
+    "export": _cmd_export,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

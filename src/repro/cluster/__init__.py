@@ -1,0 +1,18 @@
+"""Cluster extensions (§V future work): multi-GPU hosts and swarm dispatch."""
+
+from repro.cluster.multigpu import PLACEMENT_POLICIES, MultiGpuScheduler
+from repro.cluster.swarm import (
+    DISPATCH_STRATEGIES,
+    SwarmCluster,
+    SwarmNode,
+    SwarmRunResult,
+)
+
+__all__ = [
+    "MultiGpuScheduler",
+    "PLACEMENT_POLICIES",
+    "SwarmCluster",
+    "SwarmNode",
+    "SwarmRunResult",
+    "DISPATCH_STRATEGIES",
+]

@@ -1,0 +1,190 @@
+"""Swarm extension (§V future work): ConVGPU across multiple hosts.
+
+"Our further step is to adopt the ConVGPU in the clustering system like
+Docker Swarm."
+
+A :class:`SwarmCluster` holds several *nodes*, each a complete single-host
+ConVGPU deployment (its own GPU(s), scheduler, engine).  A dispatch
+strategy — named after Docker Swarm's real ones — picks the node for each
+submitted container:
+
+- ``spread``  — node with the most unreserved GPU memory (Swarm default);
+- ``binpack`` — node with the least unreserved memory that still fits,
+  concentrating load so whole nodes stay free;
+- ``random``  — uniform choice among nodes that can ever fit the limit.
+
+Dispatch happens at submission, before the container's nvidia-docker
+registration on the chosen node; everything after that is the unmodified
+single-host stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.container.image import make_cuda_image
+from repro.core.middleware import ConVGPU
+from repro.errors import ClusterError, LimitExceededError
+from repro.sim.engine import Environment
+from repro.workloads.api import ProcessApi
+from repro.workloads.arrivals import Arrival
+from repro.workloads.runner import SimIpcBridge, SimProgramRunner
+from repro.workloads.sample import make_sample_command
+
+__all__ = ["SwarmNode", "SwarmCluster", "DISPATCH_STRATEGIES", "SwarmRunResult"]
+
+
+@dataclass
+class SwarmNode:
+    """One host in the cluster: a full ConVGPU deployment + its runner."""
+
+    name: str
+    system: ConVGPU
+    runner: SimProgramRunner
+    containers: list[str] = field(default_factory=list)
+
+    @property
+    def unreserved(self) -> int:
+        return self.system.scheduler.unreserved
+
+    @property
+    def total_memory(self) -> int:
+        return self.system.scheduler.total_memory
+
+
+def _spread(nodes: list[SwarmNode], limit: int, rng) -> SwarmNode | None:
+    fitting = [n for n in nodes if limit <= n.total_memory]
+    if not fitting:
+        return None
+    return max(fitting, key=lambda n: (n.unreserved, -nodes.index(n)))
+
+
+def _binpack(nodes: list[SwarmNode], limit: int, rng) -> SwarmNode | None:
+    reservable = [
+        n for n in nodes if limit <= n.total_memory and n.unreserved >= limit
+    ]
+    if reservable:
+        return min(reservable, key=lambda n: (n.unreserved, nodes.index(n)))
+    return _spread(nodes, limit, rng)
+
+
+def _random(nodes: list[SwarmNode], limit: int, rng) -> SwarmNode | None:
+    fitting = [n for n in nodes if limit <= n.total_memory]
+    if not fitting:
+        return None
+    return fitting[int(rng.integers(0, len(fitting)))]
+
+
+DISPATCH_STRATEGIES: dict[str, Callable] = {
+    "spread": _spread,
+    "binpack": _binpack,
+    "random": _random,
+}
+
+
+@dataclass
+class SwarmRunResult:
+    """Outcome of a cluster schedule."""
+
+    strategy: str
+    finished_time: float
+    avg_suspended: float
+    failures: int
+    per_node_containers: dict[str, int]
+
+
+class SwarmCluster:
+    """Several ConVGPU hosts under one virtual clock and dispatcher."""
+
+    def __init__(
+        self,
+        node_count: int,
+        *,
+        env: Environment | None = None,
+        policy: str = "BF",
+        strategy: str = "spread",
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if node_count < 1:
+            raise ClusterError("need at least one node")
+        if strategy not in DISPATCH_STRATEGIES:
+            raise ClusterError(
+                f"unknown strategy {strategy!r}; known: {sorted(DISPATCH_STRATEGIES)}"
+            )
+        self.env = env if env is not None else Environment()
+        self.strategy_name = strategy
+        self._dispatch = DISPATCH_STRATEGIES[strategy]
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self.nodes: list[SwarmNode] = []
+        for index in range(node_count):
+            system = ConVGPU(policy=policy, clock=lambda: self.env.now)
+            system.engine.images.add(make_cuda_image("sample"))
+            bridge = SimIpcBridge(self.env, system.service.handle)
+            runner = SimProgramRunner(self.env, system.device, bridge)
+            self.nodes.append(
+                SwarmNode(name=f"node{index}", system=system, runner=runner)
+            )
+
+    # ------------------------------------------------------------------
+
+    def dispatch(self, limit: int) -> SwarmNode:
+        """Pick the node for a container with the given GPU memory limit."""
+        node = self._dispatch(self.nodes, limit, self._rng)
+        if node is None:
+            raise LimitExceededError(
+                f"no node in the cluster can hold a {limit}-byte container"
+            )
+        return node
+
+    def submit(self, arrival: Arrival) -> "repro.sim.events.Process":  # noqa: F821
+        """Schedule one arrival: dispatch, run, record (a DES process)."""
+
+        def _process():
+            yield self.env.timeout(arrival.time)
+            node = self.dispatch(arrival.container_type.gpu_memory)
+            node.containers.append(arrival.name)
+            system, runner = node.system, node.runner
+            container = system.nvdocker.run(
+                "sample",
+                name=arrival.name,
+                container_type=arrival.container_type,
+                command=make_sample_command(
+                    arrival.container_type, lambda: self.env.now
+                ),
+            )
+            creation = (
+                system.engine.timing.creation_time(container.config)
+                + system.creation_overhead()
+            )
+            yield self.env.timeout(creation)
+            proc = runner.run_program(
+                ProcessApi(container.main_process),
+                on_exit=lambda code: system.engine.notify_main_exit(
+                    container.container_id, code
+                ),
+            )
+            exit_code = yield proc
+            record = system.scheduler.container(arrival.name)
+            return arrival.name, exit_code, record.suspended_total
+
+        return self.env.process(_process())
+
+    def run_schedule(self, arrivals: list[Arrival]) -> SwarmRunResult:
+        """Run a full arrival schedule to completion."""
+        processes = [self.submit(arrival) for arrival in arrivals]
+        self.env.run()
+        outcomes = [p.value for p in processes]
+        for node in self.nodes:
+            node.system.scheduler.check_invariants()
+        return SwarmRunResult(
+            strategy=self.strategy_name,
+            finished_time=self.env.now,
+            avg_suspended=(
+                sum(s for _n, _c, s in outcomes) / len(outcomes) if outcomes else 0.0
+            ),
+            failures=sum(1 for _n, code, _s in outcomes if code != 0),
+            per_node_containers={n.name: len(n.containers) for n in self.nodes},
+        )

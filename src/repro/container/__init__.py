@@ -1,0 +1,58 @@
+"""Container substrate: a Docker-like engine with the features ConVGPU uses.
+
+Images + NVIDIA labels, lifecycle state machine, volumes + volume plugins
+(the exit-detection mechanism), cgroup accounting, pid allocation, and a
+dynamic-linker simulation implementing ``LD_PRELOAD`` semantics including
+the static-cudart failure mode.  See DESIGN.md §2.
+"""
+
+from repro.container.cgroups import Cgroup, CgroupManager, HostResources
+from repro.container.container import Container, ContainerConfig, ContainerState
+from repro.container.engine import DockerEngine, EngineTimingModel
+from repro.container.image import (
+    LABEL_CUDA_VERSION,
+    LABEL_MEMORY_LIMIT,
+    LABEL_VOLUMES_NEEDED,
+    Image,
+    ImageRegistry,
+    make_cuda_image,
+)
+from repro.container.linker import (
+    DynamicLinker,
+    SharedLibrary,
+    StaticArchive,
+    UndefinedSymbolError,
+)
+from repro.container.process import (
+    ContainerProcess,
+    PidAllocator,
+    build_process_linker,
+)
+from repro.container.volumes import Mount, VolumeManager, VolumePlugin
+
+__all__ = [
+    "DockerEngine",
+    "EngineTimingModel",
+    "Container",
+    "ContainerConfig",
+    "ContainerState",
+    "Image",
+    "ImageRegistry",
+    "make_cuda_image",
+    "LABEL_VOLUMES_NEEDED",
+    "LABEL_CUDA_VERSION",
+    "LABEL_MEMORY_LIMIT",
+    "Mount",
+    "VolumeManager",
+    "VolumePlugin",
+    "Cgroup",
+    "CgroupManager",
+    "HostResources",
+    "ContainerProcess",
+    "PidAllocator",
+    "build_process_linker",
+    "DynamicLinker",
+    "SharedLibrary",
+    "StaticArchive",
+    "UndefinedSymbolError",
+]

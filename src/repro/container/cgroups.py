@@ -1,0 +1,110 @@
+"""cgroup-style host resource accounting.
+
+Docker "uses cgroups ... to separate processes belonging to each container
+and to handle their CPU time or memory limit" (§II-C) — and the paper's
+whole point is that *no such scheme existed for GPU memory*.  We model the
+host side (vCPUs, host RAM) so the Table III container types are complete
+and so tests can show the asymmetry: host memory is enforced by cgroups at
+container granularity, GPU memory only by ConVGPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ContainerError
+from repro.units import GiB, format_size
+
+__all__ = ["HostResources", "Cgroup", "CgroupManager"]
+
+
+@dataclass(frozen=True)
+class HostResources:
+    """Capacity of the host machine (paper testbed: 2x Xeon E5, 64 GB)."""
+
+    vcpus: int = 32
+    memory: int = 64 * GiB
+
+    def __post_init__(self) -> None:
+        if self.vcpus < 1 or self.memory <= 0:
+            raise ContainerError(f"bad host resources: {self}")
+
+
+@dataclass
+class Cgroup:
+    """One container's control group."""
+
+    name: str
+    vcpus: int
+    memory_limit: int
+    memory_used: int = 0
+    frozen: bool = False
+
+    def charge(self, nbytes: int) -> bool:
+        """Account a host-memory allocation; False = over the limit (OOM)."""
+        if nbytes < 0:
+            raise ContainerError(f"negative charge: {nbytes}")
+        if self.memory_used + nbytes > self.memory_limit:
+            return False
+        self.memory_used += nbytes
+        return True
+
+    def uncharge(self, nbytes: int) -> None:
+        if nbytes < 0 or nbytes > self.memory_used:
+            raise ContainerError(
+                f"bad uncharge {nbytes} (used {self.memory_used})"
+            )
+        self.memory_used -= nbytes
+
+
+class CgroupManager:
+    """Creates/destroys cgroups and enforces host capacity.
+
+    Unlike the GPU pool, host resources may be *oversubscribed* in shares
+    (Docker does not reserve CPUs), so only memory limits are capacity
+    checked — and only when ``strict_memory`` is set, matching a host
+    admin's choice.
+    """
+
+    def __init__(self, resources: HostResources | None = None, *, strict_memory: bool = False) -> None:
+        self.resources = resources or HostResources()
+        self.strict_memory = strict_memory
+        self._groups: dict[str, Cgroup] = {}
+
+    @property
+    def total_memory_limit(self) -> int:
+        return sum(group.memory_limit for group in self._groups.values())
+
+    def create(self, name: str, *, vcpus: int, memory_limit: int) -> Cgroup:
+        if name in self._groups:
+            raise ContainerError(f"cgroup {name!r} already exists")
+        if vcpus < 1:
+            raise ContainerError(f"cgroup needs >= 1 vcpu, got {vcpus}")
+        if memory_limit <= 0:
+            raise ContainerError("cgroup memory limit must be positive")
+        if memory_limit > self.resources.memory:
+            raise ContainerError(
+                f"limit {format_size(memory_limit)} exceeds host memory "
+                f"{format_size(self.resources.memory)}"
+            )
+        if self.strict_memory and self.total_memory_limit + memory_limit > self.resources.memory:
+            raise ContainerError(
+                "host memory would be oversubscribed "
+                f"({format_size(self.total_memory_limit + memory_limit)} reserved "
+                f"of {format_size(self.resources.memory)})"
+            )
+        group = Cgroup(name=name, vcpus=vcpus, memory_limit=memory_limit)
+        self._groups[name] = group
+        return group
+
+    def get(self, name: str) -> Cgroup:
+        try:
+            return self._groups[name]
+        except KeyError:
+            raise ContainerError(f"no such cgroup: {name!r}") from None
+
+    def destroy(self, name: str) -> None:
+        self._groups.pop(name, None)
+
+    def __len__(self) -> int:
+        return len(self._groups)

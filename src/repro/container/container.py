@@ -1,0 +1,125 @@
+"""Container objects and their lifecycle state machine.
+
+State machine (the subset of Docker's that the paper's flows touch)::
+
+    CREATED --start--> RUNNING --exit/stop--> EXITED --remove--> (gone)
+
+A container may exit "by any reasons" (§III-B): its main process returning,
+``docker stop``, or a crash — all converge on :meth:`Container.mark_exited`,
+after which the engine unmounts volumes and the nvidia-docker-plugin close
+signal fires.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.container.cgroups import Cgroup
+from repro.container.image import Image
+from repro.container.process import ContainerProcess
+from repro.container.volumes import Mount
+from repro.errors import ContainerStateError
+
+__all__ = ["ContainerState", "ContainerConfig", "Container"]
+
+
+class ContainerState(enum.Enum):
+    CREATED = "created"
+    RUNNING = "running"
+    EXITED = "exited"
+    REMOVED = "removed"
+
+
+@dataclass(frozen=True)
+class ContainerConfig:
+    """Everything ``docker create`` needs (post nvidia-docker rewriting)."""
+
+    image: Image
+    name: str
+    env: Mapping[str, str] = field(default_factory=dict)
+    mounts: tuple[Mount, ...] = ()
+    devices: tuple[str, ...] = ()
+    vcpus: int = 1
+    memory_limit: int = 1 << 30
+    command: Callable[..., Any] | None = None  # overrides image entrypoint
+    labels: Mapping[str, str] = field(default_factory=dict)
+
+    @property
+    def entrypoint(self) -> Callable[..., Any] | None:
+        return self.command if self.command is not None else self.image.entrypoint
+
+
+class Container:
+    """A live container instance."""
+
+    def __init__(self, container_id: str, config: ContainerConfig, created_at: float) -> None:
+        self.container_id = container_id
+        self.config = config
+        self.state = ContainerState.CREATED
+        self.created_at = created_at
+        self.started_at: float | None = None
+        self.finished_at: float | None = None
+        self.exit_code: int | None = None
+        self.cgroup: Cgroup | None = None
+        self.processes: list[ContainerProcess] = []
+        #: Set by runners/middleware: timings, scheduler records, etc.
+        self.annotations: dict[str, Any] = {}
+
+    # -- convenience -------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.config.name
+
+    @property
+    def short_id(self) -> str:
+        return self.container_id[:12]
+
+    @property
+    def main_process(self) -> ContainerProcess | None:
+        return self.processes[0] if self.processes else None
+
+    @property
+    def running(self) -> bool:
+        return self.state is ContainerState.RUNNING
+
+    @property
+    def uptime(self) -> float | None:
+        """Run duration (None until finished)."""
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+    # -- lifecycle transitions (engine-internal) ---------------------------
+
+    def mark_started(self, at: float) -> None:
+        if self.state is not ContainerState.CREATED:
+            raise ContainerStateError(
+                f"cannot start container in state {self.state.value}"
+            )
+        self.state = ContainerState.RUNNING
+        self.started_at = at
+
+    def mark_exited(self, at: float, exit_code: int) -> None:
+        if self.state is not ContainerState.RUNNING:
+            raise ContainerStateError(
+                f"cannot exit container in state {self.state.value}"
+            )
+        self.state = ContainerState.EXITED
+        self.finished_at = at
+        self.exit_code = exit_code
+        for process in self.processes:
+            if process.alive:
+                process.exit(exit_code)
+
+    def mark_removed(self) -> None:
+        if self.state not in (ContainerState.CREATED, ContainerState.EXITED):
+            raise ContainerStateError(
+                f"cannot remove container in state {self.state.value}"
+            )
+        self.state = ContainerState.REMOVED
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Container {self.short_id} {self.name!r} {self.state.value}>"

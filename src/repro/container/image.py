@@ -1,0 +1,139 @@
+"""Container images and the label metadata nvidia-docker reads.
+
+nvidia-docker decides whether (and how) to wire a GPU into a container from
+image labels (§II-D): ``com.nvidia.volumes.needed`` marks CUDA images,
+``com.nvidia.cuda.version`` carries the required CUDA version, and ConVGPU
+adds ``com.nvidia.memory.limit`` as the fallback source of the container's
+GPU memory limit (§III-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.errors import ContainerError, ImageNotFoundError
+
+__all__ = [
+    "LABEL_VOLUMES_NEEDED",
+    "LABEL_CUDA_VERSION",
+    "LABEL_MEMORY_LIMIT",
+    "Image",
+    "ImageRegistry",
+]
+
+LABEL_VOLUMES_NEEDED = "com.nvidia.volumes.needed"
+LABEL_CUDA_VERSION = "com.nvidia.cuda.version"
+LABEL_MEMORY_LIMIT = "com.nvidia.memory.limit"
+
+
+@dataclass(frozen=True)
+class Image:
+    """An immutable container image.
+
+    ``entrypoint`` is a program factory: a callable producing the generator
+    the container's main process will run (see
+    :mod:`repro.workloads`); ``None`` models idle images.
+    ``cudart_shared`` records whether the image's binary was compiled with
+    ``-cudart=shared`` (§III-C) — without it, LD_PRELOAD interception fails.
+    """
+
+    name: str
+    tag: str = "latest"
+    labels: Mapping[str, str] = field(default_factory=dict)
+    entrypoint: Callable[..., Any] | None = None
+    cudart_shared: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ContainerError("image needs a name")
+
+    @property
+    def reference(self) -> str:
+        return f"{self.name}:{self.tag}"
+
+    @property
+    def uses_cuda(self) -> bool:
+        """nvidia-docker's check: does the image declare CUDA volumes?"""
+        return LABEL_VOLUMES_NEEDED in self.labels
+
+    @property
+    def cuda_version(self) -> str | None:
+        return self.labels.get(LABEL_CUDA_VERSION)
+
+    @property
+    def memory_limit_label(self) -> str | None:
+        """Raw ``com.nvidia.memory.limit`` value, if present."""
+        return self.labels.get(LABEL_MEMORY_LIMIT)
+
+    def with_labels(self, **labels: str) -> "Image":
+        """A copy with extra/overridden labels."""
+        merged = {**dict(self.labels), **labels}
+        return Image(
+            name=self.name,
+            tag=self.tag,
+            labels=merged,
+            entrypoint=self.entrypoint,
+            cudart_shared=self.cudart_shared,
+        )
+
+
+class ImageRegistry:
+    """The local image store (``docker images``)."""
+
+    def __init__(self) -> None:
+        self._images: dict[str, Image] = {}
+
+    def add(self, image: Image) -> Image:
+        self._images[image.reference] = image
+        return image
+
+    def get(self, reference: str) -> Image:
+        """Look up ``name[:tag]`` (tag defaults to ``latest``)."""
+        if ":" not in reference:
+            reference = f"{reference}:latest"
+        image = self._images.get(reference)
+        if image is None:
+            raise ImageNotFoundError(f"no such image: {reference}")
+        return image
+
+    def __contains__(self, reference: str) -> bool:
+        try:
+            self.get(reference)
+            return True
+        except ImageNotFoundError:
+            return False
+
+    def __len__(self) -> int:
+        return len(self._images)
+
+    def references(self) -> list[str]:
+        return sorted(self._images)
+
+
+def make_cuda_image(
+    name: str,
+    *,
+    entrypoint: Callable[..., Any] | None = None,
+    cuda_version: str = "8.0",
+    memory_limit: str | None = None,
+    cudart_shared: bool = True,
+    tag: str = "latest",
+) -> Image:
+    """Convenience factory for a CUDA-enabled image with NVIDIA labels."""
+    labels = {
+        LABEL_VOLUMES_NEEDED: "nvidia_driver",
+        LABEL_CUDA_VERSION: cuda_version,
+    }
+    if memory_limit is not None:
+        labels[LABEL_MEMORY_LIMIT] = memory_limit
+    return Image(
+        name=name,
+        tag=tag,
+        labels=labels,
+        entrypoint=entrypoint,
+        cudart_shared=cudart_shared,
+    )
+
+
+__all__.append("make_cuda_image")

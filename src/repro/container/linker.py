@@ -1,0 +1,125 @@
+"""Dynamic-linker simulation: shared libraries, ``LD_PRELOAD``, static linking.
+
+ConVGPU's entire interception mechanism is ``LD_PRELOAD`` (§III-C): the
+wrapper library ``libgpushare.so`` "only overrides the function symbol name
+of some CUDA APIs and it leaves other CUDA API available".  To reproduce
+that honestly we model symbol resolution itself:
+
+- a :class:`SharedLibrary` exports named symbols (callables);
+- a :class:`DynamicLinker` resolves a symbol by walking the preload list
+  first, then the process's linked libraries, in order — first definition
+  wins, exactly like ``ld.so``;
+- a **statically linked** symbol set short-circuits resolution entirely:
+  "the nvcc compiler links CUDA Runtime API statically inside the user
+  program by default. In this case, overriding function symbol name using
+  LD_PRELOAD does not work" (§III-C).  Programs must be "compiled" with
+  ``cudart=shared`` for interception to apply — our test suite reproduces
+  the failure mode when they are not.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.errors import ContainerError
+
+__all__ = ["SharedLibrary", "StaticArchive", "DynamicLinker", "UndefinedSymbolError"]
+
+
+class UndefinedSymbolError(ContainerError):
+    """No loaded object defines the requested symbol."""
+
+
+class SharedLibrary:
+    """A loadable object exporting symbols by name.
+
+    ``soname`` is the library's file name (e.g. ``"libcudart.so.8.0"`` or
+    ``"libgpushare.so"``); exports map symbol names to callables.
+    """
+
+    def __init__(self, soname: str, exports: Mapping[str, Callable[..., Any]]) -> None:
+        if not soname:
+            raise ContainerError("shared library needs a soname")
+        self.soname = soname
+        self._exports = dict(exports)
+
+    def symbols(self) -> list[str]:
+        return sorted(self._exports)
+
+    def lookup(self, symbol: str) -> Callable[..., Any] | None:
+        return self._exports.get(symbol)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<SharedLibrary {self.soname} ({len(self._exports)} symbols)>"
+
+
+class StaticArchive(SharedLibrary):
+    """Symbols baked into the executable at link time.
+
+    Resolution for these names never consults the preload list — the call
+    sites were bound by the compiler, not ``ld.so``.
+    """
+
+
+class DynamicLinker:
+    """Per-process symbol resolution honoring ``LD_PRELOAD``.
+
+    Construction mirrors process startup: the executable's static symbols
+    (if any), the ``LD_PRELOAD`` list parsed from the environment, and the
+    ordinary dependency list (``DT_NEEDED`` order).
+    """
+
+    def __init__(
+        self,
+        libraries: Iterable[SharedLibrary],
+        *,
+        preload: Iterable[SharedLibrary] = (),
+        static: StaticArchive | None = None,
+    ) -> None:
+        self._static = static
+        self._preload = list(preload)
+        self._libraries = list(libraries)
+        for obj in [*self._preload, *self._libraries]:
+            if isinstance(obj, StaticArchive):
+                raise ContainerError(
+                    f"{obj.soname}: static archives cannot be dynamically loaded"
+                )
+
+    @property
+    def preload_sonames(self) -> list[str]:
+        return [lib.soname for lib in self._preload]
+
+    def resolve(self, symbol: str) -> Callable[..., Any]:
+        """Resolve ``symbol`` with ld.so precedence rules.
+
+        Static beats everything (the linker never sees those call sites);
+        then preload objects in list order; then regular libraries in load
+        order.
+        """
+        if self._static is not None:
+            bound = self._static.lookup(symbol)
+            if bound is not None:
+                return bound
+        for library in self._preload:
+            bound = library.lookup(symbol)
+            if bound is not None:
+                return bound
+        for library in self._libraries:
+            bound = library.lookup(symbol)
+            if bound is not None:
+                return bound
+        raise UndefinedSymbolError(f"undefined symbol: {symbol}")
+
+    def provider_of(self, symbol: str) -> str:
+        """The soname whose definition would satisfy ``symbol`` (diagnostics)."""
+        if self._static is not None and self._static.lookup(symbol) is not None:
+            return self._static.soname
+        for library in [*self._preload, *self._libraries]:
+            if library.lookup(symbol) is not None:
+                return library.soname
+        raise UndefinedSymbolError(f"undefined symbol: {symbol}")
+
+    @staticmethod
+    def parse_ld_preload(value: str) -> list[str]:
+        """Split an ``LD_PRELOAD`` env value into sonames (spaces or colons)."""
+        return [token for token in value.replace(":", " ").split() if token]

@@ -1,0 +1,96 @@
+"""Processes inside containers: pids, namespaces, env, symbol resolution.
+
+Docker "uses Linux namespaces to have a separate process ID (pid)" (§II-C);
+the wrapper module nonetheless reports the *host-visible* pid to the
+scheduler (the scheduler runs on the host and keys its per-process
+bookkeeping by pid, §III-D).  We model both: every process has a host pid
+and a container-local pid, and all protocol traffic carries the host pid.
+
+Each process owns a :class:`~repro.container.linker.DynamicLinker` built at
+spawn time from the container's environment — this is the moment
+``LD_PRELOAD`` takes effect in real life, and the moment ConVGPU's wrapper
+does or does not get interposed.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.container.linker import DynamicLinker, SharedLibrary, StaticArchive
+from repro.errors import ContainerError
+
+__all__ = ["PidAllocator", "ContainerProcess"]
+
+
+class PidAllocator:
+    """Host-global pid source (monotonic, never reused within a run)."""
+
+    def __init__(self, first_pid: int = 1000) -> None:
+        self._pids = itertools.count(first_pid)
+
+    def allocate(self) -> int:
+        return next(self._pids)
+
+
+@dataclass
+class ContainerProcess:
+    """One process running inside a container."""
+
+    host_pid: int
+    container_pid: int
+    container_id: str
+    env: Mapping[str, str]
+    linker: DynamicLinker
+    #: The program generator factory (``None`` for processes without code,
+    #: e.g. placeholder init processes).
+    program: Callable[..., Any] | None = None
+    exit_code: int | None = None
+    #: Populated by runners: response-time log, allocation trace, etc.
+    annotations: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def alive(self) -> bool:
+        return self.exit_code is None
+
+    def resolve(self, symbol: str) -> Callable[..., Any]:
+        """Resolve an API symbol through this process's linker view."""
+        return self.linker.resolve(symbol)
+
+    def exit(self, code: int = 0) -> None:
+        if not self.alive:
+            raise ContainerError(
+                f"process {self.host_pid} already exited with {self.exit_code}"
+            )
+        self.exit_code = code
+
+
+def build_process_linker(
+    *,
+    libraries: list[SharedLibrary],
+    env: Mapping[str, str],
+    available_preloads: Mapping[str, SharedLibrary],
+    static: StaticArchive | None = None,
+) -> DynamicLinker:
+    """Construct a process's linker from its environment.
+
+    ``LD_PRELOAD`` names sonames; they are resolved against
+    ``available_preloads`` (the libraries visible inside the container —
+    for ConVGPU, the bind-mounted ``libgpushare.so``).  Unknown sonames are
+    skipped with the same silent tolerance as ``ld.so`` (it warns on
+    stderr and continues), which matters: a container missing its wrapper
+    volume must still run, just unmanaged.
+    """
+    preload_list: list[SharedLibrary] = []
+    ld_preload = env.get("LD_PRELOAD", "")
+    for soname in DynamicLinker.parse_ld_preload(ld_preload):
+        # Accept both bare sonames and mount paths ("/convgpu/libgpushare.so").
+        key = soname.rsplit("/", 1)[-1]
+        library = available_preloads.get(key)
+        if library is not None:
+            preload_list.append(library)
+    return DynamicLinker(libraries, preload=preload_list, static=static)
+
+
+__all__.append("build_process_linker")

@@ -1,0 +1,121 @@
+"""Volumes, bind mounts, and the Docker volume-plugin API.
+
+Two middleware mechanisms ride on volumes (§III-B):
+
+1. the scheduler's per-container directory (wrapper module + UNIX socket)
+   is bind-mounted into the container with ``--volume``;
+2. a *dummy volume* served by nvidia-docker-plugin is attached so that the
+   plugin's unmount callback fires when the container exits "by any
+   reasons" — that is how the scheduler learns a container is gone.
+
+The plugin interface mirrors Docker's legacy volume-plugin protocol
+(/VolumeDriver.Mount, /VolumeDriver.Unmount) at the granularity our stack
+needs: named volumes with mount/unmount callbacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.errors import VolumeError
+
+__all__ = ["Mount", "VolumePlugin", "VolumeManager"]
+
+
+@dataclass(frozen=True)
+class Mount:
+    """One ``--volume`` entry: source (host path or volume name) → target."""
+
+    source: str
+    target: str
+    read_only: bool = False
+    #: Name of the volume plugin serving this mount; None = local bind.
+    driver: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.source or not self.target:
+            raise VolumeError(f"mount needs source and target: {self}")
+        if not self.target.startswith("/"):
+            raise VolumeError(f"mount target must be absolute: {self.target}")
+
+
+class VolumePlugin(Protocol):
+    """Docker legacy volume-plugin surface (the slice we use)."""
+
+    @property
+    def driver_name(self) -> str:
+        """The name containers reference in ``Mount.driver``."""
+        ...
+
+    def mount(self, volume_name: str, container_id: str) -> str:
+        """Attach the named volume; returns the host path that gets bound."""
+        ...
+
+    def unmount(self, volume_name: str, container_id: str) -> None:
+        """Called when the container stops and the volume is detached."""
+        ...
+
+
+class VolumeManager:
+    """Tracks plugins and which container has which plugin volumes mounted."""
+
+    def __init__(self) -> None:
+        self._plugins: dict[str, VolumePlugin] = {}
+        #: container_id -> list of (driver, volume_name) currently mounted.
+        self._mounted: dict[str, list[tuple[str, str]]] = {}
+
+    def register_plugin(self, plugin: VolumePlugin) -> None:
+        name = plugin.driver_name
+        if name in self._plugins:
+            raise VolumeError(f"volume plugin {name!r} already registered")
+        self._plugins[name] = plugin
+
+    def plugin(self, name: str) -> VolumePlugin:
+        try:
+            return self._plugins[name]
+        except KeyError:
+            raise VolumeError(f"no such volume plugin: {name!r}") from None
+
+    def mount_all(self, container_id: str, mounts: list[Mount]) -> list[str]:
+        """Attach every mount for a starting container; returns host paths.
+
+        On failure, already-attached plugin volumes are rolled back so a
+        failed start leaves no dangling mounts.
+        """
+        attached: list[tuple[str, str]] = []
+        host_paths: list[str] = []
+        try:
+            for mount in mounts:
+                if mount.driver is None:
+                    host_paths.append(mount.source)
+                    continue
+                plugin = self.plugin(mount.driver)
+                host_paths.append(plugin.mount(mount.source, container_id))
+                attached.append((mount.driver, mount.source))
+        except Exception:
+            for driver, volume_name in reversed(attached):
+                try:
+                    self._plugins[driver].unmount(volume_name, container_id)
+                except Exception:
+                    pass
+            raise
+        self._mounted[container_id] = attached
+        return host_paths
+
+    def unmount_all(self, container_id: str) -> int:
+        """Detach a stopping container's plugin volumes (firing callbacks).
+
+        Returns the number of plugin volumes detached.  This is the event
+        path by which nvidia-docker-plugin "can identify the container is
+        exited" (§III-B).
+        """
+        attached = self._mounted.pop(container_id, [])
+        for driver, volume_name in reversed(attached):
+            plugin = self._plugins.get(driver)
+            if plugin is not None:
+                plugin.unmount(volume_name, container_id)
+        return len(attached)
+
+    def mounted_volumes(self, container_id: str) -> list[tuple[str, str]]:
+        return list(self._mounted.get(container_id, []))

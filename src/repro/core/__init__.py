@@ -1,0 +1,25 @@
+"""ConVGPU core: scheduler, wrapper module, and the assembled middleware."""
+
+from repro.core.middleware import ConVGPU
+from repro.core.scheduler import (
+    CONTEXT_OVERHEAD_CHARGE,
+    Decision,
+    GpuMemoryScheduler,
+    SchedulerDaemon,
+    SchedulerService,
+    make_policy,
+)
+from repro.core.wrapper import INTERCEPTED_SYMBOLS, SizeAdjuster, WrapperModule
+
+__all__ = [
+    "ConVGPU",
+    "GpuMemoryScheduler",
+    "Decision",
+    "SchedulerService",
+    "SchedulerDaemon",
+    "CONTEXT_OVERHEAD_CHARGE",
+    "make_policy",
+    "WrapperModule",
+    "INTERCEPTED_SYMBOLS",
+    "SizeAdjuster",
+]

@@ -1,0 +1,107 @@
+"""ConVGPU's GPU memory scheduler (the paper's core contribution, §III-D).
+
+- :class:`~repro.core.scheduler.core.GpuMemoryScheduler` — the decision
+  engine (accept / pause / reject, redistribution, per-pid bookkeeping);
+- :mod:`~repro.core.scheduler.policies` — FIFO / Best-Fit / Recent-Use /
+  Random plus ablation policies;
+- :class:`~repro.core.scheduler.service.SchedulerService` — protocol
+  adapter for any IPC transport;
+- :class:`~repro.core.scheduler.daemon.SchedulerDaemon` — the live host
+  daemon with real per-container UNIX sockets.
+"""
+
+from repro.core.scheduler.core import (
+    CONTEXT_OVERHEAD_CHARGE,
+    Decision,
+    GpuMemoryScheduler,
+)
+from repro.core.scheduler.daemon import (
+    CONTAINER_SOCKET_NAME,
+    WRAPPER_SONAME,
+    SchedulerDaemon,
+)
+from repro.core.scheduler.events import (
+    AllocationAborted,
+    AllocationCommitted,
+    AllocationGranted,
+    AllocationPaused,
+    AllocationRejected,
+    AllocationReleased,
+    AllocationResumed,
+    ContainerClosed,
+    ContainerRegistered,
+    EventLog,
+    MemoryAssigned,
+    ProcessExited,
+    SchedulerEvent,
+)
+from repro.core.scheduler.policies import (
+    PAPER_POLICIES,
+    POLICIES,
+    BestFitPolicy,
+    FifoPolicy,
+    RandomPolicy,
+    RecentUsePolicy,
+    SchedulingPolicy,
+    SmallestFirstPolicy,
+    WorstFitPolicy,
+    make_policy,
+)
+from repro.core.scheduler.records import (
+    AllocationRecord,
+    ContainerRecord,
+    PendingAllocation,
+)
+from repro.core.scheduler.service import SchedulerService
+from repro.core.scheduler.stats import (
+    ContainerStat,
+    SchedulerSnapshot,
+    SuspensionInterval,
+    format_snapshot,
+    snapshot,
+    summarize_events,
+    suspension_timeline,
+)
+
+__all__ = [
+    "GpuMemoryScheduler",
+    "Decision",
+    "CONTEXT_OVERHEAD_CHARGE",
+    "SchedulerService",
+    "SchedulerDaemon",
+    "WRAPPER_SONAME",
+    "CONTAINER_SOCKET_NAME",
+    "SchedulingPolicy",
+    "FifoPolicy",
+    "BestFitPolicy",
+    "RecentUsePolicy",
+    "RandomPolicy",
+    "WorstFitPolicy",
+    "SmallestFirstPolicy",
+    "POLICIES",
+    "PAPER_POLICIES",
+    "make_policy",
+    "ContainerRecord",
+    "AllocationRecord",
+    "PendingAllocation",
+    "EventLog",
+    "SchedulerEvent",
+    "ContainerRegistered",
+    "AllocationGranted",
+    "AllocationPaused",
+    "AllocationResumed",
+    "AllocationRejected",
+    "AllocationCommitted",
+    "AllocationReleased",
+    "AllocationAborted",
+    "MemoryAssigned",
+    "ProcessExited",
+    "ContainerClosed",
+    "snapshot",
+    "format_snapshot",
+    "SchedulerSnapshot",
+    "ContainerStat",
+    "suspension_timeline",
+    "SuspensionInterval",
+    "summarize_events",
+]

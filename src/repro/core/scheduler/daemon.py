@@ -1,0 +1,131 @@
+"""The scheduler daemon — the live analogue of the paper's Go program.
+
+"GPU memory scheduler is a standalone program written in Go ... It runs on
+the host machine similar to nvidia-docker-plugin" (§III-D).  Here it is a
+thread-backed server owning:
+
+- one **control socket** (``convgpu.sock``) that the customized
+  nvidia-docker and the nvidia-docker-plugin talk to (registration, exit);
+- one **per-container directory** containing that container's UNIX socket
+  and a copy of the wrapper module — the directory nvidia-docker
+  bind-mounts into the container (§III-B/D).
+
+The daemon is used by the live experiments (Fig. 4/5) where real AF_UNIX
+round-trips are measured; simulations bypass it and drive the scheduler
+core directly.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+from typing import Any
+
+from repro.core.scheduler.core import GpuMemoryScheduler
+from repro.core.scheduler.service import SchedulerService
+from repro.errors import SchedulerError
+from repro.ipc import protocol
+from repro.ipc.unix_socket import UnixSocketServer
+
+__all__ = ["SchedulerDaemon", "WRAPPER_SONAME", "CONTAINER_SOCKET_NAME"]
+
+#: File name of the wrapper module the daemon "copies" per container.
+WRAPPER_SONAME = "libgpushare.so"
+#: Socket file name inside each container directory.
+CONTAINER_SOCKET_NAME = "convgpu.sock"
+
+
+class SchedulerDaemon:
+    """Host daemon: control socket + per-container sockets and directories."""
+
+    def __init__(self, scheduler: GpuMemoryScheduler, base_dir: str | None = None) -> None:
+        self.scheduler = scheduler
+        self.service = SchedulerService(scheduler)
+        self._owns_base_dir = base_dir is None
+        self.base_dir = base_dir or tempfile.mkdtemp(prefix="convgpu-")
+        os.makedirs(self.base_dir, exist_ok=True)
+        self.control_path = os.path.join(self.base_dir, "control.sock")
+        self._control_server: UnixSocketServer | None = None
+        self._container_servers: dict[str, UnixSocketServer] = {}
+        self._container_dirs: dict[str, str] = {}
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "SchedulerDaemon":
+        if self._control_server is not None:
+            raise SchedulerError("daemon already started")
+        self._control_server = UnixSocketServer(self.control_path, self._handle_control)
+        self._control_server.start()
+        return self
+
+    def stop(self) -> None:
+        for server in self._container_servers.values():
+            server.stop()
+        self._container_servers.clear()
+        if self._control_server is not None:
+            self._control_server.stop()
+            self._control_server = None
+        for directory in self._container_dirs.values():
+            shutil.rmtree(directory, ignore_errors=True)
+        self._container_dirs.clear()
+        if self._owns_base_dir:
+            shutil.rmtree(self.base_dir, ignore_errors=True)
+
+    def __enter__(self) -> "SchedulerDaemon":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # -- control-plane handling ---------------------------------------------
+
+    def _handle_control(self, message: dict[str, Any], reply_handle) -> Any:
+        """Handle nvidia-docker / plugin traffic on the control socket."""
+        msg_type = message["type"]
+        if msg_type == protocol.MSG_REGISTER_CONTAINER:
+            reply = self.service.handle(message, reply_handle)
+            if isinstance(reply, dict) and reply.get("status") == "ok":
+                directory = self._prepare_container_dir(message["container_id"])
+                reply = {**reply, "socket_dir": directory}
+            return reply
+        if msg_type == protocol.MSG_CONTAINER_EXIT:
+            reply = self.service.handle(message, reply_handle)
+            self._teardown_container_dir(message["container_id"])
+            return reply
+        # Anything else on the control socket is a protocol misuse.
+        return protocol.make_error_reply(
+            message, f"{msg_type!r} not accepted on the control socket"
+        )
+
+    def _prepare_container_dir(self, container_id: str) -> str:
+        """Create the container's directory, socket and wrapper copy (§III-D)."""
+        directory = os.path.join(self.base_dir, container_id[:12])
+        os.makedirs(directory, exist_ok=True)
+        # "copies the wrapper module to the directory" — our wrapper is a
+        # Python object, so the copy is a marker file recording the mount.
+        with open(os.path.join(directory, WRAPPER_SONAME), "w", encoding="utf-8") as fh:
+            fh.write(f"ConVGPU wrapper module for container {container_id}\n")
+        socket_path = os.path.join(directory, CONTAINER_SOCKET_NAME)
+        server = UnixSocketServer(socket_path, self.service.handle)
+        server.start()
+        self._container_servers[container_id] = server
+        self._container_dirs[container_id] = directory
+        return directory
+
+    def _teardown_container_dir(self, container_id: str) -> None:
+        server = self._container_servers.pop(container_id, None)
+        if server is not None:
+            server.stop()
+        directory = self._container_dirs.pop(container_id, None)
+        if directory is not None:
+            shutil.rmtree(directory, ignore_errors=True)
+
+    # -- conveniences ---------------------------------------------------------
+
+    def container_socket_path(self, container_id: str) -> str:
+        """Path of the per-container socket (as mounted into the container)."""
+        directory = self._container_dirs.get(container_id)
+        if directory is None:
+            raise SchedulerError(f"container {container_id!r} not registered")
+        return os.path.join(directory, CONTAINER_SOCKET_NAME)

@@ -1,0 +1,145 @@
+"""Structured event log of the scheduler.
+
+Every externally visible decision is appended as a typed event, giving the
+tests a precise oracle (e.g. "exactly one pause, resumed at t=30, after a
+redistribution triggered by container B's exit") and giving the experiment
+drivers the raw material for the Fig. 8 suspended-time aggregation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, TypeVar
+
+__all__ = [
+    "SchedulerEvent",
+    "ContainerRegistered",
+    "AllocationGranted",
+    "AllocationPaused",
+    "AllocationResumed",
+    "AllocationRejected",
+    "AllocationCommitted",
+    "AllocationReleased",
+    "AllocationAborted",
+    "MemoryAssigned",
+    "ReservationReclaimed",
+    "ProcessExited",
+    "ContainerClosed",
+    "EventLog",
+]
+
+
+@dataclass(frozen=True)
+class SchedulerEvent:
+    """Base event: when it happened and which container it concerns."""
+
+    time: float
+    container_id: str
+
+
+@dataclass(frozen=True)
+class ContainerRegistered(SchedulerEvent):
+    limit: int
+    assigned: int
+
+
+@dataclass(frozen=True)
+class AllocationGranted(SchedulerEvent):
+    pid: int
+    size: int
+    api: str
+
+
+@dataclass(frozen=True)
+class AllocationPaused(SchedulerEvent):
+    pid: int
+    size: int
+    api: str
+
+
+@dataclass(frozen=True)
+class AllocationResumed(SchedulerEvent):
+    pid: int
+    size: int
+    waited: float
+
+
+@dataclass(frozen=True)
+class AllocationRejected(SchedulerEvent):
+    pid: int
+    size: int
+    reason: str
+
+
+@dataclass(frozen=True)
+class AllocationCommitted(SchedulerEvent):
+    pid: int
+    address: int
+    size: int
+
+
+@dataclass(frozen=True)
+class AllocationReleased(SchedulerEvent):
+    pid: int
+    address: int
+    size: int
+
+
+@dataclass(frozen=True)
+class AllocationAborted(SchedulerEvent):
+    pid: int
+    size: int
+
+
+@dataclass(frozen=True)
+class MemoryAssigned(SchedulerEvent):
+    """Redistribution: ``amount`` bytes moved to this container's reservation."""
+
+    amount: int
+    assigned_total: int
+    policy: str
+
+
+@dataclass(frozen=True)
+class ReservationReclaimed(SchedulerEvent):
+    """Wedge-breaking: idle reservation pulled back from a paused container."""
+
+    amount: int
+    assigned_total: int
+
+
+@dataclass(frozen=True)
+class ProcessExited(SchedulerEvent):
+    pid: int
+    reclaimed: int
+
+
+@dataclass(frozen=True)
+class ContainerClosed(SchedulerEvent):
+    reclaimed: int
+    suspended_total: float
+
+
+E = TypeVar("E", bound=SchedulerEvent)
+
+
+@dataclass
+class EventLog:
+    """Append-only event sink with typed filtering."""
+
+    events: list[SchedulerEvent] = field(default_factory=list)
+
+    def append(self, event: SchedulerEvent) -> None:
+        self.events.append(event)
+
+    def of_type(self, event_type: type[E]) -> list[E]:
+        return [e for e in self.events if isinstance(e, event_type)]
+
+    def for_container(self, container_id: str) -> list[SchedulerEvent]:
+        return [e for e in self.events if e.container_id == container_id]
+
+    def __iter__(self) -> Iterator[SchedulerEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)

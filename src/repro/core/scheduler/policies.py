@@ -1,0 +1,153 @@
+"""The four scheduling algorithms of the paper, plus ablation extras.
+
+When a container finishes and returns its assigned GPU memory, the
+scheduler repeatedly asks the policy to pick one *paused* container to top
+up (§III-D).  The paper's four policies:
+
+- **FIFO**  — oldest *created* container first;
+- **Best-Fit (BF)** — the container whose insufficiency is closest to (but
+  not exceeding) the free memory; if none fits, the least-insufficient one.
+  Fig. 7 shows BF winning overall finish time at high load; Fig. 8 shows it
+  paying with longer average suspension (starvation of mismatched sizes);
+- **Recent-Use (RU)** — most recently suspended first;
+- **Random (Rand)** — uniform choice among paused containers.
+
+Extension policies (not in the paper; used by the ablation bench): Worst-Fit
+and Smallest-Insufficiency-First.
+
+All ties break on creation order, keeping runs deterministic for a seed.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.scheduler.records import ContainerRecord
+
+__all__ = [
+    "SchedulingPolicy",
+    "FifoPolicy",
+    "BestFitPolicy",
+    "RecentUsePolicy",
+    "RandomPolicy",
+    "WorstFitPolicy",
+    "SmallestFirstPolicy",
+    "POLICIES",
+    "make_policy",
+]
+
+
+class SchedulingPolicy(abc.ABC):
+    """Strategy choosing which paused container receives freed memory."""
+
+    #: Short name used in tables/CLI (matches the paper's abbreviations).
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def select(
+        self, paused: Sequence[ContainerRecord], free: int
+    ) -> ContainerRecord:
+        """Pick one container from a non-empty ``paused`` sequence.
+
+        ``free`` is the currently unreserved GPU memory in bytes.  The
+        scheduler then assigns ``min(insufficiency, free)`` to the pick.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__}>"
+
+
+class FifoPolicy(SchedulingPolicy):
+    """First-in, first-out: "the oldest created container" (§III-D)."""
+
+    name = "FIFO"
+
+    def select(self, paused: Sequence[ContainerRecord], free: int) -> ContainerRecord:
+        return min(paused, key=lambda c: c.created_seq)
+
+
+class BestFitPolicy(SchedulingPolicy):
+    """Best-Fit: maximize memory throughput by closest-fit matching."""
+
+    name = "BF"
+
+    def select(self, paused: Sequence[ContainerRecord], free: int) -> ContainerRecord:
+        fitting = [c for c in paused if c.insufficiency <= free]
+        if fitting:
+            # Closest to the remaining memory without exceeding it: the
+            # *largest* insufficiency that still fits.
+            return max(fitting, key=lambda c: (c.insufficiency, -c.created_seq))
+        # Nobody fits entirely: "the container which has the least
+        # insufficient memory".
+        return min(paused, key=lambda c: (c.insufficiency, c.created_seq))
+
+
+class RecentUsePolicy(SchedulingPolicy):
+    """Recent-Use: "the most recently suspended containers" (§III-D)."""
+
+    name = "RU"
+
+    def select(self, paused: Sequence[ContainerRecord], free: int) -> ContainerRecord:
+        return max(paused, key=lambda c: (c.last_suspended_at, c.created_seq))
+
+
+class RandomPolicy(SchedulingPolicy):
+    """Random: uniform choice among paused containers."""
+
+    name = "Rand"
+
+    def __init__(self, rng: np.random.Generator | None = None) -> None:
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+
+    def select(self, paused: Sequence[ContainerRecord], free: int) -> ContainerRecord:
+        index = int(self._rng.integers(0, len(paused)))
+        return paused[index]
+
+
+class WorstFitPolicy(SchedulingPolicy):
+    """Ablation: the *most* insufficient container first (anti-Best-Fit)."""
+
+    name = "WF"
+
+    def select(self, paused: Sequence[ContainerRecord], free: int) -> ContainerRecord:
+        return max(paused, key=lambda c: (c.insufficiency, -c.created_seq))
+
+
+class SmallestFirstPolicy(SchedulingPolicy):
+    """Ablation: least-insufficient container first (SJF-like; unfair)."""
+
+    name = "SF"
+
+    def select(self, paused: Sequence[ContainerRecord], free: int) -> ContainerRecord:
+        return min(paused, key=lambda c: (c.insufficiency, c.created_seq))
+
+
+#: Registry: name -> zero/one-arg factory (RandomPolicy accepts an rng).
+POLICIES: dict[str, Callable[..., SchedulingPolicy]] = {
+    "FIFO": FifoPolicy,
+    "BF": BestFitPolicy,
+    "RU": RecentUsePolicy,
+    "Rand": RandomPolicy,
+    "WF": WorstFitPolicy,
+    "SF": SmallestFirstPolicy,
+}
+
+#: The four algorithms evaluated in the paper, in table order.
+PAPER_POLICIES = ("FIFO", "BF", "RU", "Rand")
+__all__.append("PAPER_POLICIES")
+
+
+def make_policy(name: str, rng: np.random.Generator | None = None) -> SchedulingPolicy:
+    """Instantiate a policy by table name (rng used only by "Rand")."""
+    try:
+        factory = POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {name!r}; known: {sorted(POLICIES)}"
+        ) from None
+    if factory is RandomPolicy:
+        return RandomPolicy(rng)
+    return factory()

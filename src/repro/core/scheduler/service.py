@@ -1,0 +1,136 @@
+"""Protocol service: binds the scheduler core to any IPC transport.
+
+The handler below implements the ``handler(message, reply_handle) ->
+reply | DEFER`` contract shared by :class:`repro.ipc.UnixSocketServer`,
+:class:`repro.ipc.TcpSocketServer` and :class:`repro.ipc.InProcessChannel`.
+A paused allocation is expressed as ``DEFER``: the reply handle is captured
+into the scheduler's pending record and completed when redistribution (or a
+release) resumes the container — at which point the wrapper's blocked
+``recv`` wakes up.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.scheduler.core import Decision, GpuMemoryScheduler
+from repro.errors import (
+    ClusterError,
+    LimitExceededError,
+    SchedulerError,
+    UnknownContainerError,
+)
+from repro.ipc import protocol
+from repro.ipc.unix_socket import DEFER
+
+__all__ = ["SchedulerService"]
+
+
+class SchedulerService:
+    """Stateless adapter from protocol messages to scheduler-core calls."""
+
+    def __init__(self, scheduler: GpuMemoryScheduler) -> None:
+        self.scheduler = scheduler
+
+    # The transport calls this for every decoded, validated request.
+    def handle(self, message: dict[str, Any], reply_handle) -> Any:
+        msg_type = message["type"]
+        handler = getattr(self, f"_on_{msg_type}", None)
+        if handler is None:
+            return protocol.make_error_reply(message, f"unsupported type {msg_type!r}")
+        try:
+            reply = handler(message, reply_handle)
+        except (
+            UnknownContainerError,
+            LimitExceededError,
+            SchedulerError,
+            ClusterError,
+        ) as exc:
+            reply = protocol.make_error_reply(message, str(exc))
+        if msg_type in protocol.NOTIFICATION_TYPES:
+            # Fire-and-forget bookkeeping: the wrapper is not waiting, so
+            # no reply goes on the wire (errors surface in the event log).
+            return None
+        return reply
+
+    __call__ = handle
+
+    # -- per-message handlers --------------------------------------------
+
+    def _on_register_container(self, message: dict[str, Any], reply_handle) -> Any:
+        result = self.scheduler.register_container(
+            message["container_id"], message["limit"]
+        )
+        if isinstance(result, tuple):
+            # Multi-GPU scheduler: placement decided at registration; the
+            # reply tells nvidia-docker which /dev/nvidiaN to attach.
+            ordinal, record = result
+            return protocol.make_reply(
+                message, assigned=record.assigned, limit=record.limit, device=ordinal
+            )
+        record = result
+        return protocol.make_reply(
+            message, assigned=record.assigned, limit=record.limit
+        )
+
+    def _on_container_exit(self, message: dict[str, Any], reply_handle) -> Any:
+        reclaimed = self.scheduler.container_exit(message["container_id"])
+        return protocol.make_reply(message, reclaimed=reclaimed)
+
+    def _on_alloc_request(self, message: dict[str, Any], reply_handle) -> Any:
+        def resume(payload: dict[str, Any]) -> None:
+            # Deliver the withheld reply; the container was paused until now.
+            try:
+                reply_handle.send(protocol.make_reply(message, **payload))
+            except Exception:
+                # The wrapper's socket is gone (container killed while
+                # paused); container_exit cleanup already reconciles state.
+                pass
+
+        decision = self.scheduler.request_allocation(
+            message["container_id"],
+            message["pid"],
+            message["size"],
+            api=message["api"],
+            on_resume=resume,
+        )
+        if decision.paused:
+            return DEFER
+        if decision.granted:
+            return protocol.make_reply(message, decision=Decision.GRANT)
+        return protocol.make_reply(
+            message, decision=Decision.REJECT, reason=decision.reason
+        )
+
+    def _on_alloc_commit(self, message: dict[str, Any], reply_handle) -> Any:
+        self.scheduler.commit_allocation(
+            message["container_id"],
+            message["pid"],
+            message["address"],
+            message["size"],
+        )
+        return protocol.make_reply(message)
+
+    def _on_alloc_abort(self, message: dict[str, Any], reply_handle) -> Any:
+        self.scheduler.abort_allocation(
+            message["container_id"], message["pid"], message["size"]
+        )
+        return protocol.make_reply(message)
+
+    def _on_alloc_release(self, message: dict[str, Any], reply_handle) -> Any:
+        released = self.scheduler.release_allocation(
+            message["container_id"], message["pid"], message["address"]
+        )
+        return protocol.make_reply(message, released=released)
+
+    def _on_mem_get_info(self, message: dict[str, Any], reply_handle) -> Any:
+        free, total = self.scheduler.mem_get_info(
+            message["container_id"], message["pid"]
+        )
+        return protocol.make_reply(message, free=free, total=total)
+
+    def _on_process_exit(self, message: dict[str, Any], reply_handle) -> Any:
+        reclaimed = self.scheduler.process_exit(
+            message["container_id"], message["pid"]
+        )
+        return protocol.make_reply(message, reclaimed=reclaimed)

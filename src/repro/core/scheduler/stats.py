@@ -1,0 +1,210 @@
+"""Observability: scheduler snapshots and event-log timelines.
+
+The original daemon exposed nothing; any operator of such middleware
+immediately needs a ``docker stats``-style view of who holds what and who
+is waiting, plus a post-hoc timeline for debugging scheduling decisions.
+Both are derived purely from the scheduler's public state and event log —
+no new state in the core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.scheduler.core import GpuMemoryScheduler
+from repro.core.scheduler.events import (
+    AllocationPaused,
+    AllocationRejected,
+    AllocationResumed,
+    ContainerClosed,
+    ContainerRegistered,
+    MemoryAssigned,
+    ReservationReclaimed,
+)
+from repro.units import format_size
+
+__all__ = ["ContainerStat", "SchedulerSnapshot", "snapshot", "format_snapshot",
+           "SuspensionInterval", "suspension_timeline"]
+
+
+@dataclass(frozen=True)
+class ContainerStat:
+    """One container's row in the stats view."""
+
+    container_id: str
+    limit: int
+    assigned: int
+    used: int
+    inflight: int
+    paused: bool
+    pending_requests: int
+    suspended_total: float
+
+    @property
+    def utilization(self) -> float:
+        """Used fraction of the declared limit."""
+        return self.used / self.limit if self.limit else 0.0
+
+
+@dataclass(frozen=True)
+class SchedulerSnapshot:
+    """Point-in-time view of the whole scheduler."""
+
+    time: float
+    total_memory: int
+    reserved: int
+    policy: str
+    containers: tuple[ContainerStat, ...] = ()
+
+    @property
+    def unreserved(self) -> int:
+        return self.total_memory - self.reserved
+
+    @property
+    def paused_count(self) -> int:
+        return sum(1 for c in self.containers if c.paused)
+
+
+def snapshot(scheduler: GpuMemoryScheduler) -> SchedulerSnapshot:
+    """Capture the current state (open containers only).
+
+    ``suspended_total`` includes the *in-progress* wait of currently
+    pending requests, so a paused container's WAITED column ticks live.
+    """
+    now = scheduler.clock()
+    stats = tuple(
+        ContainerStat(
+            container_id=record.container_id,
+            limit=record.limit,
+            assigned=record.assigned,
+            used=record.used,
+            inflight=record.inflight,
+            paused=record.paused,
+            pending_requests=len(record.pending),
+            suspended_total=record.suspended_total
+            + sum(now - pending.requested_at for pending in record.pending),
+        )
+        for record in scheduler.containers()
+    )
+    return SchedulerSnapshot(
+        time=scheduler.clock(),
+        total_memory=scheduler.total_memory,
+        reserved=scheduler.reserved,
+        policy=scheduler.policy.name,
+        containers=stats,
+    )
+
+
+def format_snapshot(snap: SchedulerSnapshot) -> str:
+    """Render a ``docker stats``-style table."""
+    header = (
+        f"t={snap.time:.2f}s  policy={snap.policy}  "
+        f"reserved={format_size(snap.reserved)}/{format_size(snap.total_memory)}  "
+        f"paused={snap.paused_count}"
+    )
+    if not snap.containers:
+        return header + "\n(no containers)"
+    rows = [
+        "CONTAINER        LIMIT    ASSIGNED   USED     INFLIGHT  STATE   WAITED",
+    ]
+    for stat in snap.containers:
+        state = "paused" if stat.paused else "running"
+        rows.append(
+            f"{stat.container_id:<16s} "
+            f"{format_size(stat.limit):>8s} "
+            f"{format_size(stat.assigned):>9s} "
+            f"{format_size(stat.used):>8s} "
+            f"{format_size(stat.inflight):>8s}  "
+            f"{state:<7s} "
+            f"{stat.suspended_total:6.1f}s"
+        )
+    return "\n".join([header, *rows])
+
+
+@dataclass(frozen=True)
+class SuspensionInterval:
+    """One pause episode: [start, end) in scheduler-clock time."""
+
+    container_id: str
+    pid: int
+    start: float
+    end: float
+    resolution: str  # "resumed" | "rejected" | "container-exit" | "open"
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+def suspension_timeline(scheduler: GpuMemoryScheduler) -> list[SuspensionInterval]:
+    """Reconstruct every pause episode from the event log.
+
+    Pairs each ``AllocationPaused`` with the next resolving event of the
+    same container (a resume, a terminal rejection delivered at container
+    exit, or nothing — still open).  This is the raw material behind the
+    Fig. 8 aggregation, exposed per episode.
+    """
+    intervals: list[SuspensionInterval] = []
+    # Open pauses per container in FIFO order (matching _try_resume).
+    open_pauses: dict[str, list[tuple[int, float]]] = {}
+    closed_at: dict[str, float] = {}
+    for event in scheduler.log:
+        if isinstance(event, AllocationPaused):
+            open_pauses.setdefault(event.container_id, []).append(
+                (event.pid, event.time)
+            )
+        elif isinstance(event, AllocationResumed):
+            queue = open_pauses.get(event.container_id)
+            if queue:
+                pid, start = queue.pop(0)
+                intervals.append(
+                    SuspensionInterval(
+                        container_id=event.container_id,
+                        pid=pid,
+                        start=start,
+                        end=event.time,
+                        resolution="resumed",
+                    )
+                )
+        elif isinstance(event, ContainerClosed):
+            closed_at[event.container_id] = event.time
+            for pid, start in open_pauses.pop(event.container_id, []):
+                intervals.append(
+                    SuspensionInterval(
+                        container_id=event.container_id,
+                        pid=pid,
+                        start=start,
+                        end=event.time,
+                        resolution="container-exit",
+                    )
+                )
+    now = scheduler.clock()
+    for container_id, queue in open_pauses.items():
+        for pid, start in queue:
+            intervals.append(
+                SuspensionInterval(
+                    container_id=container_id,
+                    pid=pid,
+                    start=start,
+                    end=now,
+                    resolution="open",
+                )
+            )
+    return sorted(intervals, key=lambda i: (i.start, i.container_id))
+
+
+def summarize_events(scheduler: GpuMemoryScheduler) -> dict[str, int]:
+    """Counts of the externally interesting event classes."""
+    log = scheduler.log
+    return {
+        "registered": len(log.of_type(ContainerRegistered)),
+        "paused": len(log.of_type(AllocationPaused)),
+        "resumed": len(log.of_type(AllocationResumed)),
+        "rejected": len(log.of_type(AllocationRejected)),
+        "assigned": len(log.of_type(MemoryAssigned)),
+        "reclaimed": len(log.of_type(ReservationReclaimed)),
+        "closed": len(log.of_type(ContainerClosed)),
+    }
+
+
+__all__.append("summarize_events")

@@ -1,0 +1,6 @@
+"""The CUDA wrapper API module (``libgpushare.so``) and its size adjuster."""
+
+from repro.core.wrapper.adjust import SizeAdjuster
+from repro.core.wrapper.module import INTERCEPTED_SYMBOLS, WrapperModule
+
+__all__ = ["WrapperModule", "INTERCEPTED_SYMBOLS", "SizeAdjuster"]

@@ -1,0 +1,87 @@
+"""Allocation-size adjustment (§III-C).
+
+"Some memory allocation APIs may allocate increased size of memory which is
+different user program's first memory request."  Before asking the
+scheduler whether a request fits, the wrapper recomputes what the driver
+will *actually* take:
+
+- ``cudaMallocPitch`` / ``cudaMalloc3D``: rows are widened to the device
+  pitch granularity ("This pitched size varies among the GPU model", so the
+  wrapper reads it from ``cudaGetDeviceProperties`` on first use);
+- ``cudaMallocManaged``: rounded up to 128 MiB multiples (mapped memory);
+- ``cudaMalloc``: taken as requested.
+
+Keeping this a pure, separately-tested module matters: if the wrapper's
+estimate and the driver's real consumption disagree, the scheduler's
+per-container accounting drifts, which is exactly the failure the paper's
+design avoids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cuda.runtime import align_up
+from repro.cuda.types import cudaExtent
+
+__all__ = ["SizeAdjuster"]
+
+
+@dataclass
+class SizeAdjuster:
+    """Computes the device-side size of each allocation request.
+
+    ``pitch_granularity`` and ``managed_granularity`` start unknown (None)
+    and are learned from the device-properties query the wrapper performs
+    lazily — mirroring "the wrapper module retrieves the pitched size of
+    current GPU using cudaGetDeviceProperties API on the first call".
+    """
+
+    pitch_granularity: int | None = None
+    managed_granularity: int | None = None
+
+    @property
+    def knows_pitch(self) -> bool:
+        return self.pitch_granularity is not None
+
+    def learn(self, *, pitch_granularity: int, managed_granularity: int) -> None:
+        """Record granularities from a device-properties result."""
+        if pitch_granularity <= 0 or managed_granularity <= 0:
+            raise ValueError("granularities must be positive")
+        self.pitch_granularity = pitch_granularity
+        self.managed_granularity = managed_granularity
+
+    def _require_learned(self) -> None:
+        if self.pitch_granularity is None or self.managed_granularity is None:
+            raise RuntimeError(
+                "SizeAdjuster used before device properties were learned"
+            )
+
+    def malloc(self, size: int) -> int:
+        """``cudaMalloc``: the driver takes what was asked."""
+        if size <= 0:
+            raise ValueError(f"size must be positive: {size}")
+        return size
+
+    def malloc_managed(self, size: int) -> int:
+        """``cudaMallocManaged``: multiples of the managed granularity."""
+        if size <= 0:
+            raise ValueError(f"size must be positive: {size}")
+        self._require_learned()
+        return align_up(size, self.managed_granularity)
+
+    def malloc_pitch(self, width: int, height: int) -> tuple[int, int]:
+        """``cudaMallocPitch``: returns (adjusted_total, pitch)."""
+        if width <= 0 or height <= 0:
+            raise ValueError(f"width/height must be positive: {width}x{height}")
+        self._require_learned()
+        pitch = align_up(width, self.pitch_granularity)
+        return pitch * height, pitch
+
+    def malloc_3d(self, extent: cudaExtent) -> tuple[int, int]:
+        """``cudaMalloc3D``: returns (adjusted_total, pitch)."""
+        if extent.width <= 0 or extent.height <= 0 or extent.depth <= 0:
+            raise ValueError(f"extent components must be positive: {extent}")
+        self._require_learned()
+        pitch = align_up(extent.width, self.pitch_granularity)
+        return pitch * extent.height * extent.depth, pitch

@@ -1,0 +1,73 @@
+"""Driver-API interception (§III-C).
+
+"Moreover, our wrapper module can cover both CUDA Driver API and Runtime
+API."  These hooks wrap the ``cu*`` memory symbols with the same
+grant → allocate → commit/abort protocol the Runtime hooks use, reporting
+Driver-style ``CUresult`` codes (a scheduler rejection surfaces as
+``CUDA_ERROR_OUT_OF_MEMORY``, indistinguishable from a full device — the
+same story as the Runtime side).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.cuda.driver import CudaDriver
+from repro.cuda.effects import IpcCall
+from repro.cuda.errors import CUresult
+from repro.ipc import protocol
+
+__all__ = ["DriverHooks", "INTERCEPTED_DRIVER_SYMBOLS"]
+
+#: The driver symbols libgpushare.so additionally overrides.
+INTERCEPTED_DRIVER_SYMBOLS = ("cuMemAlloc", "cuMemFree", "cuMemGetInfo")
+
+
+class DriverHooks:
+    """Per-process driver interception state."""
+
+    def __init__(self, native: CudaDriver, container_id: str) -> None:
+        self.native = native
+        self.container_id = container_id
+        self.pid = native.pid
+
+    def _ipc(self, msg_type: str, **payload: Any) -> IpcCall:
+        return IpcCall(
+            message=protocol.make_request(
+                msg_type, container_id=self.container_id, pid=self.pid, **payload
+            ),
+            await_reply=msg_type not in protocol.NOTIFICATION_TYPES,
+        )
+
+    # ------------------------------------------------------------------
+
+    def cuMemAlloc(self, size: int):  # noqa: N802 - CUDA name
+        if size <= 0:
+            return CUresult.CUDA_ERROR_INVALID_VALUE, None
+        reply = yield self._ipc(
+            protocol.MSG_ALLOC_REQUEST, size=size, api="cuMemAlloc"
+        )
+        if reply.get("status") != "ok" or reply.get("decision") != "grant":
+            return CUresult.CUDA_ERROR_OUT_OF_MEMORY, None
+        result, dptr = yield from self.native.cuMemAlloc(size)
+        if not result.is_success:
+            yield self._ipc(protocol.MSG_ALLOC_ABORT, size=size)
+            return result, None
+        yield self._ipc(protocol.MSG_ALLOC_COMMIT, address=dptr, size=size)
+        return CUresult.CUDA_SUCCESS, dptr
+
+    def cuMemFree(self, dptr: int):  # noqa: N802
+        result, value = yield from self.native.cuMemFree(dptr)
+        if result.is_success:
+            yield self._ipc(protocol.MSG_ALLOC_RELEASE, address=dptr)
+        return result, value
+
+    def cuMemGetInfo(self):  # noqa: N802
+        """Answered from scheduler bookkeeping, like the Runtime hook."""
+        reply = yield self._ipc(protocol.MSG_MEM_GET_INFO)
+        if reply.get("status") != "ok":
+            return (yield from self.native.cuMemGetInfo())
+        return CUresult.CUDA_SUCCESS, (reply["free"], reply["total"])
+
+    def exports(self) -> dict[str, Any]:
+        return {symbol: getattr(self, symbol) for symbol in INTERCEPTED_DRIVER_SYMBOLS}

@@ -1,0 +1,56 @@
+"""CUDA substrate: the API surface the ConVGPU wrapper intercepts.
+
+A from-scratch Python model of the CUDA 8.0 Runtime + Driver APIs listed in
+Table II of the paper, including the implicit context overhead (64 + 2 MiB),
+pitched/managed size adjustment, fat-binary lifecycle, and in-band
+``cudaError_t`` error reporting.  See DESIGN.md §2 for the substitution
+rationale.
+"""
+
+from repro.cuda.context import (
+    CONTEXT_OVERHEAD,
+    PROCESS_DATA_OVERHEAD,
+    TOTAL_CONTEXT_OVERHEAD,
+    ContextTable,
+    CudaContext,
+)
+from repro.cuda.driver import CudaDriver
+from repro.cuda.effects import (
+    DeviceOp,
+    Effect,
+    HostCompute,
+    IpcCall,
+    KernelLaunch,
+    Synchronize,
+)
+from repro.cuda.errors import CudaApiError, CUresult, cudaError
+from repro.cuda.fatbinary import FatBinaryHandle, FatBinaryRegistry
+from repro.cuda.runtime import ApiGen, CudaRuntime, align_up
+from repro.cuda.types import cudaDeviceProp, cudaExtent, cudaPitchedPtr, dim3
+
+__all__ = [
+    "cudaError",
+    "CUresult",
+    "CudaApiError",
+    "CudaRuntime",
+    "CudaDriver",
+    "ApiGen",
+    "align_up",
+    "ContextTable",
+    "CudaContext",
+    "PROCESS_DATA_OVERHEAD",
+    "CONTEXT_OVERHEAD",
+    "TOTAL_CONTEXT_OVERHEAD",
+    "FatBinaryHandle",
+    "FatBinaryRegistry",
+    "Effect",
+    "DeviceOp",
+    "KernelLaunch",
+    "Synchronize",
+    "HostCompute",
+    "IpcCall",
+    "dim3",
+    "cudaExtent",
+    "cudaPitchedPtr",
+    "cudaDeviceProp",
+]

@@ -1,0 +1,128 @@
+"""Per-process CUDA contexts and the implicit 64 + 2 MiB overhead.
+
+§III-D of the paper: "CUDA uses 64MiB of memory to store data related to
+current process and 2MiB to store CUDA context when the user program uses
+the CUDA API to allocate memory for the first time."  The scheduler has to
+*estimate* this overhead (it adds 66 MiB on the first allocation of a pid);
+here we implement the underlying reality it estimates: the driver carves the
+overhead out of device memory when a process's context is materialized.
+
+Keeping the real overhead and the scheduler's estimate as separate pieces of
+code lets the ablation bench (`test_bench_ablation_overhead`) show what goes
+wrong when the scheduler ignores it: containers collectively over-commit and
+allocations that "should" fit fail on the device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import OutOfMemoryError
+from repro.gpu.device import GpuDevice
+from repro.units import MiB
+
+__all__ = [
+    "PROCESS_DATA_OVERHEAD",
+    "CONTEXT_OVERHEAD",
+    "TOTAL_CONTEXT_OVERHEAD",
+    "CudaContext",
+    "ContextTable",
+]
+
+#: Driver-private per-process storage (§III-D).
+PROCESS_DATA_OVERHEAD: int = 64 * MiB
+#: CUDA context storage (§III-D).
+CONTEXT_OVERHEAD: int = 2 * MiB
+#: What the scheduler charges per pid on first allocation.
+TOTAL_CONTEXT_OVERHEAD: int = PROCESS_DATA_OVERHEAD + CONTEXT_OVERHEAD
+
+
+@dataclass
+class CudaContext:
+    """Driver-side state for one (pid, device) pair."""
+
+    pid: int
+    device: GpuDevice
+    #: Device addresses of the driver-private overhead blocks.
+    overhead_addresses: list[int] = field(default_factory=list)
+    #: Device addresses of user allocations made through this context.
+    user_addresses: set[int] = field(default_factory=set)
+    destroyed: bool = False
+
+    @property
+    def overhead_bytes(self) -> int:
+        return sum(self.device.allocator.size_of(a) for a in self.overhead_addresses)
+
+    def destroy(self) -> int:
+        """Tear the context down, freeing overhead AND leaked user memory.
+
+        Returns the number of bytes released.  This models what actually
+        happens when a process exits (or ``__cudaUnregisterFatBinary``
+        fires): the driver reclaims everything the process still holds —
+        "some program may not free its allocated GPU memory" (§III-D).
+        """
+        if self.destroyed:
+            return 0
+        freed = 0
+        for address in list(self.user_addresses):
+            freed += self.device.release(address).size
+        self.user_addresses.clear()
+        for address in self.overhead_addresses:
+            freed += self.device.release(address).size
+        self.overhead_addresses.clear()
+        self.destroyed = True
+        return freed
+
+
+class ContextTable:
+    """All live contexts on one device, keyed by pid."""
+
+    def __init__(self, device: GpuDevice) -> None:
+        self.device = device
+        self._contexts: dict[int, CudaContext] = {}
+
+    def get(self, pid: int) -> CudaContext | None:
+        context = self._contexts.get(pid)
+        if context is not None and context.destroyed:
+            return None
+        return context
+
+    def has_context(self, pid: int) -> bool:
+        return self.get(pid) is not None
+
+    def ensure(self, pid: int) -> tuple[CudaContext, bool]:
+        """Return the pid's context, creating it on first use.
+
+        Returns ``(context, created)``.  Creation allocates the 64 MiB
+        process block and the 2 MiB context block from device memory; if the
+        device cannot hold them the creation fails with
+        :class:`~repro.errors.OutOfMemoryError` after rolling back partial
+        allocations (contexts are all-or-nothing).
+        """
+        existing = self.get(pid)
+        if existing is not None:
+            return existing, False
+        context = CudaContext(pid=pid, device=self.device)
+        try:
+            context.overhead_addresses.append(
+                self.device.allocate(PROCESS_DATA_OVERHEAD).address
+            )
+            context.overhead_addresses.append(
+                self.device.allocate(CONTEXT_OVERHEAD).address
+            )
+        except OutOfMemoryError:
+            for address in context.overhead_addresses:
+                self.device.release(address)
+            raise
+        self._contexts[pid] = context
+        return context, True
+
+    def destroy(self, pid: int) -> int:
+        """Destroy the pid's context if present; returns bytes freed."""
+        context = self._contexts.pop(pid, None)
+        if context is None:
+            return 0
+        return context.destroy()
+
+    def live_pids(self) -> list[int]:
+        return sorted(pid for pid, c in self._contexts.items() if not c.destroyed)

@@ -1,0 +1,131 @@
+"""CUDA Driver API subset (``cu*``), layered under the Runtime API.
+
+§III-C: "our wrapper module can cover both CUDA Driver API and Runtime
+API".  The driver layer shares the same per-pid context table and device as
+the runtime — exactly like real CUDA, where the Runtime API is "implemented
+on top of low-level Driver API" (§II-A) — so memory allocated through
+``cuMemAlloc`` is visible to ``cudaMemGetInfo`` and vice versa.
+
+Only the symbols the ConVGPU evaluation touches are provided: explicit
+init/context control (the Driver API's "fine-grained context control",
+§II-A) plus the memory trio the wrapper interposes.
+"""
+
+from __future__ import annotations
+
+from repro.cuda.context import ContextTable
+from repro.cuda.effects import DeviceOp
+from repro.cuda.errors import CUresult
+from repro.cuda.runtime import ApiGen
+from repro.errors import OutOfMemoryError
+from repro.gpu.device import GpuDevice
+
+__all__ = ["CudaDriver"]
+
+
+class CudaDriver:
+    """Driver API state for one process (pid) on one device."""
+
+    SYMBOLS = (
+        "cuInit",
+        "cuCtxCreate",
+        "cuCtxDestroy",
+        "cuMemAlloc",
+        "cuMemFree",
+        "cuMemGetInfo",
+    )
+
+    def __init__(self, device: GpuDevice, pid: int, contexts: ContextTable) -> None:
+        if contexts.device is not device:
+            raise ValueError("context table belongs to a different device")
+        self.device = device
+        self.pid = pid
+        self.contexts = contexts
+        self._initialized = False
+        self._costs = device.latency.api_costs
+
+    def cuInit(self, flags: int = 0) -> ApiGen:  # noqa: N802 - CUDA name
+        """Initialize the driver; must precede every other driver call."""
+        if flags != 0:
+            return CUresult.CUDA_ERROR_INVALID_VALUE, None
+        yield DeviceOp(self._costs.cuda_get_device_properties, api="cuInit")
+        self._initialized = True
+        return CUresult.CUDA_SUCCESS, None
+
+    def _check_init(self) -> CUresult:
+        if not self._initialized:
+            return CUresult.CUDA_ERROR_NOT_INITIALIZED
+        return CUresult.CUDA_SUCCESS
+
+    def cuCtxCreate(self) -> ApiGen:  # noqa: N802
+        """Explicitly create this pid's context (fine-grained control)."""
+        err = self._check_init()
+        if not err.is_success:
+            return err, None
+        if not self.contexts.has_context(self.pid):
+            try:
+                self.contexts.ensure(self.pid)
+            except OutOfMemoryError:
+                return CUresult.CUDA_ERROR_OUT_OF_MEMORY, None
+            yield DeviceOp(self._costs.context_create, api="cuCtxCreate")
+        return CUresult.CUDA_SUCCESS, self.pid
+
+    def cuCtxDestroy(self) -> ApiGen:  # noqa: N802
+        """Destroy the pid's context, releasing all of its memory."""
+        err = self._check_init()
+        if not err.is_success:
+            return err, None
+        if self.contexts.get(self.pid) is None:
+            return CUresult.CUDA_ERROR_INVALID_CONTEXT, None
+        yield DeviceOp(self._costs.cuda_free, api="cuCtxDestroy")
+        freed = self.contexts.destroy(self.pid)
+        return CUresult.CUDA_SUCCESS, freed
+
+    def cuMemAlloc(self, size: int) -> ApiGen:  # noqa: N802
+        """Driver-level device allocation. Returns (result, dptr)."""
+        err = self._check_init()
+        if not err.is_success:
+            return err, None
+        if size <= 0:
+            return CUresult.CUDA_ERROR_INVALID_VALUE, None
+        if not self.contexts.has_context(self.pid):
+            # Driver API has no implicit init: allocating without a context
+            # is an error, unlike the Runtime API (§II-A).
+            return CUresult.CUDA_ERROR_INVALID_CONTEXT, None
+        yield DeviceOp(self._costs.cuda_malloc, api="cuMemAlloc")
+        try:
+            allocation = self.device.allocate(size)
+        except OutOfMemoryError:
+            return CUresult.CUDA_ERROR_OUT_OF_MEMORY, None
+        context = self.contexts.get(self.pid)
+        assert context is not None
+        context.user_addresses.add(allocation.address)
+        return CUresult.CUDA_SUCCESS, allocation.address
+
+    def cuMemFree(self, dptr: int) -> ApiGen:  # noqa: N802
+        """Driver-level free."""
+        err = self._check_init()
+        if not err.is_success:
+            return err, None
+        yield DeviceOp(self._costs.cuda_free, api="cuMemFree")
+        context = self.contexts.get(self.pid)
+        if context is None or dptr not in context.user_addresses:
+            return CUresult.CUDA_ERROR_INVALID_VALUE, None
+        context.user_addresses.discard(dptr)
+        self.device.release(dptr)
+        return CUresult.CUDA_SUCCESS, None
+
+    def cuMemGetInfo(self) -> ApiGen:  # noqa: N802
+        """Driver-level (free, total) query."""
+        err = self._check_init()
+        if not err.is_success:
+            return err, None
+        yield DeviceOp(self._costs.cuda_mem_get_info, api="cuMemGetInfo")
+        info = self.device.mem_info()
+        return CUresult.CUDA_SUCCESS, (info.free, info.total)
+
+    def resolve(self, symbol: str):
+        """Look a driver symbol up by name (dynamic-linker hook)."""
+        if symbol not in self.SYMBOLS:
+            raise KeyError(f"driver does not export {symbol!r}")
+        return getattr(self, symbol)

@@ -1,0 +1,156 @@
+"""Effect objects yielded by CUDA API implementations.
+
+Every API entry point in this reproduction — native Runtime/Driver calls and
+the ConVGPU wrapper interpositions alike — is a Python generator that yields
+*effects* and returns its result.  An interpreter drives the generator and
+gives each effect meaning:
+
+- the **simulation runner** (:mod:`repro.workloads.runner`) turns
+  :class:`DeviceOp` into virtual-time delays, :class:`KernelLaunch` into
+  Hyper-Q submissions, and :class:`IpcCall` into scheduler round-trips that
+  may *suspend the whole program* (the paper's "pause");
+- the **live runner** performs :class:`IpcCall` over a real AF_UNIX socket
+  (blocking on the scheduler daemon thread) and accumulates modelled device
+  time without sleeping.
+
+This is the Python analogue of the paper's `LD_PRELOAD` design: the user
+program's call site is identical whether or not interception is active; only
+the bound implementation (and hence the effect stream) changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "Effect",
+    "DeviceOp",
+    "KernelLaunch",
+    "Synchronize",
+    "HostCompute",
+    "IpcCall",
+    "StreamOp",
+    "StreamWait",
+    "EventRecord",
+]
+
+
+class Effect:
+    """Marker base class for all effects."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class DeviceOp(Effect):
+    """Synchronous device/driver work of a known duration (seconds).
+
+    Covers API-call service time and blocking memory transfers.
+    """
+
+    duration: float
+    api: str = ""
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ValueError(f"negative DeviceOp duration: {self.duration}")
+
+
+@dataclass(frozen=True)
+class KernelLaunch(Effect):
+    """An asynchronous kernel submission.
+
+    ``duration`` is the kernel's standalone execution time; actual start and
+    completion are decided by the device's Hyper-Q engine.  ``blocking``
+    marks launches immediately followed by a sync in the original program
+    (our workloads use blocking launches, as the paper's sample program
+    copies results back right after the kernel).
+    """
+
+    duration: float
+    blocking: bool = True
+    name: str = "kernel"
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ValueError(f"negative kernel duration: {self.duration}")
+
+
+@dataclass(frozen=True)
+class Synchronize(Effect):
+    """Wait until every kernel this process launched has completed."""
+
+
+@dataclass(frozen=True)
+class HostCompute(Effect):
+    """CPU-side work of a known duration (data generation, Python overhead)."""
+
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ValueError(f"negative HostCompute duration: {self.duration}")
+
+
+@dataclass(frozen=True)
+class StreamOp(Effect):
+    """Queue an asynchronous op on a CUDA stream and return immediately.
+
+    The interpreter calls ``table.queue_op(stream_id, now, duration)`` with
+    its clock and sends the ``(start, completion)`` pair back into the
+    generator.  The calling thread does not block — that is the point of
+    streams; synchronization happens via :class:`StreamWait`.
+    """
+
+    table: "object"  # repro.cuda.streams.StreamTable (kept loose: no cycle)
+    stream_id: int
+    duration: float
+    name: str = "async-op"
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ValueError(f"negative StreamOp duration: {self.duration}")
+
+
+@dataclass(frozen=True)
+class StreamWait(Effect):
+    """Block until a stream (or, with ``stream_id=None``, all streams) drains."""
+
+    table: "object"
+    stream_id: int | None = None
+
+
+@dataclass(frozen=True)
+class EventRecord(Effect):
+    """``cudaEventRecord``: stamp the event with the stream's drain time.
+
+    The interpreter performs ``table.record_event(event_id, stream_id,
+    now)`` — recording needs the current clock, which only interpreters
+    have.
+    """
+
+    table: "object"
+    event_id: int
+    stream_id: int
+
+
+@dataclass(frozen=True)
+class IpcCall(Effect):
+    """A message to the GPU memory scheduler.
+
+    The interpreter must deliver ``message`` to the scheduler endpoint bound
+    to the calling container.  When ``await_reply`` is True it must send the
+    scheduler's reply (a dict) back into the generator as the value of the
+    ``yield``; if the scheduler decides to pause the container, the reply
+    simply does not arrive until the scheduler releases it — blocking the
+    program, exactly like a ``recv()`` on the real UNIX socket.
+
+    When ``await_reply`` is False the message is a **notification**
+    (commit/release/abort/process-exit bookkeeping): the wrapper does not
+    wait, which is why Fig. 4 shows ``cudaFree`` at native speed under
+    ConVGPU.
+    """
+
+    message: dict[str, Any] = field(default_factory=dict)
+    await_reply: bool = True

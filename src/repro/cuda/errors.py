@@ -1,0 +1,65 @@
+"""CUDA error codes (Runtime API ``cudaError_t`` and Driver API ``CUresult``).
+
+The real CUDA Runtime reports failures in-band through return codes rather
+than exceptions; user programs in this reproduction check codes the same way
+C programs do, which matters for the failure-injection experiments (a
+container whose allocation is *rejected* sees ``cudaErrorMemoryAllocation``,
+exactly what an unmanaged over-committed container would see on the real
+device).
+
+Only the codes the ConVGPU paper's API surface can produce are defined.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["cudaError", "CUresult", "CudaApiError"]
+
+
+class cudaError(enum.IntEnum):  # noqa: N801 - matches CUDA naming
+    """Runtime API error codes (numeric values match CUDA 8.0)."""
+
+    cudaSuccess = 0
+    cudaErrorMemoryAllocation = 2
+    cudaErrorInitializationError = 3
+    cudaErrorInvalidValue = 11
+    cudaErrorInvalidDevicePointer = 17
+    cudaErrorInvalidDevice = 10
+    cudaErrorNoDevice = 38
+    cudaErrorNotSupported = 71
+    #: ConVGPU-specific: the scheduler refused the allocation because it
+    #: exceeds the container's declared limit.  Surfaced to the program as a
+    #: plain allocation failure (the wrapper maps it), but kept distinct
+    #: internally for the event log.
+    cudaErrorLaunchFailure = 4
+
+    @property
+    def is_success(self) -> bool:
+        return self is cudaError.cudaSuccess
+
+
+class CUresult(enum.IntEnum):
+    """Driver API result codes (numeric values match CUDA 8.0)."""
+
+    CUDA_SUCCESS = 0
+    CUDA_ERROR_INVALID_VALUE = 1
+    CUDA_ERROR_OUT_OF_MEMORY = 2
+    CUDA_ERROR_NOT_INITIALIZED = 3
+    CUDA_ERROR_DEINITIALIZED = 4
+    CUDA_ERROR_NO_DEVICE = 100
+    CUDA_ERROR_INVALID_DEVICE = 101
+    CUDA_ERROR_INVALID_CONTEXT = 201
+
+    @property
+    def is_success(self) -> bool:
+        return self is CUresult.CUDA_SUCCESS
+
+
+class CudaApiError(RuntimeError):
+    """Raised only by the *convenience* checked helpers, never by raw APIs."""
+
+    def __init__(self, code: cudaError | CUresult, api: str) -> None:
+        super().__init__(f"{api} failed with {code.name}")
+        self.code = code
+        self.api = api

@@ -1,0 +1,59 @@
+"""CUDA fat-binary registration bookkeeping.
+
+A CUDA program's startup code registers its embedded device code ("fat
+binary") with the driver before ``main`` runs, and unregisters it at exit —
+``__cudaUnregisterFatBinary`` is the *implicit* API the ConVGPU wrapper
+intercepts to learn that a user program finished (§III-C, Table II), so the
+scheduler can reclaim memory even from programs that never call
+``cudaFree``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+__all__ = ["FatBinaryHandle", "FatBinaryRegistry"]
+
+
+@dataclass(frozen=True)
+class FatBinaryHandle:
+    """Opaque handle returned by ``__cudaRegisterFatBinary``."""
+
+    handle_id: int
+    pid: int
+
+
+class FatBinaryRegistry:
+    """Tracks which pids currently have registered device code."""
+
+    def __init__(self) -> None:
+        self._ids = itertools.count(1)
+        #: pid -> list of live handles (a binary may link several modules).
+        self._by_pid: dict[int, list[FatBinaryHandle]] = {}
+
+    def register(self, pid: int) -> FatBinaryHandle:
+        handle = FatBinaryHandle(handle_id=next(self._ids), pid=pid)
+        self._by_pid.setdefault(pid, []).append(handle)
+        return handle
+
+    def unregister(self, handle: FatBinaryHandle) -> bool:
+        """Remove one handle; returns True when the pid has none left.
+
+        The "pid has no more registered binaries" transition is the signal
+        the wrapper forwards to the scheduler as process exit.
+        """
+        handles = self._by_pid.get(handle.pid)
+        if not handles or handle not in handles:
+            raise KeyError(f"unknown fat-binary handle {handle}")
+        handles.remove(handle)
+        if not handles:
+            del self._by_pid[handle.pid]
+            return True
+        return False
+
+    def registered_pids(self) -> list[int]:
+        return sorted(self._by_pid)
+
+    def has_registration(self, pid: int) -> bool:
+        return pid in self._by_pid

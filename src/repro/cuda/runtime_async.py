@@ -1,0 +1,290 @@
+"""Asynchronous and auxiliary Runtime APIs (streams, events, pinned memory).
+
+Split from :mod:`repro.cuda.runtime` for readability; the class here is
+mixed into :class:`~repro.cuda.runtime.CudaRuntime`.  These APIs are *not*
+on ConVGPU's interception list (Table II covers allocation/deallocation
+only), but real multi-tenant programs use them heavily, and the Hyper-Q
+concurrency the paper's evaluation leans on (§IV-A) is exercised through
+streams — so the substrate provides them, and the test suite verifies that
+the middleware's accounting stays correct underneath async traffic.
+
+Stream semantics live in :mod:`repro.cuda.streams`; time-dependent steps
+are expressed as :class:`~repro.cuda.effects.StreamOp` /
+:class:`~repro.cuda.effects.StreamWait` / :class:`~repro.cuda.effects.
+EventRecord` effects because only interpreters own a clock.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.cuda.effects import DeviceOp, EventRecord, StreamOp, StreamWait
+from repro.cuda.errors import cudaError
+from repro.errors import GpuError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cuda.runtime import ApiGen
+
+__all__ = ["AsyncRuntimeMixin", "HostPinnedRegistry"]
+
+#: Base virtual address for pinned host allocations (distinct from device
+#: ranges so mixing pointers up fails loudly).
+_HOST_PINNED_BASE = 0x2_0000_0000
+
+
+class HostPinnedRegistry:
+    """Tracks ``cudaMallocHost`` pinned host buffers for one process."""
+
+    def __init__(self) -> None:
+        self._next = _HOST_PINNED_BASE
+        self._live: dict[int, int] = {}
+
+    def allocate(self, size: int) -> int:
+        address = self._next
+        self._next += size + 4096
+        self._live[address] = size
+        return address
+
+    def release(self, address: int) -> int | None:
+        return self._live.pop(address, None)
+
+    @property
+    def pinned_bytes(self) -> int:
+        return sum(self._live.values())
+
+    def live_count(self) -> int:
+        return len(self._live)
+
+
+class AsyncRuntimeMixin:
+    """Streams, events, async copies, memset, pinned memory, device mgmt.
+
+    Relies on attributes provided by ``CudaRuntime.__init__``: ``device``,
+    ``contexts``, ``pid``, ``_costs``, ``streams`` (a StreamTable) and
+    ``host_pinned`` (a HostPinnedRegistry).
+    """
+
+    ASYNC_SYMBOLS = (
+        "cudaStreamCreate",
+        "cudaStreamDestroy",
+        "cudaStreamSynchronize",
+        "cudaStreamWaitEvent",
+        "cudaEventCreate",
+        "cudaEventRecord",
+        "cudaEventSynchronize",
+        "cudaEventElapsedTime",
+        "cudaMemcpyAsync",
+        "cudaLaunchKernelAsync",
+        "cudaMemsetAsync",
+        "cudaMemset",
+        "cudaMallocHost",
+        "cudaFreeHost",
+        "cudaSetDevice",
+        "cudaGetDevice",
+        "cudaGetDeviceCount",
+        "cudaDeviceReset",
+    )
+
+    # -- streams ------------------------------------------------------------
+
+    def cudaStreamCreate(self) -> "ApiGen":  # noqa: N802 - CUDA name
+        """Create a stream. Returns (err, stream_id)."""
+        err, _ = yield from self._ensure_context()
+        if err is not cudaError.cudaSuccess:
+            return err, None
+        yield DeviceOp(self._costs.kernel_launch, api="cudaStreamCreate")
+        return cudaError.cudaSuccess, self.streams.create_stream().stream_id
+
+    def cudaStreamDestroy(self, stream_id: int) -> "ApiGen":  # noqa: N802
+        yield DeviceOp(self._costs.kernel_launch, api="cudaStreamDestroy")
+        try:
+            self.streams.destroy_stream(stream_id)
+        except GpuError:
+            return cudaError.cudaErrorInvalidValue, None
+        return cudaError.cudaSuccess, None
+
+    def cudaStreamSynchronize(self, stream_id: int) -> "ApiGen":  # noqa: N802
+        try:
+            self.streams.get(stream_id)
+        except GpuError:
+            return cudaError.cudaErrorInvalidValue, None
+        yield StreamWait(self.streams, stream_id)
+        return cudaError.cudaSuccess, None
+
+    def cudaStreamWaitEvent(self, stream_id: int, event_id: int) -> "ApiGen":  # noqa: N802
+        yield DeviceOp(self._costs.kernel_launch, api="cudaStreamWaitEvent")
+        try:
+            self.streams.stream_wait_event(stream_id, event_id)
+        except GpuError:
+            return cudaError.cudaErrorInvalidValue, None
+        return cudaError.cudaSuccess, None
+
+    # -- events -------------------------------------------------------------
+
+    def cudaEventCreate(self) -> "ApiGen":  # noqa: N802
+        yield DeviceOp(self._costs.kernel_launch, api="cudaEventCreate")
+        return cudaError.cudaSuccess, self.streams.create_event().event_id
+
+    def cudaEventRecord(self, event_id: int, stream_id: int = 0) -> "ApiGen":  # noqa: N802
+        try:
+            self.streams.get_event(event_id)
+            self.streams.get(stream_id)
+        except GpuError:
+            return cudaError.cudaErrorInvalidValue, None
+        yield EventRecord(self.streams, event_id, stream_id)
+        return cudaError.cudaSuccess, None
+
+    def cudaEventSynchronize(self, event_id: int) -> "ApiGen":  # noqa: N802
+        try:
+            event = self.streams.get_event(event_id)
+        except GpuError:
+            return cudaError.cudaErrorInvalidValue, None
+        if event.recorded:
+            # Wait for the stream the event was recorded on; the event's
+            # completion is by construction <= that stream's drain.
+            yield StreamWait(self.streams, event.recorded_on)
+        return cudaError.cudaSuccess, None
+
+    def cudaEventElapsedTime(self, start_id: int, stop_id: int) -> "ApiGen":  # noqa: N802
+        yield DeviceOp(self._costs.kernel_launch, api="cudaEventElapsedTime")
+        try:
+            return cudaError.cudaSuccess, self.streams.elapsed_ms(start_id, stop_id)
+        except GpuError:
+            return cudaError.cudaErrorInvalidValue, None
+
+    # -- async data movement --------------------------------------------------
+
+    def cudaMemcpyAsync(self, nbytes: int, kind: str, stream_id: int = 0) -> "ApiGen":  # noqa: N802
+        """Queue a copy on a stream; returns immediately."""
+        if nbytes < 0:
+            return cudaError.cudaErrorInvalidValue, None
+        durations = {
+            "h2d": self.device.latency.h2d_time,
+            "d2h": self.device.latency.d2h_time,
+            "d2d": self.device.latency.d2d_time,
+        }
+        if kind not in durations:
+            return cudaError.cudaErrorInvalidValue, None
+        try:
+            self.streams.get(stream_id)
+        except GpuError:
+            return cudaError.cudaErrorInvalidValue, None
+        yield DeviceOp(self._costs.cuda_memcpy_setup, api="cudaMemcpyAsync")
+        yield StreamOp(
+            self.streams, stream_id, durations[kind](nbytes), name=f"memcpy-{kind}"
+        )
+        return cudaError.cudaSuccess, None
+
+    def cudaMemset(self, dev_ptr: int, value: int, count: int) -> "ApiGen":  # noqa: N802
+        """Synchronous device fill (bounded by memory write bandwidth)."""
+        err = self._check_device_range(dev_ptr, count)
+        if err is not cudaError.cudaSuccess:
+            return err, None
+        duration = (
+            self.device.properties.kernel_launch_latency
+            + count / self.device.properties.memory_bandwidth
+        )
+        yield DeviceOp(duration, api="cudaMemset")
+        return cudaError.cudaSuccess, None
+
+    def cudaMemsetAsync(self, dev_ptr: int, value: int, count: int, stream_id: int = 0) -> "ApiGen":  # noqa: N802
+        err = self._check_device_range(dev_ptr, count)
+        if err is not cudaError.cudaSuccess:
+            return err, None
+        try:
+            self.streams.get(stream_id)
+        except GpuError:
+            return cudaError.cudaErrorInvalidValue, None
+        duration = (
+            self.device.properties.kernel_launch_latency
+            + count / self.device.properties.memory_bandwidth
+        )
+        yield DeviceOp(self._costs.kernel_launch, api="cudaMemsetAsync")
+        yield StreamOp(self.streams, stream_id, duration, name="memset")
+        return cudaError.cudaSuccess, None
+
+    def _check_device_range(self, dev_ptr: int, count: int) -> cudaError:
+        if count < 0:
+            return cudaError.cudaErrorInvalidValue
+        context = self.contexts.get(self.pid)
+        if context is None or dev_ptr not in context.user_addresses:
+            return cudaError.cudaErrorInvalidDevicePointer
+        if count > self.device.allocator.size_of(dev_ptr):
+            return cudaError.cudaErrorInvalidValue
+        return cudaError.cudaSuccess
+
+    # -- pinned host memory -----------------------------------------------------
+
+    def cudaMallocHost(self, size: int) -> "ApiGen":  # noqa: N802
+        """Page-locked host allocation: slow to create, fast to transfer.
+
+        Host-side only — it consumes *no* device memory, so ConVGPU's
+        scheduler rightly ignores it (and the test suite checks that).
+        Pinning cost scales with size (page-locking is per-page work).
+        """
+        if size <= 0:
+            return cudaError.cudaErrorInvalidValue, None
+        err, _ = yield from self._ensure_context()
+        if err is not cudaError.cudaSuccess:
+            return err, None
+        pin_cost = 50e-6 + size / 4e9  # ~0.25 ms per GiB of pages
+        yield DeviceOp(pin_cost, api="cudaMallocHost")
+        return cudaError.cudaSuccess, self.host_pinned.allocate(size)
+
+    def cudaFreeHost(self, host_ptr: int) -> "ApiGen":  # noqa: N802
+        yield DeviceOp(self._costs.cuda_free, api="cudaFreeHost")
+        if self.host_pinned.release(host_ptr) is None:
+            return cudaError.cudaErrorInvalidValue, None
+        return cudaError.cudaSuccess, None
+
+    # -- device management ----------------------------------------------------
+
+    def cudaSetDevice(self, ordinal: int) -> "ApiGen":  # noqa: N802
+        """Single-device runtime: only the bound ordinal is valid."""
+        yield DeviceOp(self._costs.kernel_launch, api="cudaSetDevice")
+        if ordinal != self.device.ordinal:
+            return cudaError.cudaErrorInvalidDevice, None
+        return cudaError.cudaSuccess, None
+
+    def cudaGetDevice(self) -> "ApiGen":  # noqa: N802
+        yield DeviceOp(self._costs.kernel_launch, api="cudaGetDevice")
+        return cudaError.cudaSuccess, self.device.ordinal
+
+    def cudaGetDeviceCount(self) -> "ApiGen":  # noqa: N802
+        yield DeviceOp(self._costs.kernel_launch, api="cudaGetDeviceCount")
+        return cudaError.cudaSuccess, self.device_count
+
+    def cudaDeviceReset(self) -> "ApiGen":  # noqa: N802
+        """Destroy this process's context, releasing everything it holds.
+
+        The recovery hammer real CUDA programs reach for after errors.
+        The next allocation re-creates the context (and re-pays its 66 MiB
+        on both the device and, via the wrapper's accounting, the
+        scheduler — the pid's records were dropped with the context).
+        """
+        yield DeviceOp(self._costs.cuda_free, api="cudaDeviceReset")
+        self.contexts.destroy(self.pid)
+        return cudaError.cudaSuccess, None
+
+    # -- stream-aware kernel launch helper -------------------------------------
+
+    def cudaLaunchKernelAsync(self, duration: float, stream_id: int) -> "ApiGen":  # noqa: N802
+        """Queue a kernel on a stream (the Hyper-Q-exercising path).
+
+        The kernel's device-side duration first passes through the shared
+        Hyper-Q engine via the blocking-launch path when it eventually
+        runs; at this per-process level, stream FIFO order is what we
+        model (cross-process contention is covered by blocking launches).
+        """
+        if duration < 0:
+            return cudaError.cudaErrorInvalidValue, None
+        err, _ = yield from self._ensure_context()
+        if err is not cudaError.cudaSuccess:
+            return err, None
+        try:
+            self.streams.get(stream_id)
+        except GpuError:
+            return cudaError.cudaErrorInvalidValue, None
+        yield DeviceOp(self._costs.kernel_launch, api="cudaLaunchKernel")
+        yield StreamOp(self.streams, stream_id, duration, name="kernel")
+        return cudaError.cudaSuccess, None

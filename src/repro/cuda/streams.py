@@ -1,0 +1,168 @@
+"""CUDA streams and events.
+
+The paper's testbed relies on Hyper-Q ("it can run multiple GPU kernels
+concurrently up to 32 kernels", §IV-A).  On real Kepler hardware the unit
+of concurrency is the *stream*: work items in one stream serialize, and
+Hyper-Q gives independent streams independent hardware queues.  This module
+models exactly that, giving workloads the async toolbox (streams, events,
+``cudaMemcpyAsync``, per-stream synchronization) that real multi-tenant
+CUDA programs use.
+
+Semantics implemented:
+
+- operations queued on one stream execute in FIFO order;
+- distinct streams proceed independently (bounded by the device-wide
+  Hyper-Q width through :class:`~repro.gpu.hyperq.HyperQEngine`);
+- the default stream (0) is *synchronizing*: legacy-default-stream rules,
+  i.e. work on stream 0 does not begin until all other streams have
+  drained, and later work on any stream waits for it;
+- events record completion points; ``cudaStreamWaitEvent`` makes a stream
+  wait for an event recorded on another (cross-stream dependencies);
+- ``cudaEventElapsedTime`` returns the modelled milliseconds between two
+  completed events.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import GpuError
+
+__all__ = ["CudaStream", "CudaEvent", "StreamTable"]
+
+
+@dataclass
+class CudaStream:
+    """One stream's queue state: when its last queued op completes."""
+
+    stream_id: int
+    #: Completion time of the most recently queued operation.
+    tail_time: float = 0.0
+    #: Number of operations queued over the stream's lifetime.
+    ops_queued: int = 0
+    destroyed: bool = False
+
+
+@dataclass
+class CudaEvent:
+    """A completion marker recorded into a stream."""
+
+    event_id: int
+    #: Time the event completes; None until recorded.
+    completion_time: float | None = None
+    recorded_on: int | None = None
+
+    @property
+    def recorded(self) -> bool:
+        return self.completion_time is not None
+
+
+class StreamTable:
+    """Per-process stream and event bookkeeping.
+
+    The table is pure time arithmetic: ``queue_op`` computes when an
+    operation queued *now* on a stream would start and finish, honoring
+    stream FIFO order and default-stream synchronization.  The caller (the
+    runtime) is responsible for feeding kernel durations through the
+    device's Hyper-Q engine first when the op is a kernel.
+    """
+
+    def __init__(self) -> None:
+        self._ids = itertools.count(1)
+        self._event_ids = itertools.count(1)
+        #: stream_id -> CudaStream; 0 is the default stream.
+        self._streams: dict[int, CudaStream] = {0: CudaStream(0)}
+        self._events: dict[int, CudaEvent] = {}
+
+    # -- stream lifecycle ---------------------------------------------------
+
+    def create_stream(self) -> CudaStream:
+        stream = CudaStream(next(self._ids))
+        self._streams[stream.stream_id] = stream
+        return stream
+
+    def get(self, stream_id: int) -> CudaStream:
+        stream = self._streams.get(stream_id)
+        if stream is None or stream.destroyed:
+            raise GpuError(f"invalid stream {stream_id}")
+        return stream
+
+    def destroy_stream(self, stream_id: int) -> None:
+        if stream_id == 0:
+            raise GpuError("the default stream cannot be destroyed")
+        self.get(stream_id).destroyed = True
+
+    def live_streams(self) -> list[int]:
+        return sorted(s.stream_id for s in self._streams.values() if not s.destroyed)
+
+    # -- queueing -----------------------------------------------------------
+
+    def queue_op(self, stream_id: int, now: float, duration: float) -> tuple[float, float]:
+        """Queue an op; returns (start_time, completion_time).
+
+        Default-stream (0) ops are synchronizing: they start only after
+        every stream has drained, and every stream's tail is pushed to
+        their completion (legacy default-stream semantics).
+        """
+        if duration < 0:
+            raise GpuError(f"negative op duration: {duration}")
+        stream = self.get(stream_id)
+        if stream_id == 0:
+            start = max(now, *(s.tail_time for s in self._streams.values()))
+        else:
+            default_tail = self._streams[0].tail_time
+            start = max(now, stream.tail_time, default_tail)
+        completion = start + duration
+        stream.tail_time = completion
+        stream.ops_queued += 1
+        if stream_id == 0:
+            for other in self._streams.values():
+                if not other.destroyed:
+                    other.tail_time = max(other.tail_time, completion)
+        return start, completion
+
+    def stream_drain_time(self, stream_id: int, now: float) -> float:
+        """When the stream's queued work completes (cudaStreamSynchronize)."""
+        return max(now, self.get(stream_id).tail_time)
+
+    def device_drain_time(self, now: float) -> float:
+        """When all streams complete (cudaDeviceSynchronize)."""
+        tails = [s.tail_time for s in self._streams.values() if not s.destroyed]
+        return max([now, *tails])
+
+    # -- events -------------------------------------------------------------
+
+    def create_event(self) -> CudaEvent:
+        event = CudaEvent(next(self._event_ids))
+        self._events[event.event_id] = event
+        return event
+
+    def get_event(self, event_id: int) -> CudaEvent:
+        event = self._events.get(event_id)
+        if event is None:
+            raise GpuError(f"invalid event {event_id}")
+        return event
+
+    def record_event(self, event_id: int, stream_id: int, now: float) -> CudaEvent:
+        """``cudaEventRecord``: completes when the stream's queue drains."""
+        event = self.get_event(event_id)
+        event.completion_time = self.stream_drain_time(stream_id, now)
+        event.recorded_on = stream_id
+        return event
+
+    def stream_wait_event(self, stream_id: int, event_id: int) -> None:
+        """``cudaStreamWaitEvent``: future stream ops wait for the event."""
+        event = self.get_event(event_id)
+        if not event.recorded:
+            return  # waiting on an unrecorded event is a no-op (CUDA rule)
+        stream = self.get(stream_id)
+        stream.tail_time = max(stream.tail_time, event.completion_time)
+
+    def elapsed_ms(self, start_id: int, stop_id: int) -> float:
+        """``cudaEventElapsedTime`` (milliseconds)."""
+        start = self.get_event(start_id)
+        stop = self.get_event(stop_id)
+        if not (start.recorded and stop.recorded):
+            raise GpuError("both events must be recorded")
+        return (stop.completion_time - start.completion_time) * 1e3

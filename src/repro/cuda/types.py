@@ -1,0 +1,83 @@
+"""CUDA value types used by the intercepted API surface.
+
+These mirror the C structs that cross the Runtime API boundary for the
+Table II APIs: ``cudaExtent``/``cudaPitchedPtr`` for ``cudaMalloc3D``,
+``dim3`` for kernel launches, and the ``cudaDeviceProp`` view returned by
+``cudaGetDeviceProperties`` (which the wrapper module calls once to learn
+the device pitch, §III-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.properties import DeviceProperties
+
+__all__ = ["dim3", "cudaExtent", "cudaPitchedPtr", "cudaDeviceProp"]
+
+
+@dataclass(frozen=True)
+class dim3:  # noqa: N801 - matches CUDA naming
+    """Kernel grid/block dimensions."""
+
+    x: int = 1
+    y: int = 1
+    z: int = 1
+
+    def __post_init__(self) -> None:
+        if min(self.x, self.y, self.z) < 1:
+            raise ValueError(f"dim3 components must be >= 1: {self}")
+
+    @property
+    def count(self) -> int:
+        return self.x * self.y * self.z
+
+
+@dataclass(frozen=True)
+class cudaExtent:  # noqa: N801 - matches CUDA naming
+    """3-D allocation extent in bytes × rows × slices."""
+
+    width: int  # bytes
+    height: int  # rows
+    depth: int  # slices
+
+    def __post_init__(self) -> None:
+        if min(self.width, self.height, self.depth) < 0:
+            raise ValueError(f"extent components must be >= 0: {self}")
+
+
+@dataclass(frozen=True)
+class cudaPitchedPtr:  # noqa: N801 - matches CUDA naming
+    """Result of ``cudaMalloc3D``: base pointer plus pitch geometry."""
+
+    ptr: int
+    pitch: int
+    xsize: int
+    ysize: int
+
+
+@dataclass(frozen=True)
+class cudaDeviceProp:  # noqa: N801 - matches CUDA naming
+    """The subset of ``cudaDeviceProp`` our stack reads."""
+
+    name: str
+    totalGlobalMem: int  # noqa: N815 - CUDA field name
+    texturePitchAlignment: int  # noqa: N815
+    pitchGranularity: int  # noqa: N815 - not in real CUDA; exposed for the wrapper
+    multiProcessorCount: int  # noqa: N815
+    clockRate: int  # noqa: N815 - kHz
+    major: int
+    minor: int
+
+    @classmethod
+    def from_properties(cls, properties: DeviceProperties) -> "cudaDeviceProp":
+        return cls(
+            name=properties.name,
+            totalGlobalMem=properties.total_global_mem,
+            texturePitchAlignment=properties.texture_pitch_alignment,
+            pitchGranularity=properties.pitch_granularity,
+            multiProcessorCount=properties.multiprocessor_count,
+            clockRate=properties.clock_rate_khz,
+            major=properties.compute_capability[0],
+            minor=properties.compute_capability[1],
+        )

@@ -1,0 +1,130 @@
+"""Exception hierarchy for the ConVGPU reproduction.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so that
+callers can catch middleware failures without masking programming errors.
+The CUDA substrate deliberately does *not* raise for in-band CUDA errors —
+the real Runtime API reports ``cudaError_t`` return codes, and our
+reimplementation mirrors that (see :mod:`repro.cuda.errors`).  Exceptions
+here cover host-side failures: container lifecycle misuse, protocol
+violations, scheduler invariant breaks, and simulation errors.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ContainerError",
+    "ContainerStateError",
+    "ImageNotFoundError",
+    "VolumeError",
+    "SchedulerError",
+    "UnknownContainerError",
+    "LimitExceededError",
+    "ProtocolError",
+    "TransportError",
+    "SimulationError",
+    "ProcessError",
+    "GpuError",
+    "OutOfMemoryError",
+    "InvalidDeviceError",
+    "ClusterError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+# --------------------------------------------------------------------------
+# Container substrate
+# --------------------------------------------------------------------------
+
+
+class ContainerError(ReproError):
+    """Base class for container-engine failures."""
+
+
+class ContainerStateError(ContainerError):
+    """A lifecycle operation was invalid for the container's current state."""
+
+
+class ImageNotFoundError(ContainerError):
+    """The requested image does not exist in the local registry."""
+
+
+class VolumeError(ContainerError):
+    """Volume creation, mount, or plugin dispatch failed."""
+
+
+# --------------------------------------------------------------------------
+# Scheduler core
+# --------------------------------------------------------------------------
+
+
+class SchedulerError(ReproError):
+    """Base class for GPU-memory-scheduler failures."""
+
+
+class UnknownContainerError(SchedulerError):
+    """A message referenced a container id the scheduler has never seen."""
+
+
+class LimitExceededError(SchedulerError):
+    """A registration asked for more memory than the device can ever hold."""
+
+
+# --------------------------------------------------------------------------
+# IPC
+# --------------------------------------------------------------------------
+
+
+class ProtocolError(ReproError):
+    """A JSON message violated the ConVGPU wire protocol."""
+
+
+class TransportError(ReproError):
+    """The underlying socket/channel failed (closed, truncated frame...)."""
+
+
+# --------------------------------------------------------------------------
+# Simulation kernel
+# --------------------------------------------------------------------------
+
+
+class SimulationError(ReproError):
+    """Base class for discrete-event-simulation kernel errors."""
+
+
+class ProcessError(SimulationError):
+    """A simulated process was driven incorrectly (e.g. resumed twice)."""
+
+
+# --------------------------------------------------------------------------
+# GPU substrate
+# --------------------------------------------------------------------------
+
+
+class GpuError(ReproError):
+    """Base class for simulated-GPU failures."""
+
+
+class OutOfMemoryError(GpuError):
+    """The device allocator could not satisfy a request.
+
+    Note: user-facing CUDA calls surface this as ``cudaErrorMemoryAllocation``
+    rather than letting this exception escape; the exception form exists for
+    direct users of :class:`repro.gpu.memory.GpuMemoryAllocator`.
+    """
+
+
+class InvalidDeviceError(GpuError):
+    """A device ordinal was out of range."""
+
+
+# --------------------------------------------------------------------------
+# Cluster extension
+# --------------------------------------------------------------------------
+
+
+class ClusterError(ReproError):
+    """Base class for multi-GPU / multi-node extension failures."""

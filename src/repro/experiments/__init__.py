@@ -1,0 +1,78 @@
+"""Experiment drivers: one per table/figure of the paper's evaluation."""
+
+from repro.experiments.background import (
+    REMOTE_API_FRAMEWORKS,
+    RemoteApiFramework,
+    format_table_i,
+)
+from repro.experiments.failure import (
+    FailureOutcome,
+    deadlock_experiment,
+    overcommit_experiment,
+)
+from repro.experiments.live import HybridClock, LiveProgramRunner
+from repro.experiments.export import (
+    schedule_to_json,
+    single_results_to_json,
+    sweep_to_csv,
+    sweep_to_json,
+)
+from repro.experiments.metrics import ScheduleMetrics, compute_metrics, jains_index
+from repro.experiments.multi import (
+    DEFAULT_SEED,
+    ContainerOutcome,
+    ScheduleResult,
+    SweepResult,
+    run_schedule,
+    run_trace,
+    sweep,
+)
+from repro.experiments.report import (
+    ascii_series_plot,
+    format_fig4,
+    format_policy_table,
+    format_table,
+)
+from repro.experiments.single import (
+    ApiResponseResult,
+    CreationTimeResult,
+    MnistRuntimeResult,
+    api_response_experiment,
+    creation_time_experiment,
+    mnist_runtime_experiment,
+)
+
+__all__ = [
+    "api_response_experiment",
+    "creation_time_experiment",
+    "mnist_runtime_experiment",
+    "ApiResponseResult",
+    "CreationTimeResult",
+    "MnistRuntimeResult",
+    "run_schedule",
+    "run_trace",
+    "sweep",
+    "compute_metrics",
+    "ScheduleMetrics",
+    "jains_index",
+    "sweep_to_json",
+    "sweep_to_csv",
+    "schedule_to_json",
+    "single_results_to_json",
+    "ScheduleResult",
+    "SweepResult",
+    "ContainerOutcome",
+    "DEFAULT_SEED",
+    "overcommit_experiment",
+    "deadlock_experiment",
+    "FailureOutcome",
+    "LiveProgramRunner",
+    "HybridClock",
+    "format_table",
+    "format_fig4",
+    "format_policy_table",
+    "ascii_series_plot",
+    "format_table_i",
+    "RemoteApiFramework",
+    "REMOTE_API_FRAMEWORKS",
+]

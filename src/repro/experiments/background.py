@@ -1,0 +1,40 @@
+"""Table I — the Remote-API framework comparison (background, §II-B).
+
+Static data, reproduced so the benchmark harness regenerates every table in
+the paper, and used by the docs to contrast ConVGPU's LD_PRELOAD approach
+with full API-remoting designs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.report import format_table
+
+__all__ = ["RemoteApiFramework", "REMOTE_API_FRAMEWORKS", "format_table_i"]
+
+
+@dataclass(frozen=True)
+class RemoteApiFramework:
+    """One column of Table I."""
+
+    name: str
+    network_method: str
+    reference: str
+
+
+REMOTE_API_FRAMEWORKS: tuple[RemoteApiFramework, ...] = (
+    RemoteApiFramework("GViM", "XenStore", "[4]"),
+    RemoteApiFramework("gVirtuS", "TCP/IP (VMSocket)", "[5]"),
+    RemoteApiFramework("vCUDA", "VMRPC", "[6]"),
+    RemoteApiFramework("rCUDA", "Sockets API", "[7]"),
+)
+
+
+def format_table_i() -> str:
+    """Render Table I as text."""
+    return format_table(
+        ("Framework", "Network method", "Ref"),
+        [(f.name, f.network_method, f.reference) for f in REMOTE_API_FRAMEWORKS],
+        title="Table I — comparing the Remote-API frameworks",
+    )

@@ -1,0 +1,115 @@
+"""Machine-readable export of experiment results (JSON + CSV).
+
+The text renderings in :mod:`repro.experiments.report` are for eyeballs;
+this module serializes the same results for plotting pipelines and for the
+regeneration workflow (`python -m repro export`).
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import io
+import json
+from typing import Any
+
+from repro.experiments.multi import ScheduleResult, SweepResult
+from repro.experiments.single import (
+    ApiResponseResult,
+    CreationTimeResult,
+    MnistRuntimeResult,
+)
+
+__all__ = [
+    "sweep_to_json",
+    "sweep_to_csv",
+    "schedule_to_json",
+    "single_results_to_json",
+]
+
+
+def _dump(payload: Any) -> str:
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def sweep_to_json(result: SweepResult) -> str:
+    """Tables IV and V as one JSON document."""
+    return _dump(
+        {
+            "seed": result.seed,
+            "repeats": result.repeats,
+            "counts": list(result.counts),
+            "policies": list(result.policies),
+            "finished_time_s": {
+                policy: [result.finished[policy][c] for c in result.counts]
+                for policy in result.policies
+            },
+            "avg_suspended_s": {
+                policy: [result.suspended[policy][c] for c in result.counts]
+                for policy in result.policies
+            },
+            "failures": {
+                policy: [result.failures[policy][c] for c in result.counts]
+                for policy in result.policies
+            },
+        }
+    )
+
+
+def sweep_to_csv(result: SweepResult, metric: str = "finished") -> str:
+    """One metric of the sweep as CSV (rows=policies, cols=counts)."""
+    if metric not in ("finished", "suspended"):
+        raise ValueError(f"unknown metric {metric!r}")
+    table = result.finished if metric == "finished" else result.suspended
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["policy", *result.counts])
+    for policy in result.policies:
+        writer.writerow([policy, *(f"{table[policy][c]:.3f}" for c in result.counts)])
+    return buffer.getvalue()
+
+
+def schedule_to_json(result: ScheduleResult) -> str:
+    """One run with its per-container outcomes."""
+    return _dump(
+        {
+            "policy": result.policy,
+            "count": result.count,
+            "seed": result.seed,
+            "finished_time_s": result.finished_time,
+            "avg_suspended_s": result.avg_suspended,
+            "failures": result.failures,
+            "rejected_count": result.rejected_count,
+            "aborted_count": result.aborted_count,
+            "containers": [dataclasses.asdict(o) for o in result.outcomes],
+        }
+    )
+
+
+def single_results_to_json(
+    fig4: ApiResponseResult | None = None,
+    fig5: CreationTimeResult | None = None,
+    fig6: MnistRuntimeResult | None = None,
+) -> str:
+    """The single-container experiments as one JSON document."""
+    payload: dict[str, Any] = {}
+    if fig4 is not None:
+        payload["fig4_api_response_s"] = {
+            "with_convgpu": fig4.with_convgpu,
+            "without_convgpu": fig4.without_convgpu,
+            "repeats": fig4.repeats,
+            "mode": fig4.mode,
+        }
+    if fig5 is not None:
+        payload["fig5_creation_time_s"] = {
+            "with_convgpu": fig5.with_convgpu,
+            "without_convgpu": fig5.without_convgpu,
+            "overhead_percent": fig5.overhead_percent,
+        }
+    if fig6 is not None:
+        payload["fig6_mnist_runtime_s"] = {
+            "with_convgpu": fig6.with_convgpu,
+            "without_convgpu": fig6.without_convgpu,
+            "overhead_percent": fig6.overhead_percent,
+        }
+    return _dump(payload)

@@ -1,0 +1,186 @@
+"""The motivating failure experiment (§I and ref. [10]).
+
+"concurrent access including memory allocation to the GPU memory may happen
+by multiple containers.  However, the total amount of GPU memory is
+limited, and swapping GPU memory is currently not supported.  Therefore,
+accessing the same GPU at the same time by different containers may cause a
+program failure.  In the worst case, a deadlock situation can occur."
+
+Two scenarios, each run with and without ConVGPU:
+
+- **over-commit failure**: two containers whose combined footprint exceeds
+  the device.  Unmanaged, the slower one's ``cudaMalloc`` fails mid-run;
+  managed, its allocation pauses and both finish.
+- **allocation deadlock**: two containers that each grab half the device
+  and then retry-loop for more (the common "wait for memory" pattern).
+  Unmanaged, neither can ever proceed — deadlock; managed, the per-container
+  limits mean the scheduler never lets them interleave into the wedge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.container.image import make_cuda_image
+from repro.core.middleware import ConVGPU
+from repro.cuda.effects import HostCompute
+from repro.cuda.errors import cudaError
+from repro.sim.engine import Environment
+from repro.units import MiB
+from repro.workloads.api import ProcessApi
+from repro.workloads.runner import SimIpcBridge, SimProgramRunner, fail_program
+
+__all__ = [
+    "FailureOutcome",
+    "overcommit_experiment",
+    "deadlock_experiment",
+]
+
+
+@dataclass(frozen=True)
+class FailureOutcome:
+    """Result of one two-container scenario."""
+
+    managed: bool
+    exit_codes: tuple[int, ...]
+    finished: bool
+    deadlocked: bool
+    wall_time: float
+
+    @property
+    def any_failure(self) -> bool:
+        return any(code != 0 for code in self.exit_codes)
+
+
+def _greedy_program(api: ProcessApi, *, chunks: list[int], hold: float,
+                    retry_interval: float, max_retries: int,
+                    inter_chunk_delay: float = 0.0):
+    """Allocate ``chunks`` in order, retrying on failure (the wedge pattern).
+
+    ``inter_chunk_delay`` models the host-side staging work between
+    allocations (data loading, preprocessing) during which *other*
+    containers get to allocate — the interleaving that creates the wedge.
+    """
+    held = []
+    for index, chunk in enumerate(chunks):
+        if index and inter_chunk_delay:
+            yield HostCompute(inter_chunk_delay)
+        attempts = 0
+        while True:
+            err, ptr = yield from api.cudaMalloc(chunk)
+            if err is cudaError.cudaSuccess:
+                held.append(ptr)
+                break
+            attempts += 1
+            if attempts > max_retries:
+                # With a retry budget this is starvation/deadlock (exit 3);
+                # with none, the program just crashed on the failed
+                # allocation like any unprepared CUDA program (exit 2).
+                raise fail_program(3 if max_retries > 0 else 2)
+            yield HostCompute(retry_interval)
+    err, _ = yield from api.cudaLaunchKernel(hold)
+    if err is not cudaError.cudaSuccess:
+        raise fail_program(1)
+    for ptr in held:
+        err, _ = yield from api.cudaFree(ptr)
+        if err is not cudaError.cudaSuccess:
+            raise fail_program(1)
+    return 0
+
+
+def _run_pair(
+    managed: bool,
+    specs: list[dict],
+    *,
+    limit_for: list[int],
+) -> FailureOutcome:
+    env = Environment()
+    system = ConVGPU(policy="FIFO", managed=managed, clock=lambda: env.now)
+    system.engine.images.add(make_cuda_image("greedy"))
+    bridge = SimIpcBridge(env, system.service.handle) if managed else None
+    runner = SimProgramRunner(env, system.device, bridge)
+    exit_codes: dict[int, int] = {}
+
+    def launch(index: int, spec: dict):
+        yield env.timeout(spec.get("delay", 0.0))
+        command = lambda api, spec=spec: _greedy_program(api, **spec["program"])  # noqa: E731
+        container = system.nvdocker.run(
+            "greedy",
+            name=f"greedy-{index}",
+            nvidia_memory=limit_for[index],
+            command=command,
+        )
+        proc = runner.run_program(
+            ProcessApi(container.main_process),
+            on_exit=lambda code: system.engine.notify_main_exit(
+                container.container_id, code
+            ),
+        )
+        exit_codes[index] = yield proc
+
+    for index, spec in enumerate(specs):
+        env.process(launch(index, spec))
+    env.run()
+    codes = tuple(exit_codes[i] for i in sorted(exit_codes))
+    deadlocked = any(code == 3 for code in codes)
+    return FailureOutcome(
+        managed=managed,
+        exit_codes=codes,
+        finished=len(codes) == len(specs),
+        deadlocked=deadlocked,
+        wall_time=env.now,
+    )
+
+
+def overcommit_experiment(managed: bool) -> FailureOutcome:
+    """Two containers that together exceed the 5 GiB device.
+
+    Each wants 2.75 GiB (+66 MiB context); combined ≈ 5.6 GiB > 5 GiB.
+    The second to allocate fails unmanaged (no retries configured here —
+    a plain TensorFlow-style program just dies on cudaErrorMemoryAllocation).
+    """
+    chunk = 2816 * MiB  # 2.75 GiB
+    spec = {
+        "program": {
+            "chunks": [chunk],
+            "hold": 10.0,
+            "retry_interval": 1.0,
+            "max_retries": 0,
+        }
+    }
+    specs = [dict(spec), {**spec, "delay": 1.0}]
+    limits = [chunk + 128 * MiB, chunk + 128 * MiB]
+    return _run_pair(managed, specs, limit_for=limits)
+
+
+def deadlock_experiment(managed: bool, *, max_retries: int = 30) -> FailureOutcome:
+    """The §I worst case: two half-takers that both want a second half.
+
+    Each container allocates 2.3 GiB, then retry-loops for another 2.3 GiB
+    (total per container ≈ 4.7 GiB with context overhead — feasible alone,
+    impossible together on a 5 GiB device).
+
+    Unmanaged: both first chunks succeed concurrently, after which *neither*
+    second chunk can ever be satisfied — both spin until they give up
+    (exit 3): the deadlock of ref. [10].
+
+    Managed: each container declares its true requirement (~4.8 GiB), so the
+    scheduler reserves the device for the first container and pauses the
+    second at its *first* allocation until the reservation frees — the
+    containers serialize and both finish cleanly (exit 0).
+    """
+    chunk = 2355 * MiB  # 2.3 GiB
+    spec = {
+        "program": {
+            "chunks": [chunk, chunk],
+            "hold": 5.0,
+            "retry_interval": 1.0,
+            "max_retries": max_retries,
+            # 2 s of host-side staging between the chunks: both containers
+            # grab their first half before either asks for the second.
+            "inter_chunk_delay": 2.0,
+        }
+    }
+    specs = [dict(spec), {**spec, "delay": 0.5}]
+    limit = 2 * chunk + 128 * MiB  # true footprint incl. context overhead
+    return _run_pair(managed, specs, limit_for=[limit, limit])

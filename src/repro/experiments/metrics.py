@@ -1,0 +1,100 @@
+"""Scheduling-quality metrics beyond the paper's two.
+
+Fig. 7/8 report makespan and mean suspension; the BF-vs-rest trade-off the
+paper describes ("fastest for the overall task but needs more waiting time
+for each container") is fundamentally a throughput/fairness frontier.
+These metrics make that frontier quantitative:
+
+- **Jain's fairness index** over per-container slowdowns (1 = perfectly
+  fair, 1/n = one container got everything);
+- **slowdown** = turnaround / nominal duration per container;
+- **p95 suspension** — tail waiting, which mean suspension hides;
+- **GPU-seconds of reservation** — how much capacity the schedule consumed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.experiments.multi import ScheduleResult
+from repro.workloads.types import TYPE_BY_NAME
+
+__all__ = ["jains_index", "percentile", "ScheduleMetrics", "compute_metrics"]
+
+
+def jains_index(values: Sequence[float]) -> float:
+    """Jain's fairness index: (Σx)² / (n·Σx²); 1.0 when all equal.
+
+    Values must be non-negative; an empty sequence or all-zero values are
+    perfectly fair by convention (nobody is disadvantaged).
+    """
+    xs = [float(v) for v in values]
+    if any(x < 0 for x in xs):
+        raise ValueError("Jain's index requires non-negative values")
+    if not xs or all(x == 0 for x in xs):
+        return 1.0
+    total = sum(xs)
+    sum_squares = sum(x * x for x in xs)
+    if sum_squares == 0.0:  # denormals underflowing x*x to zero
+        return 1.0
+    return min(1.0, (total * total) / (len(xs) * sum_squares))
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100])."""
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile out of range: {q}")
+    xs = sorted(float(v) for v in values)
+    if not xs:
+        raise ValueError("percentile of empty sequence")
+    rank = max(1, math.ceil(q / 100 * len(xs)))
+    return xs[rank - 1]
+
+
+@dataclass(frozen=True)
+class ScheduleMetrics:
+    """Derived metrics of one schedule."""
+
+    makespan: float
+    mean_suspended: float
+    p95_suspended: float
+    mean_slowdown: float
+    fairness_slowdown: float
+    fairness_suspended: float
+
+    def summary(self) -> str:
+        return (
+            f"makespan={self.makespan:.1f}s "
+            f"susp(mean/p95)={self.mean_suspended:.1f}/{self.p95_suspended:.1f}s "
+            f"slowdown={self.mean_slowdown:.2f} "
+            f"fairness={self.fairness_slowdown:.3f}"
+        )
+
+
+def compute_metrics(result: ScheduleResult) -> ScheduleMetrics:
+    """Compute the derived metrics for a :func:`run_schedule` result.
+
+    Slowdown uses the Table III nominal duration of each container's type;
+    outcomes whose type is not a Table III name (trace replays) fall back
+    to slowdown over turnaround's own minimum of 1.0.
+    """
+    if not result.outcomes:
+        raise ValueError("schedule has no outcomes")
+    suspended = [o.suspended for o in result.outcomes]
+    slowdowns = []
+    for outcome in result.outcomes:
+        ctype = TYPE_BY_NAME.get(outcome.type_name)
+        nominal = ctype.sample_duration if ctype else max(
+            outcome.turnaround - outcome.suspended, 1e-9
+        )
+        slowdowns.append(max(1.0, outcome.turnaround / nominal))
+    return ScheduleMetrics(
+        makespan=result.finished_time,
+        mean_suspended=sum(suspended) / len(suspended),
+        p95_suspended=percentile(suspended, 95),
+        mean_slowdown=sum(slowdowns) / len(slowdowns),
+        fairness_slowdown=jains_index(slowdowns),
+        fairness_suspended=jains_index(suspended),
+    )

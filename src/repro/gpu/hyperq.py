@@ -1,0 +1,115 @@
+"""Hyper-Q kernel concurrency model.
+
+The testbed GPU "supports Hyper-Q, it can run multiple GPU kernels
+concurrently up to 32 kernels" (§IV-A).  This is what allows several
+containers' sample programs to overlap on one device; without it the
+multi-container experiments would serialize completely and the scheduling
+algorithms could not differ in the way Fig. 7/8 show.
+
+The model is intentionally simple and conservative:
+
+- at most ``width`` kernels execute concurrently;
+- a kernel submitted while all lanes are busy starts when the earliest
+  running kernel finishes (hardware work-queue FIFO);
+- concurrent kernels share SM throughput equally only in the *duration
+  stretch* sense when ``share_throughput`` is enabled; by default kernels
+  keep their nominal duration, matching the paper's memory-bound sample
+  program whose kernels are short relative to transfers.
+
+The engine is pure bookkeeping over explicit timestamps so it can serve
+both the DES (virtual time) and the live mode (wall-clock timestamps).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+
+from repro.errors import GpuError
+
+__all__ = ["KernelRecord", "HyperQEngine"]
+
+
+@dataclass(frozen=True)
+class KernelRecord:
+    """Outcome of one kernel submission."""
+
+    kernel_id: int
+    submit_time: float
+    start_time: float
+    completion_time: float
+
+    @property
+    def queue_delay(self) -> float:
+        """Time spent waiting for a Hyper-Q lane."""
+        return self.start_time - self.submit_time
+
+    @property
+    def duration(self) -> float:
+        return self.completion_time - self.start_time
+
+
+class HyperQEngine:
+    """Tracks in-flight kernels and computes start/completion times."""
+
+    def __init__(self, width: int = 32) -> None:
+        if width < 1:
+            raise GpuError(f"Hyper-Q width must be >= 1, got {width}")
+        self.width = width
+        #: Min-heap of completion times for kernels considered running.
+        self._running: list[float] = []
+        self._ids = itertools.count(1)
+        self.submitted = 0
+        self.max_concurrency = 0
+        self._last_time = 0.0
+        #: Cumulative kernel execution time (lane-seconds); utilization =
+        #: total_kernel_seconds / (width * makespan).
+        self.total_kernel_seconds = 0.0
+
+    def _retire(self, now: float) -> None:
+        """Drop kernels that completed at or before ``now``."""
+        while self._running and self._running[0] <= now:
+            heapq.heappop(self._running)
+
+    def active_at(self, now: float) -> int:
+        """Number of kernels still running at ``now``."""
+        self._retire(now)
+        return len(self._running)
+
+    def submit(self, now: float, duration: float) -> KernelRecord:
+        """Submit a kernel at time ``now`` taking ``duration`` once started.
+
+        Time must be non-decreasing across calls (both the DES clock and the
+        wall clock satisfy this).
+        """
+        if duration < 0:
+            raise GpuError(f"negative kernel duration: {duration}")
+        if now < self._last_time:
+            raise GpuError(
+                f"time went backwards: {now} < {self._last_time}"
+            )
+        self._last_time = now
+        self._retire(now)
+        if len(self._running) < self.width:
+            start = now
+        else:
+            # All lanes busy: this kernel starts when the earliest running
+            # kernel completes, freeing a lane.
+            start = heapq.heappop(self._running)
+        completion = start + duration
+        heapq.heappush(self._running, completion)
+        self.submitted += 1
+        self.total_kernel_seconds += duration
+        self.max_concurrency = max(self.max_concurrency, len(self._running))
+        return KernelRecord(
+            kernel_id=next(self._ids),
+            submit_time=now,
+            start_time=start,
+            completion_time=completion,
+        )
+
+    def drain_time(self, now: float) -> float:
+        """Earliest time at which no kernel is running."""
+        self._retire(now)
+        return max([now, *self._running]) if self._running else now

@@ -1,0 +1,282 @@
+"""Device-memory allocator with real address bookkeeping.
+
+The ConVGPU scheduler tracks every allocation by its *device address*
+("wrapper module sends the allocated memory address, current pid, and the
+size information to the scheduler", §III-C) and stores them in a hash
+structure (§III-D).  To exercise that code path faithfully the simulated
+GPU hands out genuine, non-overlapping addresses rather than opaque
+tickets.
+
+Two modes:
+
+- **paged** (default): the GPU MMU maps pages, so ``cudaMalloc`` succeeds
+  whenever enough total memory is free — external fragmentation does not
+  exist at this granularity on real NVIDIA hardware.  Addresses come from a
+  monotone virtual-address bump pointer.
+- **contiguous**: a first-fit free-list over a flat physical range, kept
+  for the allocator ablation (shows what the scheduler's guarantees would
+  look like on fragmentation-prone hardware).
+
+GPU memory cannot be swapped (§I), so exhaustion is a hard failure surfaced
+as :class:`repro.errors.OutOfMemoryError` (the CUDA layer converts it into
+``cudaErrorMemoryAllocation``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import GpuError, OutOfMemoryError
+from repro.units import format_size
+
+__all__ = ["Allocation", "GpuMemoryAllocator"]
+
+#: Device addresses start here so that 0 stays an unambiguous NULL pointer.
+_BASE_ADDRESS = 0x7_0000_0000
+
+
+def _align_up(value: int, alignment: int) -> int:
+    """Round ``value`` up to the next multiple of ``alignment``."""
+    return (value + alignment - 1) & ~(alignment - 1)
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """One live device allocation."""
+
+    address: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        return self.address + self.size
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Allocation {self.address:#x} {format_size(self.size)}>"
+
+
+class GpuMemoryAllocator:
+    """First-fit allocator over a contiguous device address range.
+
+    Free extents are kept sorted by address; freeing coalesces with both
+    neighbours, so a fully drained allocator always collapses back to a
+    single extent (a key invariant covered by the property-based tests).
+    """
+
+    def __init__(
+        self,
+        total: int,
+        *,
+        alignment: int = 256,
+        base: int = _BASE_ADDRESS,
+        paged: bool = True,
+    ) -> None:
+        if total <= 0:
+            raise GpuError(f"allocator size must be positive, got {total}")
+        if alignment <= 0 or (alignment & (alignment - 1)) != 0:
+            raise GpuError(f"alignment must be a positive power of two, got {alignment}")
+        self.total = total
+        self.alignment = alignment
+        self.base = base
+        self.paged = paged
+        #: Paged mode: next virtual address to hand out (never reused).
+        self._bump = base
+        #: Contiguous mode: sorted list of free ``(address, size)`` extents.
+        self._free: list[tuple[int, int]] = [(base, total)]
+        #: address -> Allocation for all live blocks.
+        self._live: dict[int, Allocation] = {}
+        self._used = 0
+        #: Monotonic counters for observability.
+        self.alloc_count = 0
+        self.free_count = 0
+        self.failed_count = 0
+        self.peak_used = 0
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def used(self) -> int:
+        """Bytes currently allocated."""
+        return self._used
+
+    @property
+    def free(self) -> int:
+        """Bytes currently free (may be fragmented)."""
+        return self.total - self._used
+
+    @property
+    def largest_free_extent(self) -> int:
+        """Size of the biggest single free extent (0 when full).
+
+        In paged mode any free byte is usable anywhere, so this equals
+        :attr:`free`.
+        """
+        if self.paged:
+            return self.free
+        return max((size for _addr, size in self._free), default=0)
+
+    @property
+    def fragmentation(self) -> float:
+        """1 - largest_extent/free; 0 when unfragmented or full."""
+        if self.free == 0:
+            return 0.0
+        return 1.0 - self.largest_free_extent / self.free
+
+    def live_allocations(self) -> list[Allocation]:
+        """Snapshot of live allocations ordered by address."""
+        return sorted(self._live.values(), key=lambda a: a.address)
+
+    def owns(self, address: int) -> bool:
+        """True if ``address`` is the base of a live allocation."""
+        return address in self._live
+
+    def size_of(self, address: int) -> int:
+        """Size of the live allocation at ``address``.
+
+        Raises:
+            GpuError: if the address is not a live allocation base.
+        """
+        try:
+            return self._live[address].size
+        except KeyError:
+            raise GpuError(f"unknown device address {address:#x}") from None
+
+    # -- allocation -----------------------------------------------------------
+
+    def allocate(self, size: int) -> Allocation:
+        """Allocate ``size`` bytes (rounded up to the device alignment).
+
+        Raises:
+            GpuError: for non-positive sizes.
+            OutOfMemoryError: when no free extent can hold the request.
+        """
+        if size <= 0:
+            raise GpuError(f"allocation size must be positive, got {size}")
+        needed = _align_up(size, self.alignment)
+        if self.paged:
+            if needed > self.free:
+                self.failed_count += 1
+                raise OutOfMemoryError(
+                    f"cannot allocate {format_size(needed)}: "
+                    f"{format_size(self.free)} free"
+                )
+            address = self._bump
+            self._bump += needed
+            allocation = Allocation(address=address, size=needed)
+            self._live[address] = allocation
+            self._used += needed
+            self.alloc_count += 1
+            self.peak_used = max(self.peak_used, self._used)
+            return allocation
+        for index, (addr, extent) in enumerate(self._free):
+            if extent >= needed:
+                allocation = Allocation(address=addr, size=needed)
+                remainder = extent - needed
+                if remainder:
+                    self._free[index] = (addr + needed, remainder)
+                else:
+                    del self._free[index]
+                self._live[addr] = allocation
+                self._used += needed
+                self.alloc_count += 1
+                self.peak_used = max(self.peak_used, self._used)
+                return allocation
+        self.failed_count += 1
+        raise OutOfMemoryError(
+            f"cannot allocate {format_size(needed)}: "
+            f"{format_size(self.free)} free, "
+            f"largest extent {format_size(self.largest_free_extent)}"
+        )
+
+    def release(self, address: int) -> Allocation:
+        """Free the allocation based at ``address`` and coalesce neighbours.
+
+        Raises:
+            GpuError: for a double free or an address never allocated.
+        """
+        allocation = self._live.pop(address, None)
+        if allocation is None:
+            raise GpuError(f"invalid free of device address {address:#x}")
+        self._used -= allocation.size
+        self.free_count += 1
+        if not self.paged:
+            self._insert_free(allocation.address, allocation.size)
+        return allocation
+
+    def release_all(self, addresses: list[int]) -> int:
+        """Free several allocations; returns total bytes released."""
+        freed = 0
+        for address in addresses:
+            freed += self.release(address).size
+        return freed
+
+    def _insert_free(self, addr: int, size: int) -> None:
+        """Insert a free extent, merging with adjacent extents."""
+        # Binary search for the insertion point.
+        lo, hi = 0, len(self._free)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._free[mid][0] < addr:
+                lo = mid + 1
+            else:
+                hi = mid
+        self._free.insert(lo, (addr, size))
+        # Merge with successor first, then predecessor.
+        if lo + 1 < len(self._free):
+            naddr, nsize = self._free[lo + 1]
+            if addr + size == naddr:
+                self._free[lo] = (addr, size + nsize)
+                del self._free[lo + 1]
+                size += nsize
+        if lo > 0:
+            paddr, psize = self._free[lo - 1]
+            if paddr + psize == addr:
+                self._free[lo - 1] = (paddr, psize + size)
+                del self._free[lo]
+
+    def check_invariants(self) -> None:
+        """Assert internal consistency (used heavily by property tests)."""
+        if self.paged:
+            live_total = sum(a.size for a in self._live.values())
+            if live_total != self._used:
+                raise GpuError(
+                    f"accounting broke: live={live_total} used={self._used}"
+                )
+            if self._used > self.total:
+                raise GpuError(f"over-allocated: {self._used} > {self.total}")
+            spans = sorted((a.address, a.end) for a in self._live.values())
+            for (s1, e1), (s2, _e2) in zip(spans, spans[1:]):
+                if s2 < e1:
+                    raise GpuError(f"overlapping allocations at {s2:#x}")
+            return
+        free_total = sum(size for _addr, size in self._free)
+        if free_total + self._used != self.total:
+            raise GpuError(
+                f"accounting broke: free={free_total} used={self._used} total={self.total}"
+            )
+        previous_end = None
+        for addr, size in self._free:
+            if size <= 0:
+                raise GpuError(f"empty free extent at {addr:#x}")
+            if previous_end is not None and addr < previous_end:
+                raise GpuError("free list not sorted / overlapping")
+            if previous_end is not None and addr == previous_end:
+                raise GpuError("free list has uncoalesced neighbours")
+            previous_end = addr + size
+        spans = sorted(
+            [(a.address, a.end) for a in self._live.values()]
+            + [(addr, addr + size) for addr, size in self._free]
+        )
+        cursor = self.base
+        for start, end in spans:
+            if start != cursor:
+                raise GpuError(f"address space gap/overlap at {start:#x}")
+            cursor = end
+        if cursor != self.base + self.total:
+            raise GpuError("address space does not cover the device")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<GpuMemoryAllocator used={format_size(self._used)}/"
+            f"{format_size(self.total)} live={len(self._live)}>"
+        )

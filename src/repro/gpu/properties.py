@@ -1,0 +1,108 @@
+"""Device property models for the simulated GPU.
+
+The paper's testbed is a single NVIDIA Tesla K20m (5 GB, Hyper-Q, driver
+375.51, CUDA 8.0.44).  :data:`TESLA_K20M` reproduces the fields that the
+ConVGPU wrapper module actually consults:
+
+- ``total_global_mem`` — the shared pool the scheduler partitions;
+- ``texture_pitch_alignment`` / ``pitch_granularity`` — used by the wrapper
+  to pre-compute the adjusted size of ``cudaMallocPitch`` requests (§III-C);
+- ``hyper_q_width`` — 32 concurrent kernels (§IV-A), which is what lets
+  multiple containers make progress on one device;
+- ``managed_granularity`` — ``cudaMallocManaged`` "allocates memory size
+  which is multiple of 128 MiB since it uses mapped memory" (§III-C).
+
+Bandwidth/throughput figures drive the latency model in
+:mod:`repro.gpu.latency`; they are public K20m datasheet numbers and only
+need to be order-of-magnitude right for the evaluation shapes to hold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.units import GiB, KiB, MiB
+
+__all__ = ["DeviceProperties", "TESLA_K20M", "make_properties"]
+
+
+@dataclass(frozen=True)
+class DeviceProperties:
+    """Immutable description of one GPU device.
+
+    Mirrors the subset of ``cudaDeviceProp`` the middleware reads, plus the
+    performance parameters our latency model needs.
+    """
+
+    name: str
+    #: Total device-global memory in bytes (``cudaDeviceProp.totalGlobalMem``).
+    total_global_mem: int
+    #: Row-pitch granularity applied by ``cudaMallocPitch`` (bytes).
+    pitch_granularity: int = 512
+    #: ``cudaDeviceProp.texturePitchAlignment``.
+    texture_pitch_alignment: int = 32
+    #: Base address alignment guaranteed by ``cudaMalloc``.
+    allocation_alignment: int = 256
+    #: Rounding unit of ``cudaMallocManaged`` mapped allocations.
+    managed_granularity: int = 128 * MiB
+    #: Number of hardware work queues (Hyper-Q); 32 on Kepler GK110.
+    hyper_q_width: int = 32
+    #: Streaming multiprocessor count (K20m: 13 SMX).
+    multiprocessor_count: int = 13
+    #: Core clock in kHz (``cudaDeviceProp.clockRate``).
+    clock_rate_khz: int = 705_500
+    #: Device memory bandwidth, bytes/second (K20m: ~208 GB/s).
+    memory_bandwidth: float = 208e9
+    #: Host<->device transfer bandwidth, bytes/second (PCIe 2.0 x16 ~6 GB/s).
+    pcie_bandwidth: float = 6e9
+    #: Fixed per-transfer launch latency, seconds.
+    transfer_latency: float = 10e-6
+    #: Fixed kernel launch latency, seconds.
+    kernel_launch_latency: float = 7e-6
+    #: Peak double-precision throughput, FLOP/s (K20m: 1.17 TFLOP/s).
+    peak_flops: float = 1.17e12
+    #: CUDA compute capability, e.g. (3, 5) for Kepler GK110.
+    compute_capability: tuple[int, int] = (3, 5)
+    #: Extra properties for forward compatibility (rarely used).
+    extras: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.total_global_mem <= 0:
+            raise ValueError("total_global_mem must be positive")
+        for attr in ("pitch_granularity", "allocation_alignment", "managed_granularity"):
+            value = getattr(self, attr)
+            if value <= 0 or (value & (value - 1)) != 0:
+                raise ValueError(f"{attr} must be a positive power of two, got {value}")
+        if self.hyper_q_width < 1:
+            raise ValueError("hyper_q_width must be >= 1")
+
+    def with_memory(self, total_global_mem: int) -> "DeviceProperties":
+        """A copy of these properties with a different memory size."""
+        return replace(self, total_global_mem=total_global_mem)
+
+
+#: The paper's testbed device.  5 GB is treated as 5 GiB; the scheduler's
+#: arithmetic only depends on the ratio between this pool and the Table III
+#: container sizes, which are power-of-two MiB values.
+TESLA_K20M = DeviceProperties(
+    name="Tesla K20m",
+    total_global_mem=5 * GiB,
+)
+
+
+def make_properties(
+    total_mem: int,
+    *,
+    name: str = "SimGPU",
+    hyper_q_width: int = 32,
+    pitch_granularity: int = 512,
+) -> DeviceProperties:
+    """Convenience factory for test devices of arbitrary size."""
+    if total_mem < 64 * KiB:
+        raise ValueError(f"device unrealistically small: {total_mem} bytes")
+    return DeviceProperties(
+        name=name,
+        total_global_mem=total_mem,
+        hyper_q_width=hyper_q_width,
+        pitch_granularity=pitch_granularity,
+    )

@@ -1,0 +1,59 @@
+"""IPC substrate: the UNIX-socket + JSON plumbing of ConVGPU (§III-A).
+
+Three interchangeable transports share one handler contract
+(``handler(message, reply_handle) -> reply | DEFER``):
+
+- :mod:`repro.ipc.unix_socket` — real ``AF_UNIX`` sockets (the paper's
+  choice; used by the live experiments so Fig. 4 measures genuine kernel
+  round-trips);
+- :mod:`repro.ipc.tcp_socket` — loopback TCP (the rejected alternative,
+  kept for the ablation benchmark);
+- :mod:`repro.ipc.channel` — in-process dispatch for deterministic tests
+  and the discrete-event simulation.
+"""
+
+from repro.ipc.channel import ChannelReplyHandle, InProcessChannel, PendingReply
+from repro.ipc.protocol import (
+    MSG_ALLOC_ABORT,
+    MSG_ALLOC_COMMIT,
+    MSG_ALLOC_RELEASE,
+    MSG_ALLOC_REQUEST,
+    MSG_CONTAINER_EXIT,
+    MSG_MEM_GET_INFO,
+    MSG_PROCESS_EXIT,
+    MSG_REGISTER_CONTAINER,
+    decode,
+    encode,
+    make_error_reply,
+    make_reply,
+    make_request,
+    validate_request,
+)
+from repro.ipc.tcp_socket import TcpSocketClient, TcpSocketServer
+from repro.ipc.unix_socket import DEFER, ReplyHandle, UnixSocketClient, UnixSocketServer
+
+__all__ = [
+    "MSG_REGISTER_CONTAINER",
+    "MSG_CONTAINER_EXIT",
+    "MSG_ALLOC_REQUEST",
+    "MSG_ALLOC_COMMIT",
+    "MSG_ALLOC_ABORT",
+    "MSG_ALLOC_RELEASE",
+    "MSG_MEM_GET_INFO",
+    "MSG_PROCESS_EXIT",
+    "make_request",
+    "make_reply",
+    "make_error_reply",
+    "validate_request",
+    "encode",
+    "decode",
+    "DEFER",
+    "ReplyHandle",
+    "UnixSocketServer",
+    "UnixSocketClient",
+    "TcpSocketServer",
+    "TcpSocketClient",
+    "InProcessChannel",
+    "PendingReply",
+    "ChannelReplyHandle",
+]

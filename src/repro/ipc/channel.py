@@ -1,0 +1,106 @@
+"""In-process transport: same handler contract, no sockets, no threads.
+
+Used by unit tests (exercise scheduler protocol handlers deterministically)
+and by the DES integration, where "blocking on a reply" must become a
+simulation event rather than a thread block.  Deferred replies are exposed
+to the caller instead of hidden behind ``recv``: :meth:`InProcessChannel.call`
+returns a :class:`PendingReply` that either already holds the reply or
+completes later when the handler's :class:`ChannelReplyHandle` is sent.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import TransportError
+from repro.ipc import protocol
+from repro.ipc.unix_socket import DEFER
+
+__all__ = ["PendingReply", "ChannelReplyHandle", "InProcessChannel"]
+
+
+class PendingReply:
+    """A reply slot; filled immediately or on later completion."""
+
+    def __init__(self) -> None:
+        self._reply: dict[str, Any] | None = None
+        #: Callbacks fired (once) when the reply lands.
+        self._callbacks: list[Callable[[dict[str, Any]], None]] = []
+
+    @property
+    def ready(self) -> bool:
+        return self._reply is not None
+
+    @property
+    def reply(self) -> dict[str, Any]:
+        if self._reply is None:
+            raise TransportError("reply not available yet (container paused)")
+        return self._reply
+
+    def on_ready(self, callback: Callable[[dict[str, Any]], None]) -> None:
+        """Register a completion callback (fires immediately if ready)."""
+        if self._reply is not None:
+            callback(self._reply)
+        else:
+            self._callbacks.append(callback)
+
+    def _complete(self, reply: dict[str, Any]) -> None:
+        if self._reply is not None:
+            raise TransportError("reply already delivered")
+        self._reply = reply
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(reply)
+
+
+class ChannelReplyHandle:
+    """Handler-side capability mirroring ``unix_socket.ReplyHandle``."""
+
+    def __init__(self, pending: PendingReply, seq: int) -> None:
+        self._pending = pending
+        self.seq = seq
+
+    def send(self, reply: dict[str, Any]) -> None:
+        self._pending._complete(dict(reply))
+
+
+class InProcessChannel:
+    """Synchronous dispatch straight into a protocol handler."""
+
+    def __init__(self, handler) -> None:
+        self.handler = handler
+        self._seq = 0
+
+    def call(self, msg_type: str, **payload: Any) -> PendingReply:
+        """Dispatch one request; returns a (possibly already-ready) reply slot."""
+        self._seq += 1
+        request = protocol.make_request(msg_type, seq=self._seq, **payload)
+        # Round-trip through encode/decode so the in-process path exercises
+        # the same serialization constraints as the socket path.
+        request = protocol.decode(protocol.encode(request))
+        protocol.validate_request(request)
+        pending = PendingReply()
+        handle = ChannelReplyHandle(pending, request["seq"])
+        result = self.handler(request, handle)
+        if result is DEFER:
+            return pending
+        if result is None:
+            if request["type"] in protocol.NOTIFICATION_TYPES:
+                # Notifications get a synthetic local ack so callers can
+                # treat every dispatch uniformly.
+                handle.send(protocol.make_reply(request))
+                return pending
+            raise TransportError(f"handler returned no reply for {msg_type}")
+        handle.send(result)
+        return pending
+
+    def notify(self, msg_type: str, **payload: Any) -> None:
+        """Dispatch a fire-and-forget notification."""
+        if msg_type not in protocol.NOTIFICATION_TYPES:
+            raise TransportError(f"{msg_type!r} is not a notification type")
+        self.call(msg_type, **payload)
+
+    def call_sync(self, msg_type: str, **payload: Any) -> dict[str, Any]:
+        """Like :meth:`call` but requires an immediate reply."""
+        pending = self.call(msg_type, **payload)
+        return pending.reply

@@ -1,0 +1,151 @@
+"""The ConVGPU wire protocol: JSON messages over UNIX domain sockets.
+
+§III: "These components (including NVIDIA Docker) are connected and
+communicating using UNIX Domain Socket (UNIX socket) with JSON (JavaScript
+Object Notation) format."  This module defines the message vocabulary and
+validation; transports live in :mod:`repro.ipc.unix_socket` (real sockets)
+and :mod:`repro.ipc.channel` (in-process).
+
+Message flows, matching §III-B/C/D:
+
+======================  =======================================  =============================
+type                    sender → receiver                         purpose
+======================  =======================================  =============================
+``register_container``  nvidia-docker → scheduler                 declare limit before create;
+                                                                  reply carries the per-container
+                                                                  socket directory path
+``container_exit``      nvidia-docker-plugin → scheduler          dummy-volume unmount detected
+``alloc_request``       wrapper → scheduler                       size check before real malloc;
+                                                                  **reply may be withheld: pause**
+``alloc_commit``        wrapper → scheduler                       address+pid+size after malloc
+``alloc_release``       wrapper → scheduler                       address on cudaFree
+``mem_get_info``        wrapper → scheduler                       container-view free/total
+``process_exit``        wrapper → scheduler                       __cudaUnregisterFatBinary
+======================  =======================================  =============================
+
+Every request carries ``seq`` (per-connection monotonic) echoed in the
+reply, so a transport can correlate deferred replies with requests.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+from repro.errors import ProtocolError
+
+__all__ = [
+    "MSG_REGISTER_CONTAINER",
+    "MSG_CONTAINER_EXIT",
+    "MSG_ALLOC_REQUEST",
+    "MSG_ALLOC_COMMIT",
+    "MSG_ALLOC_ABORT",
+    "MSG_ALLOC_RELEASE",
+    "MSG_MEM_GET_INFO",
+    "MSG_PROCESS_EXIT",
+    "REQUEST_FIELDS",
+    "NOTIFICATION_TYPES",
+    "make_request",
+    "make_reply",
+    "make_error_reply",
+    "validate_request",
+    "encode",
+    "decode",
+]
+
+MSG_REGISTER_CONTAINER = "register_container"
+MSG_CONTAINER_EXIT = "container_exit"
+MSG_ALLOC_REQUEST = "alloc_request"
+MSG_ALLOC_COMMIT = "alloc_commit"
+MSG_ALLOC_ABORT = "alloc_abort"
+MSG_ALLOC_RELEASE = "alloc_release"
+MSG_MEM_GET_INFO = "mem_get_info"
+MSG_PROCESS_EXIT = "process_exit"
+
+#: Message types that are fire-and-forget notifications: the sender does
+#: not wait and the server sends no reply.  Keeping bookkeeping traffic
+#: one-way is what keeps cudaFree at native speed under ConVGPU (Fig. 4).
+NOTIFICATION_TYPES: frozenset[str] = frozenset(
+    {MSG_ALLOC_COMMIT, MSG_ALLOC_ABORT, MSG_ALLOC_RELEASE, MSG_PROCESS_EXIT}
+)
+
+#: Required payload fields (and their types) per request type.
+REQUEST_FIELDS: dict[str, dict[str, type]] = {
+    MSG_REGISTER_CONTAINER: {"container_id": str, "limit": int},
+    MSG_CONTAINER_EXIT: {"container_id": str},
+    MSG_ALLOC_REQUEST: {"container_id": str, "pid": int, "size": int, "api": str},
+    MSG_ALLOC_COMMIT: {"container_id": str, "pid": int, "address": int, "size": int},
+    MSG_ALLOC_ABORT: {"container_id": str, "pid": int, "size": int},
+    MSG_ALLOC_RELEASE: {"container_id": str, "pid": int, "address": int},
+    MSG_MEM_GET_INFO: {"container_id": str, "pid": int},
+    MSG_PROCESS_EXIT: {"container_id": str, "pid": int},
+}
+
+
+def make_request(msg_type: str, seq: int = 0, **payload: Any) -> dict[str, Any]:
+    """Build and validate a request message."""
+    message = {"type": msg_type, "seq": seq, **payload}
+    validate_request(message)
+    return message
+
+
+def make_reply(request: Mapping[str, Any], **payload: Any) -> dict[str, Any]:
+    """Build a success reply echoing the request's seq."""
+    return {"type": f"{request['type']}_reply", "seq": request.get("seq", 0),
+            "status": "ok", **payload}
+
+
+def make_error_reply(request: Mapping[str, Any], error: str) -> dict[str, Any]:
+    """Build an error reply."""
+    return {"type": f"{request.get('type', 'unknown')}_reply",
+            "seq": request.get("seq", 0), "status": "error", "error": error}
+
+
+def validate_request(message: Mapping[str, Any]) -> None:
+    """Check a decoded request against the schema.
+
+    Raises:
+        ProtocolError: on missing type, unknown type, missing/ill-typed
+            fields, or negative sizes/addresses.
+    """
+    msg_type = message.get("type")
+    if not isinstance(msg_type, str):
+        raise ProtocolError(f"message has no string 'type': {message!r}")
+    fields = REQUEST_FIELDS.get(msg_type)
+    if fields is None:
+        raise ProtocolError(f"unknown message type {msg_type!r}")
+    seq = message.get("seq", 0)
+    if not isinstance(seq, int) or isinstance(seq, bool) or seq < 0:
+        raise ProtocolError(f"bad seq in {msg_type}: {seq!r}")
+    for name, expected in fields.items():
+        if name not in message:
+            raise ProtocolError(f"{msg_type} missing field {name!r}")
+        value = message[name]
+        if not isinstance(value, expected) or isinstance(value, bool):
+            raise ProtocolError(
+                f"{msg_type}.{name} must be {expected.__name__}, got {value!r}"
+            )
+        if expected is int and name in ("limit", "size", "address", "pid") and value < 0:
+            raise ProtocolError(f"{msg_type}.{name} must be >= 0, got {value}")
+
+
+def encode(message: Mapping[str, Any]) -> bytes:
+    """Serialize one message as a newline-terminated JSON frame."""
+    try:
+        text = json.dumps(message, separators=(",", ":"), allow_nan=False)
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"unserializable message: {exc}") from exc
+    if "\n" in text:
+        raise ProtocolError("encoded message contains a newline")
+    return text.encode("utf-8") + b"\n"
+
+
+def decode(frame: bytes) -> dict[str, Any]:
+    """Parse one newline-terminated JSON frame."""
+    try:
+        message = json.loads(frame.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"bad JSON frame: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(f"frame is not a JSON object: {message!r}")
+    return message

@@ -1,0 +1,202 @@
+"""Loopback TCP transport — the alternative the paper rejected.
+
+§III-A: "We also consider conventional TCP/IP socket, but we did not choose
+it, because of its complexity and low performance compared to that of UNIX
+socket."  This transport exists solely so the IPC ablation benchmark
+(`benchmarks/test_bench_ablation_ipc.py`) can quantify that design choice on
+the reproduction machine.  Interface-compatible with
+:mod:`repro.ipc.unix_socket`.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Any
+
+from repro.errors import TransportError
+from repro.ipc import protocol
+from repro.ipc.unix_socket import DEFER, Handler, ReplyHandle
+
+__all__ = ["TcpSocketServer", "TcpSocketClient"]
+
+
+class TcpSocketServer:
+    """Threaded loopback-TCP server speaking the ConVGPU protocol."""
+
+    def __init__(self, handler: Handler, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.handler = handler
+        self.host = host
+        self.port = port  # 0 = ephemeral; actual port published after start()
+        self._listener: socket.socket | None = None
+        self._threads: list[threading.Thread] = []
+        self._conns: list[socket.socket] = []
+        self._conns_lock = threading.Lock()
+        self._stopping = threading.Event()
+
+    def start(self) -> "TcpSocketServer":
+        if self._listener is not None:
+            raise TransportError("server already started")
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen(16)
+        self.port = listener.getsockname()[1]
+        self._listener = listener
+        thread = threading.Thread(target=self._accept_loop, daemon=True)
+        thread.start()
+        self._threads.append(thread)
+        return self
+
+    def stop(self) -> None:
+        self._stopping.set()
+        if self._listener is not None:
+            try:
+                self._listener.shutdown(socket.SHUT_RDWR)  # wake accept()
+            except OSError:
+                pass
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+            self._listener = None
+        with self._conns_lock:
+            conns, self._conns = self._conns, []
+        for conn in conns:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            conn.close()
+        for thread in self._threads:
+            thread.join(timeout=2.0)
+        self._threads.clear()
+
+    def __enter__(self) -> "TcpSocketServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        listener = self._listener
+        while not self._stopping.is_set():
+            try:
+                conn, _addr = listener.accept()
+            except OSError:
+                return
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            with self._conns_lock:
+                self._conns.append(conn)
+            reader = threading.Thread(
+                target=self._serve_connection, args=(conn,), daemon=True
+            )
+            reader.start()
+            self._threads.append(reader)
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        write_lock = threading.Lock()
+        buffer = b""
+        while not self._stopping.is_set():
+            try:
+                chunk = conn.recv(65536)
+            except OSError:
+                return
+            if not chunk:
+                return
+            buffer += chunk
+            while b"\n" in buffer:
+                frame, buffer = buffer.split(b"\n", 1)
+                self._handle_frame(conn, write_lock, frame + b"\n")
+
+    def _handle_frame(self, conn: socket.socket, write_lock: threading.Lock, frame: bytes) -> None:
+        try:
+            message = protocol.decode(frame)
+            protocol.validate_request(message)
+        except Exception as exc:
+            try:
+                with write_lock:
+                    conn.sendall(
+                        protocol.encode(
+                            protocol.make_error_reply({"type": "unknown", "seq": 0}, str(exc))
+                        )
+                    )
+            except OSError:
+                pass
+            return
+        handle = ReplyHandle(conn, write_lock, message.get("seq", 0))
+        try:
+            result = self.handler(message, handle)
+        except Exception as exc:
+            result = protocol.make_error_reply(message, f"internal error: {exc}")
+        if message["type"] in protocol.NOTIFICATION_TYPES:
+            return  # one-way traffic: never reply (keeps seq in sync)
+        if result is DEFER:
+            return
+        if result is not None:
+            try:
+                handle.send(result)
+            except TransportError:
+                pass
+
+
+class TcpSocketClient:
+    """Blocking request/response client over loopback TCP."""
+
+    def __init__(self, host: str, port: int, timeout: float | None = None) -> None:
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        if timeout is not None:
+            self._sock.settimeout(timeout)
+        try:
+            self._sock.connect((host, port))
+            self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError as exc:
+            self._sock.close()
+            raise TransportError(f"cannot connect to {host}:{port}: {exc}") from exc
+        self._buffer = b""
+        self._seq = 0
+        self._lock = threading.Lock()
+
+    def call(self, msg_type: str, **payload: Any) -> dict[str, Any]:
+        with self._lock:
+            self._seq += 1
+            request = protocol.make_request(msg_type, seq=self._seq, **payload)
+            try:
+                self._sock.sendall(protocol.encode(request))
+                while b"\n" not in self._buffer:
+                    chunk = self._sock.recv(65536)
+                    if not chunk:
+                        raise TransportError("server closed the connection")
+                    self._buffer += chunk
+            except OSError as exc:
+                raise TransportError(f"call failed: {exc}") from exc
+            frame, self._buffer = self._buffer.split(b"\n", 1)
+            reply = protocol.decode(frame + b"\n")
+            if reply.get("seq") != self._seq:
+                raise TransportError("reply out of order")
+            return reply
+
+    def notify(self, msg_type: str, **payload: Any) -> None:
+        """Send a fire-and-forget notification (no reply expected)."""
+        if msg_type not in protocol.NOTIFICATION_TYPES:
+            raise TransportError(f"{msg_type!r} is not a notification type")
+        with self._lock:
+            self._seq += 1
+            request = protocol.make_request(msg_type, seq=self._seq, **payload)
+            try:
+                self._sock.sendall(protocol.encode(request))
+            except OSError as exc:
+                raise TransportError(f"notify failed: {exc}") from exc
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "TcpSocketClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

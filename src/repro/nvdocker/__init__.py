@@ -1,0 +1,23 @@
+"""The (customized) NVIDIA Docker layer: thin CLI wrapper + volume plugin."""
+
+from repro.nvdocker.cli import (
+    CONTAINER_WRAPPER_DIR,
+    DEFAULT_GPU_MEMORY_LIMIT,
+    NvidiaDocker,
+    NvidiaDockerCommand,
+)
+from repro.nvdocker.plugin import (
+    DRIVER_VOLUME_PREFIX,
+    DUMMY_VOLUME_PREFIX,
+    NvidiaDockerPlugin,
+)
+
+__all__ = [
+    "NvidiaDocker",
+    "NvidiaDockerCommand",
+    "NvidiaDockerPlugin",
+    "DEFAULT_GPU_MEMORY_LIMIT",
+    "CONTAINER_WRAPPER_DIR",
+    "DRIVER_VOLUME_PREFIX",
+    "DUMMY_VOLUME_PREFIX",
+]

@@ -1,0 +1,115 @@
+"""The customized nvidia-docker-plugin (§II-D, §III-B).
+
+Two responsibilities, both reproduced:
+
+1. serve the **driver volume** — the read-only volume carrying the host's
+   CUDA driver libraries into the container, named after the driver
+   version (``nvidia_driver_375.51``);
+2. serve the **dummy volume** ConVGPU attaches to every managed container:
+   when the container exits "by any reasons", Docker unmounts its volumes,
+   the plugin's unmount callback fires, and the plugin "can send a *close*
+   signal to the scheduler for that container".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.container.volumes import Mount
+from repro.errors import VolumeError
+from repro.ipc import protocol
+
+__all__ = ["NvidiaDockerPlugin", "DRIVER_VOLUME_PREFIX", "DUMMY_VOLUME_PREFIX"]
+
+DRIVER_VOLUME_PREFIX = "nvidia_driver_"
+DUMMY_VOLUME_PREFIX = "convgpu_dummy_"
+
+#: control_call(msg_type, **payload) -> reply dict — how the plugin reaches
+#: the scheduler daemon (UNIX socket in live mode, in-process otherwise).
+ControlCall = Callable[..., dict[str, Any]]
+
+
+class NvidiaDockerPlugin:
+    """Docker volume plugin: driver volumes + ConVGPU exit detection."""
+
+    driver_name = "nvidia-docker"
+
+    def __init__(self, driver_version: str = "375.51", control_call: ControlCall | None = None) -> None:
+        self.driver_version = driver_version
+        self.control_call = control_call
+        #: (volume_name, container_id) pairs currently mounted.
+        self._active: set[tuple[str, str]] = set()
+        #: Close signals sent (for tests / observability).
+        self.close_signals: list[str] = []
+
+    # -- naming helpers --------------------------------------------------
+
+    @property
+    def driver_volume_name(self) -> str:
+        """Volume encoding the CUDA/driver version nvidia-docker inspected."""
+        return f"{DRIVER_VOLUME_PREFIX}{self.driver_version}"
+
+    @staticmethod
+    def dummy_volume_name(scheduler_key: str) -> str:
+        """Encode the scheduler's container key in the volume name.
+
+        nvidia-docker registers the container with the scheduler *before*
+        Docker assigns an id (§III-B), so ConVGPU keys scheduler state by
+        container name; embedding that key here lets the unmount callback
+        recover it without a reverse lookup.
+        """
+        return f"{DUMMY_VOLUME_PREFIX}{scheduler_key}"
+
+    def driver_mount(self) -> Mount:
+        """The ``--volume`` nvidia-docker adds for driver binaries (§II-D)."""
+        return Mount(
+            source=self.driver_volume_name,
+            target="/usr/local/nvidia",
+            read_only=True,
+            driver=self.driver_name,
+        )
+
+    def dummy_mount(self, container_id: str) -> Mount:
+        """The exit-detection dummy volume ConVGPU adds (§III-B)."""
+        return Mount(
+            source=self.dummy_volume_name(container_id),
+            target="/.convgpu-keepalive",
+            read_only=True,
+            driver=self.driver_name,
+        )
+
+    # -- VolumePlugin interface --------------------------------------------
+
+    def mount(self, volume_name: str, container_id: str) -> str:
+        if volume_name.startswith(DRIVER_VOLUME_PREFIX):
+            if volume_name != self.driver_volume_name:
+                raise VolumeError(
+                    f"driver volume {volume_name!r} does not match installed "
+                    f"driver {self.driver_version}"
+                )
+            self._active.add((volume_name, container_id))
+            return f"/var/lib/nvidia-docker/volumes/{volume_name}"
+        if volume_name.startswith(DUMMY_VOLUME_PREFIX):
+            self._active.add((volume_name, container_id))
+            return f"/var/lib/nvidia-docker/volumes/{volume_name}"
+        raise VolumeError(f"unknown nvidia-docker volume {volume_name!r}")
+
+    def unmount(self, volume_name: str, container_id: str) -> None:
+        self._active.discard((volume_name, container_id))
+        if volume_name.startswith(DUMMY_VOLUME_PREFIX):
+            # The container stopped: forward the close signal (§III-B),
+            # addressed by the scheduler key embedded in the volume name.
+            scheduler_key = volume_name[len(DUMMY_VOLUME_PREFIX):]
+            self.close_signals.append(scheduler_key)
+            if self.control_call is not None:
+                try:
+                    self.control_call(
+                        protocol.MSG_CONTAINER_EXIT, container_id=scheduler_key
+                    )
+                except Exception:
+                    # The daemon may already be gone during teardown; the
+                    # scheduler treats unknown/closed containers as no-ops.
+                    pass
+
+    def is_mounted(self, volume_name: str, container_id: str) -> bool:
+        return (volume_name, container_id) in self._active

@@ -1,0 +1,35 @@
+"""Discrete-event simulation kernel (virtual time substrate).
+
+Public surface:
+
+- :class:`~repro.sim.engine.Environment` — clock + event heap.
+- :class:`~repro.sim.events.Event`, :class:`~repro.sim.events.Timeout`,
+  :class:`~repro.sim.events.Process`, :class:`~repro.sim.events.Interrupt`,
+  :class:`~repro.sim.events.AllOf`, :class:`~repro.sim.events.AnyOf`.
+- :class:`~repro.sim.rng.SeedSequenceFactory` — deterministic named RNG
+  streams for experiments.
+"""
+
+from repro.sim.engine import Environment, Infinity
+from repro.sim.events import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    Timeout,
+)
+from repro.sim.rng import SeedSequenceFactory, derive_seed
+
+__all__ = [
+    "Environment",
+    "Infinity",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "AllOf",
+    "AnyOf",
+    "SeedSequenceFactory",
+    "derive_seed",
+]

@@ -1,0 +1,145 @@
+"""The discrete-event simulation environment (virtual clock + event heap).
+
+Usage::
+
+    env = Environment()
+
+    def program(env):
+        yield env.timeout(5.0)
+        return "done"
+
+    proc = env.process(program(env))
+    env.run()
+    assert proc.value == "done" and env.now == 5.0
+
+Scheduling is a strict priority queue ordered by ``(time, priority, seq)``;
+``seq`` is a monotonically increasing tie-breaker so same-time events run in
+FIFO order, which keeps every experiment fully deterministic for a given
+RNG seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Iterable
+
+from repro.errors import SimulationError
+from repro.sim.events import AllOf, AnyOf, Event, Process, Timeout
+
+__all__ = ["Environment", "Infinity"]
+
+#: Convenience alias used as a "run forever" bound.
+Infinity: float = float("inf")
+
+#: Default priority for ordinary events; urgent events (interrupts) use 0.
+_NORMAL = 1
+
+
+class Environment:
+    """Owns the virtual clock and the pending-event heap."""
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        #: Generator currently being advanced (used to detect
+        #: self-interruption); managed by :class:`repro.sim.events.Process`.
+        self._active_generator: Generator[Event, Any, Any] | None = None
+
+    # -- clock ------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    # -- factories ---------------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event firing ``delay`` units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator[Event, Any, Any]) -> Process:
+        """Start driving ``generator`` as a simulation process."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Composite event triggering when all ``events`` have succeeded."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Composite event triggering when any of ``events`` succeeds."""
+        return AnyOf(self, events)
+
+    # -- scheduling ---------------------------------------------------------
+
+    def schedule(self, event: Event, delay: float = 0.0, priority: int = _NORMAL) -> None:
+        """Queue ``event`` for processing ``delay`` units from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past: delay={delay}")
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``Infinity`` if idle."""
+        if not self._queue:
+            return Infinity
+        return self._queue[0][0]
+
+    def step(self) -> None:
+        """Process exactly one event (advancing the clock to it)."""
+        if not self._queue:
+            raise SimulationError("step() on an empty schedule")
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None  # mark processed
+        if callbacks:
+            for callback in callbacks:
+                callback(event)
+        if not event._ok and not event.defused:
+            # A failed event nobody waited for: surface it loudly instead of
+            # silently dropping the error.
+            exc = event._value
+            raise exc
+
+    def run(self, until: float | Event | None = None) -> Any:
+        """Run until the schedule drains, a time is reached, or an event fires.
+
+        - ``until is None``: run until no events remain.
+        - ``until`` is a number: run to (and including) that time; the clock
+          is left at exactly ``until`` even if the queue drained earlier.
+        - ``until`` is an :class:`Event`: run until it is processed and
+          return its value (raising if it failed).
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+
+        if isinstance(until, Event):
+            stop = until
+            while not stop.processed:
+                if not self._queue:
+                    raise SimulationError(
+                        "schedule drained before the awaited event triggered"
+                    )
+                self.step()
+            if stop._ok:
+                return stop._value
+            stop.defused = True
+            raise stop._value
+
+        horizon = float(until)
+        if horizon < self._now:
+            raise SimulationError(
+                f"cannot run until {horizon}; clock already at {self._now}"
+            )
+        while self._queue and self._queue[0][0] <= horizon:
+            self.step()
+        self._now = horizon
+        return None

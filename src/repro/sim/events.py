@@ -1,0 +1,356 @@
+"""Events for the discrete-event simulation (DES) kernel.
+
+The multi-container experiments of the paper (Fig. 7/8, Tables IV/V) run
+dozens of containers for hundreds of wall-clock seconds.  Re-running them in
+real time would make the benchmark harness take hours, so — following the
+substitution rule — we execute them under virtual time on a small SimPy-like
+kernel.  The kernel is deliberately minimal: events with callbacks, timeouts,
+generator-based processes, and composite conditions.
+
+An :class:`Event` moves through three stages:
+
+``pending``  → not yet triggered; processes may wait on it.
+``triggered`` → a value/exception has been set and the event is scheduled.
+``processed`` → callbacks have run.
+
+The scheduler core (:mod:`repro.core.scheduler`) is *pure* synchronous logic;
+only the experiment drivers and workload programs live inside the DES.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable
+
+from repro.errors import ProcessError, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Environment
+
+__all__ = [
+    "PENDING",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "Condition",
+    "AllOf",
+    "AnyOf",
+]
+
+
+class _PendingType:
+    """Sentinel for "no value yet"; distinct from ``None`` payloads."""
+
+    _instance: "_PendingType | None" = None
+
+    def __new__(cls) -> "_PendingType":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<PENDING>"
+
+
+#: Sentinel value an un-triggered event carries.
+PENDING = _PendingType()
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    The ``cause`` is whatever the interrupter supplied; workloads use it to
+    model container kills and failure injection.
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0]
+
+
+class Event:
+    """A single occurrence inside the simulation.
+
+    Processes wait on an event by ``yield``-ing it; when the event is
+    triggered its value (or exception) is delivered to every waiter in
+    schedule order.
+    """
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: list[Callable[["Event"], None]] | None = []
+        self._value: Any = PENDING
+        self._ok: bool = True
+        #: Set once the failure payload of a failed event has been delivered
+        #: somewhere (a waiter or an explicit ``defused`` read); undelivered
+        #: failures crash the environment to avoid silently lost errors.
+        self.defused: bool = False
+
+    # -- state ------------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once a value or exception has been set."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have been executed."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        if not self.triggered:
+            raise SimulationError("event not yet triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's payload (or exception instance if it failed)."""
+        if self._value is PENDING:
+            raise SimulationError("event not yet triggered")
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception to raise in waiters."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Copy another event's outcome onto this one (callback helper)."""
+        self._ok = event._ok
+        self._value = event._value
+        self.env.schedule(self)
+
+    # -- composition ------------------------------------------------------
+
+    def __and__(self, other: "Event") -> "AllOf":
+        return AllOf(self.env, [self, other])
+
+    def __or__(self, other: "Event") -> "AnyOf":
+        return AnyOf(self.env, [self, other])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = (
+            "processed"
+            if self.processed
+            else "triggered"
+            if self.triggered
+            else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Timeout delay={self.delay}>"
+
+
+class Process(Event):
+    """A generator driven by the environment.
+
+    The generator yields :class:`Event` instances; the process suspends
+    until each yielded event triggers.  The process *is itself* an event
+    that succeeds with the generator's return value, so processes can wait
+    for one another (join) simply by yielding the :class:`Process`.
+    """
+
+    def __init__(self, env: "Environment", generator: Generator[Event, Any, Any]) -> None:
+        if not hasattr(generator, "throw"):
+            raise ProcessError(f"not a generator: {generator!r}")
+        super().__init__(env)
+        self._generator = generator
+        #: The event this process is currently waiting on (None when ready
+        #: to run or finished).
+        self._target: Event | None = None
+        # Kick off the process at the current simulation time.
+        init = Event(env)
+        init._ok = True
+        init._value = None
+        init.callbacks.append(self._resume)
+        env.schedule(init)
+
+    @property
+    def is_alive(self) -> bool:
+        """True until the generator has finished or raised."""
+        return self._value is PENDING
+
+    @property
+    def target(self) -> Event | None:
+        """The event the process is currently suspended on."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a dead process is an error; interrupting a process
+        that is about to be resumed is allowed (the interrupt wins).
+        """
+        if not self.is_alive:
+            raise ProcessError("cannot interrupt a dead process")
+        if self._generator is getattr(self.env, "_active_generator", None):
+            raise ProcessError("a process cannot interrupt itself")
+        # Deliver through a fresh failed event so ordering is respected.
+        interrupt_event = Event(self.env)
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event.defused = True
+        interrupt_event.callbacks.append(self._resume)
+        self.env.schedule(interrupt_event, priority=0)
+
+    # -- driving ----------------------------------------------------------
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with ``event``'s outcome."""
+        if not self.is_alive:
+            # A queued interrupt can arrive after normal termination;
+            # nothing to deliver.
+            return
+        # Detach from the awaited target: if this is an interrupt, the old
+        # target may still fire later and must not resume us again.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+
+        self.env._active_generator = self._generator
+        try:
+            if event._ok:
+                next_target = self._generator.send(event._value)
+            else:
+                event.defused = True
+                exc = event._value
+                next_target = self._generator.throw(type(exc), exc, exc.__traceback__)
+        except StopIteration as stop:
+            self._ok = True
+            self._value = stop.value
+            self.env.schedule(self)
+            return
+        except BaseException as exc:
+            self._ok = False
+            self._value = exc
+            self.env.schedule(self)
+            return
+        finally:
+            self.env._active_generator = None
+
+        if not isinstance(next_target, Event):
+            raise ProcessError(
+                f"process yielded a non-event: {next_target!r}"
+            )
+        if next_target.env is not self.env:
+            raise ProcessError("process yielded an event from another environment")
+        if next_target.processed:
+            # Already done: resume immediately (next scheduler step).
+            immediate = Event(self.env)
+            immediate._ok = next_target._ok
+            immediate._value = next_target._value
+            if not next_target._ok:
+                next_target.defused = True
+                immediate.defused = True
+            immediate.callbacks.append(self._resume)
+            self.env.schedule(immediate)
+            self._target = immediate
+        else:
+            if not next_target._ok and next_target.triggered:
+                next_target.defused = True
+            next_target.callbacks.append(self._resume)
+            self._target = next_target
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        name = getattr(self._generator, "__name__", "process")
+        return f"<Process {name} alive={self.is_alive}>"
+
+
+class Condition(Event):
+    """Base for composite events over a set of sub-events."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        events: Iterable[Event],
+        evaluate: Callable[[list[Event], int], bool],
+    ) -> None:
+        super().__init__(env)
+        self.events = list(events)
+        self._evaluate = evaluate
+        self._count = 0
+        for event in self.events:
+            if event.env is not self.env:
+                raise SimulationError("condition mixes environments")
+        if not self.events:
+            self.succeed({})
+            return
+        for event in self.events:
+            if event.processed:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    def _collect_values(self) -> dict[Event, Any]:
+        """Values of all *processed* sub-events, in creation order.
+
+        ``processed`` (callbacks ran), not ``triggered`` (value set):
+        a Timeout carries its value from construction, long before it
+        fires, and must not leak into an AnyOf result early.
+        """
+        return {e: e._value for e in self.events if e.processed and e._ok}
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event.defused = True
+            self.fail(event._value)
+            return
+        self._count += 1
+        if self._evaluate(self.events, self._count):
+            self.succeed(self._collect_values())
+
+
+class AllOf(Condition):
+    """Triggers when every sub-event has triggered successfully."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env, events, lambda events, count: count == len(events))
+
+
+class AnyOf(Condition):
+    """Triggers when at least one sub-event has triggered successfully."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env, events, lambda events, count: count >= 1)

@@ -1,0 +1,103 @@
+"""Byte-size units and parsing helpers.
+
+The paper specifies GPU memory limits in human-readable sizes: the
+``--nvidia-memory=<size>`` option, the ``com.nvidia.memory.limit:<size>``
+image label, and the 1 GiB default.  All internal bookkeeping in this
+repository is in **bytes** (plain ``int``); this module is the single place
+where human-readable sizes are parsed and formatted.
+
+Binary (IEC) units are used throughout because the paper speaks in MiB/GiB
+(e.g. the 128 MiB rounding of ``cudaMallocManaged``, the 64 MiB + 2 MiB CUDA
+context overhead, and the Table III container types of 128..4096 MiB).
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = [
+    "KiB",
+    "MiB",
+    "GiB",
+    "parse_size",
+    "format_size",
+    "mib",
+    "gib",
+]
+
+#: One kibibyte in bytes.
+KiB: int = 1024
+#: One mebibyte in bytes.
+MiB: int = 1024 * KiB
+#: One gibibyte in bytes.
+GiB: int = 1024 * MiB
+
+_SUFFIXES: dict[str, int] = {
+    "": 1,
+    "b": 1,
+    "k": KiB,
+    "kb": KiB,
+    "kib": KiB,
+    "m": MiB,
+    "mb": MiB,
+    "mib": MiB,
+    "g": GiB,
+    "gb": GiB,
+    "gib": GiB,
+}
+
+_SIZE_RE = re.compile(r"^\s*(\d+(?:\.\d+)?)\s*([a-zA-Z]*)\s*$")
+
+
+def mib(n: float) -> int:
+    """Return ``n`` mebibytes expressed in bytes (rounded to an int)."""
+    return int(n * MiB)
+
+
+def gib(n: float) -> int:
+    """Return ``n`` gibibytes expressed in bytes (rounded to an int)."""
+    return int(n * GiB)
+
+
+def parse_size(text: str | int) -> int:
+    """Parse a human-readable size into bytes.
+
+    Accepts an ``int`` (returned unchanged, must be non-negative) or a string
+    such as ``"512m"``, ``"1GiB"``, ``"128 MB"`` or ``"1073741824"``.  Suffix
+    matching is case-insensitive and binary (``1k == 1024``), mirroring how
+    Docker parses ``--memory`` style options.
+
+    Raises:
+        ValueError: if the string is not a valid size or is negative.
+    """
+    if isinstance(text, bool):  # bool is an int subclass; reject explicitly
+        raise ValueError(f"not a size: {text!r}")
+    if isinstance(text, int):
+        if text < 0:
+            raise ValueError(f"size must be non-negative, got {text}")
+        return text
+    match = _SIZE_RE.match(text)
+    if match is None:
+        raise ValueError(f"invalid size string: {text!r}")
+    number, suffix = match.groups()
+    factor = _SUFFIXES.get(suffix.lower())
+    if factor is None:
+        raise ValueError(f"unknown size suffix {suffix!r} in {text!r}")
+    return int(float(number) * factor)
+
+
+def format_size(nbytes: int) -> str:
+    """Format a byte count using the largest exact-or-rounded IEC unit.
+
+    Values that are exact multiples of a unit render without a fraction
+    (``"512MiB"``); otherwise one decimal is kept (``"1.5GiB"``).
+    """
+    if nbytes < 0:
+        return "-" + format_size(-nbytes)
+    for unit, name in ((GiB, "GiB"), (MiB, "MiB"), (KiB, "KiB")):
+        if nbytes >= unit:
+            value = nbytes / unit
+            if nbytes % unit == 0:
+                return f"{nbytes // unit}{name}"
+            return f"{value:.1f}{name}"
+    return f"{nbytes}B"

@@ -1,0 +1,62 @@
+"""Workloads: the evaluation's programs, container types, and arrivals."""
+
+from repro.workloads.api import ProcessApi
+from repro.workloads.apibench import (
+    APIBENCH_APIS,
+    api_benchmark_program,
+    make_apibench_command,
+)
+from repro.workloads.arrivals import (
+    ARRIVAL_INTERVAL,
+    PAPER_CONTAINER_COUNTS,
+    Arrival,
+    cloud_arrivals,
+)
+from repro.workloads.mnist import MnistConfig, make_mnist_command, mnist_program
+from repro.workloads.runner import (
+    UNIX_SOCKET_ONE_WAY,
+    SimIpcBridge,
+    SimProgramRunner,
+    fail_program,
+)
+from repro.workloads.sample import (
+    make_sample_command,
+    sample_program,
+    usable_gpu_memory,
+)
+from repro.workloads.trace import TraceEntry, TraceError, load_trace, parse_trace_lines
+from repro.workloads.types import (
+    CONTAINER_TYPES,
+    TYPE_BY_NAME,
+    ContainerType,
+    choose_types,
+)
+
+__all__ = [
+    "ProcessApi",
+    "SimIpcBridge",
+    "SimProgramRunner",
+    "UNIX_SOCKET_ONE_WAY",
+    "fail_program",
+    "sample_program",
+    "make_sample_command",
+    "usable_gpu_memory",
+    "mnist_program",
+    "make_mnist_command",
+    "MnistConfig",
+    "api_benchmark_program",
+    "make_apibench_command",
+    "APIBENCH_APIS",
+    "ContainerType",
+    "CONTAINER_TYPES",
+    "TYPE_BY_NAME",
+    "choose_types",
+    "Arrival",
+    "cloud_arrivals",
+    "TraceEntry",
+    "TraceError",
+    "load_trace",
+    "parse_trace_lines",
+    "ARRIVAL_INTERVAL",
+    "PAPER_CONTAINER_COUNTS",
+]

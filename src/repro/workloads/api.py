@@ -1,0 +1,50 @@
+"""The CUDA API surface as seen from *inside* a container process.
+
+A user program never imports the runtime or the wrapper directly — it calls
+symbols that the process's dynamic linker resolved at spawn time.  This tiny
+adapter gives workload generators that call-site view: attribute access is a
+symbol lookup, so ``yield from api.cudaMalloc(n)`` binds to ``libgpushare``
+under ConVGPU and to ``libcudart`` without it, with no change to the
+program.  That is the paper's compatibility claim (§III-C) made literal.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.container.process import ContainerProcess
+
+__all__ = ["ProcessApi"]
+
+#: Mapping from Python-identifier attribute names to real symbol names for
+#: the implicit CRT APIs (leading dunders are awkward as attributes).
+_ATTR_TO_SYMBOL = {
+    "cudaRegisterFatBinary": "__cudaRegisterFatBinary",
+    "cudaUnregisterFatBinary": "__cudaUnregisterFatBinary",
+}
+
+
+class ProcessApi:
+    """Symbol-resolving call proxy for one process."""
+
+    def __init__(self, process: ContainerProcess) -> None:
+        # Bypass __setattr__-free dataclass conventions; plain attribute.
+        self._process = process
+
+    @property
+    def process(self) -> ContainerProcess:
+        return self._process
+
+    @property
+    def pid(self) -> int:
+        return self._process.host_pid
+
+    def __getattr__(self, name: str) -> Callable[..., Any]:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        symbol = _ATTR_TO_SYMBOL.get(name, name)
+        return self._process.resolve(symbol)
+
+    def resolve(self, symbol: str) -> Callable[..., Any]:
+        """Resolve an exact symbol name (including dunder CRT symbols)."""
+        return self._process.resolve(symbol)

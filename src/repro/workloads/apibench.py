@@ -1,0 +1,124 @@
+"""The single-container API-response-time test program (Fig. 4, §IV-A).
+
+"We wrote a test program to evaluate the performance of single container.
+The test program calls each CUDA API which we hooked with wrapper module."
+Response times are taken with a monotonic clock around each call — the
+container-side equivalent of the paper's ``clock_gettime(CLOCK_MONOTONIC)``
+— and recorded into the process annotations for the experiment driver.
+
+The APIs exercised match Fig. 4's bars: cudaMalloc, cudaMallocManaged,
+cudaMallocPitch (first call, which pays the device-properties query),
+cudaFree and cudaMemGetInfo.  ``cudaMalloc3D`` and
+``cudaGetDeviceProperties`` are omitted exactly as the paper omits them
+("operates the same function but different format with other APIs").
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.cuda.errors import cudaError
+from repro.units import MiB
+from repro.workloads.api import ProcessApi
+from repro.workloads.runner import fail_program
+
+__all__ = ["api_benchmark_program", "make_apibench_command", "APIBENCH_APIS"]
+
+#: Bar order in Fig. 4.
+APIBENCH_APIS = (
+    "cudaMalloc",
+    "cudaMallocManaged",
+    "cudaMallocPitch(first)",
+    "cudaMallocPitch",
+    "cudaFree",
+    "cudaMemGetInfo",
+)
+
+
+def api_benchmark_program(
+    api: ProcessApi,
+    *,
+    clock: Callable[[], float],
+    alloc_size: int = 16 * MiB,
+    repeats: int = 10,
+):
+    """Time each hooked API ``repeats`` times; record into annotations.
+
+    Results land in ``api.process.annotations["api_timings"]`` as a dict
+    ``label -> list of seconds``.
+    """
+    timings: dict[str, list[float]] = {label: [] for label in APIBENCH_APIS}
+    api.process.annotations["api_timings"] = timings
+
+    # Warm the context so the one-time 66 MiB/context creation cost is not
+    # attributed to the first timed call (the paper separates these too).
+    err, warm = yield from api.cudaMalloc(4096)
+    if err is not cudaError.cudaSuccess:
+        raise fail_program(2)
+    err, _ = yield from api.cudaFree(warm)
+    if err is not cudaError.cudaSuccess:
+        raise fail_program(1)
+
+    first_pitch = True
+    for _ in range(repeats):
+        # cudaMalloc / cudaFree pair.
+        t0 = clock()
+        err, ptr = yield from api.cudaMalloc(alloc_size)
+        timings["cudaMalloc"].append(clock() - t0)
+        if err is not cudaError.cudaSuccess:
+            raise fail_program(2)
+        t0 = clock()
+        err, _ = yield from api.cudaFree(ptr)
+        timings["cudaFree"].append(clock() - t0)
+        if err is not cudaError.cudaSuccess:
+            raise fail_program(1)
+
+        # cudaMallocPitch: the first-ever call is reported separately (it
+        # performs the cudaGetDeviceProperties lookup, §III-C) — and it must
+        # run before any other pitch-aware API warms the wrapper's cache.
+        t0 = clock()
+        err, result = yield from api.cudaMallocPitch(4096, 1024)
+        label = "cudaMallocPitch(first)" if first_pitch else "cudaMallocPitch"
+        timings[label].append(clock() - t0)
+        first_pitch = False
+        if err is not cudaError.cudaSuccess:
+            raise fail_program(2)
+        ptr, _pitch = result
+        err, _ = yield from api.cudaFree(ptr)
+        if err is not cudaError.cudaSuccess:
+            raise fail_program(1)
+
+        # cudaMallocManaged (rounded to 128 MiB on the device).
+        t0 = clock()
+        err, ptr = yield from api.cudaMallocManaged(alloc_size)
+        timings["cudaMallocManaged"].append(clock() - t0)
+        if err is not cudaError.cudaSuccess:
+            raise fail_program(2)
+        err, _ = yield from api.cudaFree(ptr)
+        if err is not cudaError.cudaSuccess:
+            raise fail_program(1)
+
+        # cudaMemGetInfo.
+        t0 = clock()
+        err, _info = yield from api.cudaMemGetInfo()
+        timings["cudaMemGetInfo"].append(clock() - t0)
+        if err is not cudaError.cudaSuccess:
+            raise fail_program(1)
+    return 0
+
+
+def make_apibench_command(
+    clock: Callable[[], float],
+    *,
+    alloc_size: int = 16 * MiB,
+    repeats: int = 10,
+):
+    """Entrypoint factory for the API micro-benchmark."""
+
+    def command(api: ProcessApi):
+        return api_benchmark_program(
+            api, clock=clock, alloc_size=alloc_size, repeats=repeats
+        )
+
+    command.__name__ = "api_benchmark"
+    return command

@@ -1,0 +1,53 @@
+"""Cloud-usage emulation: the arrival process of §IV-A.
+
+"We emulated the cloud usage by choosing the type of the containers
+randomly and running it every five seconds.  We changed the number of the
+containers from 4 to 38."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workloads.types import ContainerType, choose_types
+
+__all__ = ["Arrival", "cloud_arrivals", "PAPER_CONTAINER_COUNTS"]
+
+#: The x-axis of Fig. 7/8 and the columns of Tables IV/V.
+PAPER_CONTAINER_COUNTS: tuple[int, ...] = tuple(range(4, 40, 2))
+
+#: §IV-A: one container submitted every five seconds.
+ARRIVAL_INTERVAL: float = 5.0
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One container submission."""
+
+    index: int
+    time: float
+    container_type: ContainerType
+
+    @property
+    def name(self) -> str:
+        return f"c{self.index:03d}-{self.container_type.name}"
+
+
+def cloud_arrivals(
+    count: int,
+    rng: np.random.Generator,
+    *,
+    interval: float = ARRIVAL_INTERVAL,
+) -> list[Arrival]:
+    """Generate the paper's arrival schedule for ``count`` containers."""
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    if interval < 0:
+        raise ValueError(f"interval must be >= 0, got {interval}")
+    types = choose_types(count, rng)
+    return [
+        Arrival(index=i, time=i * interval, container_type=types[i])
+        for i in range(count)
+    ]

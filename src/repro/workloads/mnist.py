@@ -1,0 +1,119 @@
+"""A TensorFlow-MNIST-like training workload (Fig. 6's program).
+
+The paper benchmarks "Convolutional Neural Network python script written
+with TensorFlow, which detects MNIST handwritten digit database" (the
+TF-tutorial layers model) at 402 s native / 404.93 s under ConVGPU (+0.7 %).
+
+We reproduce the program's *CUDA call profile* rather than the maths
+(DESIGN.md substitution): 2017-era TensorFlow with ``feed_dict`` input
+
+- allocates parameter/activation pools at graph-build time
+  (~a dozen ``cudaMalloc`` calls, a few hundred MiB),
+- per training step: stages the input batch through a freshly allocated
+  device buffer (an intercepted ``cudaMalloc``/``cudaFree`` pair), copies
+  the batch H2D, runs the forward/backward kernels, and periodically reads
+  a scalar loss back.
+
+Under ConVGPU every per-step malloc/free pays the wrapper's round-trip, so
+total overhead ≈ 2·steps·(IPC cost) — a few seconds over a ~400 s run, i.e.
+the sub-1 % story of Fig. 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cuda.effects import HostCompute
+from repro.cuda.errors import cudaError
+from repro.units import MiB, KiB
+from repro.workloads.api import ProcessApi
+from repro.workloads.runner import fail_program
+
+__all__ = ["MnistConfig", "mnist_program", "make_mnist_command"]
+
+
+@dataclass(frozen=True)
+class MnistConfig:
+    """Shape of the training run (defaults reproduce the tutorial script)."""
+
+    #: Training steps (the TF layers tutorial runs 20 000).
+    steps: int = 20_000
+    #: Per-step GPU compute (forward+backward), seconds.  20 000 × ~19.9 ms
+    #: ≈ 398 s of kernels, matching the 402 s native wall time after
+    #: transfers and Python overhead.
+    step_kernel_time: float = 0.0199
+    #: Batch of 100 MNIST images: 100 × 784 floats + labels.
+    batch_bytes: int = 320 * KiB
+    #: Python/feed_dict host overhead per step.
+    step_host_time: float = 0.0
+    #: Graph-build parameter/workspace allocations.
+    pool_sizes: tuple[int, ...] = (
+        64 * MiB,   # conv kernels + activations pool
+        128 * MiB,  # dense layer pool
+        96 * MiB,   # gradients
+        32 * MiB,   # optimizer slots
+        16 * MiB,   # cuDNN workspace
+    )
+    #: Read the loss back every this many steps.
+    loss_fetch_interval: int = 100
+
+    def scaled(self, steps: int) -> "MnistConfig":
+        """Same profile with a different step count (fast test runs)."""
+        return MnistConfig(
+            steps=steps,
+            step_kernel_time=self.step_kernel_time,
+            batch_bytes=self.batch_bytes,
+            step_host_time=self.step_host_time,
+            pool_sizes=self.pool_sizes,
+            loss_fetch_interval=self.loss_fetch_interval,
+        )
+
+
+def mnist_program(api: ProcessApi, config: MnistConfig = MnistConfig()):
+    """Generator reproducing the MNIST trainer's CUDA call sequence."""
+    # Graph build: persistent pools.
+    pools: list[int] = []
+    for size in config.pool_sizes:
+        err, ptr = yield from api.cudaMalloc(size)
+        if err is not cudaError.cudaSuccess:
+            raise fail_program(2)
+        pools.append(ptr)
+
+    for step in range(config.steps):
+        if config.step_host_time > 0:
+            yield HostCompute(config.step_host_time)
+        # feed_dict staging buffer: alloc -> copy -> free (intercepted).
+        err, staging = yield from api.cudaMalloc(config.batch_bytes)
+        if err is not cudaError.cudaSuccess:
+            raise fail_program(2)
+        err, _ = yield from api.cudaMemcpy(config.batch_bytes, "h2d")
+        if err is not cudaError.cudaSuccess:
+            raise fail_program(1)
+        err, _ = yield from api.cudaLaunchKernel(
+            config.step_kernel_time, name="train_step"
+        )
+        if err is not cudaError.cudaSuccess:
+            raise fail_program(1)
+        err, _ = yield from api.cudaFree(staging)
+        if err is not cudaError.cudaSuccess:
+            raise fail_program(1)
+        if config.loss_fetch_interval and step % config.loss_fetch_interval == 0:
+            err, _ = yield from api.cudaMemcpy(4, "d2h")  # scalar loss
+            if err is not cudaError.cudaSuccess:
+                raise fail_program(1)
+
+    for ptr in pools:
+        err, _ = yield from api.cudaFree(ptr)
+        if err is not cudaError.cudaSuccess:
+            raise fail_program(1)
+    return 0
+
+
+def make_mnist_command(config: MnistConfig = MnistConfig()):
+    """Entrypoint factory for the MNIST trainer."""
+
+    def command(api: ProcessApi):
+        return mnist_program(api, config)
+
+    command.__name__ = "mnist_trainer"
+    return command

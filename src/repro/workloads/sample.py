@@ -1,0 +1,131 @@
+"""The evaluation's sample program (§IV-A).
+
+"Each container runs sample program, which allocates maximum GPU memory and
+the same size of CPU memory.  This sample program copies dummy data from CPU
+memory to GPU, calculates the complement, and returns the result from GPU
+memory to CPU.  The time consumed by the sample program varies by the size,
+from 5 seconds to 45 seconds."
+
+Notes on fidelity:
+
+- "maximum GPU memory" must leave room for the 66 MiB context overhead the
+  scheduler charges per pid — a program allocating its entire declared
+  limit would be *rejected* (the overhead pushes it past the limit), so the
+  usable maximum is ``limit − 66 MiB``;
+- the 5–45 s duration is realized by sizing the complement kernel: the
+  transfers are fast (sub-second even for 4 GiB over PCIe), so the kernel
+  absorbs the remaining budget, holding one Hyper-Q lane for its duration —
+  which is what makes concurrent containers actually contend.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.scheduler.core import CONTEXT_OVERHEAD_CHARGE
+from repro.cuda.effects import HostCompute
+from repro.cuda.errors import cudaError
+from repro.workloads.api import ProcessApi
+from repro.workloads.runner import fail_program
+from repro.workloads.types import ContainerType
+
+__all__ = ["sample_program", "make_sample_command", "usable_gpu_memory"]
+
+
+def usable_gpu_memory(limit: int, overhead: int = CONTEXT_OVERHEAD_CHARGE) -> int:
+    """The largest single allocation a container with ``limit`` can make."""
+    usable = limit - overhead
+    if usable <= 0:
+        raise ValueError(
+            f"limit {limit} leaves no room for the {overhead}-byte context overhead"
+        )
+    return usable
+
+
+def sample_program(
+    api: ProcessApi,
+    *,
+    gpu_bytes: int,
+    duration: float,
+    clock: Callable[[], float],
+    chunks: int = 1,
+):
+    """Generator implementing the §IV-A sample program.
+
+    ``chunks`` splits the footprint into that many equal allocations —
+    Fig. 3's containers allocate incrementally over time, and the chunked
+    form is what distinguishes the "fit" and "full" resume conditions in
+    the ablation.
+
+    Exit codes: 0 on success; 2 when an allocation is rejected (the
+    unmanaged failure mode the paper motivates with).
+    """
+    if chunks < 1:
+        raise ValueError(f"chunks must be >= 1, got {chunks}")
+    # Host side: allocate & fill the same amount of CPU memory with dummy
+    # data (modelled as host compute at ~8 GB/s memset/fill speed).
+    yield HostCompute(gpu_bytes / 8e9)
+
+    # Device allocation(s): under ConVGPU any of these calls may *pause*
+    # until the scheduler assigns enough memory (Fig. 3c).
+    chunk_size = gpu_bytes // chunks
+    sizes = [chunk_size] * (chunks - 1) + [gpu_bytes - chunk_size * (chunks - 1)]
+    dev_ptrs = []
+    for size in sizes:
+        err, dev_ptr = yield from api.cudaMalloc(size)
+        if err is not cudaError.cudaSuccess:
+            raise fail_program(2)
+        dev_ptrs.append(dev_ptr)
+
+    # The 5-45 s nominal duration is the program's *running* time; time
+    # spent suspended inside cudaMalloc is accounted separately (Fig. 8),
+    # so the budget clock starts once the allocations return.
+    start = clock()
+
+    # Copy dummy data host -> device.
+    err, _ = yield from api.cudaMemcpy(gpu_bytes, "h2d")
+    if err is not cudaError.cudaSuccess:
+        raise fail_program(1)
+
+    # Complement kernel: one long pass sized to land the program on its
+    # nominal duration; the D2H copy mirrors the H2D cost, so reserve for it.
+    h2d_elapsed = clock() - start
+    kernel_budget = max(0.05, duration - 2.0 * h2d_elapsed)
+    err, _ = yield from api.cudaLaunchKernel(kernel_budget, name="complement")
+    if err is not cudaError.cudaSuccess:
+        raise fail_program(1)
+
+    # Return the result device -> host.
+    err, _ = yield from api.cudaMemcpy(gpu_bytes, "d2h")
+    if err is not cudaError.cudaSuccess:
+        raise fail_program(1)
+
+    for dev_ptr in dev_ptrs:
+        err, _ = yield from api.cudaFree(dev_ptr)
+        if err is not cudaError.cudaSuccess:
+            raise fail_program(1)
+    return 0
+
+
+def make_sample_command(
+    container_type: ContainerType,
+    clock: Callable[[], float],
+    *,
+    overhead: int = CONTEXT_OVERHEAD_CHARGE,
+    chunks: int = 1,
+):
+    """Entrypoint factory for a Table III container type."""
+    gpu_bytes = usable_gpu_memory(container_type.gpu_memory, overhead)
+    duration = container_type.sample_duration
+
+    def command(api: ProcessApi):
+        return sample_program(
+            api,
+            gpu_bytes=gpu_bytes,
+            duration=duration,
+            clock=clock,
+            chunks=chunks,
+        )
+
+    command.__name__ = f"sample_{container_type.name}"
+    return command

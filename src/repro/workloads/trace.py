@@ -1,0 +1,138 @@
+"""Trace-driven workloads: replay container schedules from JSONL files.
+
+The paper's evaluation uses a synthetic arrival process; real deployments
+have traces.  This module defines a small, documented trace format so
+users can replay their own multi-tenant schedules against the middleware:
+
+one JSON object per line, e.g.::
+
+    {"at": 0.0,  "name": "train-a", "type": "xlarge"}
+    {"at": 5.0,  "name": "infer-b", "limit": "512m", "duration": 8.0}
+    {"at": 12.0, "name": "note-c",  "limit": "1g", "duration": 20.0, "chunks": 3}
+
+Fields:
+
+- ``at`` (required): submission time in seconds;
+- ``name`` (required): unique container name;
+- either ``type`` (a Table III name: nano..xlarge) **or** ``limit``
+  (+ optional ``duration``, default 10 s);
+- ``chunks`` (optional): split the footprint into N allocations;
+- ``kind`` (optional): ``"sample"`` (default) or ``"mnist"`` with
+  ``steps``.
+
+:func:`load_trace` parses and validates; :func:`repro.experiments.multi.
+run_trace` executes a parsed trace under any policy.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+from repro.errors import ReproError
+from repro.units import parse_size
+from repro.workloads.types import TYPE_BY_NAME
+
+__all__ = ["TraceEntry", "TraceError", "load_trace", "parse_trace_lines"]
+
+
+class TraceError(ReproError):
+    """The trace file violated the format."""
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One container submission from a trace."""
+
+    at: float
+    name: str
+    gpu_limit: int
+    duration: float
+    vcpus: int = 1
+    host_memory: int = 1 << 30
+    chunks: int = 1
+    kind: str = "sample"
+    mnist_steps: int = 2000
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise TraceError(f"{self.name}: negative submission time {self.at}")
+        if self.gpu_limit <= 0:
+            raise TraceError(f"{self.name}: gpu limit must be positive")
+        if self.duration <= 0:
+            raise TraceError(f"{self.name}: duration must be positive")
+        if self.chunks < 1:
+            raise TraceError(f"{self.name}: chunks must be >= 1")
+        if self.kind not in ("sample", "mnist"):
+            raise TraceError(f"{self.name}: unknown kind {self.kind!r}")
+
+
+def _entry_from_obj(obj: dict, line_no: int) -> TraceEntry:
+    if not isinstance(obj, dict):
+        raise TraceError(f"line {line_no}: not a JSON object")
+    try:
+        at = float(obj["at"])
+        name = str(obj["name"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TraceError(f"line {line_no}: need 'at' and 'name' ({exc})") from exc
+    if "type" in obj:
+        type_name = obj["type"]
+        ctype = TYPE_BY_NAME.get(type_name)
+        if ctype is None:
+            raise TraceError(
+                f"line {line_no}: unknown type {type_name!r} "
+                f"(known: {sorted(TYPE_BY_NAME)})"
+            )
+        gpu_limit = ctype.gpu_memory
+        duration = float(obj.get("duration", ctype.sample_duration))
+        vcpus, host_memory = ctype.vcpus, ctype.memory
+    elif "limit" in obj:
+        try:
+            gpu_limit = parse_size(obj["limit"])
+        except ValueError as exc:
+            raise TraceError(f"line {line_no}: bad limit ({exc})") from exc
+        duration = float(obj.get("duration", 10.0))
+        vcpus, host_memory = int(obj.get("vcpus", 1)), 1 << 30
+    else:
+        raise TraceError(f"line {line_no}: need either 'type' or 'limit'")
+    return TraceEntry(
+        at=at,
+        name=name,
+        gpu_limit=gpu_limit,
+        duration=duration,
+        vcpus=vcpus,
+        host_memory=host_memory,
+        chunks=int(obj.get("chunks", 1)),
+        kind=str(obj.get("kind", "sample")),
+        mnist_steps=int(obj.get("steps", 2000)),
+    )
+
+
+def parse_trace_lines(lines: Iterable[str]) -> list[TraceEntry]:
+    """Parse JSONL trace content; validates names and ordering."""
+    entries: list[TraceEntry] = []
+    names: set[str] = set()
+    for line_no, line in enumerate(lines, start=1):
+        text = line.strip()
+        if not text or text.startswith("#"):
+            continue
+        try:
+            obj = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise TraceError(f"line {line_no}: bad JSON ({exc})") from exc
+        entry = _entry_from_obj(obj, line_no)
+        if entry.name in names:
+            raise TraceError(f"line {line_no}: duplicate name {entry.name!r}")
+        names.add(entry.name)
+        entries.append(entry)
+    if not entries:
+        raise TraceError("trace is empty")
+    return sorted(entries, key=lambda e: (e.at, e.name))
+
+
+def load_trace(path: str | Path) -> list[TraceEntry]:
+    """Load and validate a JSONL trace file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return parse_trace_lines(fh)

@@ -1,0 +1,59 @@
+"""Container types of the evaluation (Table III).
+
+"we classified the containers by the GPU memory size, similar to the T2
+instance of Amazon Web Services" (§IV-A).  The sample-program duration
+scales with the type — "The time consumed by the sample program varies by
+the size, from 5 seconds to 45 seconds" — which we realize as a linear ramp
+over the six types (the paper does not give the per-type values; the
+endpoints are exact).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.units import GiB, MiB
+
+__all__ = ["ContainerType", "CONTAINER_TYPES", "TYPE_BY_NAME", "choose_types"]
+
+
+@dataclass(frozen=True)
+class ContainerType:
+    """One row of Table III."""
+
+    name: str
+    vcpus: int
+    memory: int  # host RAM
+    gpu_memory: int
+    #: Sample-program runtime for this type (§IV-A's 5–45 s ramp).
+    sample_duration: float
+
+    def __post_init__(self) -> None:
+        if self.vcpus < 1 or self.memory <= 0 or self.gpu_memory <= 0:
+            raise ValueError(f"invalid container type: {self}")
+        if self.sample_duration <= 0:
+            raise ValueError(f"invalid sample duration: {self}")
+
+
+#: Table III, in order; durations ramp 5 → 45 s linearly.
+CONTAINER_TYPES: tuple[ContainerType, ...] = (
+    ContainerType("nano", 1, GiB // 2, 128 * MiB, 5.0),
+    ContainerType("micro", 1, 1 * GiB, 256 * MiB, 13.0),
+    ContainerType("small", 1, 2 * GiB, 512 * MiB, 21.0),
+    ContainerType("medium", 2, 4 * GiB, 1024 * MiB, 29.0),
+    ContainerType("large", 2, 8 * GiB, 2048 * MiB, 37.0),
+    ContainerType("xlarge", 4, 16 * GiB, 4096 * MiB, 45.0),
+)
+
+TYPE_BY_NAME: dict[str, ContainerType] = {t.name: t for t in CONTAINER_TYPES}
+
+
+def choose_types(count: int, rng: np.random.Generator) -> list[ContainerType]:
+    """Pick ``count`` container types uniformly at random (§IV-A:
+    "choosing the type of the containers randomly")."""
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    indices = rng.integers(0, len(CONTAINER_TYPES), size=count)
+    return [CONTAINER_TYPES[int(i)] for i in indices]

@@ -1,0 +1,93 @@
+"""Tests for the swarm (multi-node) extension."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.swarm import DISPATCH_STRATEGIES, SwarmCluster
+from repro.errors import ClusterError, LimitExceededError
+from repro.sim.rng import SeedSequenceFactory
+from repro.units import GiB
+from repro.workloads.arrivals import cloud_arrivals
+
+
+def arrivals_for(count, seed=7):
+    return cloud_arrivals(count, SeedSequenceFactory(seed).generator("arrivals"))
+
+
+class TestConstruction:
+    def test_needs_nodes(self):
+        with pytest.raises(ClusterError):
+            SwarmCluster(0)
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ClusterError):
+            SwarmCluster(2, strategy="telepathy")
+
+    def test_strategies_match_docker_swarm(self):
+        assert set(DISPATCH_STRATEGIES) == {"spread", "binpack", "random"}
+
+
+class TestDispatch:
+    def test_spread_balances(self):
+        cluster = SwarmCluster(2, strategy="spread")
+        names = []
+        for i in range(4):
+            node = cluster.dispatch(GiB)
+            # Reserve on that node so the next dispatch sees the load.
+            node.system.scheduler.register_container(f"c{i}", GiB)
+            names.append(node.name)
+        assert names == ["node0", "node1", "node0", "node1"]
+
+    def test_binpack_concentrates(self):
+        cluster = SwarmCluster(2, strategy="binpack")
+        names = []
+        for i in range(3):
+            node = cluster.dispatch(GiB)
+            node.system.scheduler.register_container(f"c{i}", GiB)
+            names.append(node.name)
+        assert names == ["node0", "node0", "node0"]
+
+    def test_binpack_overflows_when_full(self):
+        cluster = SwarmCluster(2, strategy="binpack")
+        for i in range(5):  # fill node0's 5 GiB
+            cluster.dispatch(GiB).system.scheduler.register_container(f"c{i}", GiB)
+        node = cluster.dispatch(GiB)
+        assert node.name == "node1"
+
+    def test_random_deterministic_with_rng(self):
+        a = SwarmCluster(3, strategy="random", rng=np.random.default_rng(5))
+        b = SwarmCluster(3, strategy="random", rng=np.random.default_rng(5))
+        picks_a = [a.dispatch(GiB).name for _ in range(10)]
+        picks_b = [b.dispatch(GiB).name for _ in range(10)]
+        assert picks_a == picks_b
+
+    def test_oversized_limit_rejected(self):
+        cluster = SwarmCluster(2)
+        with pytest.raises(LimitExceededError):
+            cluster.dispatch(6 * GiB)
+
+
+class TestClusterSchedules:
+    def test_schedule_completes_without_failures(self):
+        cluster = SwarmCluster(2, strategy="spread")
+        result = cluster.run_schedule(arrivals_for(10))
+        assert result.failures == 0
+        assert sum(result.per_node_containers.values()) == 10
+
+    def test_more_nodes_finish_faster(self):
+        """The scaling claim of the §V extension."""
+        arrivals = arrivals_for(16, seed=3)
+        single = SwarmCluster(1).run_schedule(arrivals_for(16, seed=3))
+        quad = SwarmCluster(4).run_schedule(arrivals_for(16, seed=3))
+        assert quad.finished_time <= single.finished_time
+        assert quad.avg_suspended <= single.avg_suspended
+
+    def test_spread_uses_all_nodes(self):
+        cluster = SwarmCluster(3, strategy="spread")
+        result = cluster.run_schedule(arrivals_for(12, seed=9))
+        assert all(v > 0 for v in result.per_node_containers.values())
+
+    def test_binpack_leaves_nodes_idle_at_light_load(self):
+        cluster = SwarmCluster(3, strategy="binpack")
+        result = cluster.run_schedule(arrivals_for(4, seed=9))
+        assert 0 in result.per_node_containers.values()

@@ -1,0 +1,100 @@
+"""Shared fixtures and helpers for the ConVGPU reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.container.image import make_cuda_image
+from repro.core.middleware import ConVGPU
+from repro.core.scheduler.core import GpuMemoryScheduler
+from repro.core.scheduler.policies import make_policy
+from repro.cuda.context import ContextTable
+from repro.cuda.fatbinary import FatBinaryRegistry
+from repro.cuda.runtime import CudaRuntime
+from repro.gpu.device import GpuDevice
+from repro.gpu.properties import make_properties
+from repro.sim.engine import Environment
+from repro.units import GiB, MiB
+
+
+def drive(gen):
+    """Drive an effect generator synchronously, ignoring durations.
+
+    For unit tests that care about state transitions and return values but
+    not timing.  Effects requiring replies (IpcCall) are not supported here;
+    use a runner for those paths.
+    """
+    try:
+        while True:
+            next(gen)
+    except StopIteration as stop:
+        return stop.value
+
+
+def collect_effects(gen):
+    """Drive a generator and return (effects_list, return_value)."""
+    effects = []
+    try:
+        while True:
+            effects.append(next(gen))
+    except StopIteration as stop:
+        return effects, stop.value
+
+
+@pytest.fixture
+def device():
+    """A fresh default (Tesla K20m, 5 GiB) device."""
+    return GpuDevice()
+
+
+@pytest.fixture
+def small_device():
+    """A 256 MiB device for tight-memory tests."""
+    return GpuDevice(0, make_properties(256 * MiB))
+
+
+@pytest.fixture
+def runtime(device):
+    """A CUDA runtime bound to pid 4242 on the default device."""
+    return CudaRuntime(device, 4242, ContextTable(device), FatBinaryRegistry())
+
+
+@pytest.fixture
+def scheduler():
+    """A 5 GiB FIFO scheduler with a controllable clock."""
+    clock = ManualClock()
+    sched = GpuMemoryScheduler(5 * GiB, make_policy("FIFO"), clock=clock)
+    sched.test_clock = clock  # type: ignore[attr-defined]
+    return sched
+
+
+class ManualClock:
+    """A settable clock for deterministic scheduler timestamps."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.time = start
+
+    def __call__(self) -> float:
+        return self.time
+
+    def advance(self, dt: float) -> None:
+        self.time += dt
+
+
+@pytest.fixture
+def manual_clock():
+    return ManualClock()
+
+
+@pytest.fixture
+def sim_system():
+    """(env, system) pair: in-process ConVGPU under a DES clock (BF)."""
+    env = Environment()
+    system = ConVGPU(policy="BF", clock=lambda: env.now)
+    system.engine.images.add(make_cuda_image("sample"))
+    return env, system
+
+
+@pytest.fixture
+def env():
+    return Environment()

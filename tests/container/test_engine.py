@@ -1,0 +1,223 @@
+"""Tests for the Docker-like engine: lifecycle, cgroups, processes, libraries."""
+
+import pytest
+
+from repro.container.cgroups import CgroupManager, HostResources
+from repro.container.container import ContainerConfig, ContainerState
+from repro.container.engine import DockerEngine, EngineTimingModel
+from repro.container.image import Image, make_cuda_image
+from repro.container.linker import SharedLibrary
+from repro.container.volumes import Mount
+from repro.errors import ContainerError, ContainerStateError
+from repro.units import GiB, MiB
+
+
+@pytest.fixture
+def engine():
+    engine = DockerEngine()
+    engine.images.add(Image("plain"))
+    engine.images.add(make_cuda_image("cuda-app"))
+    return engine
+
+
+def config_for(engine, name="c1", image="plain", **kwargs):
+    return ContainerConfig(image=engine.images.get(image), name=name, **kwargs)
+
+
+class TestLifecycle:
+    def test_create_starts_in_created(self, engine):
+        container = engine.create(config_for(engine))
+        assert container.state is ContainerState.CREATED
+        assert container.cgroup is not None
+
+    def test_run_reaches_running_with_main_process(self, engine):
+        container = engine.run(config_for(engine))
+        assert container.state is ContainerState.RUNNING
+        assert container.main_process is not None
+        assert container.main_process.container_pid == 1
+
+    def test_start_twice_rejected(self, engine):
+        container = engine.run(config_for(engine))
+        with pytest.raises(ContainerStateError):
+            engine.start(container.container_id)
+
+    def test_exit_via_main_process(self, engine):
+        container = engine.run(config_for(engine))
+        engine.notify_main_exit(container.container_id, 7)
+        assert container.state is ContainerState.EXITED
+        assert container.exit_code == 7
+        assert not container.main_process.alive
+
+    def test_stop_running_container(self, engine):
+        container = engine.run(config_for(engine))
+        engine.stop(container.container_id)
+        assert container.state is ContainerState.EXITED
+        assert container.exit_code == 137
+
+    def test_stop_exited_container_rejected(self, engine):
+        container = engine.run(config_for(engine))
+        engine.stop(container.container_id)
+        with pytest.raises(ContainerStateError):
+            engine.stop(container.container_id)
+
+    def test_remove_requires_exited_or_created(self, engine):
+        container = engine.run(config_for(engine))
+        with pytest.raises(ContainerStateError):
+            engine.remove(container.container_id)
+        engine.stop(container.container_id)
+        engine.remove(container.container_id)
+        with pytest.raises(ContainerError):
+            engine.get(container.container_id)  # removed containers hidden
+
+    def test_lookup_by_name(self, engine):
+        container = engine.run(config_for(engine, name="webapp"))
+        assert engine.get("webapp") is container
+
+    def test_duplicate_name_rejected(self, engine):
+        engine.create(config_for(engine, name="dup"))
+        with pytest.raises(ContainerError):
+            engine.create(config_for(engine, name="dup"))
+
+    def test_list_containers_filters_running(self, engine):
+        c1 = engine.run(config_for(engine, name="a"))
+        engine.create(config_for(engine, name="b"))
+        running = engine.list_containers()
+        everything = engine.list_containers(all_states=True)
+        assert [c.name for c in running] == ["a"]
+        assert {c.name for c in everything} == {"a", "b"}
+
+    def test_exit_listener_fires_after_unmount(self, engine):
+        events = []
+        engine.add_exit_listener(lambda c: events.append(c.name))
+        container = engine.run(config_for(engine, name="observed"))
+        engine.notify_main_exit(container.container_id, 0)
+        assert events == ["observed"]
+
+    def test_clock_stamps_lifecycle(self):
+        time = {"now": 100.0}
+        engine = DockerEngine(clock=lambda: time["now"])
+        engine.images.add(Image("plain"))
+        container = engine.run(
+            ContainerConfig(image=engine.images.get("plain"), name="t")
+        )
+        time["now"] = 150.0
+        engine.notify_main_exit(container.container_id, 0)
+        assert container.created_at == 100.0
+        assert container.uptime == 50.0
+
+
+class TestCgroups:
+    def test_cgroup_created_with_limits(self, engine):
+        container = engine.run(config_for(engine, vcpus=2, memory_limit=4 * GiB))
+        assert container.cgroup.vcpus == 2
+        assert container.cgroup.memory_limit == 4 * GiB
+
+    def test_cgroup_destroyed_on_remove(self, engine):
+        container = engine.run(config_for(engine))
+        engine.stop(container.container_id)
+        engine.remove(container.container_id)
+        assert len(engine.cgroups) == 0
+
+    def test_limit_beyond_host_rejected(self, engine):
+        with pytest.raises(ContainerError):
+            engine.run(config_for(engine, memory_limit=128 * GiB))
+
+    def test_charge_and_oom(self):
+        manager = CgroupManager()
+        group = manager.create("g", vcpus=1, memory_limit=10 * MiB)
+        assert group.charge(6 * MiB)
+        assert not group.charge(6 * MiB)  # over limit -> cgroup OOM
+        group.uncharge(6 * MiB)
+        assert group.charge(6 * MiB)
+
+    def test_strict_memory_prevents_oversubscription(self):
+        manager = CgroupManager(HostResources(vcpus=4, memory=GiB), strict_memory=True)
+        manager.create("a", vcpus=1, memory_limit=700 * MiB)
+        with pytest.raises(ContainerError):
+            manager.create("b", vcpus=1, memory_limit=700 * MiB)
+
+    def test_default_is_oversubscribable(self):
+        manager = CgroupManager(HostResources(vcpus=4, memory=GiB))
+        manager.create("a", vcpus=1, memory_limit=700 * MiB)
+        manager.create("b", vcpus=1, memory_limit=700 * MiB)  # no error
+
+
+class TestProcessesAndLibraries:
+    def test_host_pids_unique_across_containers(self, engine):
+        c1 = engine.run(config_for(engine, name="p1"))
+        c2 = engine.run(config_for(engine, name="p2"))
+        assert c1.main_process.host_pid != c2.main_process.host_pid
+
+    def test_library_provider_called_per_process(self, engine):
+        calls = []
+
+        def provider(container, host_pid):
+            calls.append((container.name, host_pid))
+            return SharedLibrary("libfoo.so", {"foo": lambda: host_pid})
+
+        engine.install_library("libfoo.so", provider)
+        c1 = engine.run(config_for(engine, name="one"))
+        c2 = engine.run(config_for(engine, name="two"))
+        assert len(calls) == 2
+        # Per-process state: each resolves its own pid.
+        assert c1.main_process.resolve("foo")() == c1.main_process.host_pid
+        assert c2.main_process.resolve("foo")() == c2.main_process.host_pid
+
+    def test_preload_applies_only_with_env(self, engine):
+        engine.install_library(
+            "libcudart.so",
+            lambda c, pid: SharedLibrary("libcudart.so", {"cudaMalloc": lambda: "native"}),
+        )
+        engine.publish_preload(
+            "libgpushare.so",
+            lambda c, pid: SharedLibrary("libgpushare.so", {"cudaMalloc": lambda: "wrapped"}),
+        )
+        without = engine.run(config_for(engine, name="plain-env"))
+        with_preload = engine.run(
+            config_for(
+                engine,
+                name="preloaded",
+                env={"LD_PRELOAD": "/convgpu/libgpushare.so"},
+            )
+        )
+        assert without.main_process.resolve("cudaMalloc")() == "native"
+        assert with_preload.main_process.resolve("cudaMalloc")() == "wrapped"
+
+    def test_static_cudart_defeats_preload(self, engine):
+        """§III-C: images not built -cudart=shared escape interception."""
+        engine.images.add(make_cuda_image("static-app", cudart_shared=False))
+        engine.install_library(
+            "libcudart.so",
+            lambda c, pid: SharedLibrary("libcudart.so", {"cudaMalloc": lambda: "native"}),
+        )
+        engine.publish_preload(
+            "libgpushare.so",
+            lambda c, pid: SharedLibrary("libgpushare.so", {"cudaMalloc": lambda: "wrapped"}),
+        )
+        container = engine.run(
+            ContainerConfig(
+                image=engine.images.get("static-app"),
+                name="static",
+                env={"LD_PRELOAD": "/convgpu/libgpushare.so"},
+            )
+        )
+        assert container.main_process.resolve("cudaMalloc")() == "native"
+
+
+class TestTimingModel:
+    def test_creation_time_near_paper_baseline(self, engine):
+        """Fig. 5: plain creation ≈ 0.41 s."""
+        config = config_for(engine, name="timed", image="cuda-app")
+        t = engine.timing.creation_time(config)
+        assert 0.35 < t < 0.5
+
+    def test_mounts_add_time(self, engine):
+        base = config_for(engine, name="x")
+        mounted = config_for(
+            engine, name="y", mounts=(Mount(source="/a", target="/a"),) * 3
+        )
+        assert engine.timing.creation_time(mounted) > engine.timing.creation_time(base)
+
+    def test_timing_model_is_frozen(self):
+        with pytest.raises(Exception):
+            EngineTimingModel().image_setup = 1.0

@@ -1,0 +1,140 @@
+"""Tests for images/labels and volumes/volume plugins."""
+
+import pytest
+
+from repro.container.image import (
+    LABEL_CUDA_VERSION,
+    LABEL_MEMORY_LIMIT,
+    LABEL_VOLUMES_NEEDED,
+    Image,
+    ImageRegistry,
+    make_cuda_image,
+)
+from repro.container.volumes import Mount, VolumeManager
+from repro.errors import ContainerError, ImageNotFoundError, VolumeError
+
+
+class TestImage:
+    def test_reference_includes_tag(self):
+        assert Image("ubuntu").reference == "ubuntu:latest"
+        assert Image("cuda", tag="8.0").reference == "cuda:8.0"
+
+    def test_cuda_detection_via_label(self):
+        # §II-D: nvidia-docker checks com.nvidia.volumes.needed.
+        plain = Image("ubuntu")
+        cuda = make_cuda_image("tf")
+        assert not plain.uses_cuda
+        assert cuda.uses_cuda
+        assert cuda.cuda_version == "8.0"
+
+    def test_memory_limit_label(self):
+        image = make_cuda_image("tf", memory_limit="512m")
+        assert image.memory_limit_label == "512m"
+        assert image.labels[LABEL_MEMORY_LIMIT] == "512m"
+
+    def test_with_labels_copy(self):
+        image = make_cuda_image("tf")
+        labelled = image.with_labels(**{LABEL_MEMORY_LIMIT: "2g"})
+        assert labelled.memory_limit_label == "2g"
+        assert image.memory_limit_label is None  # original unchanged
+        assert labelled.labels[LABEL_VOLUMES_NEEDED] == "nvidia_driver"
+        assert labelled.labels[LABEL_CUDA_VERSION] == "8.0"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ContainerError):
+            Image("")
+
+
+class TestImageRegistry:
+    def test_get_with_and_without_tag(self):
+        registry = ImageRegistry()
+        registry.add(Image("cuda", tag="latest"))
+        assert registry.get("cuda").reference == "cuda:latest"
+        assert registry.get("cuda:latest").reference == "cuda:latest"
+
+    def test_missing_image(self):
+        with pytest.raises(ImageNotFoundError):
+            ImageRegistry().get("ghost")
+
+    def test_contains_and_len(self):
+        registry = ImageRegistry()
+        registry.add(Image("a"))
+        assert "a" in registry
+        assert "b" not in registry
+        assert len(registry) == 1
+
+
+class RecordingPlugin:
+    driver_name = "recording"
+
+    def __init__(self):
+        self.mounted = []
+        self.unmounted = []
+        self.fail_on = None
+
+    def mount(self, volume_name, container_id):
+        if volume_name == self.fail_on:
+            raise VolumeError("mount refused")
+        self.mounted.append((volume_name, container_id))
+        return f"/plugin/{volume_name}"
+
+    def unmount(self, volume_name, container_id):
+        self.unmounted.append((volume_name, container_id))
+
+
+class TestMount:
+    def test_target_must_be_absolute(self):
+        with pytest.raises(VolumeError):
+            Mount(source="vol", target="relative/path")
+
+    def test_empty_source_rejected(self):
+        with pytest.raises(VolumeError):
+            Mount(source="", target="/x")
+
+
+class TestVolumeManager:
+    def test_plugin_mounts_and_unmounts(self):
+        manager = VolumeManager()
+        plugin = RecordingPlugin()
+        manager.register_plugin(plugin)
+        mounts = [Mount(source="vol1", target="/a", driver="recording")]
+        paths = manager.mount_all("cid", mounts)
+        assert paths == ["/plugin/vol1"]
+        assert manager.mounted_volumes("cid") == [("recording", "vol1")]
+        assert manager.unmount_all("cid") == 1
+        assert plugin.unmounted == [("vol1", "cid")]
+
+    def test_local_bind_needs_no_plugin(self):
+        manager = VolumeManager()
+        paths = manager.mount_all("cid", [Mount(source="/host/dir", target="/c")])
+        assert paths == ["/host/dir"]
+        assert manager.unmount_all("cid") == 0
+
+    def test_duplicate_plugin_rejected(self):
+        manager = VolumeManager()
+        manager.register_plugin(RecordingPlugin())
+        with pytest.raises(VolumeError):
+            manager.register_plugin(RecordingPlugin())
+
+    def test_unknown_driver_rejected(self):
+        manager = VolumeManager()
+        with pytest.raises(VolumeError):
+            manager.mount_all("cid", [Mount(source="v", target="/v", driver="ghost")])
+
+    def test_failed_mount_rolls_back_earlier_mounts(self):
+        manager = VolumeManager()
+        plugin = RecordingPlugin()
+        plugin.fail_on = "vol2"
+        manager.register_plugin(plugin)
+        mounts = [
+            Mount(source="vol1", target="/a", driver="recording"),
+            Mount(source="vol2", target="/b", driver="recording"),
+        ]
+        with pytest.raises(VolumeError):
+            manager.mount_all("cid", mounts)
+        assert plugin.unmounted == [("vol1", "cid")]  # rollback fired
+        assert manager.mounted_volumes("cid") == []
+
+    def test_unmount_all_idempotent(self):
+        manager = VolumeManager()
+        assert manager.unmount_all("never-mounted") == 0

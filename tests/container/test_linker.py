@@ -1,0 +1,104 @@
+"""Tests for the dynamic-linker simulation (LD_PRELOAD semantics, §III-C)."""
+
+import pytest
+
+from repro.container.linker import (
+    DynamicLinker,
+    SharedLibrary,
+    StaticArchive,
+    UndefinedSymbolError,
+)
+from repro.errors import ContainerError
+
+
+def lib(soname, **symbols):
+    return SharedLibrary(soname, symbols)
+
+
+class TestSharedLibrary:
+    def test_exports_sorted(self):
+        library = lib("libx.so", b=lambda: 2, a=lambda: 1)
+        assert library.symbols() == ["a", "b"]
+
+    def test_lookup_missing_returns_none(self):
+        assert lib("libx.so").lookup("nope") is None
+
+    def test_empty_soname_rejected(self):
+        with pytest.raises(ContainerError):
+            SharedLibrary("", {})
+
+
+class TestResolutionOrder:
+    def test_plain_resolution(self):
+        linker = DynamicLinker([lib("libc.so", open_file=lambda: "libc")])
+        assert linker.resolve("open_file")() == "libc"
+
+    def test_preload_wins_over_library(self):
+        """The core ConVGPU mechanism: libgpushare overrides libcudart."""
+        native = lib("libcudart.so", cudaMalloc=lambda: "native")
+        wrapper = lib("libgpushare.so", cudaMalloc=lambda: "intercepted")
+        linker = DynamicLinker([native], preload=[wrapper])
+        assert linker.resolve("cudaMalloc")() == "intercepted"
+        assert linker.provider_of("cudaMalloc") == "libgpushare.so"
+
+    def test_non_overridden_symbols_fall_through(self):
+        """§III-C: "it leaves other CUDA API available"."""
+        native = lib(
+            "libcudart.so",
+            cudaMalloc=lambda: "native-malloc",
+            cudaMemcpy=lambda: "native-memcpy",
+        )
+        wrapper = lib("libgpushare.so", cudaMalloc=lambda: "wrapped")
+        linker = DynamicLinker([native], preload=[wrapper])
+        assert linker.resolve("cudaMemcpy")() == "native-memcpy"
+
+    def test_preload_order_first_wins(self):
+        first = lib("a.so", f=lambda: "first")
+        second = lib("b.so", f=lambda: "second")
+        linker = DynamicLinker([], preload=[first, second])
+        assert linker.resolve("f")() == "first"
+
+    def test_library_load_order_first_wins(self):
+        linker = DynamicLinker(
+            [lib("a.so", f=lambda: "a"), lib("b.so", f=lambda: "b")]
+        )
+        assert linker.resolve("f")() == "a"
+
+    def test_undefined_symbol(self):
+        linker = DynamicLinker([lib("libc.so")])
+        with pytest.raises(UndefinedSymbolError):
+            linker.resolve("missing")
+        with pytest.raises(UndefinedSymbolError):
+            linker.provider_of("missing")
+
+
+class TestStaticLinking:
+    def test_static_beats_preload(self):
+        """§III-C: default nvcc static cudart defeats LD_PRELOAD."""
+        static = StaticArchive("a.out", {"cudaMalloc": lambda: "static"})
+        wrapper = lib("libgpushare.so", cudaMalloc=lambda: "intercepted")
+        linker = DynamicLinker([], preload=[wrapper], static=static)
+        assert linker.resolve("cudaMalloc")() == "static"
+        assert linker.provider_of("cudaMalloc") == "a.out"
+
+    def test_static_archive_cannot_be_preloaded(self):
+        static = StaticArchive("a.out", {})
+        with pytest.raises(ContainerError):
+            DynamicLinker([], preload=[static])
+        with pytest.raises(ContainerError):
+            DynamicLinker([static])
+
+
+class TestLdPreloadParsing:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            ("", []),
+            ("libgpushare.so", ["libgpushare.so"]),
+            ("liba.so libb.so", ["liba.so", "libb.so"]),
+            ("liba.so:libb.so", ["liba.so", "libb.so"]),
+            ("  liba.so   ", ["liba.so"]),
+        ],
+    )
+    def test_parse(self, value, expected):
+        assert DynamicLinker.parse_ld_preload(value) == expected

@@ -1,0 +1,102 @@
+"""Tests for the ConVGPU facade wiring."""
+
+import pytest
+
+from repro.container.image import make_cuda_image
+from repro.core.middleware import ConVGPU
+from repro.core.scheduler.policies import BestFitPolicy, FifoPolicy
+from repro.gpu.properties import TESLA_K20M, make_properties
+from repro.units import GiB, MiB
+
+
+class TestConstruction:
+    def test_policy_by_name(self):
+        assert isinstance(ConVGPU("FIFO").policy, FifoPolicy)
+        assert isinstance(ConVGPU("BF").policy, BestFitPolicy)
+
+    def test_policy_by_instance(self):
+        policy = BestFitPolicy()
+        assert ConVGPU(policy).policy is policy
+
+    def test_default_device_is_k20m(self):
+        assert ConVGPU().device.properties is TESLA_K20M
+
+    def test_custom_device(self):
+        system = ConVGPU(properties=make_properties(GiB))
+        assert system.scheduler.total_memory == GiB
+
+    def test_clock_shared_by_engine_and_scheduler(self):
+        times = iter([1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+        now = {"v": 0.0}
+
+        def clock():
+            return now["v"]
+
+        system = ConVGPU(clock=clock)
+        now["v"] = 42.0
+        system.engine.images.add(make_cuda_image("app"))
+        container = system.nvdocker.run("app", name="c1")
+        assert container.created_at == 42.0
+        assert system.scheduler.container("c1").created_at == 42.0
+
+    def test_resume_mode_and_overhead_forwarded(self):
+        system = ConVGPU(resume_mode="full", context_overhead=0)
+        assert system.scheduler.resume_mode == "full"
+        assert system.scheduler.context_overhead == 0
+
+
+class TestPerProcessWiring:
+    def test_runtime_memoized_per_process(self):
+        system = ConVGPU()
+        rt1 = system.runtime_for("c1", 100)
+        rt2 = system.runtime_for("c1", 100)
+        rt3 = system.runtime_for("c1", 101)
+        assert rt1 is rt2
+        assert rt1 is not rt3
+
+    def test_wrapper_shares_the_native_runtime(self):
+        system = ConVGPU()
+        wrapper = system.wrapper_for("c1", 100)
+        assert wrapper.native is system.runtime_for("c1", 100)
+        assert wrapper.container_id == "c1"
+
+    def test_unmanaged_system_has_no_preload(self):
+        system = ConVGPU(managed=False)
+        assert "libgpushare.so" not in system.engine.preload_providers
+        assert "libcudart.so" in system.engine.library_providers
+
+    def test_managed_system_publishes_wrapper(self):
+        system = ConVGPU(managed=True)
+        assert "libgpushare.so" in system.engine.preload_providers
+
+
+class TestControlPlane:
+    def test_in_process_register_reports_virtual_dir(self):
+        system = ConVGPU()
+        reply = system.control_call(
+            "register_container", container_id="c1", limit=GiB
+        )
+        assert reply["status"] == "ok"
+        assert reply["socket_dir"] == "/var/convgpu/c1"
+
+    def test_socket_path_requires_live(self):
+        with pytest.raises(RuntimeError):
+            ConVGPU().container_socket_path("c1")
+
+    def test_close_is_idempotent(self):
+        system = ConVGPU()
+        system.close()
+        system.close()
+
+    def test_context_manager(self):
+        with ConVGPU(live=True) as system:
+            assert system.daemon is not None
+            path = system.daemon.control_path
+            import os
+
+            assert os.path.exists(path)
+        assert not os.path.exists(path)
+
+    def test_creation_overhead_zero_when_unmanaged(self):
+        assert ConVGPU(managed=False).creation_overhead() == 0.0
+        assert ConVGPU(managed=True).creation_overhead() > 0.0

@@ -1,0 +1,126 @@
+"""Tests for the four scheduling algorithms (§III-D) and ablation extras."""
+
+import numpy as np
+import pytest
+
+from repro.core.scheduler.policies import (
+    PAPER_POLICIES,
+    POLICIES,
+    BestFitPolicy,
+    FifoPolicy,
+    RandomPolicy,
+    RecentUsePolicy,
+    SmallestFirstPolicy,
+    WorstFitPolicy,
+    make_policy,
+)
+from repro.core.scheduler.records import ContainerRecord
+from repro.units import MiB
+
+
+def record(cid, seq, limit_mib, assigned_mib, suspended_at=0.0):
+    r = ContainerRecord(
+        container_id=cid,
+        limit=limit_mib * MiB,
+        created_seq=seq,
+        created_at=float(seq),
+    )
+    r.assigned = assigned_mib * MiB
+    r.last_suspended_at = suspended_at
+    return r
+
+
+class TestFifo:
+    def test_oldest_created_wins(self):
+        paused = [record("new", 5, 100, 0), record("old", 1, 100, 0), record("mid", 3, 100, 0)]
+        assert FifoPolicy().select(paused, 50 * MiB).container_id == "old"
+
+
+class TestBestFit:
+    def test_closest_fit_not_exceeding(self):
+        # free = 512 MiB; insufficiencies 256, 512, 768.
+        paused = [
+            record("a", 1, 256, 0),
+            record("b", 2, 512, 0),
+            record("c", 3, 768, 0),
+        ]
+        chosen = BestFitPolicy().select(paused, 512 * MiB)
+        assert chosen.container_id == "b"  # exactly matches the free memory
+
+    def test_largest_fitting_when_no_exact(self):
+        paused = [record("a", 1, 100, 0), record("b", 2, 300, 0)]
+        chosen = BestFitPolicy().select(paused, 400 * MiB)
+        assert chosen.container_id == "b"  # 300 closest to 400 from below
+
+    def test_least_insufficient_fallback(self):
+        # Nobody fits in 64 MiB: take the least insufficient (§III-D).
+        paused = [record("a", 1, 512, 0), record("b", 2, 128, 0)]
+        chosen = BestFitPolicy().select(paused, 64 * MiB)
+        assert chosen.container_id == "b"
+
+    def test_partial_assignment_counts(self):
+        # insufficiency = limit - assigned, not the raw limit.
+        paused = [record("a", 1, 1024, 900), record("b", 2, 256, 0)]
+        chosen = BestFitPolicy().select(paused, 128 * MiB)
+        assert chosen.container_id == "a"  # needs only 124 MiB more
+
+    def test_tie_breaks_on_creation_order(self):
+        paused = [record("late", 9, 100, 0), record("early", 2, 100, 0)]
+        assert BestFitPolicy().select(paused, 100 * MiB).container_id == "early"
+
+
+class TestRecentUse:
+    def test_most_recently_suspended_wins(self):
+        paused = [
+            record("stale", 1, 100, 0, suspended_at=10.0),
+            record("fresh", 2, 100, 0, suspended_at=99.0),
+        ]
+        assert RecentUsePolicy().select(paused, MiB).container_id == "fresh"
+
+
+class TestRandom:
+    def test_deterministic_for_seeded_rng(self):
+        paused = [record(f"c{i}", i, 100, 0) for i in range(10)]
+        p1 = RandomPolicy(np.random.default_rng(7))
+        p2 = RandomPolicy(np.random.default_rng(7))
+        picks1 = [p1.select(paused, MiB).container_id for _ in range(20)]
+        picks2 = [p2.select(paused, MiB).container_id for _ in range(20)]
+        assert picks1 == picks2
+
+    def test_covers_the_whole_set(self):
+        paused = [record(f"c{i}", i, 100, 0) for i in range(4)]
+        policy = RandomPolicy(np.random.default_rng(0))
+        picks = {policy.select(paused, MiB).container_id for _ in range(200)}
+        assert picks == {"c0", "c1", "c2", "c3"}
+
+
+class TestAblationPolicies:
+    def test_worst_fit_takes_most_insufficient(self):
+        paused = [record("small", 1, 128, 0), record("big", 2, 2048, 0)]
+        assert WorstFitPolicy().select(paused, MiB).container_id == "big"
+
+    def test_smallest_first_takes_least_insufficient(self):
+        paused = [record("small", 1, 128, 0), record("big", 2, 2048, 0)]
+        assert SmallestFirstPolicy().select(paused, MiB).container_id == "small"
+
+
+class TestRegistry:
+    def test_paper_policies_present(self):
+        assert PAPER_POLICIES == ("FIFO", "BF", "RU", "Rand")
+        for name in PAPER_POLICIES:
+            assert name in POLICIES
+
+    def test_make_policy_names(self):
+        assert make_policy("FIFO").name == "FIFO"
+        assert make_policy("BF").name == "BF"
+        assert make_policy("RU").name == "RU"
+        assert make_policy("Rand").name == "Rand"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            make_policy("LRU")
+
+    def test_rand_uses_provided_rng(self):
+        rng = np.random.default_rng(3)
+        policy = make_policy("Rand", rng)
+        assert policy._rng is rng

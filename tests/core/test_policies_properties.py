@@ -1,0 +1,96 @@
+"""Property-based tests for the scheduling policies."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.scheduler.policies import (
+    BestFitPolicy,
+    FifoPolicy,
+    RandomPolicy,
+    RecentUsePolicy,
+    SmallestFirstPolicy,
+    WorstFitPolicy,
+)
+from repro.core.scheduler.records import ContainerRecord
+from repro.units import MiB
+
+
+@st.composite
+def paused_set(draw):
+    """A non-empty set of paused containers with partial assignments."""
+    n = draw(st.integers(1, 12))
+    records = []
+    for i in range(n):
+        limit = draw(st.integers(2, 64)) * MiB
+        assigned = draw(st.integers(0, limit // MiB - 1)) * MiB
+        record = ContainerRecord(
+            container_id=f"c{i}",
+            limit=limit,
+            created_seq=i + 1,
+            created_at=float(draw(st.integers(0, 100))),
+        )
+        record.assigned = assigned
+        record.last_suspended_at = float(draw(st.integers(0, 1000)))
+        records.append(record)
+    return records
+
+
+ALL_POLICIES = [
+    FifoPolicy(),
+    BestFitPolicy(),
+    RecentUsePolicy(),
+    RandomPolicy(np.random.default_rng(0)),
+    WorstFitPolicy(),
+    SmallestFirstPolicy(),
+]
+
+
+class TestSelectionInvariants:
+    @settings(max_examples=80, deadline=None)
+    @given(paused=paused_set(), free_mib=st.integers(0, 128))
+    def test_selection_is_always_a_member(self, paused, free_mib):
+        for policy in ALL_POLICIES:
+            chosen = policy.select(paused, free_mib * MiB)
+            assert chosen in paused
+
+    @settings(max_examples=80, deadline=None)
+    @given(paused=paused_set(), free_mib=st.integers(0, 128))
+    def test_fifo_picks_the_oldest(self, paused, free_mib):
+        chosen = FifoPolicy().select(paused, free_mib * MiB)
+        assert chosen.created_seq == min(r.created_seq for r in paused)
+
+    @settings(max_examples=80, deadline=None)
+    @given(paused=paused_set(), free_mib=st.integers(0, 128))
+    def test_best_fit_definition(self, paused, free_mib):
+        """§III-D's Best-Fit, checked against a direct specification."""
+        free = free_mib * MiB
+        chosen = BestFitPolicy().select(paused, free)
+        fitting = [r for r in paused if r.insufficiency <= free]
+        if fitting:
+            assert chosen.insufficiency == max(r.insufficiency for r in fitting)
+            assert chosen.insufficiency <= free
+        else:
+            assert chosen.insufficiency == min(r.insufficiency for r in paused)
+
+    @settings(max_examples=80, deadline=None)
+    @given(paused=paused_set(), free_mib=st.integers(0, 128))
+    def test_recent_use_picks_latest_suspension(self, paused, free_mib):
+        chosen = RecentUsePolicy().select(paused, free_mib * MiB)
+        assert chosen.last_suspended_at == max(r.last_suspended_at for r in paused)
+
+    @settings(max_examples=80, deadline=None)
+    @given(paused=paused_set(), free_mib=st.integers(0, 128))
+    def test_wf_and_sf_are_extremes(self, paused, free_mib):
+        free = free_mib * MiB
+        worst = WorstFitPolicy().select(paused, free)
+        smallest = SmallestFirstPolicy().select(paused, free)
+        assert worst.insufficiency == max(r.insufficiency for r in paused)
+        assert smallest.insufficiency == min(r.insufficiency for r in paused)
+
+    @settings(max_examples=40, deadline=None)
+    @given(paused=paused_set(), free_mib=st.integers(0, 128))
+    def test_deterministic_policies_are_stable(self, paused, free_mib):
+        """Same inputs, same choice (no hidden state outside Rand)."""
+        free = free_mib * MiB
+        for policy in (FifoPolicy(), BestFitPolicy(), RecentUsePolicy()):
+            assert policy.select(paused, free) is policy.select(paused, free)

@@ -1,0 +1,96 @@
+"""§III-C compatibility claim: the wrapper adopts *other* CUDA providers.
+
+"Moreover, wrapper module can be adopted in other custom CUDA APIs such as
+rCUDA, because it can use the existing API without any effort."
+
+The wrapper only requires the native object to expose the CUDA call
+surface; here we substitute an rCUDA-like *remote* runtime (same API, every
+call pays a network round-trip to a GPU server) and verify interception,
+accounting and error mapping work unchanged.
+"""
+
+import pytest
+
+from repro.core.scheduler.core import CONTEXT_OVERHEAD_CHARGE, GpuMemoryScheduler
+from repro.core.scheduler.policies import make_policy
+from repro.core.scheduler.service import SchedulerService
+from repro.core.wrapper.module import WrapperModule
+from repro.cuda.context import ContextTable
+from repro.cuda.effects import DeviceOp
+from repro.cuda.fatbinary import FatBinaryRegistry
+from repro.cuda.runtime import CudaRuntime
+from repro.gpu.device import GpuDevice
+from repro.units import GiB, MiB
+
+#: Modelled one-way network latency to the remote GPU server (rCUDA runs
+#: over "Sockets API", Table I) — dwarfs local call costs.
+REMOTE_ONE_WAY = 150e-6
+
+
+class RemoteCudaRuntime(CudaRuntime):
+    """An rCUDA-style runtime: the same API, served by a remote GPU.
+
+    Implemented as the native runtime plus a network round-trip on every
+    API entry point — which is exactly what rCUDA's client library does.
+    """
+
+    def _remote_hop(self):
+        yield DeviceOp(2 * REMOTE_ONE_WAY, api="rcuda-network")
+        return None
+
+    def __getattribute__(self, name):
+        attr = super().__getattribute__(name)
+        if name.startswith("cuda") and callable(attr):
+            def remoted(*args, _attr=attr, **kwargs):
+                yield from self._remote_hop()
+                return (yield from _attr(*args, **kwargs))
+
+            return remoted
+        return attr
+
+
+@pytest.fixture
+def remote_stack(device):
+    scheduler = GpuMemoryScheduler(
+        device.properties.total_global_mem, make_policy("FIFO")
+    )
+    scheduler.register_container("rc", 1 * GiB)
+    service = SchedulerService(scheduler)
+    remote = RemoteCudaRuntime(device, 777, ContextTable(device), FatBinaryRegistry())
+    wrapper = WrapperModule(remote, container_id="rc")
+    from tests.core.test_wrapper import DirectBridgeDriver
+
+    return scheduler, wrapper, DirectBridgeDriver(service.handle)
+
+
+class TestWrapperOverRemoteRuntime:
+    def test_interception_protocol_unchanged(self, remote_stack):
+        from repro.cuda.errors import cudaError
+
+        scheduler, wrapper, driver = remote_stack
+        err, ptr = driver.drive(wrapper.cudaMalloc(100 * MiB))
+        assert err is cudaError.cudaSuccess
+        assert [m["type"] for m in driver.sent] == ["alloc_request", "alloc_commit"]
+        assert scheduler.container("rc").used == 100 * MiB + CONTEXT_OVERHEAD_CHARGE
+
+    def test_rejection_still_enforced(self, remote_stack):
+        from repro.cuda.errors import cudaError
+
+        scheduler, wrapper, driver = remote_stack
+        err, _ = driver.drive(wrapper.cudaMalloc(2 * GiB))
+        assert err is cudaError.cudaErrorMemoryAllocation
+        assert scheduler.container("rc").used == 0
+
+    def test_remote_latency_visible_in_effects(self, remote_stack):
+        _, wrapper, driver = remote_stack
+        effects, _ = driver.drive_collect(wrapper.cudaMalloc(MiB))
+        network_hops = [e for e in effects if getattr(e, "api", "") == "rcuda-network"]
+        assert network_hops  # the remote hop really happened under the wrapper
+
+    def test_pitch_adjustment_learns_from_remote_properties(self, remote_stack):
+        from repro.cuda.errors import cudaError
+
+        _, wrapper, driver = remote_stack
+        err, (ptr, pitch) = driver.drive(wrapper.cudaMallocPitch(1000, 10))
+        assert err is cudaError.cudaSuccess
+        assert pitch == 1024  # learned via the remoted cudaGetDeviceProperties

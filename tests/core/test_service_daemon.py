@@ -1,0 +1,176 @@
+"""Tests for the scheduler protocol service and the live daemon."""
+
+import os
+
+import pytest
+
+from repro.core.scheduler.core import CONTEXT_OVERHEAD_CHARGE, GpuMemoryScheduler
+from repro.core.scheduler.daemon import (
+    CONTAINER_SOCKET_NAME,
+    WRAPPER_SONAME,
+    SchedulerDaemon,
+)
+from repro.core.scheduler.policies import make_policy
+from repro.core.scheduler.service import SchedulerService
+from repro.errors import SchedulerError
+from repro.ipc import protocol
+from repro.ipc.channel import InProcessChannel
+from repro.ipc.unix_socket import DEFER, UnixSocketClient
+from repro.units import GiB, MiB
+
+
+@pytest.fixture
+def service():
+    scheduler = GpuMemoryScheduler(5 * GiB, make_policy("FIFO"))
+    return SchedulerService(scheduler)
+
+
+@pytest.fixture
+def channel(service):
+    return InProcessChannel(service.handle)
+
+
+class TestServiceHandlers:
+    def test_register_reports_assignment(self, channel):
+        reply = channel.call_sync(
+            protocol.MSG_REGISTER_CONTAINER, container_id="c1", limit=GiB
+        )
+        assert reply["status"] == "ok"
+        assert reply["assigned"] == GiB
+        assert reply["limit"] == GiB
+
+    def test_register_over_capacity_is_error_reply(self, channel):
+        reply = channel.call_sync(
+            protocol.MSG_REGISTER_CONTAINER, container_id="c1", limit=6 * GiB
+        )
+        assert reply["status"] == "error"
+        assert "capacity" in reply["error"]
+
+    def test_grant_flow(self, channel):
+        channel.call_sync(protocol.MSG_REGISTER_CONTAINER, container_id="c1", limit=GiB)
+        reply = channel.call_sync(
+            protocol.MSG_ALLOC_REQUEST,
+            container_id="c1",
+            pid=1,
+            size=100 * MiB,
+            api="cudaMalloc",
+        )
+        assert reply["decision"] == "grant"
+
+    def test_reject_flow_carries_reason(self, channel):
+        channel.call_sync(protocol.MSG_REGISTER_CONTAINER, container_id="c1", limit=256 * MiB)
+        reply = channel.call_sync(
+            protocol.MSG_ALLOC_REQUEST,
+            container_id="c1",
+            pid=1,
+            size=300 * MiB,
+            api="cudaMalloc",
+        )
+        assert reply["decision"] == "reject"
+        assert "limit" in reply["reason"]
+
+    def test_pause_defers_and_resumes_on_exit(self, service, channel):
+        channel.call_sync(protocol.MSG_REGISTER_CONTAINER, container_id="big", limit=5 * GiB)
+        channel.call_sync(protocol.MSG_REGISTER_CONTAINER, container_id="late", limit=GiB)
+        pending = channel.call(
+            protocol.MSG_ALLOC_REQUEST,
+            container_id="late",
+            pid=2,
+            size=100 * MiB,
+            api="cudaMalloc",
+        )
+        assert not pending.ready  # paused: reply withheld
+        channel.call_sync(protocol.MSG_CONTAINER_EXIT, container_id="big")
+        assert pending.ready
+        assert pending.reply["decision"] == "grant"
+
+    def test_unknown_message_type(self, service):
+        reply = service.handle({"type": "bogus", "seq": 1}, None)
+        assert reply["status"] == "error"
+
+    def test_scheduler_errors_are_in_band(self, channel):
+        reply = channel.call_sync(
+            protocol.MSG_MEM_GET_INFO, container_id="ghost", pid=1
+        )
+        assert reply["status"] == "error"
+        assert "unknown container" in reply["error"]
+
+    def test_notifications_return_none(self, service):
+        service.scheduler.register_container("c1", GiB)
+        service.scheduler.request_allocation("c1", 1, MiB)
+        message = protocol.make_request(
+            protocol.MSG_ALLOC_COMMIT,
+            container_id="c1",
+            pid=1,
+            address=0x1,
+            size=MiB,
+        )
+        assert service.handle(message, None) is None
+        assert service.scheduler.container("c1").used == MiB + CONTEXT_OVERHEAD_CHARGE
+
+    def test_mem_get_info_payload(self, channel):
+        channel.call_sync(protocol.MSG_REGISTER_CONTAINER, container_id="c1", limit=GiB)
+        reply = channel.call_sync(protocol.MSG_MEM_GET_INFO, container_id="c1", pid=1)
+        assert (reply["free"], reply["total"]) == (GiB, GiB)
+
+
+class TestDaemon:
+    @pytest.fixture
+    def daemon(self, tmp_path):
+        scheduler = GpuMemoryScheduler(5 * GiB, make_policy("BF"))
+        daemon = SchedulerDaemon(scheduler, base_dir=str(tmp_path / "convgpu"))
+        daemon.start()
+        yield daemon
+        daemon.stop()
+
+    def test_registration_prepares_directory(self, daemon):
+        with UnixSocketClient(daemon.control_path) as control:
+            reply = control.call(
+                protocol.MSG_REGISTER_CONTAINER, container_id="c1", limit=GiB
+            )
+        assert reply["status"] == "ok"
+        directory = reply["socket_dir"]
+        # §III-D: directory + socket + wrapper copy.
+        assert os.path.isdir(directory)
+        assert os.path.exists(os.path.join(directory, WRAPPER_SONAME))
+        assert os.path.exists(os.path.join(directory, CONTAINER_SOCKET_NAME))
+
+    def test_container_socket_serves_allocations(self, daemon):
+        with UnixSocketClient(daemon.control_path) as control:
+            control.call(protocol.MSG_REGISTER_CONTAINER, container_id="c1", limit=GiB)
+        with UnixSocketClient(daemon.container_socket_path("c1")) as wrapper_conn:
+            reply = wrapper_conn.call(
+                protocol.MSG_ALLOC_REQUEST,
+                container_id="c1",
+                pid=7,
+                size=MiB,
+                api="cudaMalloc",
+            )
+        assert reply["decision"] == "grant"
+
+    def test_exit_tears_directory_down(self, daemon):
+        with UnixSocketClient(daemon.control_path) as control:
+            reply = control.call(
+                protocol.MSG_REGISTER_CONTAINER, container_id="c1", limit=GiB
+            )
+            directory = reply["socket_dir"]
+            control.call(protocol.MSG_CONTAINER_EXIT, container_id="c1")
+        assert not os.path.exists(directory)
+        with pytest.raises(SchedulerError):
+            daemon.container_socket_path("c1")
+
+    def test_wrapper_traffic_rejected_on_control_socket(self, daemon):
+        with UnixSocketClient(daemon.control_path) as control:
+            reply = control.call(
+                protocol.MSG_ALLOC_REQUEST,
+                container_id="c1",
+                pid=1,
+                size=MiB,
+                api="cudaMalloc",
+            )
+        assert reply["status"] == "error"
+        assert "control socket" in reply["error"]
+
+    def test_double_start_rejected(self, daemon):
+        with pytest.raises(SchedulerError):
+            daemon.start()

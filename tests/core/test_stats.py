@@ -1,0 +1,124 @@
+"""Tests for scheduler observability (snapshots + timelines)."""
+
+import pytest
+
+from tests.conftest import ManualClock
+
+from repro.core.scheduler.core import CONTEXT_OVERHEAD_CHARGE, GpuMemoryScheduler
+from repro.core.scheduler.policies import make_policy
+from repro.core.scheduler.stats import (
+    format_snapshot,
+    snapshot,
+    summarize_events,
+    suspension_timeline,
+)
+from repro.units import GiB, MiB
+
+
+@pytest.fixture
+def clock():
+    return ManualClock()
+
+
+@pytest.fixture
+def sched(clock):
+    return GpuMemoryScheduler(5 * GiB, make_policy("FIFO"), clock=clock)
+
+
+class TestSnapshot:
+    def test_empty_scheduler(self, sched):
+        snap = snapshot(sched)
+        assert snap.reserved == 0
+        assert snap.unreserved == 5 * GiB
+        assert snap.containers == ()
+        assert "(no containers)" in format_snapshot(snap)
+
+    def test_running_and_paused_rows(self, sched, clock):
+        sched.register_container("big", 5 * GiB)
+        sched.request_allocation("big", 1, GiB)
+        sched.commit_allocation("big", 1, 0x1, GiB)
+        sched.register_container("waiting", GiB)
+        clock.advance(7.0)
+        sched.request_allocation("waiting", 2, 100 * MiB)
+        snap = snapshot(sched)
+        by_id = {c.container_id: c for c in snap.containers}
+        assert not by_id["big"].paused
+        assert by_id["big"].used == GiB + CONTEXT_OVERHEAD_CHARGE
+        assert by_id["waiting"].paused
+        assert by_id["waiting"].pending_requests == 1
+        assert snap.paused_count == 1
+        text = format_snapshot(snap)
+        assert "paused" in text and "running" in text
+        assert "big" in text and "waiting" in text
+
+    def test_utilization(self, sched):
+        sched.register_container("c", GiB)
+        sched.request_allocation("c", 1, 446 * MiB)  # + 66 overhead = 512
+        sched.commit_allocation("c", 1, 0x1, 446 * MiB)
+        snap = snapshot(sched)
+        assert snap.containers[0].utilization == pytest.approx(0.5)
+
+
+class TestSuspensionTimeline:
+    def test_resumed_interval(self, sched, clock):
+        sched.register_container("hog", 5 * GiB)
+        sched.register_container("late", GiB)
+        clock.advance(10.0)
+        sched.request_allocation("late", 2, 100 * MiB)  # pauses at t=10
+        clock.advance(20.0)
+        sched.container_exit("hog")  # resumes at t=30
+        timeline = suspension_timeline(sched)
+        assert len(timeline) == 1
+        interval = timeline[0]
+        assert interval.container_id == "late"
+        assert (interval.start, interval.end) == (10.0, 30.0)
+        assert interval.duration == 20.0
+        assert interval.resolution == "resumed"
+
+    def test_container_exit_closes_interval(self, sched, clock):
+        sched.register_container("hog", 5 * GiB)
+        sched.register_container("late", GiB)
+        clock.advance(5.0)
+        sched.request_allocation("late", 2, 100 * MiB)
+        clock.advance(3.0)
+        sched.container_exit("late")  # dies while paused
+        timeline = suspension_timeline(sched)
+        assert timeline[0].resolution == "container-exit"
+        assert timeline[0].duration == pytest.approx(3.0)
+
+    def test_open_interval_uses_current_clock(self, sched, clock):
+        sched.register_container("hog", 5 * GiB)
+        sched.register_container("late", GiB)
+        sched.request_allocation("late", 2, 100 * MiB)
+        clock.advance(12.0)
+        timeline = suspension_timeline(sched)
+        assert timeline[0].resolution == "open"
+        assert timeline[0].duration == pytest.approx(12.0)
+
+    def test_timeline_matches_fig8_accounting(self, sched, clock):
+        """Sum of resolved intervals == the scheduler's suspended_total."""
+        sched.register_container("hog", 5 * GiB)
+        sched.register_container("late", GiB)
+        clock.advance(1.0)
+        sched.request_allocation("late", 2, 100 * MiB)
+        clock.advance(9.0)
+        sched.container_exit("hog")
+        total = sum(
+            i.duration for i in suspension_timeline(sched)
+            if i.container_id == "late"
+        )
+        assert total == pytest.approx(sched.container("late").suspended_total)
+
+
+class TestEventSummary:
+    def test_counts(self, sched, clock):
+        sched.register_container("a", 5 * GiB)
+        sched.register_container("b", GiB)
+        sched.request_allocation("b", 2, 100 * MiB)  # paused
+        sched.request_allocation("a", 1, 10 * GiB - 9 * GiB)  # granted
+        sched.container_exit("a")
+        counts = summarize_events(sched)
+        assert counts["registered"] == 2
+        assert counts["paused"] == 1
+        assert counts["resumed"] == 1
+        assert counts["closed"] == 1

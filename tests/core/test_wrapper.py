@@ -1,0 +1,287 @@
+"""Tests for the CUDA wrapper API module (libgpushare.so, §III-C)."""
+
+import pytest
+
+from repro.core.scheduler.core import CONTEXT_OVERHEAD_CHARGE, GpuMemoryScheduler
+from repro.core.scheduler.policies import make_policy
+from repro.core.scheduler.service import SchedulerService
+from repro.core.wrapper.adjust import SizeAdjuster
+from repro.core.wrapper.module import INTERCEPTED_SYMBOLS, WrapperModule
+from repro.cuda.context import ContextTable
+from repro.cuda.effects import IpcCall
+from repro.cuda.errors import cudaError
+from repro.cuda.fatbinary import FatBinaryRegistry
+from repro.cuda.runtime import CudaRuntime
+from repro.cuda.types import cudaExtent
+from repro.gpu.device import GpuDevice
+from repro.ipc import protocol
+from repro.ipc.unix_socket import DEFER
+from repro.units import GiB, MiB
+
+
+class DirectBridgeDriver:
+    """Drives wrapper generators, answering IpcCall via a service handler.
+
+    Deferred replies (pauses) are treated as test failures unless the test
+    opted in — unit tests here exercise the non-blocking paths; pauses are
+    covered by the runner/integration tests.
+    """
+
+    def __init__(self, handler):
+        self.handler = handler
+        self.sent: list[dict] = []
+
+    def drive_collect(self, gen):
+        """Like drive, but also records every yielded effect."""
+        effects = []
+        original = self.drive
+
+        def recording_drive(inner_gen):
+            try:
+                item = next(inner_gen)
+            except StopIteration as stop:
+                return effects, stop.value
+            while True:
+                effects.append(item)
+                value = None
+                if isinstance(item, IpcCall):
+                    self.sent.append(item.message)
+                    result = self.handler(dict(item.message), _CaptureHandle())
+                    if item.await_reply:
+                        value = result
+                try:
+                    item = inner_gen.send(value)
+                except StopIteration as stop:
+                    return effects, stop.value
+
+        return recording_drive(gen)
+
+    def drive(self, gen):
+        try:
+            item = next(gen)
+        except StopIteration as stop:
+            return stop.value
+        while True:
+            value = None
+            if isinstance(item, IpcCall):
+                self.sent.append(item.message)
+                captured = {}
+
+                class Handle:
+                    def send(self, reply, _captured=captured):
+                        _captured["reply"] = reply
+
+                result = self.handler(dict(item.message), Handle())
+                if result is DEFER:
+                    raise AssertionError("unexpected pause in unit test")
+                if item.await_reply:
+                    value = result if result is not None else captured.get("reply")
+            try:
+                item = gen.send(value)
+            except StopIteration as stop:
+                return stop.value
+
+
+class _CaptureHandle:
+    def send(self, reply):
+        pass
+
+
+@pytest.fixture
+def stack(device):
+    scheduler = GpuMemoryScheduler(
+        device.properties.total_global_mem, make_policy("FIFO")
+    )
+    service = SchedulerService(scheduler)
+    scheduler.register_container("c1", 1 * GiB)
+    runtime = CudaRuntime(device, 500, ContextTable(device), FatBinaryRegistry())
+    wrapper = WrapperModule(runtime, container_id="c1")
+    driver = DirectBridgeDriver(service.handle)
+    return scheduler, wrapper, driver, runtime
+
+
+class TestInterceptionTable:
+    def test_exactly_table_ii(self):
+        """Table II: the full list of intercepted APIs."""
+        assert set(INTERCEPTED_SYMBOLS) == {
+            "cudaMalloc",
+            "cudaMallocManaged",
+            "cudaMallocPitch",
+            "cudaMalloc3D",
+            "cudaFree",
+            "cudaMemGetInfo",
+            "cudaGetDeviceProperties",
+            "__cudaUnregisterFatBinary",
+        }
+
+    def test_shared_library_exports_match(self, stack):
+        _, wrapper, _, _ = stack
+        library = wrapper.as_shared_library()
+        assert library.soname == "libgpushare.so"
+        assert set(library.symbols()) == set(INTERCEPTED_SYMBOLS)
+
+    def test_texture_apis_not_intercepted(self, stack):
+        """§III-C: cudaMallocArray is deliberately NOT captured."""
+        _, wrapper, _, _ = stack
+        assert wrapper.as_shared_library().lookup("cudaMallocArray") is None
+
+
+class TestMallocProtocol:
+    def test_grant_then_commit(self, stack):
+        scheduler, wrapper, driver, _ = stack
+        err, ptr = driver.drive(wrapper.cudaMalloc(100 * MiB))
+        assert err is cudaError.cudaSuccess
+        types = [m["type"] for m in driver.sent]
+        assert types == ["alloc_request", "alloc_commit"]
+        record = scheduler.container("c1")
+        assert record.used == 100 * MiB + CONTEXT_OVERHEAD_CHARGE
+        assert record.allocations[ptr].size == 100 * MiB
+
+    def test_reject_maps_to_memory_allocation_error(self, stack):
+        scheduler, wrapper, driver, _ = stack
+        err, ptr = driver.drive(wrapper.cudaMalloc(2 * GiB))  # limit is 1 GiB
+        assert err is cudaError.cudaErrorMemoryAllocation
+        assert ptr is None
+        # No commit was sent and nothing was allocated natively.
+        assert [m["type"] for m in driver.sent] == ["alloc_request"]
+        assert scheduler.container("c1").used == 0
+
+    def test_native_failure_sends_abort(self, device):
+        """Grant passes, device fails -> abort rolls the inflight back."""
+        scheduler = GpuMemoryScheduler(
+            device.properties.total_global_mem, make_policy("FIFO")
+        )
+        service = SchedulerService(scheduler)
+        scheduler.register_container("c1", 5 * GiB)
+        runtime = CudaRuntime(device, 500, ContextTable(device), FatBinaryRegistry())
+        wrapper = WrapperModule(runtime, container_id="c1")
+        driver = DirectBridgeDriver(service.handle)
+        # Consume almost the whole device outside the scheduler's sight
+        # (simulates unmanaged pressure, e.g. a host process).
+        device.allocate(5 * GiB - 100 * MiB)  # context (66 MiB) still fits
+        err, ptr = driver.drive(wrapper.cudaMalloc(200 * MiB))
+        assert err is cudaError.cudaErrorMemoryAllocation
+        assert [m["type"] for m in driver.sent] == ["alloc_request", "alloc_abort"]
+        assert scheduler.container("c1").inflight == 0
+
+    def test_invalid_size_short_circuits(self, stack):
+        _, wrapper, driver, _ = stack
+        err, _ = driver.drive(wrapper.cudaMalloc(0))
+        assert err is cudaError.cudaErrorInvalidValue
+        assert driver.sent == []  # scheduler never bothered
+
+
+class TestAdjustedSizes:
+    def test_managed_reports_rounded_size(self, stack):
+        """§III-C: the scheduler is told the 128 MiB-rounded size."""
+        scheduler, wrapper, driver, _ = stack
+        err, _ = driver.drive(wrapper.cudaMallocManaged(MiB))
+        assert err is cudaError.cudaSuccess
+        request = next(m for m in driver.sent if m["type"] == "alloc_request")
+        assert request["size"] == 128 * MiB
+
+    def test_pitch_reports_pitched_size(self, stack):
+        scheduler, wrapper, driver, _ = stack
+        err, (ptr, pitch) = driver.drive(wrapper.cudaMallocPitch(1000, 100))
+        assert err is cudaError.cudaSuccess
+        request = next(m for m in driver.sent if m["type"] == "alloc_request")
+        assert request["size"] == pitch * 100
+        assert pitch == 1024  # 1000 aligned to the 512-byte granularity
+
+    def test_malloc3d_adjustment(self, stack):
+        scheduler, wrapper, driver, _ = stack
+        err, result = driver.drive(wrapper.cudaMalloc3D(cudaExtent(700, 8, 4)))
+        assert err is cudaError.cudaSuccess
+        request = next(m for m in driver.sent if m["type"] == "alloc_request")
+        assert request["size"] == result.pitch * 8 * 4
+
+    def test_first_pitch_call_queries_device_properties(self, stack):
+        """Fig. 4: the first cudaMallocPitch is ~2x (device-props lookup)."""
+        _, wrapper, driver, _ = stack
+        effects1, _ = driver.drive_collect(wrapper.cudaMallocPitch(1000, 10))
+        apis1 = [getattr(e, "api", "") for e in effects1]
+        assert "cudaGetDeviceProperties" in apis1
+
+    def test_second_pitch_call_uses_cache(self, stack):
+        _, wrapper, driver, _ = stack
+        driver.drive(wrapper.cudaMallocPitch(1000, 10))
+        effects2, _ = driver.drive_collect(wrapper.cudaMallocPitch(1000, 10))
+        apis2 = [getattr(e, "api", "") for e in effects2]
+        assert "cudaGetDeviceProperties" not in apis2
+
+
+class TestFreeAndQueries:
+    def test_free_notifies_after_native_free(self, stack):
+        scheduler, wrapper, driver, _ = stack
+        _, ptr = driver.drive(wrapper.cudaMalloc(10 * MiB))
+        driver.sent.clear()
+        err, _ = driver.drive(wrapper.cudaFree(ptr))
+        assert err is cudaError.cudaSuccess
+        assert [m["type"] for m in driver.sent] == ["alloc_release"]
+        assert scheduler.container("c1").used == CONTEXT_OVERHEAD_CHARGE
+
+    def test_free_failure_does_not_notify(self, stack):
+        _, wrapper, driver, _ = stack
+        err, _ = driver.drive(wrapper.cudaFree(0xBAD))
+        assert err is cudaError.cudaErrorInvalidDevicePointer
+        assert driver.sent == []
+
+    def test_free_null_is_silent_noop(self, stack):
+        _, wrapper, driver, _ = stack
+        err, _ = driver.drive(wrapper.cudaFree(0))
+        assert err is cudaError.cudaSuccess
+        assert driver.sent == []
+
+    def test_mem_get_info_answers_from_scheduler(self, stack):
+        """§IV-B: faster than native because no device round-trip."""
+        scheduler, wrapper, driver, _ = stack
+        driver.drive(wrapper.cudaMalloc(100 * MiB))
+        driver.sent.clear()
+        err, (free, total) = driver.drive(wrapper.cudaMemGetInfo())
+        assert err is cudaError.cudaSuccess
+        assert total == 1 * GiB  # the container's limit, not 5 GiB
+        assert free == GiB - 100 * MiB - CONTEXT_OVERHEAD_CHARGE
+        assert [m["type"] for m in driver.sent] == ["mem_get_info"]
+
+
+class TestProcessExitInterception:
+    def test_unregister_sends_process_exit(self, stack):
+        scheduler, wrapper, driver, runtime = stack
+        from tests.conftest import drive as plain_drive
+
+        _, handle = plain_drive(runtime.cudaRegisterFatBinary())
+        driver.drive(wrapper.cudaMalloc(100 * MiB))  # leak it
+        driver.sent.clear()
+        err, last = driver.drive(wrapper.cudaUnregisterFatBinary(handle))
+        assert err is cudaError.cudaSuccess and last
+        assert [m["type"] for m in driver.sent] == ["process_exit"]
+        assert scheduler.container("c1").used == 0  # leak reclaimed
+
+
+class TestSizeAdjuster:
+    def test_requires_learning_first(self):
+        adjuster = SizeAdjuster()
+        with pytest.raises(RuntimeError):
+            adjuster.malloc_managed(MiB)
+        with pytest.raises(RuntimeError):
+            adjuster.malloc_pitch(100, 10)
+
+    def test_plain_malloc_needs_no_learning(self):
+        assert SizeAdjuster().malloc(123) == 123
+
+    def test_learned_values_applied(self):
+        adjuster = SizeAdjuster()
+        adjuster.learn(pitch_granularity=512, managed_granularity=128 * MiB)
+        assert adjuster.malloc_managed(1) == 128 * MiB
+        total, pitch = adjuster.malloc_pitch(513, 2)
+        assert (total, pitch) == (2048, 1024)
+
+    def test_invalid_inputs(self):
+        adjuster = SizeAdjuster()
+        adjuster.learn(pitch_granularity=512, managed_granularity=128 * MiB)
+        with pytest.raises(ValueError):
+            adjuster.malloc(0)
+        with pytest.raises(ValueError):
+            adjuster.malloc_pitch(0, 5)
+        with pytest.raises(ValueError):
+            adjuster.learn(pitch_granularity=0, managed_granularity=1)

@@ -1,0 +1,73 @@
+"""Tests for CUDA contexts and the 64+2 MiB overhead model."""
+
+import pytest
+
+from repro.cuda.context import (
+    CONTEXT_OVERHEAD,
+    PROCESS_DATA_OVERHEAD,
+    TOTAL_CONTEXT_OVERHEAD,
+    ContextTable,
+)
+from repro.errors import OutOfMemoryError
+from repro.gpu.device import GpuDevice
+from repro.gpu.properties import make_properties
+from repro.units import MiB
+
+
+class TestOverheadConstants:
+    def test_paper_values(self):
+        # §III-D: "CUDA uses 64MiB ... and 2MiB to store CUDA context".
+        assert PROCESS_DATA_OVERHEAD == 64 * MiB
+        assert CONTEXT_OVERHEAD == 2 * MiB
+        assert TOTAL_CONTEXT_OVERHEAD == 66 * MiB
+
+
+class TestContextTable:
+    def test_ensure_creates_once(self, device):
+        table = ContextTable(device)
+        ctx1, created1 = table.ensure(10)
+        ctx2, created2 = table.ensure(10)
+        assert created1 and not created2
+        assert ctx1 is ctx2
+        assert device.allocator.used == TOTAL_CONTEXT_OVERHEAD
+
+    def test_contexts_are_per_pid(self, device):
+        table = ContextTable(device)
+        table.ensure(1)
+        table.ensure(2)
+        assert device.allocator.used == 2 * TOTAL_CONTEXT_OVERHEAD
+        assert table.live_pids() == [1, 2]
+
+    def test_destroy_frees_overhead_and_user_memory(self, device):
+        table = ContextTable(device)
+        context, _ = table.ensure(5)
+        allocation = device.allocate(MiB)
+        context.user_addresses.add(allocation.address)
+        freed = table.destroy(5)
+        assert freed == TOTAL_CONTEXT_OVERHEAD + MiB
+        assert device.allocator.used == 0
+        assert not table.has_context(5)
+
+    def test_destroy_unknown_pid_is_noop(self, device):
+        assert ContextTable(device).destroy(404) == 0
+
+    def test_double_destroy_safe(self, device):
+        table = ContextTable(device)
+        context, _ = table.ensure(5)
+        table.destroy(5)
+        assert context.destroy() == 0  # second destroy frees nothing
+
+    def test_creation_is_all_or_nothing_under_oom(self):
+        # 65 MiB device: the 64 MiB block fits, the 2 MiB one does not.
+        device = GpuDevice(0, make_properties(65 * MiB))
+        table = ContextTable(device)
+        with pytest.raises(OutOfMemoryError):
+            table.ensure(1)
+        assert device.allocator.used == 0  # rollback happened
+
+    def test_recreate_after_destroy(self, device):
+        table = ContextTable(device)
+        table.ensure(7)
+        table.destroy(7)
+        _, created = table.ensure(7)
+        assert created

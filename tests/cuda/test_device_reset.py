@@ -1,0 +1,86 @@
+"""Tests for cudaDeviceReset — including the interception blind spot.
+
+``cudaDeviceReset`` is *not* on Table II, so ConVGPU does not intercept
+it.  A program that resets its context frees device memory behind the
+scheduler's back; the accounting desynchronizes until the process exits
+(``__cudaUnregisterFatBinary`` reconciles).  That is a faithful limitation
+of the paper's design, reproduced and pinned down here.
+"""
+
+import pytest
+
+from tests.conftest import drive
+
+from repro.container.image import make_cuda_image
+from repro.core.middleware import ConVGPU
+from repro.core.scheduler.core import CONTEXT_OVERHEAD_CHARGE
+from repro.cuda.context import ContextTable
+from repro.cuda.errors import cudaError
+from repro.cuda.runtime import CudaRuntime
+from repro.sim.engine import Environment
+from repro.units import MiB
+from repro.workloads.api import ProcessApi
+from repro.workloads.runner import SimIpcBridge, SimProgramRunner
+
+
+class TestNativeSemantics:
+    def test_reset_frees_everything(self, device):
+        rt = CudaRuntime(device, 1, ContextTable(device))
+        drive(rt.cudaMalloc(100 * MiB))
+        assert device.allocator.used > 0
+        err, _ = drive(rt.cudaDeviceReset())
+        assert err is cudaError.cudaSuccess
+        assert device.allocator.used == 0
+
+    def test_next_allocation_recreates_context(self, device):
+        rt = CudaRuntime(device, 1, ContextTable(device))
+        drive(rt.cudaMalloc(MiB))
+        drive(rt.cudaDeviceReset())
+        err, ptr = drive(rt.cudaMalloc(MiB))
+        assert err is cudaError.cudaSuccess
+        # Context overhead paid again.
+        assert device.allocator.used > MiB
+
+    def test_reset_without_context_is_noop(self, device):
+        rt = CudaRuntime(device, 1, ContextTable(device))
+        err, _ = drive(rt.cudaDeviceReset())
+        assert err is cudaError.cudaSuccess
+
+
+class TestInterceptionBlindSpot:
+    def test_reset_desyncs_until_process_exit(self):
+        """The Table II gap: reset escapes the scheduler; exit reconciles."""
+        env = Environment()
+        system = ConVGPU(policy="FIFO", clock=lambda: env.now)
+        system.engine.images.add(make_cuda_image("app"))
+        observed = {}
+
+        def program(api):
+            err, ptr = yield from api.cudaMalloc(100 * MiB)
+            assert err is cudaError.cudaSuccess
+            err, _ = yield from api.cudaDeviceReset()  # NOT intercepted
+            assert err is cudaError.cudaSuccess
+            # Device side: freed.  Scheduler side: still charged.
+            observed["device_used"] = system.device.allocator.used
+            observed["sched_used"] = system.scheduler.container("c1").used
+            return 0
+
+        container = system.nvdocker.run(
+            "app", name="c1", nvidia_memory=512 * MiB, command=program
+        )
+        runner = SimProgramRunner(
+            env, system.device, SimIpcBridge(env, system.service.handle)
+        )
+        proc = runner.run_program(
+            ProcessApi(container.main_process),
+            on_exit=lambda code: system.engine.notify_main_exit(
+                container.container_id, code
+            ),
+        )
+        env.run()
+        assert proc.value == 0
+        assert observed["device_used"] == 0  # device really freed
+        assert observed["sched_used"] == 100 * MiB + CONTEXT_OVERHEAD_CHARGE
+        # __cudaUnregisterFatBinary reconciled everything at exit.
+        assert system.scheduler.reserved == 0
+        system.scheduler.check_invariants()

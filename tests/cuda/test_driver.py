@@ -1,0 +1,115 @@
+"""Tests for the CUDA Driver API subset."""
+
+import pytest
+
+from tests.conftest import drive
+
+from repro.cuda.context import TOTAL_CONTEXT_OVERHEAD, ContextTable
+from repro.cuda.driver import CudaDriver
+from repro.cuda.errors import CUresult
+from repro.cuda.fatbinary import FatBinaryRegistry
+from repro.cuda.runtime import CudaRuntime
+from repro.units import GiB, MiB
+
+
+@pytest.fixture
+def contexts(device):
+    return ContextTable(device)
+
+
+@pytest.fixture
+def drv(device, contexts):
+    return CudaDriver(device, 200, contexts)
+
+
+class TestInitRequirement:
+    def test_everything_fails_before_cuInit(self, drv):
+        err, _ = drive(drv.cuMemAlloc(MiB))
+        assert err is CUresult.CUDA_ERROR_NOT_INITIALIZED
+        err, _ = drive(drv.cuCtxCreate())
+        assert err is CUresult.CUDA_ERROR_NOT_INITIALIZED
+        err, _ = drive(drv.cuMemGetInfo())
+        assert err is CUresult.CUDA_ERROR_NOT_INITIALIZED
+
+    def test_cuinit_flags_must_be_zero(self, drv):
+        err, _ = drive(drv.cuInit(1))
+        assert err is CUresult.CUDA_ERROR_INVALID_VALUE
+
+
+class TestExplicitContext:
+    def test_alloc_without_context_fails(self, drv):
+        drive(drv.cuInit())
+        # §II-A: Driver API has no implicit initialization.
+        err, _ = drive(drv.cuMemAlloc(MiB))
+        assert err is CUresult.CUDA_ERROR_INVALID_CONTEXT
+
+    def test_ctx_create_then_alloc(self, drv, device):
+        drive(drv.cuInit())
+        err, _ = drive(drv.cuCtxCreate())
+        assert err is CUresult.CUDA_SUCCESS
+        err, dptr = drive(drv.cuMemAlloc(MiB))
+        assert err is CUresult.CUDA_SUCCESS
+        assert device.allocator.used == MiB + TOTAL_CONTEXT_OVERHEAD
+
+    def test_ctx_destroy_frees_everything(self, drv, device):
+        drive(drv.cuInit())
+        drive(drv.cuCtxCreate())
+        drive(drv.cuMemAlloc(MiB))
+        err, freed = drive(drv.cuCtxDestroy())
+        assert err is CUresult.CUDA_SUCCESS
+        assert freed == MiB + TOTAL_CONTEXT_OVERHEAD
+        assert device.allocator.used == 0
+
+    def test_destroy_without_context(self, drv):
+        drive(drv.cuInit())
+        err, _ = drive(drv.cuCtxDestroy())
+        assert err is CUresult.CUDA_ERROR_INVALID_CONTEXT
+
+
+class TestMemoryOps:
+    def test_oom_is_in_band(self, drv):
+        drive(drv.cuInit())
+        drive(drv.cuCtxCreate())
+        err, _ = drive(drv.cuMemAlloc(6 * GiB))
+        assert err is CUresult.CUDA_ERROR_OUT_OF_MEMORY
+
+    def test_free_round_trip(self, drv, device):
+        drive(drv.cuInit())
+        drive(drv.cuCtxCreate())
+        _, dptr = drive(drv.cuMemAlloc(MiB))
+        err, _ = drive(drv.cuMemFree(dptr))
+        assert err is CUresult.CUDA_SUCCESS
+        assert device.allocator.used == TOTAL_CONTEXT_OVERHEAD
+
+    def test_free_foreign_pointer(self, drv):
+        drive(drv.cuInit())
+        drive(drv.cuCtxCreate())
+        err, _ = drive(drv.cuMemFree(0xDEAD))
+        assert err is CUresult.CUDA_ERROR_INVALID_VALUE
+
+    def test_mem_get_info(self, drv):
+        drive(drv.cuInit())
+        err, (free, total) = drive(drv.cuMemGetInfo())
+        assert err is CUresult.CUDA_SUCCESS
+        assert free == total == 5 * GiB
+
+
+class TestRuntimeDriverInterop:
+    def test_shared_context_table(self, device, contexts):
+        """Runtime and Driver APIs see the same per-pid context (§II-A)."""
+        driver = CudaDriver(device, 300, contexts)
+        runtime = CudaRuntime(device, 300, contexts, FatBinaryRegistry())
+        drive(driver.cuInit())
+        drive(driver.cuCtxCreate())
+        _, dptr = drive(driver.cuMemAlloc(MiB))
+        # The runtime can free driver-allocated memory of the same pid.
+        from repro.cuda.errors import cudaError
+
+        err, _ = drive(runtime.cudaFree(dptr))
+        assert err is cudaError.cudaSuccess
+
+    def test_symbol_resolution(self, drv):
+        for symbol in CudaDriver.SYMBOLS:
+            assert callable(drv.resolve(symbol))
+        with pytest.raises(KeyError):
+            drv.resolve("cuNotReal")

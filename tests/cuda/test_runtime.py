@@ -1,0 +1,235 @@
+"""Tests for the native CUDA Runtime API model."""
+
+import pytest
+
+from tests.conftest import collect_effects, drive
+
+from repro.cuda.context import TOTAL_CONTEXT_OVERHEAD, ContextTable
+from repro.cuda.effects import DeviceOp, KernelLaunch, Synchronize
+from repro.cuda.errors import cudaError
+from repro.cuda.fatbinary import FatBinaryRegistry
+from repro.cuda.runtime import CudaRuntime, align_up
+from repro.cuda.types import cudaExtent
+from repro.gpu.device import GpuDevice
+from repro.gpu.properties import make_properties
+from repro.units import GiB, MiB
+
+
+@pytest.fixture
+def rt(device):
+    return CudaRuntime(device, 100, ContextTable(device), FatBinaryRegistry())
+
+
+class TestAlignUp:
+    @pytest.mark.parametrize(
+        "value,alignment,expected",
+        [(0, 512, 0), (1, 512, 512), (512, 512, 512), (513, 512, 1024), (1000, 256, 1024)],
+    )
+    def test_values(self, value, alignment, expected):
+        assert align_up(value, alignment) == expected
+
+
+class TestCudaMalloc:
+    def test_success_returns_pointer(self, rt):
+        err, ptr = drive(rt.cudaMalloc(MiB))
+        assert err is cudaError.cudaSuccess
+        assert ptr != 0
+
+    def test_first_allocation_creates_context(self, rt, device):
+        drive(rt.cudaMalloc(MiB))
+        # 1 MiB user + 64 MiB process data + 2 MiB context.
+        assert device.allocator.used == MiB + TOTAL_CONTEXT_OVERHEAD
+
+    def test_second_allocation_no_extra_overhead(self, rt, device):
+        drive(rt.cudaMalloc(MiB))
+        used_after_first = device.allocator.used
+        drive(rt.cudaMalloc(MiB))
+        assert device.allocator.used == used_after_first + MiB
+
+    def test_oom_returns_error_code_not_exception(self, rt):
+        err, ptr = drive(rt.cudaMalloc(6 * GiB))
+        assert err is cudaError.cudaErrorMemoryAllocation
+        assert ptr is None
+
+    def test_invalid_size(self, rt):
+        err, ptr = drive(rt.cudaMalloc(0))
+        assert err is cudaError.cudaErrorInvalidValue
+
+    def test_emits_device_op_effects(self, rt):
+        effects, (err, _ptr) = collect_effects(rt.cudaMalloc(MiB))
+        assert err is cudaError.cudaSuccess
+        apis = [e.api for e in effects if isinstance(e, DeviceOp)]
+        assert "contextCreate" in apis  # first call pays context creation
+        assert "cudaMalloc" in apis
+
+    def test_context_creation_oom(self):
+        tiny = GpuDevice(0, make_properties(32 * MiB))
+        rt = CudaRuntime(tiny, 1, ContextTable(tiny))
+        err, _ = drive(rt.cudaMalloc(MiB))
+        assert err is cudaError.cudaErrorInitializationError
+
+
+class TestCudaMallocManaged:
+    def test_rounds_to_128_mib(self, rt, device):
+        # §III-C: "allocates memory size which is multiple of 128MiB".
+        drive(rt.cudaMallocManaged(MiB))
+        used = device.allocator.used - TOTAL_CONTEXT_OVERHEAD
+        assert used == 128 * MiB
+
+    def test_exact_multiple_not_inflated(self, rt, device):
+        drive(rt.cudaMallocManaged(256 * MiB))
+        used = device.allocator.used - TOTAL_CONTEXT_OVERHEAD
+        assert used == 256 * MiB
+
+    def test_slowest_allocation_api(self, rt):
+        effects, _ = collect_effects(rt.cudaMallocManaged(MiB))
+        managed_op = [e for e in effects if getattr(e, "api", "") == "cudaMallocManaged"]
+        assert managed_op[0].duration > 1e-3  # Fig. 4: ~40x cudaMalloc
+
+
+class TestCudaMallocPitch:
+    def test_pitch_is_device_granularity_multiple(self, rt, device):
+        err, (ptr, pitch) = drive(rt.cudaMallocPitch(1000, 10))
+        assert err is cudaError.cudaSuccess
+        assert pitch == align_up(1000, device.properties.pitch_granularity)
+        assert pitch % device.properties.pitch_granularity == 0
+
+    def test_total_is_pitch_times_height(self, rt, device):
+        before = device.allocator.used
+        err, (ptr, pitch) = drive(rt.cudaMallocPitch(1000, 10))
+        added = device.allocator.used - before - TOTAL_CONTEXT_OVERHEAD
+        assert added == pitch * 10
+
+    def test_invalid_dimensions(self, rt):
+        err, _ = drive(rt.cudaMallocPitch(0, 10))
+        assert err is cudaError.cudaErrorInvalidValue
+
+
+class TestCudaMalloc3D:
+    def test_returns_pitched_ptr(self, rt, device):
+        extent = cudaExtent(width=100, height=4, depth=3)
+        err, result = drive(rt.cudaMalloc3D(extent))
+        assert err is cudaError.cudaSuccess
+        assert result.pitch == align_up(100, device.properties.pitch_granularity)
+        assert result.xsize == 100 and result.ysize == 4
+
+    def test_zero_depth_rejected(self, rt):
+        err, _ = drive(rt.cudaMalloc3D(cudaExtent(100, 4, 0)))
+        assert err is cudaError.cudaErrorInvalidValue
+
+
+class TestCudaFree:
+    def test_free_null_is_noop_success(self, rt):
+        err, _ = drive(rt.cudaFree(0))
+        assert err is cudaError.cudaSuccess
+
+    def test_free_returns_memory(self, rt, device):
+        _, ptr = drive(rt.cudaMalloc(MiB))
+        before = device.allocator.used
+        err, _ = drive(rt.cudaFree(ptr))
+        assert err is cudaError.cudaSuccess
+        assert device.allocator.used == before - MiB
+
+    def test_free_unknown_pointer(self, rt):
+        err, _ = drive(rt.cudaFree(0xBAD))
+        assert err is cudaError.cudaErrorInvalidDevicePointer
+
+    def test_double_free_detected(self, rt):
+        _, ptr = drive(rt.cudaMalloc(MiB))
+        drive(rt.cudaFree(ptr))
+        err, _ = drive(rt.cudaFree(ptr))
+        assert err is cudaError.cudaErrorInvalidDevicePointer
+
+    def test_cross_process_free_rejected(self, rt, device):
+        _, ptr = drive(rt.cudaMalloc(MiB))
+        other = CudaRuntime(device, 999, rt.contexts, rt.fatbins)
+        drive(other.cudaMalloc(4096))  # give pid 999 a context
+        err, _ = drive(other.cudaFree(ptr))
+        assert err is cudaError.cudaErrorInvalidDevicePointer
+
+
+class TestQueries:
+    def test_mem_get_info_device_wide(self, rt):
+        drive(rt.cudaMalloc(MiB))
+        err, (free, total) = drive(rt.cudaMemGetInfo())
+        assert err is cudaError.cudaSuccess
+        assert total == 5 * GiB
+        assert free == total - MiB - TOTAL_CONTEXT_OVERHEAD
+
+    def test_device_properties(self, rt, device):
+        err, props = drive(rt.cudaGetDeviceProperties())
+        assert err is cudaError.cudaSuccess
+        assert props.name == "Tesla K20m"
+        assert props.totalGlobalMem == 5 * GiB
+        assert props.pitchGranularity == device.properties.pitch_granularity
+        assert (props.major, props.minor) == (3, 5)
+
+    def test_wrong_ordinal(self, rt):
+        err, props = drive(rt.cudaGetDeviceProperties(3))
+        assert err is cudaError.cudaErrorInvalidDevice
+
+
+class TestExecution:
+    def test_memcpy_synchronizes_then_copies(self, rt):
+        effects, (err, _) = collect_effects(rt.cudaMemcpy(MiB, "h2d"))
+        assert err is cudaError.cudaSuccess
+        assert isinstance(effects[0], Synchronize)
+        assert any(isinstance(e, DeviceOp) and e.api == "cudaMemcpy" for e in effects)
+
+    def test_memcpy_bad_kind(self, rt):
+        err, _ = drive(rt.cudaMemcpy(MiB, "sideways"))
+        assert err is cudaError.cudaErrorInvalidValue
+
+    def test_kernel_launch_effect(self, rt):
+        effects, (err, _) = collect_effects(rt.cudaLaunchKernel(1.5))
+        assert err is cudaError.cudaSuccess
+        launches = [e for e in effects if isinstance(e, KernelLaunch)]
+        assert len(launches) == 1
+        assert launches[0].duration == 1.5
+
+    def test_negative_kernel_duration(self, rt):
+        err, _ = drive(rt.cudaLaunchKernel(-1.0))
+        assert err is cudaError.cudaErrorInvalidValue
+
+
+class TestFatBinaryLifecycle:
+    def test_register_then_unregister_destroys_context(self, rt, device):
+        err, handle = drive(rt.resolve("__cudaRegisterFatBinary")())
+        assert err is cudaError.cudaSuccess
+        drive(rt.cudaMalloc(MiB))  # leak it deliberately
+        err, last = drive(rt.resolve("__cudaUnregisterFatBinary")(handle))
+        assert err is cudaError.cudaSuccess
+        assert last is True
+        # §III-D: the driver reclaims leaked memory at process teardown.
+        assert device.allocator.used == 0
+
+    def test_multiple_fatbins_only_last_finishes_pid(self, rt):
+        _, h1 = drive(rt.resolve("__cudaRegisterFatBinary")())
+        _, h2 = drive(rt.resolve("__cudaRegisterFatBinary")())
+        _, last = drive(rt.resolve("__cudaUnregisterFatBinary")(h1))
+        assert last is False
+        _, last = drive(rt.resolve("__cudaUnregisterFatBinary")(h2))
+        assert last is True
+
+    def test_unregister_unknown_handle(self, rt):
+        from repro.cuda.fatbinary import FatBinaryHandle
+
+        err, _ = drive(
+            rt.resolve("__cudaUnregisterFatBinary")(FatBinaryHandle(999, 100))
+        )
+        assert err is cudaError.cudaErrorInvalidValue
+
+
+class TestSymbolResolution:
+    def test_all_declared_symbols_resolve(self, rt):
+        for symbol in CudaRuntime.SYMBOLS:
+            assert callable(rt.resolve(symbol))
+
+    def test_unknown_symbol_rejected(self, rt):
+        with pytest.raises(KeyError):
+            rt.resolve("cudaNotARealApi")
+
+    def test_mismatched_context_table_rejected(self, device):
+        other_device = GpuDevice(1)
+        with pytest.raises(ValueError):
+            CudaRuntime(device, 1, ContextTable(other_device))

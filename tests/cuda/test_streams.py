@@ -1,0 +1,275 @@
+"""Tests for CUDA streams, events, and the async API surface."""
+
+import pytest
+
+from tests.conftest import drive
+
+from repro.cuda.context import ContextTable
+from repro.cuda.errors import cudaError
+from repro.cuda.runtime import CudaRuntime
+from repro.cuda.streams import StreamTable
+from repro.errors import GpuError
+from repro.units import MiB
+
+
+@pytest.fixture
+def rt(device):
+    return CudaRuntime(device, 321, ContextTable(device))
+
+
+class TestStreamTable:
+    def test_default_stream_exists(self):
+        table = StreamTable()
+        assert table.live_streams() == [0]
+
+    def test_fifo_within_a_stream(self):
+        table = StreamTable()
+        s = table.create_stream().stream_id
+        start1, end1 = table.queue_op(s, now=0.0, duration=2.0)
+        start2, end2 = table.queue_op(s, now=0.5, duration=1.0)
+        assert (start1, end1) == (0.0, 2.0)
+        assert (start2, end2) == (2.0, 3.0)  # waits for the first op
+
+    def test_independent_streams_overlap(self):
+        table = StreamTable()
+        s1 = table.create_stream().stream_id
+        s2 = table.create_stream().stream_id
+        _, end1 = table.queue_op(s1, 0.0, 5.0)
+        start2, _ = table.queue_op(s2, 0.0, 5.0)
+        assert start2 == 0.0  # concurrent with s1
+
+    def test_default_stream_synchronizes_everything(self):
+        table = StreamTable()
+        s1 = table.create_stream().stream_id
+        table.queue_op(s1, 0.0, 5.0)
+        # Legacy default-stream: starts after s1 drains...
+        start, end = table.queue_op(0, 1.0, 1.0)
+        assert start == 5.0 and end == 6.0
+        # ...and pushes s1's tail forward.
+        start_next, _ = table.queue_op(s1, 1.0, 1.0)
+        assert start_next == 6.0
+
+    def test_idle_stream_op_starts_now(self):
+        table = StreamTable()
+        s = table.create_stream().stream_id
+        start, end = table.queue_op(s, 10.0, 1.0)
+        assert (start, end) == (10.0, 11.0)
+
+    def test_drain_times(self):
+        table = StreamTable()
+        s = table.create_stream().stream_id
+        table.queue_op(s, 0.0, 4.0)
+        assert table.stream_drain_time(s, 1.0) == 4.0
+        assert table.stream_drain_time(s, 9.0) == 9.0
+        assert table.device_drain_time(1.0) == 4.0
+
+    def test_destroyed_stream_rejected(self):
+        table = StreamTable()
+        s = table.create_stream().stream_id
+        table.destroy_stream(s)
+        with pytest.raises(GpuError):
+            table.queue_op(s, 0.0, 1.0)
+
+    def test_default_stream_cannot_be_destroyed(self):
+        with pytest.raises(GpuError):
+            StreamTable().destroy_stream(0)
+
+    def test_events_capture_stream_drain(self):
+        table = StreamTable()
+        s = table.create_stream().stream_id
+        table.queue_op(s, 0.0, 3.0)
+        event = table.create_event()
+        table.record_event(event.event_id, s, now=1.0)
+        assert event.completion_time == 3.0
+
+    def test_stream_wait_event_creates_dependency(self):
+        table = StreamTable()
+        producer = table.create_stream().stream_id
+        consumer = table.create_stream().stream_id
+        table.queue_op(producer, 0.0, 10.0)
+        event = table.create_event()
+        table.record_event(event.event_id, producer, now=0.0)
+        table.stream_wait_event(consumer, event.event_id)
+        start, _ = table.queue_op(consumer, 0.0, 1.0)
+        assert start == 10.0  # waits for the producer's event
+
+    def test_wait_on_unrecorded_event_is_noop(self):
+        table = StreamTable()
+        s = table.create_stream().stream_id
+        event = table.create_event()
+        table.stream_wait_event(s, event.event_id)
+        start, _ = table.queue_op(s, 0.0, 1.0)
+        assert start == 0.0
+
+    def test_elapsed_ms(self):
+        table = StreamTable()
+        s = table.create_stream().stream_id
+        e1, e2 = table.create_event(), table.create_event()
+        table.record_event(e1.event_id, s, now=0.0)
+        table.queue_op(s, 0.0, 0.25)
+        table.record_event(e2.event_id, s, now=0.0)
+        assert table.elapsed_ms(e1.event_id, e2.event_id) == pytest.approx(250.0)
+
+    def test_elapsed_requires_recorded_events(self):
+        table = StreamTable()
+        e1, e2 = table.create_event(), table.create_event()
+        with pytest.raises(GpuError):
+            table.elapsed_ms(e1.event_id, e2.event_id)
+
+
+class TestAsyncApisThroughRunner:
+    """Drive the async APIs in a real simulation (timing observable)."""
+
+    def _run(self, program):
+        from repro.container.image import make_cuda_image
+        from repro.core.middleware import ConVGPU
+        from repro.sim.engine import Environment
+        from repro.workloads.api import ProcessApi
+        from repro.workloads.runner import SimIpcBridge, SimProgramRunner
+
+        env = Environment()
+        system = ConVGPU(policy="BF", clock=lambda: env.now)
+        system.engine.images.add(make_cuda_image("app"))
+        container = system.nvdocker.run("app", name="c1", command=program)
+        runner = SimProgramRunner(
+            env, system.device, SimIpcBridge(env, system.service.handle)
+        )
+        proc = runner.run_program(
+            ProcessApi(container.main_process),
+            on_exit=lambda code: system.engine.notify_main_exit(
+                container.container_id, code
+            ),
+        )
+        env.run()
+        return proc.value, env.now
+
+    def test_two_streams_overlap_one_serializes(self):
+        durations = {}
+
+        def overlapped(api):
+            err, s1 = yield from api.cudaStreamCreate()
+            err, s2 = yield from api.cudaStreamCreate()
+            yield from api.cudaLaunchKernelAsync(5.0, s1)
+            yield from api.cudaLaunchKernelAsync(5.0, s2)
+            err, _ = yield from api.cudaDeviceSynchronize()
+            return 0
+
+        code, elapsed_overlap = self._run(overlapped)
+        assert code == 0
+
+        def serialized(api):
+            err, s1 = yield from api.cudaStreamCreate()
+            yield from api.cudaLaunchKernelAsync(5.0, s1)
+            yield from api.cudaLaunchKernelAsync(5.0, s1)
+            err, _ = yield from api.cudaDeviceSynchronize()
+            return 0
+
+        code, elapsed_serial = self._run(serialized)
+        assert code == 0
+        assert elapsed_overlap == pytest.approx(5.0, abs=0.5)
+        assert elapsed_serial == pytest.approx(10.0, abs=0.5)
+
+    def test_async_memcpy_overlaps_kernel(self):
+        def program(api):
+            err, ptr = yield from api.cudaMalloc(256 * MiB)
+            assert err is cudaError.cudaSuccess
+            err, s1 = yield from api.cudaStreamCreate()
+            err, s2 = yield from api.cudaStreamCreate()
+            yield from api.cudaLaunchKernelAsync(1.0, s1)
+            err, _ = yield from api.cudaMemcpyAsync(256 * MiB, "h2d", s2)
+            assert err is cudaError.cudaSuccess
+            yield from api.cudaDeviceSynchronize()
+            yield from api.cudaFree(ptr)
+            return 0
+
+        code, elapsed = self._run(program)
+        assert code == 0
+        # Copy (~45 ms) hides inside the 1 s kernel.
+        assert elapsed == pytest.approx(1.0, abs=0.3)
+
+    def test_event_timing_measures_kernel(self):
+        measured = {}
+
+        def program(api):
+            err, stream = yield from api.cudaStreamCreate()
+            err, start = yield from api.cudaEventCreate()
+            err, stop = yield from api.cudaEventCreate()
+            yield from api.cudaEventRecord(start, stream)
+            yield from api.cudaLaunchKernelAsync(0.5, stream)
+            yield from api.cudaEventRecord(stop, stream)
+            err, _ = yield from api.cudaEventSynchronize(stop)
+            err, ms = yield from api.cudaEventElapsedTime(start, stop)
+            measured["ms"] = ms
+            return 0
+
+        code, _ = self._run(program)
+        assert code == 0
+        assert measured["ms"] == pytest.approx(500.0, rel=0.01)
+
+    def test_pinned_memory_is_host_side_only(self):
+        views = {}
+
+        def program(api):
+            err, host_ptr = yield from api.cudaMallocHost(512 * MiB)
+            assert err is cudaError.cudaSuccess
+            err, (free, total) = yield from api.cudaMemGetInfo()
+            views["free"], views["total"] = free, total
+            err, _ = yield from api.cudaFreeHost(host_ptr)
+            assert err is cudaError.cudaSuccess
+            return 0
+
+        code, _ = self._run(program)
+        assert code == 0
+        # Pinned host memory must not consume the container's GPU budget.
+        assert views["free"] == views["total"]
+
+    def test_memset_requires_owned_pointer(self):
+        def program(api):
+            err, _ = yield from api.cudaMemset(0xDEAD, 0, 16)
+            assert err is cudaError.cudaErrorInvalidDevicePointer
+            err, ptr = yield from api.cudaMalloc(MiB)
+            err, _ = yield from api.cudaMemset(ptr, 0, MiB)
+            assert err is cudaError.cudaSuccess
+            err, _ = yield from api.cudaMemset(ptr, 0, 2 * MiB)  # too big
+            assert err is cudaError.cudaErrorInvalidValue
+            yield from api.cudaFree(ptr)
+            return 0
+
+        code, _ = self._run(program)
+        assert code == 0
+
+    def test_device_management(self):
+        def program(api):
+            err, count = yield from api.cudaGetDeviceCount()
+            assert count == 1
+            err, current = yield from api.cudaGetDevice()
+            assert current == 0
+            err, _ = yield from api.cudaSetDevice(0)
+            assert err is cudaError.cudaSuccess
+            err, _ = yield from api.cudaSetDevice(3)
+            assert err is cudaError.cudaErrorInvalidDevice
+            return 0
+
+        code, _ = self._run(program)
+        assert code == 0
+
+    def test_interception_survives_async_traffic(self):
+        """The scheduler's accounting stays exact under stream use."""
+        from repro.core.scheduler.core import CONTEXT_OVERHEAD_CHARGE
+
+        seen = {}
+
+        def program(api):
+            err, ptr = yield from api.cudaMalloc(100 * MiB)  # intercepted
+            err, stream = yield from api.cudaStreamCreate()
+            yield from api.cudaMemcpyAsync(100 * MiB, "h2d", stream)
+            yield from api.cudaLaunchKernelAsync(0.5, stream)
+            yield from api.cudaStreamSynchronize(stream)
+            err, (free, total) = yield from api.cudaMemGetInfo()
+            seen["free"], seen["total"] = free, total
+            yield from api.cudaFree(ptr)
+            return 0
+
+        code, _ = self._run(program)
+        assert code == 0
+        assert seen["total"] - seen["free"] == 100 * MiB + CONTEXT_OVERHEAD_CHARGE

@@ -1,0 +1,93 @@
+"""Tests for CUDA value types, error codes, effects, and fat binaries."""
+
+import pytest
+
+from repro.cuda.effects import DeviceOp, HostCompute, IpcCall, KernelLaunch
+from repro.cuda.errors import CUresult, CudaApiError, cudaError
+from repro.cuda.fatbinary import FatBinaryRegistry
+from repro.cuda.types import cudaDeviceProp, cudaExtent, dim3
+from repro.gpu.properties import TESLA_K20M
+
+
+class TestErrors:
+    def test_numeric_values_match_cuda8(self):
+        assert cudaError.cudaSuccess == 0
+        assert cudaError.cudaErrorMemoryAllocation == 2
+        assert CUresult.CUDA_SUCCESS == 0
+        assert CUresult.CUDA_ERROR_OUT_OF_MEMORY == 2
+
+    def test_is_success(self):
+        assert cudaError.cudaSuccess.is_success
+        assert not cudaError.cudaErrorMemoryAllocation.is_success
+        assert CUresult.CUDA_SUCCESS.is_success
+
+    def test_api_error_formats(self):
+        error = CudaApiError(cudaError.cudaErrorMemoryAllocation, "cudaMalloc")
+        assert "cudaMalloc" in str(error)
+        assert "cudaErrorMemoryAllocation" in str(error)
+
+
+class TestTypes:
+    def test_dim3_defaults_and_count(self):
+        d = dim3(4, 2)
+        assert (d.x, d.y, d.z) == (4, 2, 1)
+        assert d.count == 8
+
+    def test_dim3_rejects_zero(self):
+        with pytest.raises(ValueError):
+            dim3(0)
+
+    def test_extent_rejects_negative(self):
+        with pytest.raises(ValueError):
+            cudaExtent(-1, 2, 3)
+
+    def test_device_prop_from_properties(self):
+        props = cudaDeviceProp.from_properties(TESLA_K20M)
+        assert props.totalGlobalMem == TESLA_K20M.total_global_mem
+        assert props.multiProcessorCount == 13
+        assert props.major == 3 and props.minor == 5
+
+
+class TestEffects:
+    def test_negative_durations_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceOp(-1.0)
+        with pytest.raises(ValueError):
+            KernelLaunch(-1.0)
+        with pytest.raises(ValueError):
+            HostCompute(-0.1)
+
+    def test_ipc_call_defaults_to_blocking(self):
+        assert IpcCall({}).await_reply is True
+
+    def test_effects_are_frozen(self):
+        op = DeviceOp(1.0, api="x")
+        with pytest.raises(Exception):
+            op.duration = 2.0
+
+
+class TestFatBinaryRegistry:
+    def test_register_unregister_single(self):
+        registry = FatBinaryRegistry()
+        handle = registry.register(11)
+        assert registry.has_registration(11)
+        assert registry.unregister(handle) is True
+        assert not registry.has_registration(11)
+
+    def test_handles_unique(self):
+        registry = FatBinaryRegistry()
+        h1, h2 = registry.register(1), registry.register(1)
+        assert h1.handle_id != h2.handle_id
+
+    def test_unregister_twice_raises(self):
+        registry = FatBinaryRegistry()
+        handle = registry.register(1)
+        registry.unregister(handle)
+        with pytest.raises(KeyError):
+            registry.unregister(handle)
+
+    def test_registered_pids_sorted(self):
+        registry = FatBinaryRegistry()
+        for pid in (5, 1, 9):
+            registry.register(pid)
+        assert registry.registered_pids() == [1, 5, 9]

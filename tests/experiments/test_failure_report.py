@@ -1,0 +1,125 @@
+"""Tests for the failure/deadlock experiments and report rendering."""
+
+import pytest
+
+from repro.experiments.background import REMOTE_API_FRAMEWORKS, format_table_i
+from repro.experiments.failure import deadlock_experiment, overcommit_experiment
+from repro.experiments.report import (
+    ascii_series_plot,
+    format_fig4,
+    format_policy_table,
+    format_table,
+)
+
+
+class TestOvercommit:
+    def test_unmanaged_one_container_fails(self):
+        outcome = overcommit_experiment(managed=False)
+        assert outcome.finished
+        assert outcome.any_failure  # §I: "may cause a program failure"
+        assert sorted(outcome.exit_codes) == [0, 2]
+
+    def test_managed_both_succeed(self):
+        outcome = overcommit_experiment(managed=True)
+        assert outcome.exit_codes == (0, 0)
+        assert not outcome.deadlocked
+
+    def test_managed_serializes_rather_than_failing(self):
+        unmanaged = overcommit_experiment(managed=False)
+        managed = overcommit_experiment(managed=True)
+        # Safety costs time: the managed run serializes the containers.
+        assert managed.wall_time >= unmanaged.wall_time
+
+
+class TestDeadlock:
+    def test_unmanaged_deadlocks(self):
+        """§I worst case: the containers wedge; progress only resumes once
+        a victim gives up and dies, releasing its half."""
+        outcome = deadlock_experiment(managed=False, max_retries=10)
+        assert outcome.deadlocked
+        assert 3 in outcome.exit_codes
+        # The wedge held for the victim's full retry budget (~10 s).
+        assert outcome.wall_time > 12.0
+
+    def test_managed_prevents_the_deadlock(self):
+        outcome = deadlock_experiment(managed=True, max_retries=10)
+        assert not outcome.deadlocked
+        assert outcome.exit_codes == (0, 0)
+
+
+class TestTableI:
+    def test_frameworks_match_paper(self):
+        names = [f.name for f in REMOTE_API_FRAMEWORKS]
+        assert names == ["GViM", "gVirtuS", "vCUDA", "rCUDA"]
+        methods = {f.name: f.network_method for f in REMOTE_API_FRAMEWORKS}
+        assert methods["GViM"] == "XenStore"
+        assert methods["rCUDA"] == "Sockets API"
+
+    def test_render(self):
+        text = format_table_i()
+        assert "Table I" in text
+        assert "vCUDA" in text and "VMRPC" in text
+
+
+class TestReportFormatting:
+    def test_format_table_aligns_columns(self):
+        text = format_table(("a", "bb"), [(1, 22), (333, 4)], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert all(len(line) == len(lines[1]) for line in lines[1:])
+
+    def test_format_fig4(self):
+        text = format_fig4(
+            {"cudaMalloc": 82e-6}, {"cudaMalloc": 35e-6}
+        )
+        assert "cudaMalloc" in text
+        assert "0.0820" in text and "0.0350" in text
+        assert "2.34x" in text
+
+    def test_format_policy_table(self):
+        data = {
+            p: {4: 67.0, 6: 134.0} for p in ("FIFO", "BF", "RU", "Rand")
+        }
+        text = format_policy_table(data, (4, 6), title="Table IV")
+        assert "FIFO (sec)" in text
+        assert "67.0" in text
+
+    def test_ascii_plot_contains_series_marks(self):
+        text = ascii_series_plot(
+            {"FIFO": [1, 2, 3], "BF": [1, 1.5, 2]},
+            [4, 6, 8],
+            title="finished time",
+        )
+        assert "finished time" in text
+        assert "*=FIFO" in text and "o=BF" in text
+
+    def test_ascii_plot_empty(self):
+        assert "(no data)" in ascii_series_plot({}, [], title="x")
+
+
+class TestAsciiGantt:
+    def test_run_and_wait_fills(self):
+        from repro.experiments.report import ascii_gantt
+
+        text = ascii_gantt(
+            {"c1": [(0, 5, "wait"), (5, 10, "run")], "c2": [(0, 10, "run")]},
+            title="timeline",
+            width=20,
+        )
+        assert "timeline" in text
+        assert "░" in text and "█" in text
+        assert "c1" in text and "c2" in text
+
+    def test_empty_rows(self):
+        from repro.experiments.report import ascii_gantt
+
+        text = ascii_gantt({}, title="empty")
+        assert "empty" in text
+
+    def test_custom_horizon_clamps(self):
+        from repro.experiments.report import ascii_gantt
+
+        text = ascii_gantt(
+            {"c": [(0, 100, "run")]}, title="t", width=10, end=50.0
+        )
+        assert "50.0s" in text

@@ -1,0 +1,65 @@
+"""Tests for live-mode experiments (real sockets) and the hybrid clock."""
+
+import time
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.experiments.live import HybridClock
+from repro.experiments.single import api_response_experiment, creation_time_experiment
+
+
+class TestHybridClock:
+    def test_tracks_wall_clock(self):
+        clock = HybridClock()
+        t1 = clock.now()
+        time.sleep(0.01)
+        assert clock.now() - t1 >= 0.009
+
+    def test_advance_adds_virtual_time(self):
+        clock = HybridClock()
+        t1 = clock.now()
+        clock.advance(100.0)
+        assert clock.now() - t1 >= 100.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(SimulationError):
+            HybridClock().advance(-1.0)
+
+    def test_callable_protocol(self):
+        clock = HybridClock()
+        assert clock() == pytest.approx(clock.now(), abs=0.01)
+
+
+@pytest.mark.integration
+class TestLiveFig4:
+    @pytest.fixture(scope="class")
+    def live_fig4(self):
+        return api_response_experiment(repeats=5, mode="live")
+
+    def test_alloc_overhead_is_real_socket_cost(self, live_fig4):
+        """With-minus-without cudaMalloc == one real round-trip + sends."""
+        overhead = live_fig4.overhead("cudaMalloc")
+        # A genuine AF_UNIX round-trip on any machine: 10 us .. 2 ms.
+        assert 10e-6 < overhead < 2e-3
+
+    def test_qualitative_shape_holds_live(self, live_fig4):
+        assert live_fig4.with_convgpu["cudaMalloc"] > live_fig4.without_convgpu["cudaMalloc"]
+        # cudaFree adds only a send (no reply wait): much cheaper than the
+        # blocking alloc overhead.
+        assert live_fig4.overhead("cudaFree") < live_fig4.overhead("cudaMalloc")
+
+    def test_mem_get_info_live(self, live_fig4):
+        # Live mode: one measured round-trip vs the modelled native query;
+        # the with-ConVGPU path must at least stay in the same magnitude.
+        assert live_fig4.with_convgpu["cudaMemGetInfo"] < 2e-3
+
+
+@pytest.mark.integration
+class TestLiveFig5:
+    def test_live_creation_overhead_positive(self):
+        result = creation_time_experiment(repeats=3, mode="live")
+        assert result.overhead > 0
+        # Real handshake cost is tiny here (sub-ms) compared to the
+        # modelled docker work, so the percentage is small but positive.
+        assert 0 < result.overhead_percent < 30

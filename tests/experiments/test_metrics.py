@@ -1,0 +1,73 @@
+"""Tests for scheduling-quality metrics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.experiments.metrics import compute_metrics, jains_index, percentile
+from repro.experiments.multi import run_schedule
+
+
+class TestJainsIndex:
+    def test_all_equal_is_one(self):
+        assert jains_index([5, 5, 5, 5]) == pytest.approx(1.0)
+
+    def test_one_hog_is_one_over_n(self):
+        assert jains_index([10, 0, 0, 0]) == pytest.approx(0.25)
+
+    def test_empty_and_zero_are_fair(self):
+        assert jains_index([]) == 1.0
+        assert jains_index([0, 0]) == 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            jains_index([1, -1])
+
+    @given(st.lists(st.floats(0, 1e6), min_size=1, max_size=50))
+    def test_bounded_between_1_over_n_and_1(self, xs):
+        index = jains_index(xs)
+        assert 1 / len(xs) - 1e-9 <= index <= 1 + 1e-9
+
+
+class TestPercentile:
+    def test_p50_of_odd_list(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == 3
+
+    def test_p95_tail(self):
+        values = list(range(1, 101))
+        assert percentile(values, 95) == 95
+
+    def test_p0_and_p100(self):
+        assert percentile([3, 1, 2], 0) == 1
+        assert percentile([3, 1, 2], 100) == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_q(self):
+        with pytest.raises(ValueError):
+            percentile([1], 120)
+
+
+class TestScheduleMetrics:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_schedule("BF", 16, 2017)
+
+    def test_metrics_computed(self, result):
+        metrics = compute_metrics(result)
+        assert metrics.makespan == result.finished_time
+        assert metrics.p95_suspended >= metrics.mean_suspended * 0.5
+        assert metrics.mean_slowdown >= 1.0
+        assert 0 < metrics.fairness_slowdown <= 1.0
+        assert "makespan" in metrics.summary()
+
+    def test_light_load_is_fair(self):
+        metrics = compute_metrics(run_schedule("FIFO", 2, 3))
+        assert metrics.fairness_slowdown > 0.9
+        assert metrics.mean_slowdown < 1.2
+
+    def test_heavy_load_less_fair_than_light(self):
+        light = compute_metrics(run_schedule("BF", 4, 2017))
+        heavy = compute_metrics(run_schedule("BF", 32, 2017))
+        assert heavy.mean_slowdown > light.mean_slowdown

@@ -1,0 +1,108 @@
+"""Tests for the Fig. 7/8 multi-container experiment driver."""
+
+import pytest
+
+from repro.experiments.multi import DEFAULT_SEED, run_schedule, sweep
+from repro.workloads.arrivals import cloud_arrivals
+from repro.sim.rng import SeedSequenceFactory
+
+
+class TestRunSchedule:
+    def test_all_containers_finish_without_failures(self):
+        for policy in ("FIFO", "BF", "RU", "Rand"):
+            result = run_schedule(policy, 12, 123)
+            assert len(result.outcomes) == 12
+            assert result.failures == 0, f"{policy} had failures"
+
+    def test_deterministic_for_seed(self):
+        a = run_schedule("BF", 10, 99)
+        b = run_schedule("BF", 10, 99)
+        assert a.finished_time == b.finished_time
+        assert a.avg_suspended == b.avg_suspended
+        assert [o.name for o in a.outcomes] == [o.name for o in b.outcomes]
+
+    def test_different_seeds_differ(self):
+        a = run_schedule("BF", 10, 1)
+        b = run_schedule("BF", 10, 2)
+        assert a.finished_time != b.finished_time
+
+    def test_makespan_bounds(self):
+        """Finished time >= last arrival + its nominal duration."""
+        result = run_schedule("FIFO", 8, 5)
+        last = max(result.outcomes, key=lambda o: o.submitted_at)
+        assert result.finished_time >= last.submitted_at
+        assert result.finished_time >= max(o.finished_at for o in result.outcomes) - 1e-9
+
+    def test_suspension_zero_for_single_container(self):
+        result = run_schedule("BF", 1, 7)
+        assert result.avg_suspended == 0.0
+
+    def test_turnaround_at_least_nominal_duration(self):
+        from repro.workloads.types import TYPE_BY_NAME
+
+        result = run_schedule("RU", 6, 11)
+        for outcome in result.outcomes:
+            nominal = TYPE_BY_NAME[outcome.type_name].sample_duration
+            assert outcome.turnaround >= nominal * 0.95
+
+    def test_explicit_arrivals_override(self):
+        factory = SeedSequenceFactory(3)
+        arrivals = cloud_arrivals(5, factory.generator("x"))
+        result = run_schedule("FIFO", 999, 3, arrivals=arrivals)
+        assert len(result.outcomes) == 5  # count param ignored when given
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def small_sweep(self):
+        return sweep(counts=(4, 8, 16), repeats=2, seed=DEFAULT_SEED)
+
+    def test_grid_complete(self, small_sweep):
+        assert set(small_sweep.finished) == {"FIFO", "BF", "RU", "Rand"}
+        for policy in small_sweep.policies:
+            assert set(small_sweep.finished[policy]) == {4, 8, 16}
+            assert set(small_sweep.suspended[policy]) == {4, 8, 16}
+
+    def test_no_failures_anywhere(self, small_sweep):
+        for policy in small_sweep.policies:
+            assert all(v == 0 for v in small_sweep.failures[policy].values())
+
+    def test_makespan_grows_with_count(self, small_sweep):
+        """Fig. 7: finished time roughly doubles as count doubles."""
+        for policy in small_sweep.policies:
+            row = small_sweep.finished_row(policy)
+            assert row[0] < row[1] < row[2]
+            # "roughly increased to double": allow a generous band.
+            assert 1.2 < row[2] / row[1] < 3.5
+
+    def test_rows_expose_table_layout(self, small_sweep):
+        assert len(small_sweep.finished_row("BF")) == 3
+        assert len(small_sweep.suspended_row("BF")) == 3
+
+    def test_policies_share_arrival_sequences(self):
+        """Within a repetition, all policies face the same workload."""
+        r_fifo = sweep(policies=("FIFO",), counts=(6,), repeats=1, seed=42)
+        r_bf = sweep(policies=("BF",), counts=(6,), repeats=1, seed=42)
+        # Same seed derivation -> identical type draws; makespans may differ
+        # but a single-run FIFO-vs-BF pairing at low load should coincide
+        # (no contention to schedule differently).
+        assert r_fifo.finished["FIFO"][6] == pytest.approx(
+            r_bf.finished["BF"][6], rel=0.2
+        )
+
+
+class TestGpuUtilization:
+    def test_busy_seconds_accumulate(self):
+        result = run_schedule("BF", 8, 5)
+        assert result.gpu_busy_seconds > 0
+        # Average kernel concurrency is bounded by the Hyper-Q width.
+        assert 0 < result.gpu_utilization <= 32
+
+    def test_bf_utilization_competitive_at_heavy_load(self):
+        """BF's makespan win is a utilization win on the memory-gated GPU."""
+        results = {p: run_schedule(p, 30, 2017) for p in ("BF", "Rand")}
+        if results["BF"].finished_time < results["Rand"].finished_time:
+            assert (
+                results["BF"].gpu_utilization
+                >= results["Rand"].gpu_utilization * 0.95
+            )

@@ -1,0 +1,91 @@
+"""Tests for the single-container experiments (Fig. 4/5/6) in sim mode."""
+
+import pytest
+
+from repro.experiments.single import (
+    api_response_experiment,
+    creation_time_experiment,
+    mnist_runtime_experiment,
+)
+from repro.workloads.mnist import MnistConfig
+
+
+@pytest.fixture(scope="module")
+def fig4():
+    return api_response_experiment(repeats=5, mode="sim")
+
+
+class TestFig4ApiResponse:
+    def test_all_apis_measured_in_both_series(self, fig4):
+        for series in (fig4.with_convgpu, fig4.without_convgpu):
+            assert {
+                "cudaMalloc",
+                "cudaMallocManaged",
+                "cudaMallocPitch(first)",
+                "cudaMallocPitch",
+                "cudaFree",
+                "cudaMemGetInfo",
+            } <= set(series)
+
+    def test_malloc_roughly_2x_with_convgpu(self, fig4):
+        """Fig. 4: 0.035 ms -> 0.082 ms, about 2x."""
+        ratio = fig4.ratio("cudaMalloc")
+        assert 1.5 < ratio < 3.5
+
+    def test_native_malloc_near_paper_value(self, fig4):
+        assert fig4.without_convgpu["cudaMalloc"] == pytest.approx(35e-6, rel=0.2)
+
+    def test_managed_much_slower_than_malloc(self, fig4):
+        """Fig. 4: cudaMallocManaged ~40x the other allocation APIs."""
+        assert fig4.with_convgpu["cudaMallocManaged"] > 10 * fig4.with_convgpu["cudaMalloc"]
+
+    def test_first_pitch_call_costs_extra(self, fig4):
+        """§IV-B: the first cudaMallocPitch has "around twice of a
+        difference" (with-vs-without overhead) compared to other allocation
+        APIs, because it performs the device-properties query."""
+        first_overhead = fig4.overhead("cudaMallocPitch(first)")
+        later_overhead = fig4.overhead("cudaMallocPitch")
+        assert 1.5 < first_overhead / later_overhead < 3.0
+
+    def test_cuda_free_stays_near_native(self, fig4):
+        """§IV-B: cudaFree with ConVGPU ≈ 0.032 ms (release is one-way)."""
+        assert fig4.with_convgpu["cudaFree"] < 1.5 * fig4.without_convgpu["cudaFree"]
+
+    def test_mem_get_info_faster_with_convgpu(self, fig4):
+        """§IV-B: 0.01 ms *faster* with ConVGPU (answered from bookkeeping)."""
+        assert fig4.with_convgpu["cudaMemGetInfo"] < fig4.without_convgpu["cudaMemGetInfo"]
+
+
+class TestFig5CreationTime:
+    def test_overhead_positive_and_modest(self):
+        result = creation_time_experiment(repeats=3, mode="sim")
+        assert result.overhead > 0
+        # Paper: ~15 % (0.0618 s).
+        assert 5 < result.overhead_percent < 30
+        assert result.overhead == pytest.approx(0.0618, rel=0.5)
+
+    def test_baseline_near_paper(self):
+        result = creation_time_experiment(repeats=3, mode="sim")
+        assert 0.3 < result.without_convgpu < 0.55
+
+
+class TestFig6MnistRuntime:
+    def test_overhead_below_one_percent(self):
+        # Scaled-down trainer: same call mix, fewer steps (fast test).
+        result = mnist_runtime_experiment(MnistConfig().scaled(500))
+        assert result.with_convgpu > result.without_convgpu
+        assert 0 < result.overhead_percent < 1.5
+
+    def test_full_scale_runtime_matches_paper_magnitude(self):
+        result = mnist_runtime_experiment()  # full 20k steps, virtual time
+        # Paper: 402.1 s native, 404.93 s with ConVGPU (+0.7 %).
+        assert 380 < result.without_convgpu < 430
+        assert 0 < result.overhead_percent < 1.5
+
+
+class TestModeValidation:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            api_response_experiment(mode="quantum")
+        with pytest.raises(ValueError):
+            creation_time_experiment(mode="quantum")

@@ -1,0 +1,80 @@
+"""Tests for the Hyper-Q concurrency model."""
+
+import pytest
+
+from repro.errors import GpuError
+from repro.gpu.hyperq import HyperQEngine
+
+
+class TestConcurrency:
+    def test_kernels_within_width_run_concurrently(self):
+        engine = HyperQEngine(width=4)
+        records = [engine.submit(0.0, 10.0) for _ in range(4)]
+        assert all(r.start_time == 0.0 for r in records)
+        assert all(r.completion_time == 10.0 for r in records)
+
+    def test_kernel_beyond_width_queues(self):
+        engine = HyperQEngine(width=2)
+        engine.submit(0.0, 10.0)
+        engine.submit(0.0, 20.0)
+        third = engine.submit(0.0, 5.0)
+        # Starts when the earliest (10 s) kernel finishes.
+        assert third.start_time == 10.0
+        assert third.completion_time == 15.0
+        assert third.queue_delay == 10.0
+
+    def test_paper_width_32(self):
+        # §IV-A: "it can run multiple GPU kernels concurrently up to 32".
+        engine = HyperQEngine(width=32)
+        records = [engine.submit(0.0, 1.0) for _ in range(32)]
+        assert all(r.queue_delay == 0.0 for r in records)
+        r33 = engine.submit(0.0, 1.0)
+        assert r33.start_time == 1.0
+
+    def test_slots_free_as_time_passes(self):
+        engine = HyperQEngine(width=1)
+        engine.submit(0.0, 5.0)
+        late = engine.submit(6.0, 1.0)  # first already done
+        assert late.start_time == 6.0
+
+    def test_active_at_counts_running(self):
+        engine = HyperQEngine(width=8)
+        engine.submit(0.0, 10.0)
+        engine.submit(0.0, 20.0)
+        assert engine.active_at(5.0) == 2
+        assert engine.active_at(15.0) == 1
+        assert engine.active_at(25.0) == 0
+
+    def test_drain_time(self):
+        engine = HyperQEngine(width=2)
+        engine.submit(0.0, 3.0)
+        engine.submit(0.0, 7.0)
+        assert engine.drain_time(0.0) == 7.0
+        assert engine.drain_time(8.0) == 8.0
+
+    def test_max_concurrency_tracked(self):
+        engine = HyperQEngine(width=4)
+        for _ in range(3):
+            engine.submit(0.0, 1.0)
+        assert engine.max_concurrency == 3
+
+
+class TestValidation:
+    def test_zero_width_rejected(self):
+        with pytest.raises(GpuError):
+            HyperQEngine(width=0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(GpuError):
+            HyperQEngine().submit(0.0, -1.0)
+
+    def test_time_going_backwards_rejected(self):
+        engine = HyperQEngine()
+        engine.submit(10.0, 1.0)
+        with pytest.raises(GpuError):
+            engine.submit(5.0, 1.0)
+
+    def test_zero_duration_kernel_ok(self):
+        record = HyperQEngine().submit(1.0, 0.0)
+        assert record.duration == 0.0
+        assert record.completion_time == 1.0

@@ -1,0 +1,177 @@
+"""Tests for the GPU memory allocator (paged and contiguous modes)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import GpuError, OutOfMemoryError
+from repro.gpu.memory import GpuMemoryAllocator
+from repro.units import KiB, MiB
+
+
+@pytest.fixture(params=[True, False], ids=["paged", "contiguous"])
+def allocator(request):
+    return GpuMemoryAllocator(64 * MiB, paged=request.param)
+
+
+class TestBasicAllocation:
+    def test_allocate_reduces_free(self, allocator):
+        allocator.allocate(MiB)
+        assert allocator.used == MiB
+        assert allocator.free == 63 * MiB
+
+    def test_addresses_are_nonzero_and_distinct(self, allocator):
+        a = allocator.allocate(KiB)
+        b = allocator.allocate(KiB)
+        assert a.address != 0 and b.address != 0
+        assert a.address != b.address
+
+    def test_allocations_never_overlap(self, allocator):
+        spans = []
+        for _ in range(16):
+            allocation = allocator.allocate(3 * KiB)
+            spans.append((allocation.address, allocation.end))
+        spans.sort()
+        for (s1, e1), (s2, _) in zip(spans, spans[1:]):
+            assert s2 >= e1
+
+    def test_alignment_applied(self, allocator):
+        allocation = allocator.allocate(100)  # below 256-byte alignment
+        assert allocation.size == 256
+        assert allocation.address % 256 == 0
+
+    def test_zero_and_negative_rejected(self, allocator):
+        with pytest.raises(GpuError):
+            allocator.allocate(0)
+        with pytest.raises(GpuError):
+            allocator.allocate(-5)
+
+    def test_oom_when_exhausted(self, allocator):
+        allocator.allocate(60 * MiB)
+        with pytest.raises(OutOfMemoryError):
+            allocator.allocate(8 * MiB)
+        assert allocator.failed_count == 1
+
+    def test_full_capacity_allocatable(self, allocator):
+        allocation = allocator.allocate(64 * MiB)
+        assert allocator.free == 0
+        allocator.release(allocation.address)
+        assert allocator.free == 64 * MiB
+
+
+class TestRelease:
+    def test_release_returns_allocation(self, allocator):
+        allocation = allocator.allocate(MiB)
+        released = allocator.release(allocation.address)
+        assert released.size == MiB
+        assert allocator.used == 0
+
+    def test_double_free_rejected(self, allocator):
+        allocation = allocator.allocate(MiB)
+        allocator.release(allocation.address)
+        with pytest.raises(GpuError):
+            allocator.release(allocation.address)
+
+    def test_unknown_address_rejected(self, allocator):
+        with pytest.raises(GpuError):
+            allocator.release(0xDEAD)
+
+    def test_release_all(self, allocator):
+        addresses = [allocator.allocate(MiB).address for _ in range(4)]
+        freed = allocator.release_all(addresses)
+        assert freed == 4 * MiB
+        assert allocator.used == 0
+
+    def test_size_of_live_allocation(self, allocator):
+        allocation = allocator.allocate(2 * MiB)
+        assert allocator.size_of(allocation.address) == 2 * MiB
+        assert allocator.owns(allocation.address)
+
+
+class TestPagedVsContiguous:
+    def test_paged_ignores_fragmentation(self):
+        paged = GpuMemoryAllocator(10 * MiB, paged=True)
+        keep = [paged.allocate(MiB) for _ in range(10)]
+        for allocation in keep[::2]:
+            paged.release(allocation.address)
+        # 5 MiB free in 1 MiB "holes": paged mode still serves 5 MiB.
+        assert paged.allocate(5 * MiB).size == 5 * MiB
+
+    def test_contiguous_fails_on_fragmentation(self):
+        contiguous = GpuMemoryAllocator(10 * MiB, paged=False)
+        keep = [contiguous.allocate(MiB) for _ in range(10)]
+        for allocation in keep[::2]:
+            contiguous.release(allocation.address)
+        assert contiguous.free == 5 * MiB
+        assert contiguous.largest_free_extent == MiB
+        with pytest.raises(OutOfMemoryError):
+            contiguous.allocate(5 * MiB)
+        assert contiguous.fragmentation > 0.5
+
+    def test_contiguous_coalesces_on_full_drain(self):
+        contiguous = GpuMemoryAllocator(10 * MiB, paged=False)
+        allocations = [contiguous.allocate(MiB) for _ in range(10)]
+        for allocation in allocations:
+            contiguous.release(allocation.address)
+        assert contiguous.largest_free_extent == 10 * MiB
+        assert contiguous.fragmentation == 0.0
+        contiguous.check_invariants()
+
+
+class TestConstructionValidation:
+    def test_zero_size_rejected(self):
+        with pytest.raises(GpuError):
+            GpuMemoryAllocator(0)
+
+    def test_non_power_of_two_alignment_rejected(self):
+        with pytest.raises(GpuError):
+            GpuMemoryAllocator(MiB, alignment=300)
+
+
+@st.composite
+def alloc_free_script(draw):
+    """A random interleaving of allocations and frees."""
+    return draw(
+        st.lists(
+            st.one_of(
+                st.tuples(st.just("alloc"), st.integers(1, 4 * MiB)),
+                st.tuples(st.just("free"), st.integers(0, 30)),
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+
+
+class TestPropertyBased:
+    @settings(max_examples=60, deadline=None)
+    @given(script=alloc_free_script(), paged=st.booleans())
+    def test_invariants_hold_under_any_script(self, script, paged):
+        allocator = GpuMemoryAllocator(32 * MiB, paged=paged)
+        live = []
+        for op, arg in script:
+            if op == "alloc":
+                try:
+                    live.append(allocator.allocate(arg))
+                except OutOfMemoryError:
+                    pass
+            elif live:
+                allocation = live.pop(arg % len(live))
+                allocator.release(allocation.address)
+            allocator.check_invariants()
+        assert allocator.used == sum(a.size for a in live)
+
+    @settings(max_examples=40, deadline=None)
+    @given(sizes=st.lists(st.integers(1, 2 * MiB), min_size=1, max_size=30))
+    def test_full_drain_restores_capacity(self, sizes):
+        allocator = GpuMemoryAllocator(64 * MiB, paged=False)
+        live = []
+        for size in sizes:
+            try:
+                live.append(allocator.allocate(size))
+            except OutOfMemoryError:
+                break
+        for allocation in live:
+            allocator.release(allocation.address)
+        assert allocator.free == 64 * MiB
+        assert allocator.largest_free_extent == 64 * MiB
+        allocator.check_invariants()

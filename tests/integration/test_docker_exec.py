@@ -1,0 +1,168 @@
+"""docker exec: multiple processes sharing one container's GPU limit."""
+
+import pytest
+
+from repro.container.image import make_cuda_image
+from repro.core.middleware import ConVGPU
+from repro.core.scheduler.core import CONTEXT_OVERHEAD_CHARGE
+from repro.cuda.errors import cudaError
+from repro.errors import ContainerStateError
+from repro.sim.engine import Environment
+from repro.units import GiB, MiB
+from repro.workloads.api import ProcessApi
+from repro.workloads.runner import SimIpcBridge, SimProgramRunner
+
+
+@pytest.fixture
+def stack():
+    env = Environment()
+    system = ConVGPU(policy="FIFO", clock=lambda: env.now)
+    system.engine.images.add(make_cuda_image("app"))
+    runner = SimProgramRunner(
+        env, system.device, SimIpcBridge(env, system.service.handle)
+    )
+    return env, system, runner
+
+
+class TestExecSemantics:
+    def test_exec_requires_running_container(self, stack):
+        env, system, runner = stack
+        container = system.nvdocker.run("app", name="c1")
+        system.engine.stop(container.container_id)
+        with pytest.raises(ContainerStateError):
+            system.engine.exec_process(container.container_id, lambda api: None)
+
+    def test_exec_gets_fresh_host_pid_and_container_pid(self, stack):
+        env, system, runner = stack
+        container = system.nvdocker.run("app", name="c1")
+        second = system.engine.exec_process(container.container_id, lambda api: None)
+        assert second.host_pid != container.main_process.host_pid
+        assert second.container_pid == 2
+        assert len(container.processes) == 2
+
+    def test_exec_inherits_interception(self, stack):
+        env, system, runner = stack
+        container = system.nvdocker.run("app", name="c1")
+        second = system.engine.exec_process(container.container_id, lambda api: None)
+        assert second.linker.provider_of("cudaMalloc") == "libgpushare.so"
+
+
+class TestSharedLimit:
+    def test_two_processes_share_the_container_limit(self, stack):
+        """Per-pid 66 MiB overhead, one shared container budget (§III-D)."""
+        env, system, runner = stack
+        outcome = {}
+
+        def worker(tag, size):
+            def program(api):
+                err, ptr = yield from api.cudaMalloc(size)
+                outcome[tag] = err
+                if err is cudaError.cudaSuccess:
+                    yield from api.cudaLaunchKernel(1.0)
+                return 0
+
+            return program
+
+        container = system.nvdocker.run(
+            "app",
+            name="c1",
+            nvidia_memory=1 * GiB,
+            command=worker("main", 300 * MiB),
+        )
+        exec_process = system.engine.exec_process(
+            container.container_id, worker("exec", 300 * MiB)
+        )
+        runner.run_program(ProcessApi(container.main_process))
+        runner.run_program(ProcessApi(exec_process))
+        probe = {}
+
+        def prober():
+            yield env.timeout(0.5)  # both allocated, kernels still running
+            probe["used"] = system.scheduler.container("c1").used
+
+        env.process(prober())
+        env.run()
+        assert outcome["main"] is cudaError.cudaSuccess
+        assert outcome["exec"] is cudaError.cudaSuccess
+        # 2 x 300 MiB + 2 x 66 MiB overhead, all inside the 1 GiB limit.
+        assert probe["used"] == 2 * (300 * MiB + CONTEXT_OVERHEAD_CHARGE)
+
+    def test_exec_rejected_when_container_budget_spent(self, stack):
+        env, system, runner = stack
+        outcome = {}
+
+        def hog(api):
+            err, _ = yield from api.cudaMalloc(800 * MiB)
+            outcome["main"] = err
+            yield from api.cudaLaunchKernel(5.0)
+            return 0
+
+        def late(api):
+            # 300 MiB + its own 66 MiB overhead exceeds what's left of the
+            # 1 GiB container limit -> rejected.
+            err, _ = yield from api.cudaMalloc(300 * MiB)
+            outcome["exec"] = err
+            return 0
+
+        container = system.nvdocker.run(
+            "app", name="c1", nvidia_memory=1 * GiB, command=hog
+        )
+        exec_process = system.engine.exec_process(container.container_id, late)
+        runner.run_program(ProcessApi(container.main_process))
+
+        def delayed_exec():
+            yield env.timeout(1.0)  # after the hog's allocation
+            runner.run_program(ProcessApi(exec_process))
+
+        env.process(delayed_exec())
+        env.run()
+        assert outcome["main"] is cudaError.cudaSuccess
+        assert outcome["exec"] is cudaError.cudaErrorMemoryAllocation
+
+    def test_exec_process_exit_reclaims_only_its_pid(self, stack):
+        env, system, runner = stack
+
+        def holder(api):
+            err, _ = yield from api.cudaMalloc(200 * MiB)  # leaked
+            yield from api.cudaLaunchKernel(3.0)
+            return 0
+
+        def quick(api):
+            err, _ = yield from api.cudaMalloc(100 * MiB)  # leaked
+            return 0
+
+        container = system.nvdocker.run(
+            "app", name="c1", nvidia_memory=1 * GiB, command=holder
+        )
+        exec_process = system.engine.exec_process(container.container_id, quick)
+        runner.run_program(ProcessApi(container.main_process))
+        proc2 = runner.run_program(ProcessApi(exec_process))
+        env.run(until=proc2)
+        # The exec'd pid exited and its leak (incl. overhead) came back...
+        record = system.scheduler.container("c1")
+        assert record.used == 200 * MiB + CONTEXT_OVERHEAD_CHARGE
+        env.run()
+
+
+class TestVersionCheck:
+    def test_newer_cuda_image_refused(self, stack):
+        from repro.errors import ContainerError
+
+        env, system, runner = stack
+        system.engine.images.add(make_cuda_image("future-app", cuda_version="9.0"))
+        with pytest.raises(ContainerError, match="requires CUDA 9.0"):
+            system.nvdocker.run("future-app", name="f1")
+
+    def test_older_or_equal_accepted(self, stack):
+        env, system, runner = stack
+        system.engine.images.add(make_cuda_image("old-app", cuda_version="7.5"))
+        container = system.nvdocker.run("old-app", name="o1")
+        assert container.running
+
+    def test_malformed_version_rejected(self, stack):
+        from repro.errors import ContainerError
+
+        env, system, runner = stack
+        system.engine.images.add(make_cuda_image("weird", cuda_version="eight"))
+        with pytest.raises(ContainerError, match="malformed"):
+            system.nvdocker.run("weird", name="w1")

@@ -1,0 +1,118 @@
+"""Edge cases across layers: fuzzing, tolerance paths, tight-limit MNIST."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.container.image import make_cuda_image
+from repro.container.linker import SharedLibrary
+from repro.container.process import build_process_linker
+from repro.core.middleware import ConVGPU
+from repro.errors import ProtocolError
+from repro.ipc import protocol
+from repro.sim.engine import Environment
+from repro.units import MiB
+from repro.workloads.api import ProcessApi
+from repro.workloads.mnist import MnistConfig, make_mnist_command
+from repro.workloads.runner import SimIpcBridge, SimProgramRunner
+
+
+class TestProtocolFuzzing:
+    @settings(max_examples=200, deadline=None)
+    @given(blob=st.binary(min_size=0, max_size=200))
+    def test_decode_never_crashes_unexpectedly(self, blob):
+        """Arbitrary bytes either parse to a dict or raise ProtocolError."""
+        try:
+            message = protocol.decode(blob + b"\n")
+        except ProtocolError:
+            return
+        assert isinstance(message, dict)
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        payload=st.dictionaries(
+            st.text(max_size=10),
+            st.one_of(st.integers(), st.text(max_size=10), st.booleans(), st.none()),
+            max_size=6,
+        )
+    )
+    def test_validate_never_crashes_unexpectedly(self, payload):
+        """Arbitrary JSON objects validate or raise ProtocolError, only."""
+        try:
+            protocol.validate_request(payload)
+        except ProtocolError:
+            pass
+
+
+class TestLinkerTolerance:
+    def test_unknown_preload_soname_skipped_like_ldso(self):
+        """A missing LD_PRELOAD library degrades to unmanaged, not a crash."""
+        native = SharedLibrary("libcudart.so", {"cudaMalloc": lambda: "native"})
+        linker = build_process_linker(
+            libraries=[native],
+            env={"LD_PRELOAD": "/convgpu/libgpushare.so"},
+            available_preloads={},  # wrapper volume missing!
+        )
+        assert linker.resolve("cudaMalloc")() == "native"
+
+    def test_path_and_bare_soname_both_accepted(self):
+        wrapper = SharedLibrary("libgpushare.so", {"cudaMalloc": lambda: "wrapped"})
+        for value in ("libgpushare.so", "/convgpu/libgpushare.so"):
+            linker = build_process_linker(
+                libraries=[],
+                env={"LD_PRELOAD": value},
+                available_preloads={"libgpushare.so": wrapper},
+            )
+            assert linker.resolve("cudaMalloc")() == "wrapped"
+
+
+class TestMnistUnderTightLimit:
+    def _run(self, limit, steps=50):
+        env = Environment()
+        system = ConVGPU(policy="FIFO", clock=lambda: env.now)
+        system.engine.images.add(make_cuda_image("tf"))
+        container = system.nvdocker.run(
+            "tf",
+            name="trainer",
+            nvidia_memory=limit,
+            command=make_mnist_command(MnistConfig().scaled(steps)),
+        )
+        runner = SimProgramRunner(
+            env, system.device, SimIpcBridge(env, system.service.handle)
+        )
+        proc = runner.run_program(
+            ProcessApi(container.main_process),
+            on_exit=lambda code: system.engine.notify_main_exit(
+                container.container_id, code
+            ),
+        )
+        env.run()
+        return proc.value
+
+    def test_sufficient_limit_trains(self):
+        # Pools (336 MiB) + staging + 66 MiB overhead fit in 512 MiB.
+        assert self._run(512 * MiB) == 0
+
+    def test_insufficient_limit_fails_cleanly(self):
+        # 256 MiB cannot hold the pools: the trainer dies with exit 2
+        # (allocation rejected), not a hang or a corrupted scheduler.
+        assert self._run(256 * MiB) == 2
+
+
+class TestNvdockerParsing:
+    @settings(max_examples=60, deadline=None)
+    @given(mib=st.integers(1, 4096))
+    def test_nvidia_memory_forms_agree(self, mib):
+        from repro.nvdocker.cli import NvidiaDockerCommand
+
+        joined = NvidiaDockerCommand.parse(["run", f"--nvidia-memory={mib}m", "img"])
+        split = NvidiaDockerCommand.parse(["run", "--nvidia-memory", f"{mib}m", "img"])
+        assert joined.nvidia_memory == split.nvidia_memory == mib * MiB
+
+    def test_cpus_and_memory_options(self):
+        from repro.nvdocker.cli import NvidiaDockerCommand
+
+        cmd = NvidiaDockerCommand.parse(
+            ["run", "--cpus=2", "-m", "4g", "img"]
+        )
+        assert cmd.vcpus == 2
+        assert cmd.memory_limit == 4 * (1 << 30)

@@ -1,0 +1,139 @@
+"""Tests for the JSON wire protocol."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ProtocolError
+from repro.ipc import protocol
+
+
+class TestMakeRequest:
+    def test_valid_alloc_request(self):
+        msg = protocol.make_request(
+            protocol.MSG_ALLOC_REQUEST,
+            seq=3,
+            container_id="c1",
+            pid=100,
+            size=1024,
+            api="cudaMalloc",
+        )
+        assert msg["type"] == "alloc_request"
+        assert msg["seq"] == 3
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(ProtocolError, match="missing field"):
+            protocol.make_request(
+                protocol.MSG_ALLOC_REQUEST, container_id="c1", pid=1, size=10
+            )
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(ProtocolError):
+            protocol.make_request(
+                protocol.MSG_ALLOC_REQUEST,
+                container_id="c1",
+                pid="not-an-int",
+                size=10,
+                api="cudaMalloc",
+            )
+
+    def test_bool_not_accepted_as_int(self):
+        with pytest.raises(ProtocolError):
+            protocol.make_request(
+                protocol.MSG_REGISTER_CONTAINER, container_id="c1", limit=True
+            )
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ProtocolError):
+            protocol.make_request(
+                protocol.MSG_ALLOC_REQUEST,
+                container_id="c1",
+                pid=1,
+                size=-5,
+                api="x",
+            )
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown message type"):
+            protocol.validate_request({"type": "launch_missiles", "seq": 0})
+
+    def test_missing_type_rejected(self):
+        with pytest.raises(ProtocolError):
+            protocol.validate_request({"seq": 1})
+
+
+class TestReplies:
+    def test_reply_echoes_seq_and_type(self):
+        request = protocol.make_request(
+            protocol.MSG_CONTAINER_EXIT, seq=9, container_id="c1"
+        )
+        reply = protocol.make_reply(request, reclaimed=5)
+        assert reply["type"] == "container_exit_reply"
+        assert reply["seq"] == 9
+        assert reply["status"] == "ok"
+        assert reply["reclaimed"] == 5
+
+    def test_error_reply(self):
+        reply = protocol.make_error_reply({"type": "x", "seq": 4}, "nope")
+        assert reply["status"] == "error"
+        assert reply["error"] == "nope"
+
+
+class TestFraming:
+    def test_encode_decode_round_trip(self):
+        msg = protocol.make_request(
+            protocol.MSG_ALLOC_COMMIT,
+            seq=1,
+            container_id="c1",
+            pid=7,
+            address=0x700000000,
+            size=4096,
+        )
+        assert protocol.decode(protocol.encode(msg)) == msg
+
+    def test_encode_is_newline_terminated_single_line(self):
+        frame = protocol.encode({"type": "container_exit", "container_id": "c"})
+        assert frame.endswith(b"\n")
+        assert frame.count(b"\n") == 1
+
+    def test_unserializable_rejected(self):
+        with pytest.raises(ProtocolError):
+            protocol.encode({"bad": object()})
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(ProtocolError):
+            protocol.decode(b"{not json}\n")
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ProtocolError):
+            protocol.decode(b"[1,2,3]\n")
+
+    @given(
+        container_id=st.text(min_size=1, max_size=64).filter(lambda s: s.strip()),
+        pid=st.integers(0, 1 << 31),
+        size=st.integers(0, 1 << 40),
+        seq=st.integers(0, 1 << 20),
+    )
+    def test_round_trip_any_payload(self, container_id, pid, size, seq):
+        msg = protocol.make_request(
+            protocol.MSG_ALLOC_ABORT,
+            seq=seq,
+            container_id=container_id,
+            pid=pid,
+            size=size,
+        )
+        decoded = protocol.decode(protocol.encode(msg))
+        protocol.validate_request(decoded)
+        assert decoded == msg
+
+
+class TestNotificationTypes:
+    def test_commit_release_abort_exit_are_notifications(self):
+        assert protocol.MSG_ALLOC_COMMIT in protocol.NOTIFICATION_TYPES
+        assert protocol.MSG_ALLOC_RELEASE in protocol.NOTIFICATION_TYPES
+        assert protocol.MSG_ALLOC_ABORT in protocol.NOTIFICATION_TYPES
+        assert protocol.MSG_PROCESS_EXIT in protocol.NOTIFICATION_TYPES
+
+    def test_blocking_types_are_not(self):
+        assert protocol.MSG_ALLOC_REQUEST not in protocol.NOTIFICATION_TYPES
+        assert protocol.MSG_MEM_GET_INFO not in protocol.NOTIFICATION_TYPES
+        assert protocol.MSG_REGISTER_CONTAINER not in protocol.NOTIFICATION_TYPES

@@ -1,0 +1,227 @@
+"""Tests for the real AF_UNIX / TCP transports and the in-process channel.
+
+These run actual sockets on this machine — the same code path the live
+Fig. 4/5 experiments measure.
+"""
+
+import os
+import tempfile
+import threading
+import time
+
+import pytest
+
+from repro.errors import TransportError
+from repro.ipc import protocol
+from repro.ipc.channel import InProcessChannel
+from repro.ipc.tcp_socket import TcpSocketClient, TcpSocketServer
+from repro.ipc.unix_socket import DEFER, UnixSocketClient, UnixSocketServer
+
+
+def echo_handler(message, reply_handle):
+    return protocol.make_reply(message, echoed=message["container_id"])
+
+
+@pytest.fixture
+def socket_path():
+    with tempfile.TemporaryDirectory(prefix="convgpu-test-") as tmp:
+        yield os.path.join(tmp, "test.sock")
+
+
+class TestUnixSocket:
+    def test_request_reply(self, socket_path):
+        with UnixSocketServer(socket_path, echo_handler):
+            with UnixSocketClient(socket_path) as client:
+                reply = client.call(protocol.MSG_CONTAINER_EXIT, container_id="c9")
+                assert reply["status"] == "ok"
+                assert reply["echoed"] == "c9"
+
+    def test_seq_increments_and_echoes(self, socket_path):
+        with UnixSocketServer(socket_path, echo_handler):
+            with UnixSocketClient(socket_path) as client:
+                r1 = client.call(protocol.MSG_CONTAINER_EXIT, container_id="a")
+                r2 = client.call(protocol.MSG_CONTAINER_EXIT, container_id="b")
+                assert (r1["seq"], r2["seq"]) == (1, 2)
+
+    def test_multiple_concurrent_clients(self, socket_path):
+        with UnixSocketServer(socket_path, echo_handler):
+            results = {}
+
+            def worker(name):
+                with UnixSocketClient(socket_path) as client:
+                    for _ in range(20):
+                        reply = client.call(
+                            protocol.MSG_CONTAINER_EXIT, container_id=name
+                        )
+                        assert reply["echoed"] == name
+                    results[name] = True
+
+            threads = [
+                threading.Thread(target=worker, args=(f"c{i}",)) for i in range(8)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=10)
+            assert len(results) == 8
+
+    def test_deferred_reply_blocks_until_sent(self, socket_path):
+        """DEFER = the paper's pause: the client blocks in recv."""
+        held = {}
+
+        def pausing_handler(message, reply_handle):
+            if message["container_id"] == "pause-me":
+                held["handle"] = reply_handle
+                held["message"] = message
+                return DEFER
+            return protocol.make_reply(message)
+
+        with UnixSocketServer(socket_path, pausing_handler):
+            outcome = {}
+
+            def blocked_caller():
+                with UnixSocketClient(socket_path) as client:
+                    t0 = time.monotonic()
+                    reply = client.call(
+                        protocol.MSG_CONTAINER_EXIT, container_id="pause-me"
+                    )
+                    outcome["waited"] = time.monotonic() - t0
+                    outcome["reply"] = reply
+
+            thread = threading.Thread(target=blocked_caller)
+            thread.start()
+            time.sleep(0.15)
+            assert "reply" not in outcome  # still suspended
+            held["handle"].send(
+                protocol.make_reply(held["message"], decision="grant")
+            )
+            thread.join(timeout=5)
+            assert outcome["reply"]["decision"] == "grant"
+            assert outcome["waited"] >= 0.14
+
+    def test_invalid_frame_gets_error_reply(self, socket_path):
+        with UnixSocketServer(socket_path, echo_handler):
+            client = UnixSocketClient(socket_path)
+            client._sock.sendall(b'{"type": "bogus"}\n')
+            reply = client._read_reply()
+            assert reply["status"] == "error"
+            client.close()
+
+    def test_handler_exception_reported_in_band(self, socket_path):
+        def broken_handler(message, reply_handle):
+            raise RuntimeError("handler bug")
+
+        with UnixSocketServer(socket_path, broken_handler):
+            with UnixSocketClient(socket_path) as client:
+                reply = client.call(protocol.MSG_CONTAINER_EXIT, container_id="x")
+                assert reply["status"] == "error"
+                assert "handler bug" in reply["error"]
+
+    def test_connect_to_missing_socket(self, socket_path):
+        with pytest.raises(TransportError):
+            UnixSocketClient(socket_path)
+
+    def test_stop_removes_socket_file(self, socket_path):
+        server = UnixSocketServer(socket_path, echo_handler).start()
+        assert os.path.exists(socket_path)
+        server.stop()
+        assert not os.path.exists(socket_path)
+
+    def test_notify_requires_notification_type(self, socket_path):
+        with UnixSocketServer(socket_path, echo_handler):
+            with UnixSocketClient(socket_path) as client:
+                with pytest.raises(TransportError):
+                    client.notify(protocol.MSG_CONTAINER_EXIT, container_id="x")
+
+    def test_notify_then_call_stays_in_sync(self, socket_path):
+        received = []
+
+        def recording_handler(message, reply_handle):
+            received.append(message["type"])
+            return protocol.make_reply(message)
+
+        with UnixSocketServer(socket_path, recording_handler):
+            with UnixSocketClient(socket_path) as client:
+                client.notify(
+                    protocol.MSG_ALLOC_RELEASE, container_id="c", pid=1, address=5
+                )
+                reply = client.call(protocol.MSG_CONTAINER_EXIT, container_id="c")
+                assert reply["status"] == "ok"
+        assert received == ["alloc_release", "container_exit"]
+
+
+class TestTcpSocket:
+    def test_request_reply_over_loopback(self):
+        with TcpSocketServer(echo_handler) as server:
+            with TcpSocketClient("127.0.0.1", server.port) as client:
+                reply = client.call(protocol.MSG_CONTAINER_EXIT, container_id="tcp")
+                assert reply["echoed"] == "tcp"
+
+    def test_ephemeral_port_assigned(self):
+        with TcpSocketServer(echo_handler) as server:
+            assert server.port > 0
+
+
+class TestInProcessChannel:
+    def test_sync_call(self):
+        channel = InProcessChannel(echo_handler)
+        reply = channel.call_sync(protocol.MSG_CONTAINER_EXIT, container_id="c1")
+        assert reply["echoed"] == "c1"
+
+    def test_deferred_completion(self):
+        held = {}
+
+        def pausing(message, reply_handle):
+            held["handle"] = reply_handle
+            held["message"] = message
+            return DEFER
+
+        channel = InProcessChannel(pausing)
+        pending = channel.call(
+            protocol.MSG_ALLOC_REQUEST,
+            container_id="c",
+            pid=1,
+            size=10,
+            api="cudaMalloc",
+        )
+        assert not pending.ready
+        with pytest.raises(TransportError):
+            pending.reply
+        held["handle"].send(protocol.make_reply(held["message"], decision="grant"))
+        assert pending.ready
+        assert pending.reply["decision"] == "grant"
+
+    def test_on_ready_callback_fires_once(self):
+        held = {}
+
+        def pausing(message, reply_handle):
+            held["handle"] = reply_handle
+            return DEFER
+
+        channel = InProcessChannel(pausing)
+        pending = channel.call(
+            protocol.MSG_ALLOC_REQUEST, container_id="c", pid=1, size=10, api="m"
+        )
+        seen = []
+        pending.on_ready(seen.append)
+        held["handle"].send({"status": "ok"})
+        assert len(seen) == 1
+        # Registering after completion fires immediately.
+        pending.on_ready(seen.append)
+        assert len(seen) == 2
+
+    def test_notification_gets_synthetic_ack(self):
+        def notification_handler(message, reply_handle):
+            return None  # server sends nothing for notifications
+
+        channel = InProcessChannel(notification_handler)
+        pending = channel.call(
+            protocol.MSG_ALLOC_RELEASE, container_id="c", pid=1, address=4
+        )
+        assert pending.ready
+        assert pending.reply["status"] == "ok"
+
+    def test_notify_rejects_blocking_types(self):
+        channel = InProcessChannel(echo_handler)
+        with pytest.raises(TransportError):
+            channel.notify(protocol.MSG_CONTAINER_EXIT, container_id="x")

@@ -1,0 +1,82 @@
+"""Tests for the nvidia-docker-plugin volume driver."""
+
+import pytest
+
+from repro.errors import VolumeError
+from repro.ipc import protocol
+from repro.nvdocker.plugin import (
+    DRIVER_VOLUME_PREFIX,
+    DUMMY_VOLUME_PREFIX,
+    NvidiaDockerPlugin,
+)
+
+
+class TestDriverVolume:
+    def test_name_encodes_driver_version(self):
+        # §II-D: the CUDA version travels via the docker volume name.
+        plugin = NvidiaDockerPlugin(driver_version="375.51")
+        assert plugin.driver_volume_name == "nvidia_driver_375.51"
+        mount = plugin.driver_mount()
+        assert mount.read_only
+        assert mount.driver == plugin.driver_name
+
+    def test_version_mismatch_rejected(self):
+        plugin = NvidiaDockerPlugin(driver_version="375.51")
+        with pytest.raises(VolumeError):
+            plugin.mount(f"{DRIVER_VOLUME_PREFIX}390.00", "cid")
+
+    def test_mount_tracks_state(self):
+        plugin = NvidiaDockerPlugin()
+        name = plugin.driver_volume_name
+        plugin.mount(name, "cid")
+        assert plugin.is_mounted(name, "cid")
+        plugin.unmount(name, "cid")
+        assert not plugin.is_mounted(name, "cid")
+
+    def test_unknown_volume_rejected(self):
+        with pytest.raises(VolumeError):
+            NvidiaDockerPlugin().mount("random_volume", "cid")
+
+
+class TestExitDetection:
+    def test_dummy_unmount_sends_close_with_scheduler_key(self):
+        calls = []
+
+        def control(msg_type, **payload):
+            calls.append((msg_type, payload))
+            return {"status": "ok"}
+
+        plugin = NvidiaDockerPlugin(control_call=control)
+        volume = plugin.dummy_volume_name("my-container")
+        plugin.mount(volume, "engine-id-123")
+        plugin.unmount(volume, "engine-id-123")
+        # The close signal uses the scheduler key from the volume name,
+        # not the engine's container id.
+        assert calls == [
+            (protocol.MSG_CONTAINER_EXIT, {"container_id": "my-container"})
+        ]
+        assert plugin.close_signals == ["my-container"]
+
+    def test_driver_volume_unmount_is_silent(self):
+        calls = []
+        plugin = NvidiaDockerPlugin(
+            control_call=lambda *a, **k: calls.append(a) or {"status": "ok"}
+        )
+        plugin.mount(plugin.driver_volume_name, "cid")
+        plugin.unmount(plugin.driver_volume_name, "cid")
+        assert calls == []
+
+    def test_control_failure_tolerated(self):
+        def broken_control(msg_type, **payload):
+            raise ConnectionError("daemon gone")
+
+        plugin = NvidiaDockerPlugin(control_call=broken_control)
+        volume = plugin.dummy_volume_name("c")
+        plugin.mount(volume, "cid")
+        plugin.unmount(volume, "cid")  # must not raise
+        assert plugin.close_signals == ["c"]
+
+    def test_dummy_name_round_trip(self):
+        name = NvidiaDockerPlugin.dummy_volume_name("container-42")
+        assert name.startswith(DUMMY_VOLUME_PREFIX)
+        assert name[len(DUMMY_VOLUME_PREFIX):] == "container-42"

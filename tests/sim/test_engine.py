@@ -1,0 +1,122 @@
+"""Tests for the DES kernel: Environment scheduling semantics."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Environment, Infinity
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Environment().now == 0.0
+
+    def test_custom_start(self):
+        assert Environment(10.0).now == 10.0
+
+    def test_timeout_advances_clock(self):
+        env = Environment()
+        env.timeout(3.5)
+        env.run()
+        assert env.now == 3.5
+
+    def test_run_until_time_leaves_clock_there(self):
+        env = Environment()
+        env.timeout(1.0)
+        env.run(until=5.0)
+        assert env.now == 5.0
+
+    def test_run_until_past_time_rejected(self):
+        env = Environment(10.0)
+        with pytest.raises(SimulationError):
+            env.run(until=5.0)
+
+
+class TestEventOrdering:
+    def test_same_time_events_fifo(self):
+        env = Environment()
+        order = []
+        for i in range(5):
+            t = env.timeout(1.0, value=i)
+            t.callbacks.append(lambda e: order.append(e.value))
+        env.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_earlier_time_first(self):
+        env = Environment()
+        order = []
+        for delay in (3.0, 1.0, 2.0):
+            t = env.timeout(delay, value=delay)
+            t.callbacks.append(lambda e: order.append(e.value))
+        env.run()
+        assert order == [1.0, 2.0, 3.0]
+
+    def test_peek_reports_next_event_time(self):
+        env = Environment()
+        env.timeout(7.0)
+        assert env.peek() == 7.0
+
+    def test_peek_empty_is_infinity(self):
+        assert Environment().peek() == Infinity
+
+    def test_step_on_empty_raises(self):
+        with pytest.raises(SimulationError):
+            Environment().step()
+
+
+class TestRunUntilEvent:
+    def test_returns_event_value(self):
+        env = Environment()
+
+        def prog(env):
+            yield env.timeout(2.0)
+            return "payload"
+
+        proc = env.process(prog(env))
+        assert env.run(until=proc) == "payload"
+        assert env.now == 2.0
+
+    def test_raises_event_failure(self):
+        env = Environment()
+
+        def prog(env):
+            yield env.timeout(1.0)
+            raise ValueError("boom")
+
+        proc = env.process(prog(env))
+        with pytest.raises(ValueError, match="boom"):
+            env.run(until=proc)
+
+    def test_drained_schedule_before_event_raises(self):
+        env = Environment()
+        orphan = env.event()  # never triggered
+        env.timeout(1.0)
+        with pytest.raises(SimulationError):
+            env.run(until=orphan)
+
+
+class TestNegativeScheduling:
+    def test_negative_delay_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.schedule(env.event(), delay=-1.0)
+
+    def test_negative_timeout_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.timeout(-0.5)
+
+
+class TestUnhandledFailure:
+    def test_failed_event_nobody_waits_on_raises(self):
+        env = Environment()
+        event = env.event()
+        event.fail(RuntimeError("lost error"))
+        with pytest.raises(RuntimeError, match="lost error"):
+            env.run()
+
+    def test_defused_failure_is_silent(self):
+        env = Environment()
+        event = env.event()
+        event.fail(RuntimeError("handled"))
+        event.defused = True
+        env.run()  # no raise

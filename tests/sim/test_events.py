@@ -1,0 +1,226 @@
+"""Tests for DES events, processes, interrupts, and conditions."""
+
+import pytest
+
+from repro.errors import ProcessError, SimulationError
+from repro.sim.engine import Environment
+from repro.sim.events import AllOf, AnyOf, Interrupt
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestEventLifecycle:
+    def test_initially_pending(self, env):
+        event = env.event()
+        assert not event.triggered
+        assert not event.processed
+
+    def test_succeed_carries_value(self, env):
+        event = env.event()
+        event.succeed(41)
+        assert event.triggered and event.ok
+        assert event.value == 41
+
+    def test_double_succeed_rejected(self, env):
+        event = env.event().succeed()
+        with pytest.raises(SimulationError):
+            event.succeed()
+
+    def test_fail_requires_exception(self, env):
+        with pytest.raises(TypeError):
+            env.event().fail("not an exception")
+
+    def test_value_before_trigger_raises(self, env):
+        with pytest.raises(SimulationError):
+            env.event().value
+
+    def test_none_payload_distinct_from_pending(self, env):
+        event = env.event().succeed(None)
+        assert event.triggered
+        assert event.value is None
+
+
+class TestProcess:
+    def test_return_value_becomes_event_value(self, env):
+        def prog(env):
+            yield env.timeout(1)
+            return 99
+
+        proc = env.process(prog(env))
+        env.run()
+        assert proc.value == 99
+        assert not proc.is_alive
+
+    def test_process_joins_process(self, env):
+        def child(env):
+            yield env.timeout(3)
+            return "child-done"
+
+        def parent(env):
+            result = yield env.process(child(env))
+            return f"got {result}"
+
+        parent_proc = env.process(parent(env))
+        env.run()
+        assert parent_proc.value == "got child-done"
+        assert env.now == 3
+
+    def test_waiting_on_already_processed_event(self, env):
+        done = env.event().succeed("early")
+
+        def prog(env):
+            value = yield done
+            return value
+
+        env.run(until=1.0)  # process `done`
+        proc = env.process(prog(env))
+        env.run()
+        assert proc.value == "early"
+
+    def test_exception_propagates_into_waiter(self, env):
+        def failing(env):
+            yield env.timeout(1)
+            raise KeyError("inner")
+
+        def waiter(env):
+            try:
+                yield env.process(failing(env))
+            except KeyError:
+                return "caught"
+            return "missed"
+
+        proc = env.process(waiter(env))
+        env.run()
+        assert proc.value == "caught"
+
+    def test_yielding_non_event_raises(self, env):
+        def bad(env):
+            yield 42
+
+        env.process(bad(env))
+        with pytest.raises(ProcessError):
+            env.run()
+
+    def test_non_generator_rejected(self, env):
+        with pytest.raises(ProcessError):
+            env.process(lambda: None)
+
+    def test_cross_environment_event_rejected(self, env):
+        other = Environment()
+
+        def prog(env):
+            yield other.event()
+
+        env.process(prog(env))
+        with pytest.raises(ProcessError):
+            env.run()
+
+
+class TestInterrupt:
+    def test_interrupt_delivers_cause(self, env):
+        seen = {}
+
+        def victim(env):
+            try:
+                yield env.timeout(100)
+            except Interrupt as interrupt:
+                seen["cause"] = interrupt.cause
+                seen["at"] = env.now
+                return "interrupted"
+            return "finished"
+
+        proc = env.process(victim(env))
+
+        def interrupter(env):
+            yield env.timeout(5)
+            proc.interrupt("container killed")
+
+        env.process(interrupter(env))
+        env.run()
+        assert proc.value == "interrupted"
+        assert seen["cause"] == "container killed"
+        assert seen["at"] == 5  # delivered immediately, not at the timeout
+
+    def test_interrupt_dead_process_rejected(self, env):
+        def quick(env):
+            yield env.timeout(1)
+
+        proc = env.process(quick(env))
+        env.run()
+        with pytest.raises(ProcessError):
+            proc.interrupt()
+
+    def test_old_target_does_not_resume_after_interrupt(self, env):
+        log = []
+
+        def victim(env):
+            try:
+                yield env.timeout(10)
+                log.append("timeout-fired")
+            except Interrupt:
+                log.append("interrupted")
+            yield env.timeout(20)  # outlive the original timeout
+            log.append("second-wait-done")
+
+        proc = env.process(victim(env))
+
+        def interrupter(env):
+            yield env.timeout(1)
+            proc.interrupt()
+
+        env.process(interrupter(env))
+        env.run()
+        assert log == ["interrupted", "second-wait-done"]
+
+    def test_self_interrupt_rejected(self, env):
+        def selfish(env, proc_holder):
+            proc_holder[0].interrupt()
+            yield env.timeout(1)
+
+        holder = []
+        proc = env.process(selfish(env, holder))
+        holder.append(proc)
+        with pytest.raises(ProcessError):
+            env.run()
+
+
+class TestConditions:
+    def test_all_of_waits_for_everything(self, env):
+        t1 = env.timeout(1, value="a")
+        t2 = env.timeout(5, value="b")
+
+        def prog(env):
+            results = yield AllOf(env, [t1, t2])
+            return sorted(results.values())
+
+        proc = env.process(prog(env))
+        env.run()
+        assert proc.value == ["a", "b"]
+        assert env.now == 5
+
+    def test_any_of_fires_on_first(self, env):
+        t1 = env.timeout(1, value="fast")
+        t2 = env.timeout(50, value="slow")
+
+        def prog(env):
+            results = yield AnyOf(env, [t1, t2])
+            return list(results.values())
+
+        proc = env.process(prog(env))
+        env.run()
+        assert proc.value == ["fast"]
+
+    def test_operator_sugar(self, env):
+        t1 = env.timeout(1)
+        t2 = env.timeout(2)
+        both = t1 & t2
+        either = env.timeout(3) | env.timeout(4)
+        assert isinstance(both, AllOf)
+        assert isinstance(either, AnyOf)
+
+    def test_empty_all_of_succeeds_immediately(self, env):
+        condition = AllOf(env, [])
+        assert condition.triggered

@@ -1,0 +1,47 @@
+"""Tests for deterministic RNG derivation."""
+
+import numpy as np
+import pytest
+
+from repro.sim.rng import SeedSequenceFactory, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(7, "arrivals", 3) == derive_seed(7, "arrivals", 3)
+
+    def test_name_sensitivity(self):
+        assert derive_seed(7, "arrivals") != derive_seed(7, "policy")
+
+    def test_root_sensitivity(self):
+        assert derive_seed(7, "x") != derive_seed(8, "x")
+
+    def test_order_sensitivity(self):
+        assert derive_seed(7, "a", "b") != derive_seed(7, "b", "a")
+
+    def test_fits_in_63_bits(self):
+        for i in range(100):
+            assert 0 <= derive_seed(i, "name", i) < (1 << 63)
+
+
+class TestSeedSequenceFactory:
+    def test_same_stream_same_numbers(self):
+        a = SeedSequenceFactory(42).generator("workload").random(5)
+        b = SeedSequenceFactory(42).generator("workload").random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_streams_differ(self):
+        factory = SeedSequenceFactory(42)
+        a = factory.generator("one").random(5)
+        b = factory.generator("two").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_spawn_isolates_subexperiments(self):
+        factory = SeedSequenceFactory(42)
+        child_a = factory.spawn("run", 4, 0)
+        child_b = factory.spawn("run", 4, 1)
+        assert child_a.root_seed != child_b.root_seed
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError):
+            SeedSequenceFactory(-1)

@@ -1,0 +1,53 @@
+"""Tests for the exception hierarchy contract."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.ContainerError,
+            errors.ContainerStateError,
+            errors.ImageNotFoundError,
+            errors.VolumeError,
+            errors.SchedulerError,
+            errors.UnknownContainerError,
+            errors.LimitExceededError,
+            errors.ProtocolError,
+            errors.TransportError,
+            errors.SimulationError,
+            errors.ProcessError,
+            errors.GpuError,
+            errors.OutOfMemoryError,
+            errors.InvalidDeviceError,
+            errors.ClusterError,
+        ],
+    )
+    def test_everything_is_a_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+        assert issubclass(exc, Exception)
+
+    def test_sub_hierarchies(self):
+        assert issubclass(errors.ContainerStateError, errors.ContainerError)
+        assert issubclass(errors.ImageNotFoundError, errors.ContainerError)
+        assert issubclass(errors.UnknownContainerError, errors.SchedulerError)
+        assert issubclass(errors.LimitExceededError, errors.SchedulerError)
+        assert issubclass(errors.OutOfMemoryError, errors.GpuError)
+        assert issubclass(errors.ProcessError, errors.SimulationError)
+
+    def test_catching_the_base_covers_subsystem_failures(self):
+        """A caller wrapping middleware calls needs exactly one except."""
+        for raiser in (
+            lambda: (_ for _ in ()).throw(errors.OutOfMemoryError("full")),
+            lambda: (_ for _ in ()).throw(errors.ProtocolError("bad frame")),
+            lambda: (_ for _ in ()).throw(errors.ClusterError("no node")),
+        ):
+            with pytest.raises(errors.ReproError):
+                next(raiser())
+
+    def test_all_exports_exist(self):
+        for name in errors.__all__:
+            assert hasattr(errors, name), name

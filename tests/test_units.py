@@ -1,0 +1,104 @@
+"""Tests for repro.units — size parsing/formatting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.units import GiB, KiB, MiB, format_size, gib, mib, parse_size
+
+
+class TestParseSize:
+    def test_plain_int_passthrough(self):
+        assert parse_size(12345) == 12345
+
+    def test_negative_int_rejected(self):
+        with pytest.raises(ValueError):
+            parse_size(-1)
+
+    def test_bool_rejected(self):
+        with pytest.raises(ValueError):
+            parse_size(True)
+
+    def test_bare_number_string(self):
+        assert parse_size("1024") == 1024
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("1k", KiB),
+            ("1K", KiB),
+            ("1kb", KiB),
+            ("1KiB", KiB),
+            ("2m", 2 * MiB),
+            ("512MB", 512 * MiB),
+            ("512MiB", 512 * MiB),
+            ("1g", GiB),
+            ("1GiB", GiB),
+            ("4GB", 4 * GiB),
+            ("16b", 16),
+        ],
+    )
+    def test_suffixes_are_binary(self, text, expected):
+        assert parse_size(text) == expected
+
+    def test_fractional_values(self):
+        assert parse_size("1.5g") == int(1.5 * GiB)
+        assert parse_size("0.5m") == 512 * KiB
+
+    def test_whitespace_tolerated(self):
+        assert parse_size("  128 MiB ") == 128 * MiB
+
+    @pytest.mark.parametrize("bad", ["", "abc", "12q", "1..5g", "-5m", "m12"])
+    def test_invalid_strings_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_size(bad)
+
+    def test_paper_default_limit(self):
+        # §III-B: the 1 GiB default.
+        assert parse_size("1GiB") == 1073741824
+
+
+class TestFormatSize:
+    @pytest.mark.parametrize(
+        "nbytes,expected",
+        [
+            (0, "0B"),
+            (512, "512B"),
+            (KiB, "1KiB"),
+            (66 * MiB, "66MiB"),
+            (5 * GiB, "5GiB"),
+            (int(1.5 * GiB), "1.5GiB"),
+        ],
+    )
+    def test_exact_and_fractional(self, nbytes, expected):
+        assert format_size(nbytes) == expected
+
+    def test_negative(self):
+        assert format_size(-2 * MiB) == "-2MiB"
+
+
+class TestHelpers:
+    def test_mib_gib(self):
+        assert mib(2) == 2 * MiB
+        assert gib(3) == 3 * GiB
+        assert mib(0.5) == 512 * KiB
+
+
+class TestRoundTrip:
+    @given(st.integers(min_value=0, max_value=1 << 50))
+    def test_parse_of_int_is_identity(self, n):
+        assert parse_size(n) == n
+
+    @given(st.integers(min_value=1, max_value=4096))
+    def test_mib_strings_parse_exactly(self, n):
+        assert parse_size(f"{n}MiB") == n * MiB
+
+    @given(st.integers(min_value=1, max_value=4096))
+    def test_format_round_trip_within_rounding(self, n):
+        # Human formatting keeps one decimal, so the round-trip is exact for
+        # unit multiples and within ~5% otherwise.
+        nbytes = n * MiB
+        recovered = parse_size(format_size(nbytes))
+        if n % 1024 == 0 or n < 1024:
+            assert recovered == nbytes
+        else:
+            assert abs(recovered - nbytes) / nbytes < 0.05

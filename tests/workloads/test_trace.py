@@ -1,0 +1,120 @@
+"""Tests for the JSONL trace format and trace replay."""
+
+import pytest
+
+from repro.experiments.multi import run_trace
+from repro.units import GiB, MiB
+from repro.workloads.trace import TraceError, load_trace, parse_trace_lines
+
+
+def lines(*objs):
+    import json
+
+    return [json.dumps(o) for o in objs]
+
+
+class TestParsing:
+    def test_type_entry_inherits_table_iii(self):
+        entries = parse_trace_lines(lines({"at": 0, "name": "a", "type": "large"}))
+        entry = entries[0]
+        assert entry.gpu_limit == 2 * GiB
+        assert entry.duration == 37.0
+        assert entry.vcpus == 2
+
+    def test_limit_entry_with_custom_duration(self):
+        entries = parse_trace_lines(
+            lines({"at": 1.5, "name": "b", "limit": "256m", "duration": 3.0})
+        )
+        assert entries[0].gpu_limit == 256 * MiB
+        assert entries[0].duration == 3.0
+
+    def test_comments_and_blank_lines_skipped(self):
+        entries = parse_trace_lines(
+            ["# header", "", '{"at": 0, "name": "a", "type": "nano"}']
+        )
+        assert len(entries) == 1
+
+    def test_sorted_by_time(self):
+        entries = parse_trace_lines(
+            lines(
+                {"at": 9, "name": "late", "type": "nano"},
+                {"at": 1, "name": "early", "type": "nano"},
+            )
+        )
+        assert [e.name for e in entries] == ["early", "late"]
+
+    @pytest.mark.parametrize(
+        "obj,message",
+        [
+            ({"name": "x", "type": "nano"}, "need 'at'"),
+            ({"at": 0, "name": "x"}, "either 'type' or 'limit'"),
+            ({"at": 0, "name": "x", "type": "mega"}, "unknown type"),
+            ({"at": 0, "name": "x", "limit": "12q"}, "bad limit"),
+            ({"at": -1, "name": "x", "type": "nano"}, "negative"),
+        ],
+    )
+    def test_invalid_entries(self, obj, message):
+        with pytest.raises(TraceError, match=message):
+            parse_trace_lines(lines(obj))
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(TraceError, match="duplicate"):
+            parse_trace_lines(
+                lines(
+                    {"at": 0, "name": "same", "type": "nano"},
+                    {"at": 1, "name": "same", "type": "nano"},
+                )
+            )
+
+    def test_bad_json_line_number_reported(self):
+        with pytest.raises(TraceError, match="line 2"):
+            parse_trace_lines(['{"at": 0, "name": "a", "type": "nano"}', "{oops"])
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(TraceError, match="empty"):
+            parse_trace_lines(["# only a comment"])
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"at": 0, "name": "a", "type": "micro"}\n')
+        entries = load_trace(path)
+        assert entries[0].gpu_limit == 256 * MiB
+
+
+class TestReplay:
+    def test_mixed_trace_completes(self):
+        entries = parse_trace_lines(
+            lines(
+                {"at": 0, "name": "big", "type": "xlarge"},
+                {"at": 1, "name": "small", "limit": "512m", "duration": 2.0},
+                {"at": 2, "name": "chunky", "limit": "1g", "duration": 3.0, "chunks": 4},
+                {"at": 3, "name": "trainer", "limit": "1g", "kind": "mnist", "steps": 50},
+            )
+        )
+        result = run_trace("BF", entries)
+        assert result.failures == 0
+        assert len(result.outcomes) == 4
+
+    def test_contention_produces_suspension(self):
+        entries = parse_trace_lines(
+            lines(
+                {"at": 0, "name": "hog", "limit": "4g", "duration": 10.0},
+                {"at": 1, "name": "blocked", "limit": "3g", "duration": 2.0},
+            )
+        )
+        result = run_trace("FIFO", entries)
+        assert result.failures == 0
+        blocked = next(o for o in result.outcomes if o.name == "blocked")
+        assert blocked.suspended > 5.0
+
+    def test_trace_replay_deterministic(self):
+        entries = parse_trace_lines(
+            lines(
+                {"at": 0, "name": "a", "type": "large"},
+                {"at": 1, "name": "b", "type": "large"},
+                {"at": 2, "name": "c", "type": "xlarge"},
+            )
+        )
+        r1 = run_trace("RU", entries)
+        r2 = run_trace("RU", entries)
+        assert r1.finished_time == r2.finished_time

@@ -1,0 +1,97 @@
+"""Tests for container types, arrivals, and workload programs."""
+
+import numpy as np
+import pytest
+
+from repro.core.scheduler.core import CONTEXT_OVERHEAD_CHARGE
+from repro.sim.rng import SeedSequenceFactory
+from repro.units import GiB, MiB
+from repro.workloads.arrivals import ARRIVAL_INTERVAL, PAPER_CONTAINER_COUNTS, cloud_arrivals
+from repro.workloads.mnist import MnistConfig
+from repro.workloads.sample import usable_gpu_memory
+from repro.workloads.types import CONTAINER_TYPES, TYPE_BY_NAME, choose_types
+
+
+class TestContainerTypes:
+    def test_table_iii_values(self):
+        """Table III verbatim."""
+        expected = {
+            "nano": (1, GiB // 2, 128 * MiB),
+            "micro": (1, 1 * GiB, 256 * MiB),
+            "small": (1, 2 * GiB, 512 * MiB),
+            "medium": (2, 4 * GiB, 1024 * MiB),
+            "large": (2, 8 * GiB, 2048 * MiB),
+            "xlarge": (4, 16 * GiB, 4096 * MiB),
+        }
+        assert len(CONTAINER_TYPES) == 6
+        for t in CONTAINER_TYPES:
+            vcpus, memory, gpu = expected[t.name]
+            assert (t.vcpus, t.memory, t.gpu_memory) == (vcpus, memory, gpu)
+
+    def test_durations_ramp_5_to_45(self):
+        """§IV-A: "from 5 seconds to 45 seconds"."""
+        durations = [t.sample_duration for t in CONTAINER_TYPES]
+        assert durations[0] == 5.0
+        assert durations[-1] == 45.0
+        assert durations == sorted(durations)
+
+    def test_choose_types_deterministic(self):
+        rng = np.random.default_rng(5)
+        a = [t.name for t in choose_types(20, np.random.default_rng(5))]
+        b = [t.name for t in choose_types(20, np.random.default_rng(5))]
+        assert a == b
+
+    def test_choose_types_covers_table(self):
+        names = {t.name for t in choose_types(500, np.random.default_rng(0))}
+        assert names == set(TYPE_BY_NAME)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            choose_types(-1, np.random.default_rng(0))
+
+
+class TestArrivals:
+    def test_five_second_interval(self):
+        arrivals = cloud_arrivals(4, np.random.default_rng(0))
+        assert [a.time for a in arrivals] == [0.0, 5.0, 10.0, 15.0]
+        assert ARRIVAL_INTERVAL == 5.0
+
+    def test_paper_counts_4_to_38(self):
+        assert PAPER_CONTAINER_COUNTS[0] == 4
+        assert PAPER_CONTAINER_COUNTS[-1] == 38
+        assert all(b - a == 2 for a, b in zip(PAPER_CONTAINER_COUNTS, PAPER_CONTAINER_COUNTS[1:]))
+
+    def test_names_unique(self):
+        arrivals = cloud_arrivals(38, np.random.default_rng(1))
+        names = [a.name for a in arrivals]
+        assert len(set(names)) == 38
+
+    def test_same_seed_same_schedule(self):
+        factory = SeedSequenceFactory(9)
+        a = cloud_arrivals(10, factory.generator("arrivals"))
+        b = cloud_arrivals(10, SeedSequenceFactory(9).generator("arrivals"))
+        assert [x.container_type.name for x in a] == [
+            x.container_type.name for x in b
+        ]
+
+
+class TestUsableGpuMemory:
+    def test_subtracts_context_overhead(self):
+        assert usable_gpu_memory(GiB) == GiB - CONTEXT_OVERHEAD_CHARGE
+
+    def test_too_small_limit_rejected(self):
+        with pytest.raises(ValueError):
+            usable_gpu_memory(CONTEXT_OVERHEAD_CHARGE)
+
+
+class TestMnistConfig:
+    def test_defaults_match_tutorial_scale(self):
+        config = MnistConfig()
+        assert config.steps == 20_000
+        # ~400 s of kernel time total (Fig. 6's 402 s native runtime).
+        assert 350 < config.steps * config.step_kernel_time < 450
+
+    def test_scaled_preserves_profile(self):
+        config = MnistConfig().scaled(100)
+        assert config.steps == 100
+        assert config.step_kernel_time == MnistConfig().step_kernel_time
