@@ -1,0 +1,19 @@
+# Convenience targets for the ConVGPU reproduction.
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test stress bench crash check
+
+test:            ## tier-1: fast unit/integration/property tests
+	$(PYTHON) -m pytest -x -q
+
+stress:          ## deep randomized fault-injection lane
+	$(PYTHON) -m pytest -m stress -q
+
+bench:           ## regenerate every table & figure
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+crash:           ## daemon-crash fault-injection experiment (exit 0 = recovered)
+	$(PYTHON) -m repro crash
+
+check: test crash  ## what CI runs: tier-1 tests + the crash-recovery check

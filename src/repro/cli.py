@@ -7,14 +7,24 @@ original system would drive it:
 - ``run``      — one multi-container schedule, with the per-container table;
 - ``sweep``    — the full Fig. 7/8 grid (Tables IV and V);
 - ``deadlock`` — the §I failure scenarios with and without ConVGPU;
-- ``export``   — write all results as JSON/CSV into a directory.
+- ``crash``    — the daemon-crash fault injection (journal recovery);
+- ``export``   — write all results as JSON/CSV into a directory;
+- ``daemon``   — run the live scheduler daemon in the foreground
+  (``--journal-path`` for crash safety, ``--recover`` to restart from a
+  crashed daemon's journal);
+- ``recover``  — inspect a journal offline: record counts, the restored
+  state table, and an invariant check.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
+import signal
 import sys
+import threading
+import time
 
 from repro.experiments import export as export_mod
 from repro.experiments.failure import deadlock_experiment, overcommit_experiment
@@ -69,10 +79,52 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("deadlock", help="the §I failure scenarios")
 
+    crash = sub.add_parser("crash", help="daemon-crash fault injection")
+    crash.add_argument("--policy", default="FIFO")
+
     export_cmd = sub.add_parser("export", help="write JSON/CSV results")
     export_cmd.add_argument("--out", default="results")
     export_cmd.add_argument("--repeats", type=int, default=6)
     export_cmd.add_argument("--seed", type=int, default=DEFAULT_SEED)
+
+    daemon_cmd = sub.add_parser(
+        "daemon", help="run the live scheduler daemon (foreground)"
+    )
+    daemon_cmd.add_argument(
+        "--journal-path", default=None,
+        help="write-ahead journal file (enables crash recovery)",
+    )
+    daemon_cmd.add_argument(
+        "--recover", action="store_true",
+        help="restore state from --journal-path instead of starting fresh",
+    )
+    daemon_cmd.add_argument("--base-dir", default=None,
+                            help="socket directory (temp dir when omitted)")
+    daemon_cmd.add_argument("--transport", choices=("unix", "tcp"), default="unix")
+    daemon_cmd.add_argument("--host", default="127.0.0.1")
+    daemon_cmd.add_argument("--port", type=int, default=0,
+                            help="control port for --transport tcp (0 = ephemeral)")
+    daemon_cmd.add_argument("--total-memory", type=int, default=4096,
+                            help="GPU pool size in MiB")
+    daemon_cmd.add_argument("--policy", default="FIFO")
+    daemon_cmd.add_argument(
+        "--heartbeat-timeout", type=float, default=None,
+        help="reap containers silent for this many seconds (off by default)",
+    )
+    daemon_cmd.add_argument("--reap-interval", type=float, default=1.0)
+    daemon_cmd.add_argument(
+        "--ready-file", default=None,
+        help="write a JSON line with the serving endpoints once listening",
+    )
+
+    recover_cmd = sub.add_parser(
+        "recover", help="inspect a scheduler journal offline"
+    )
+    recover_cmd.add_argument("journal", help="path to the journal file")
+    recover_cmd.add_argument(
+        "--no-verify", action="store_true",
+        help="skip the accounting-invariant check on the restored state",
+    )
     return parser
 
 
@@ -185,6 +237,134 @@ def _cmd_deadlock(args) -> int:
     return 0
 
 
+def _cmd_crash(args) -> int:
+    from repro.experiments.failure import daemon_crash_experiment
+
+    outcome = daemon_crash_experiment(policy=args.policy)
+    print(
+        format_table(
+            ("check", "result"),
+            [
+                ("state identical after recovery", str(outcome.state_identical)),
+                ("wrapper reattached", str(outcome.reattached)),
+                ("orphaned request adopted", str(outcome.adopted)),
+                ("paused allocation resumed", str(outcome.resumed)),
+                ("reconnect attempts", str(outcome.reconnect_attempts)),
+                ("events journaled at kill", str(outcome.journaled_events)),
+            ],
+            title=f"daemon-crash fault injection ({args.policy})",
+        )
+    )
+    survived = (
+        outcome.state_identical
+        and outcome.reattached
+        and outcome.adopted
+        and outcome.resumed
+    )
+    return 0 if survived else 1
+
+
+def _cmd_daemon(args) -> int:
+    from repro.core.scheduler import (
+        GpuMemoryScheduler,
+        HeartbeatMonitor,
+        SchedulerDaemon,
+        SchedulerJournal,
+        make_policy,
+    )
+    from repro.units import MiB
+
+    if args.recover and args.journal_path is None:
+        print("--recover requires --journal-path", file=sys.stderr)
+        return 2
+    monitor = (
+        HeartbeatMonitor(timeout=args.heartbeat_timeout)
+        if args.heartbeat_timeout is not None
+        else None
+    )
+    common = dict(
+        base_dir=args.base_dir,
+        transport=args.transport,
+        host=args.host,
+        control_port=args.port,
+        monitor=monitor,
+        reap_interval=args.reap_interval,
+    )
+    # Wall clock, not monotonic: journaled timestamps must stay comparable
+    # across a restart (suspension accounting spans the crash).
+    if args.recover:
+        daemon = SchedulerDaemon.recover(args.journal_path, clock=time.time, **common)
+    else:
+        scheduler = GpuMemoryScheduler(
+            args.total_memory * MiB, make_policy(args.policy), clock=time.time
+        )
+        journal = None
+        if args.journal_path is not None:
+            journal = SchedulerJournal(args.journal_path)
+            journal.attach(scheduler)
+        daemon = SchedulerDaemon(scheduler, journal=journal, **common)
+    daemon.start()
+
+    endpoints = {
+        "pid": os.getpid(),
+        "transport": args.transport,
+        "base_dir": daemon.base_dir,
+        "control": daemon.control_path,
+    }
+    if args.transport == "tcp":
+        endpoints["host"] = daemon.host
+        endpoints["port"] = daemon.control_port
+    if args.ready_file is not None:
+        # Write-then-rename so a polling reader never sees a partial file.
+        staging = args.ready_file + ".tmp"
+        with open(staging, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(endpoints) + "\n")
+        os.replace(staging, args.ready_file)
+    print(f"daemon serving: {json.dumps(endpoints)}", flush=True)
+
+    stop = threading.Event()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(signum, lambda *_: stop.set())
+    stop.wait()
+    daemon.stop()
+    return 0
+
+
+def _cmd_recover(args) -> int:
+    from repro.core.scheduler import (
+        format_snapshot,
+        journal_summary,
+        restore,
+        snapshot,
+    )
+
+    summary = journal_summary(args.journal)
+    meta = summary["meta"] or {}
+    print(
+        format_table(
+            ("field", "value"),
+            [
+                ("journal", summary["path"]),
+                ("policy", str(meta.get("policy"))),
+                ("total memory (MiB)", str((meta.get("total_memory") or 0) // (1 << 20))),
+                ("events", str(summary["events"])),
+                ("snapshots", str(summary["snapshots"])),
+                ("torn lines dropped", str(summary["torn_lines"])),
+            ],
+            title="journal summary",
+        )
+    )
+    for name, count in summary["event_counts"].items():
+        print(f"  {name:24s} {count}")
+    scheduler = restore(args.journal)
+    print()
+    print(format_snapshot(snapshot(scheduler)))
+    if not args.no_verify:
+        scheduler.check_invariants()
+        print("\ninvariants: OK")
+    return 0
+
+
 def _cmd_export(args) -> int:
     os.makedirs(args.out, exist_ok=True)
 
@@ -214,7 +394,10 @@ _COMMANDS = {
     "run": _cmd_run,
     "sweep": _cmd_sweep,
     "deadlock": _cmd_deadlock,
+    "crash": _cmd_crash,
     "export": _cmd_export,
+    "daemon": _cmd_daemon,
+    "recover": _cmd_recover,
 }
 
 

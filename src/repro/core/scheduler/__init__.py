@@ -7,7 +7,11 @@
 - :class:`~repro.core.scheduler.service.SchedulerService` — protocol
   adapter for any IPC transport;
 - :class:`~repro.core.scheduler.daemon.SchedulerDaemon` — the live host
-  daemon with real per-container UNIX sockets.
+  daemon with real per-container UNIX sockets;
+- :mod:`~repro.core.scheduler.journal` — write-ahead journal + crash
+  recovery (``restore()`` rebuilds the exact pre-crash state);
+- :mod:`~repro.core.scheduler.liveness` — per-container heartbeats and
+  orphan reaping for containers that die without a *close*.
 """
 
 from repro.core.scheduler.core import (
@@ -19,6 +23,18 @@ from repro.core.scheduler.daemon import (
     CONTAINER_SOCKET_NAME,
     WRAPPER_SONAME,
     SchedulerDaemon,
+)
+from repro.core.scheduler.liveness import (
+    DEFAULT_HEARTBEAT_TIMEOUT,
+    HeartbeatMonitor,
+)
+from repro.core.scheduler.journal import (
+    JOURNAL_VERSION,
+    SchedulerJournal,
+    journal_summary,
+    read_journal,
+    restore,
+    serialize_state,
 )
 from repro.core.scheduler.events import (
     AllocationAborted,
@@ -97,6 +113,14 @@ __all__ = [
     "MemoryAssigned",
     "ProcessExited",
     "ContainerClosed",
+    "HeartbeatMonitor",
+    "DEFAULT_HEARTBEAT_TIMEOUT",
+    "SchedulerJournal",
+    "JOURNAL_VERSION",
+    "restore",
+    "serialize_state",
+    "read_journal",
+    "journal_summary",
     "snapshot",
     "format_snapshot",
     "SchedulerSnapshot",

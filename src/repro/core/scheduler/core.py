@@ -131,6 +131,8 @@ class GpuMemoryScheduler:
         self._lock = threading.RLock()
         self._containers: dict[str, ContainerRecord] = {}
         self._seq = 0
+        #: Set by SchedulerJournal.attach(); None when running unjournaled.
+        self.journal: Any = None
 
     # ------------------------------------------------------------------
     # queries
@@ -300,6 +302,10 @@ class GpuMemoryScheduler:
             raise SchedulerError(f"allocation size must be positive: {size}")
         with self._lock:
             record = self._require_open(container_id)
+            if on_resume is not None and self._adopt_orphan(
+                record, pid, size, api, on_resume
+            ):
+                return Decision(Decision.PAUSE)
             now = self.clock()
             effective = record.effective_size(pid, size, self.context_overhead)
             charges_overhead = effective != size
@@ -347,6 +353,37 @@ class GpuMemoryScheduler:
             resumptions = self._resolve_wedge()
         self._deliver(resumptions)
         return Decision(Decision.PAUSE)
+
+    def _adopt_orphan(
+        self,
+        record: ContainerRecord,
+        pid: int,
+        size: int,
+        api: str,
+        on_resume: Callable[[dict[str, Any]], None],
+    ) -> bool:
+        """Re-attach a reconnecting wrapper to its pre-crash pending entry.
+
+        After :func:`~repro.core.scheduler.journal.restore` the pending
+        queue is rebuilt from the journal but its ``resume`` callbacks are
+        gone (they wrapped the dead daemon's sockets).  When the wrapper's
+        retry loop re-issues the identical ``alloc_request``, we adopt the
+        orphaned entry — keeping its original queue position and
+        ``requested_at`` timestamp — instead of double-queueing the request.
+        No event is logged: the pause already is in the journal.
+
+        Caller holds the lock.  Returns True when an orphan was adopted.
+        """
+        for pending in record.pending:
+            if (
+                pending.resume is None
+                and pending.pid == pid
+                and pending.requested_size == size
+                and pending.api == api
+            ):
+                pending.resume = on_resume
+                return True
+        return False
 
     def _grant(
         self,

@@ -10,6 +10,21 @@ thread-backed server owning:
   and a copy of the wrapper module — the directory nvidia-docker
   bind-mounts into the container (§III-B/D).
 
+Beyond the paper, this daemon is **crash-safe**:
+
+- pass a :class:`~repro.core.scheduler.journal.SchedulerJournal` and every
+  scheduler decision is durable before its reply leaves the host;
+  :meth:`SchedulerDaemon.recover` rebuilds a daemon from the journal after
+  a crash, recreating every open container's socket so reconnecting
+  wrappers find it at the same path;
+- pass a :class:`~repro.core.scheduler.liveness.HeartbeatMonitor` and a
+  background reaper synthesizes the missing *close* for containers that
+  die without one, through the same ``container_exit`` path the
+  nvidia-docker-plugin uses;
+- ``transport="tcp"`` serves the same protocol over loopback TCP (the
+  ablation transport), which also lets the fault-injection suite exercise
+  recovery on both socket families.
+
 The daemon is used by the live experiments (Fig. 4/5) where real AF_UNIX
 round-trips are measured; simulations bypass it and drive the scheduler
 core directly.
@@ -20,12 +35,17 @@ from __future__ import annotations
 import os
 import shutil
 import tempfile
-from typing import Any
+import threading
+from typing import Any, Callable
 
 from repro.core.scheduler.core import GpuMemoryScheduler
+from repro.core.scheduler.journal import SchedulerJournal, restore
+from repro.core.scheduler.liveness import HeartbeatMonitor
+from repro.core.scheduler.policies import SchedulingPolicy
 from repro.core.scheduler.service import SchedulerService
 from repro.errors import SchedulerError
 from repro.ipc import protocol
+from repro.ipc.tcp_socket import TcpSocketServer
 from repro.ipc.unix_socket import UnixSocketServer
 
 __all__ = ["SchedulerDaemon", "WRAPPER_SONAME", "CONTAINER_SOCKET_NAME"]
@@ -37,40 +57,143 @@ CONTAINER_SOCKET_NAME = "convgpu.sock"
 
 
 class SchedulerDaemon:
-    """Host daemon: control socket + per-container sockets and directories."""
+    """Host daemon: control socket + per-container sockets and directories.
 
-    def __init__(self, scheduler: GpuMemoryScheduler, base_dir: str | None = None) -> None:
+    Args:
+        scheduler: the decision engine to serve.
+        base_dir: directory for the control socket and per-container
+            directories (a temp dir, removed on stop, when omitted).
+        transport: ``"unix"`` (the paper's choice) or ``"tcp"``; TCP mode
+            listens on ``host``/``control_port`` and hands each container
+            an ephemeral port in its registration reply.
+        journal: attached write-ahead journal (owned: closed on stop).
+        monitor: heartbeat monitor enabling the orphan reaper.
+        reap_interval: seconds between reaper sweeps.
+    """
+
+    def __init__(
+        self,
+        scheduler: GpuMemoryScheduler,
+        base_dir: str | None = None,
+        *,
+        transport: str = "unix",
+        host: str = "127.0.0.1",
+        control_port: int = 0,
+        journal: SchedulerJournal | None = None,
+        monitor: HeartbeatMonitor | None = None,
+        reap_interval: float = 1.0,
+    ) -> None:
+        if transport not in ("unix", "tcp"):
+            raise SchedulerError(f"unknown transport {transport!r}")
         self.scheduler = scheduler
-        self.service = SchedulerService(scheduler)
+        self.journal = journal
+        self.monitor = monitor
+        self.reap_interval = reap_interval
+        self.service = SchedulerService(
+            scheduler,
+            heartbeat_sink=monitor.beat if monitor is not None else None,
+        )
+        self.transport = transport
+        self.host = host
+        self.control_port = control_port
         self._owns_base_dir = base_dir is None
         self.base_dir = base_dir or tempfile.mkdtemp(prefix="convgpu-")
         os.makedirs(self.base_dir, exist_ok=True)
         self.control_path = os.path.join(self.base_dir, "control.sock")
-        self._control_server: UnixSocketServer | None = None
-        self._container_servers: dict[str, UnixSocketServer] = {}
+        self._control_server: UnixSocketServer | TcpSocketServer | None = None
+        self._container_servers: dict[str, UnixSocketServer | TcpSocketServer] = {}
         self._container_dirs: dict[str, str] = {}
+        self._container_ports: dict[str, int] = {}
+        self._reaper: threading.Thread | None = None
+        self._reaper_stop = threading.Event()
+        #: Container ids whose close was synthesized by the reaper.
+        self.reaped: list[str] = []
+
+    # -- recovery -------------------------------------------------------------
+
+    @classmethod
+    def recover(
+        cls,
+        journal_path: str,
+        *,
+        clock: Callable[[], float] | None = None,
+        policy: SchedulingPolicy | None = None,
+        rng: Any = None,
+        snapshot_interval: int | None = 256,
+        **daemon_kwargs: Any,
+    ) -> "SchedulerDaemon":
+        """Rebuild a daemon from a crashed daemon's journal.
+
+        Restores the scheduler state, re-attaches the journal (writing a
+        compaction snapshot so the recovery itself is durable), and returns
+        a daemon ready to :meth:`start` — which recreates the socket of
+        every container that was open at the crash.
+        """
+        scheduler = restore(journal_path, clock=clock, policy=policy, rng=rng)
+        journal = SchedulerJournal(journal_path, snapshot_interval=snapshot_interval)
+        journal.attach(scheduler, compact=True)
+        return cls(scheduler, journal=journal, **daemon_kwargs)
 
     # -- lifecycle ----------------------------------------------------------
 
     def start(self) -> "SchedulerDaemon":
         if self._control_server is not None:
             raise SchedulerError("daemon already started")
-        self._control_server = UnixSocketServer(self.control_path, self._handle_control)
-        self._control_server.start()
+        if self.transport == "unix":
+            self._control_server = UnixSocketServer(
+                self.control_path, self._handle_control
+            )
+            self._control_server.start()
+        else:
+            server = TcpSocketServer(
+                self._handle_control, host=self.host, port=self.control_port
+            )
+            server.start()
+            self.control_port = server.port
+            self._control_server = server
+        # Recovery: every container restored open from the journal gets its
+        # socket back at the same path, and a fresh heartbeat grace period
+        # so reconnecting wrappers are not reaped while they back off.
+        for record in self.scheduler.containers():
+            if record.container_id not in self._container_dirs:
+                self._prepare_container_dir(record.container_id)
+            if self.monitor is not None:
+                self.monitor.beat(record.container_id)
+        if self.monitor is not None:
+            self._reaper_stop.clear()
+            self._reaper = threading.Thread(target=self._reap_loop, daemon=True)
+            self._reaper.start()
         return self
 
     def stop(self) -> None:
+        """Orderly shutdown: sockets down, directories removed, journal closed."""
+        self.kill()
+        for directory in self._container_dirs.values():
+            shutil.rmtree(directory, ignore_errors=True)
+        self._container_dirs.clear()
+        self._container_ports.clear()
+        if self.journal is not None:
+            self.journal.close()
+        if self._owns_base_dir:
+            shutil.rmtree(self.base_dir, ignore_errors=True)
+
+    def kill(self) -> None:
+        """Crash simulation: drop every socket, leave all state on disk.
+
+        The journal file, container directories and scheduler object are
+        left exactly as they were — what a SIGKILL leaves behind.  The
+        fault-injection tests follow this with :meth:`recover`.
+        """
+        if self._reaper is not None:
+            self._reaper_stop.set()
+            self._reaper.join(timeout=2.0)
+            self._reaper = None
         for server in self._container_servers.values():
             server.stop()
         self._container_servers.clear()
         if self._control_server is not None:
             self._control_server.stop()
             self._control_server = None
-        for directory in self._container_dirs.values():
-            shutil.rmtree(directory, ignore_errors=True)
-        self._container_dirs.clear()
-        if self._owns_base_dir:
-            shutil.rmtree(self.base_dir, ignore_errors=True)
 
     def __enter__(self) -> "SchedulerDaemon":
         return self.start()
@@ -86,8 +209,13 @@ class SchedulerDaemon:
         if msg_type == protocol.MSG_REGISTER_CONTAINER:
             reply = self.service.handle(message, reply_handle)
             if isinstance(reply, dict) and reply.get("status") == "ok":
-                directory = self._prepare_container_dir(message["container_id"])
-                reply = {**reply, "socket_dir": directory}
+                container_id = message["container_id"]
+                if container_id not in self._container_dirs:
+                    self._prepare_container_dir(container_id)
+                reply = {**reply, "socket_dir": self._container_dirs[container_id]}
+                if self.transport == "tcp":
+                    reply["host"] = self.host
+                    reply["port"] = self._container_ports[container_id]
             return reply
         if msg_type == protocol.MSG_CONTAINER_EXIT:
             reply = self.service.handle(message, reply_handle)
@@ -106,20 +234,61 @@ class SchedulerDaemon:
         # Python object, so the copy is a marker file recording the mount.
         with open(os.path.join(directory, WRAPPER_SONAME), "w", encoding="utf-8") as fh:
             fh.write(f"ConVGPU wrapper module for container {container_id}\n")
-        socket_path = os.path.join(directory, CONTAINER_SOCKET_NAME)
-        server = UnixSocketServer(socket_path, self.service.handle)
-        server.start()
+        server: UnixSocketServer | TcpSocketServer
+        if self.transport == "unix":
+            socket_path = os.path.join(directory, CONTAINER_SOCKET_NAME)
+            # (UnixSocketServer.start unlinks a stale socket left by a crash.)
+            server = UnixSocketServer(socket_path, self.service.handle)
+            server.start()
+        else:
+            server = TcpSocketServer(self.service.handle, host=self.host, port=0)
+            server.start()
+            self._container_ports[container_id] = server.port
         self._container_servers[container_id] = server
         self._container_dirs[container_id] = directory
         return directory
 
     def _teardown_container_dir(self, container_id: str) -> None:
+        if self.monitor is not None:
+            self.monitor.forget(container_id)
         server = self._container_servers.pop(container_id, None)
         if server is not None:
             server.stop()
+        self._container_ports.pop(container_id, None)
         directory = self._container_dirs.pop(container_id, None)
         if directory is not None:
             shutil.rmtree(directory, ignore_errors=True)
+
+    # -- orphan reaping -------------------------------------------------------
+
+    def _reap_loop(self) -> None:
+        while not self._reaper_stop.wait(self.reap_interval):
+            try:
+                self.reap_orphans()
+            except Exception:
+                # The reaper must never die silently mid-run; individual
+                # failures are retried on the next sweep.
+                continue
+
+    def reap_orphans(self) -> list[str]:
+        """Synthesize *close* for every heartbeat-stale container.
+
+        Funnels through :meth:`_handle_control`'s ``container_exit`` branch
+        — exactly the path the nvidia-docker-plugin's unmount hook takes —
+        so reservations are reclaimed and redistributed as if the container
+        had exited cleanly.  Returns the ids reaped in this sweep.
+        """
+        if self.monitor is None:
+            return []
+        swept: list[str] = []
+        for container_id in self.monitor.stale():
+            message = protocol.make_request(
+                protocol.MSG_CONTAINER_EXIT, seq=0, container_id=container_id
+            )
+            self._handle_control(message, None)
+            swept.append(container_id)
+        self.reaped.extend(swept)
+        return swept
 
     # -- conveniences ---------------------------------------------------------
 
@@ -129,3 +298,12 @@ class SchedulerDaemon:
         if directory is None:
             raise SchedulerError(f"container {container_id!r} not registered")
         return os.path.join(directory, CONTAINER_SOCKET_NAME)
+
+    def container_port(self, container_id: str) -> int:
+        """Port of the per-container TCP server (``transport="tcp"`` only)."""
+        port = self._container_ports.get(container_id)
+        if port is None:
+            raise SchedulerError(
+                f"container {container_id!r} has no TCP port (transport={self.transport})"
+            )
+        return port

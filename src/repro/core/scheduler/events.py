@@ -125,12 +125,20 @@ E = TypeVar("E", bound=SchedulerEvent)
 
 @dataclass
 class EventLog:
-    """Append-only event sink with typed filtering."""
+    """Append-only event sink with typed filtering.
+
+    ``listeners`` are called synchronously on every append (inside the
+    scheduler's lock) — the write-ahead journal subscribes here so every
+    decision is durable before its reply leaves the daemon.
+    """
 
     events: list[SchedulerEvent] = field(default_factory=list)
+    listeners: list = field(default_factory=list, compare=False, repr=False)
 
     def append(self, event: SchedulerEvent) -> None:
         self.events.append(event)
+        for listener in self.listeners:
+            listener(event)
 
     def of_type(self, event_type: type[E]) -> list[E]:
         return [e for e in self.events if isinstance(e, event_type)]

@@ -1,0 +1,631 @@
+"""Write-ahead journal + crash recovery for the GPU memory scheduler.
+
+The paper's daemon keeps every reservation in process memory: kill it and
+every container's wrapper blocks forever while the bookkeeping that maps
+reservations to containers evaporates.  This module makes the scheduler
+crash-recoverable:
+
+- every :class:`~repro.core.scheduler.events.SchedulerEvent` is appended to
+  an on-disk journal *inside the scheduler's lock, before the decision's
+  reply leaves the daemon* (classic WAL ordering);
+- every ``snapshot_interval`` events a **compacted snapshot** — the full
+  serialized scheduler state — is interleaved, bounding replay time;
+- :func:`restore` rebuilds a scheduler from the newest snapshot plus the
+  event tail, byte-identical to the pre-crash state (verified by the
+  crash-consistency property suite in ``tests/core/test_journal_properties.py``).
+
+Replay never re-runs the scheduling *policy*: derived decisions
+(``MemoryAssigned``, ``ReservationReclaimed``, resumes) are applied verbatim
+from the journal, so recovery is deterministic even under the Random policy.
+
+What intentionally does **not** survive a crash:
+
+- withheld reply callbacks (``PendingAllocation.resume``) — they wrap dead
+  sockets.  Restored pending entries are *orphans*; when the wrapper
+  reconnects and re-issues its request, ``request_allocation`` adopts the
+  orphan instead of double-queueing (see ``core.py``);
+- event-log history older than the newest snapshot (state is exact, the
+  Fig. 8 timeline before the snapshot is compacted away).
+
+Journal format: one JSON object per line (same framing discipline as the
+wire protocol).  ``{"kind": "meta"}`` opens the file and pins the scheduler
+configuration; ``{"kind": "event"}`` records one scheduler event;
+``{"kind": "snapshot"}`` holds a compacted state.  A torn final line —
+the expected artifact of a crash mid-write — is detected and dropped.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from typing import Any, Callable, TextIO
+
+from repro.core.scheduler.core import GpuMemoryScheduler
+from repro.core.scheduler.events import (
+    AllocationAborted,
+    AllocationCommitted,
+    AllocationGranted,
+    AllocationPaused,
+    AllocationRejected,
+    AllocationReleased,
+    AllocationResumed,
+    ContainerClosed,
+    ContainerRegistered,
+    MemoryAssigned,
+    ProcessExited,
+    ReservationReclaimed,
+    SchedulerEvent,
+)
+from repro.core.scheduler.policies import SchedulingPolicy, make_policy
+from repro.core.scheduler.records import (
+    AllocationRecord,
+    ContainerRecord,
+    PendingAllocation,
+)
+from repro.errors import JournalError
+
+__all__ = [
+    "JOURNAL_VERSION",
+    "SchedulerJournal",
+    "encode_event",
+    "decode_event",
+    "serialize_state",
+    "restore",
+    "read_journal",
+    "journal_summary",
+]
+
+JOURNAL_VERSION = 1
+
+#: Event-type registry for the codec (name -> dataclass).
+EVENT_TYPES: dict[str, type[SchedulerEvent]] = {
+    cls.__name__: cls
+    for cls in (
+        ContainerRegistered,
+        AllocationGranted,
+        AllocationPaused,
+        AllocationResumed,
+        AllocationRejected,
+        AllocationCommitted,
+        AllocationReleased,
+        AllocationAborted,
+        MemoryAssigned,
+        ReservationReclaimed,
+        ProcessExited,
+        ContainerClosed,
+    )
+}
+
+
+# ---------------------------------------------------------------------------
+# codec
+# ---------------------------------------------------------------------------
+
+
+def encode_event(event: SchedulerEvent) -> dict[str, Any]:
+    """One event as a journal record (plain JSON types only)."""
+    name = type(event).__name__
+    if name not in EVENT_TYPES:
+        raise JournalError(f"unknown event type {name!r}")
+    return {"kind": "event", "event": name, **dataclasses.asdict(event)}
+
+
+def decode_event(record: dict[str, Any]) -> SchedulerEvent:
+    """Rebuild the typed event from a journal record."""
+    name = record.get("event")
+    cls = EVENT_TYPES.get(name)
+    if cls is None:
+        raise JournalError(f"journal record has unknown event type {name!r}")
+    kwargs = {
+        f.name: record[f.name] for f in dataclasses.fields(cls) if f.name in record
+    }
+    missing = {f.name for f in dataclasses.fields(cls)} - set(kwargs)
+    if missing:
+        raise JournalError(f"{name} record missing fields {sorted(missing)}")
+    return cls(**kwargs)
+
+
+def serialize_state(scheduler: GpuMemoryScheduler) -> dict[str, Any]:
+    """Full scheduler state as plain JSON types (snapshot payload).
+
+    Container order preserves the ``_containers`` dict order so a snapshot
+    restore and an event replay produce indistinguishable schedulers.
+    ``resume`` callbacks are dropped — they wrap connections that will not
+    survive the crash; see the module docstring.
+    """
+    with scheduler._lock:
+        return {
+            "seq": scheduler._seq,
+            "containers": [
+                {
+                    "container_id": r.container_id,
+                    "limit": r.limit,
+                    "created_seq": r.created_seq,
+                    "created_at": r.created_at,
+                    "assigned": r.assigned,
+                    "used": r.used,
+                    "inflight": r.inflight,
+                    "closed": r.closed,
+                    "allocations": [
+                        [a.address, a.pid, a.size, a.is_context_overhead]
+                        for a in r.allocations.values()
+                    ],
+                    "pids_charged": sorted(r.pids_charged),
+                    "overhead_pending": sorted(r.overhead_pending),
+                    "pending": [
+                        {
+                            "pid": p.pid,
+                            "size": p.size,
+                            "requested_size": p.requested_size,
+                            "api": p.api,
+                            "requested_at": p.requested_at,
+                        }
+                        for p in r.pending
+                    ],
+                    "last_suspended_at": r.last_suspended_at,
+                    "suspended_total": r.suspended_total,
+                    "pause_count": r.pause_count,
+                }
+                for r in scheduler._containers.values()
+            ],
+        }
+
+
+def _load_state(scheduler: GpuMemoryScheduler, state: dict[str, Any]) -> None:
+    """Install a snapshot payload into a fresh scheduler."""
+    scheduler._seq = state["seq"]
+    scheduler._containers.clear()
+    for entry in state["containers"]:
+        record = ContainerRecord(
+            container_id=entry["container_id"],
+            limit=entry["limit"],
+            created_seq=entry["created_seq"],
+            created_at=entry["created_at"],
+            assigned=entry["assigned"],
+            used=entry["used"],
+            inflight=entry["inflight"],
+            closed=entry["closed"],
+            last_suspended_at=entry["last_suspended_at"],
+            suspended_total=entry["suspended_total"],
+            pause_count=entry["pause_count"],
+        )
+        record.allocations = {
+            address: AllocationRecord(
+                address=address, pid=pid, size=size, is_context_overhead=overhead
+            )
+            for address, pid, size, overhead in entry["allocations"]
+        }
+        record.pids_charged = set(entry["pids_charged"])
+        record.overhead_pending = set(entry["overhead_pending"])
+        record.pending = [
+            PendingAllocation(
+                pid=p["pid"],
+                size=p["size"],
+                requested_size=p["requested_size"],
+                api=p["api"],
+                requested_at=p["requested_at"],
+                resume=None,  # orphan: re-attached when the wrapper re-issues
+            )
+            for p in entry["pending"]
+        ]
+        scheduler._containers[record.container_id] = record
+
+
+# ---------------------------------------------------------------------------
+# the journal writer
+# ---------------------------------------------------------------------------
+
+
+class SchedulerJournal:
+    """Append-only on-disk journal subscribed to a scheduler's event log.
+
+    Args:
+        path: journal file (created on first attach).
+        snapshot_interval: events between compacted snapshots; ``None``
+            disables compaction (pure event log — what the property tests
+            use so every prefix is replayable).
+        fsync: force data to the platters on every append.  Off by default:
+            the reproduction favours test throughput, a production deploy
+            flips it on for durability across power loss (the write is
+            still flushed to the OS either way, so it survives a process
+            SIGKILL — the failure mode this PR defends against).
+    """
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        snapshot_interval: int | None = 256,
+        fsync: bool = False,
+    ) -> None:
+        if snapshot_interval is not None and snapshot_interval < 1:
+            raise JournalError(
+                f"snapshot_interval must be >= 1 or None: {snapshot_interval}"
+            )
+        self.path = path
+        self.snapshot_interval = snapshot_interval
+        self.fsync = fsync
+        self._fh: TextIO | None = None
+        self._scheduler: GpuMemoryScheduler | None = None
+        self._events_since_snapshot = 0
+        #: Appended event count this process lifetime (observability).
+        self.events_written = 0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def attach(self, scheduler: GpuMemoryScheduler, *, compact: bool = False) -> None:
+        """Subscribe to ``scheduler`` and start journaling its events.
+
+        A fresh (empty) journal gets a ``meta`` record pinning the
+        scheduler's configuration; attaching an incompatible scheduler to
+        an existing journal raises.  With ``compact=True`` (the recovery
+        path) a snapshot of the current state is written immediately.
+        """
+        if self._scheduler is not None:
+            raise JournalError(f"journal {self.path} already attached")
+        existing_meta = None
+        if os.path.exists(self.path) and os.path.getsize(self.path) > 0:
+            existing_meta, _, _ = read_journal(self.path)
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        self._fh = open(self.path, "a", encoding="utf-8")
+        self._scheduler = scheduler
+        if existing_meta is None:
+            self._write(
+                {
+                    "kind": "meta",
+                    "version": JOURNAL_VERSION,
+                    "total_memory": scheduler.total_memory,
+                    "policy": scheduler.policy.name,
+                    "context_overhead": scheduler.context_overhead,
+                    "resume_mode": scheduler.resume_mode,
+                }
+            )
+        else:
+            self._check_meta(existing_meta, scheduler)
+        needs_snapshot = compact or (
+            existing_meta is None
+            and (scheduler._containers or len(scheduler.log) > 0)
+        )
+        if needs_snapshot:
+            self.write_snapshot()
+        scheduler.log.listeners.append(self.record)
+        scheduler.journal = self
+
+    @staticmethod
+    def _check_meta(meta: dict[str, Any], scheduler: GpuMemoryScheduler) -> None:
+        mismatches = [
+            (key, expected, actual)
+            for key, expected, actual in (
+                ("total_memory", meta.get("total_memory"), scheduler.total_memory),
+                ("policy", meta.get("policy"), scheduler.policy.name),
+                (
+                    "context_overhead",
+                    meta.get("context_overhead"),
+                    scheduler.context_overhead,
+                ),
+                ("resume_mode", meta.get("resume_mode"), scheduler.resume_mode),
+            )
+            if expected != actual
+        ]
+        if mismatches:
+            detail = ", ".join(
+                f"{key}: journal={expected!r} scheduler={actual!r}"
+                for key, expected, actual in mismatches
+            )
+            raise JournalError(f"journal/scheduler configuration mismatch: {detail}")
+
+    def close(self) -> None:
+        if self._scheduler is not None:
+            try:
+                self._scheduler.log.listeners.remove(self.record)
+            except ValueError:
+                pass
+            if getattr(self._scheduler, "journal", None) is self:
+                self._scheduler.journal = None
+            self._scheduler = None
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "SchedulerJournal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- appends ------------------------------------------------------------
+
+    def record(self, event: SchedulerEvent) -> None:
+        """EventLog listener: persist one event (called under the lock)."""
+        self._write(encode_event(event))
+        self.events_written += 1
+        self._events_since_snapshot += 1
+        if (
+            self.snapshot_interval is not None
+            and self._events_since_snapshot >= self.snapshot_interval
+        ):
+            self.write_snapshot()
+
+    def write_snapshot(self) -> None:
+        """Append a compacted snapshot of the attached scheduler's state."""
+        if self._scheduler is None:
+            raise JournalError("journal not attached to a scheduler")
+        self._write({"kind": "snapshot", "state": serialize_state(self._scheduler)})
+        self._events_since_snapshot = 0
+
+    def _write(self, record: dict[str, Any]) -> None:
+        if self._fh is None:
+            raise JournalError(f"journal {self.path} is closed")
+        self._fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self._fh.flush()
+        if self.fsync:
+            os.fsync(self._fh.fileno())
+
+
+# ---------------------------------------------------------------------------
+# the reader / recovery path
+# ---------------------------------------------------------------------------
+
+
+def read_journal(
+    path: str,
+) -> tuple[dict[str, Any] | None, list[dict[str, Any]], int]:
+    """Parse a journal file tolerantly.
+
+    Returns ``(meta, records, torn)`` where ``records`` excludes the meta
+    line and ``torn`` counts trailing unparseable/unterminated lines that
+    were dropped (the artifact of a crash mid-append).  Corruption anywhere
+    *before* the tail raises :class:`~repro.errors.JournalError`.
+    """
+    try:
+        with open(path, "rb") as fh:
+            raw = fh.read()
+    except OSError as exc:
+        raise JournalError(f"cannot read journal {path}: {exc}") from exc
+    lines = raw.split(b"\n")
+    # A well-formed file ends with a newline -> last split element is empty.
+    torn = 0
+    if lines and lines[-1] == b"":
+        lines.pop()
+    elif lines:
+        lines.pop()  # unterminated tail: torn write
+        torn += 1
+    records: list[dict[str, Any]] = []
+    meta: dict[str, Any] | None = None
+    for index, line in enumerate(lines):
+        try:
+            record = json.loads(line.decode("utf-8"))
+            if not isinstance(record, dict) or "kind" not in record:
+                raise ValueError(f"not a journal record: {record!r}")
+        except (ValueError, UnicodeDecodeError) as exc:
+            if index == len(lines) - 1:
+                torn += 1  # torn final line (crash mid-write)
+                break
+            raise JournalError(
+                f"corrupt journal {path} at line {index + 1}: {exc}"
+            ) from exc
+        if record["kind"] == "meta":
+            if meta is not None:
+                raise JournalError(f"duplicate meta record in {path}")
+            meta = record
+        else:
+            records.append(record)
+    return meta, records, torn
+
+
+def restore(
+    path: str,
+    *,
+    clock: Callable[[], float] | None = None,
+    policy: SchedulingPolicy | None = None,
+    rng=None,
+    event_limit: int | None = None,
+) -> GpuMemoryScheduler:
+    """Rebuild a scheduler from its journal.
+
+    The result's :func:`~repro.core.scheduler.stats.snapshot` is identical
+    to the crashed scheduler's at its last journaled event.  ``event_limit``
+    replays only the first N events — the fault-injection suite uses it to
+    model a crash at every event boundary without rewriting files.
+
+    ``policy``/``rng`` override the policy reconstructed from the meta
+    record (replay itself never consults the policy; these only matter for
+    post-recovery scheduling).  To *continue* journaling after recovery::
+
+        scheduler = restore(path, clock=clock)
+        SchedulerJournal(path).attach(scheduler, compact=True)
+    """
+    meta, records, _torn = read_journal(path)
+    if meta is None:
+        raise JournalError(f"journal {path} has no meta record")
+    if meta.get("version") != JOURNAL_VERSION:
+        raise JournalError(
+            f"journal {path} version {meta.get('version')!r} != {JOURNAL_VERSION}"
+        )
+    if policy is None:
+        policy = make_policy(meta["policy"], rng)
+    scheduler = GpuMemoryScheduler(
+        meta["total_memory"],
+        policy,
+        clock=clock,
+        context_overhead=meta["context_overhead"],
+        resume_mode=meta["resume_mode"],
+    )
+    # Pick the newest snapshot whose position is within the event limit,
+    # then replay the event tail after it.
+    base_state: dict[str, Any] | None = None
+    base_events = 0
+    tail: list[SchedulerEvent] = []
+    events_seen = 0
+    for record in records:
+        kind = record["kind"]
+        if kind == "event":
+            if event_limit is not None and events_seen >= event_limit:
+                break
+            tail.append(decode_event(record))
+            events_seen += 1
+        elif kind == "snapshot":
+            base_state = record["state"]
+            base_events = events_seen
+            tail.clear()
+        else:
+            raise JournalError(f"unknown journal record kind {kind!r} in {path}")
+    if base_state is not None:
+        _load_state(scheduler, base_state)
+    del base_events  # informational only
+    for event in tail:
+        _apply_event(scheduler, event)
+        scheduler.log.append(event)
+    return scheduler
+
+
+# ---------------------------------------------------------------------------
+# event replay
+# ---------------------------------------------------------------------------
+
+
+def _apply_event(scheduler: GpuMemoryScheduler, event: SchedulerEvent) -> None:
+    """Apply one journaled event to the scheduler state, policy-free.
+
+    Mirrors exactly the state mutation ``core.py`` performed when it logged
+    the event; derived amounts (redistribution targets, reclaimed idle
+    memory) come from the event itself, so replay never re-runs the policy
+    and is deterministic for all four algorithms.
+    """
+    containers = scheduler._containers
+    if isinstance(event, ContainerRegistered):
+        scheduler._seq += 1
+        record = ContainerRecord(
+            container_id=event.container_id,
+            limit=event.limit,
+            created_seq=scheduler._seq,
+            created_at=event.time,
+        )
+        record.assigned = event.assigned
+        containers[event.container_id] = record
+        return
+    record = containers.get(event.container_id)
+    if record is None:
+        raise JournalError(
+            f"journal references unknown container {event.container_id!r} "
+            f"in {type(event).__name__}"
+        )
+    if isinstance(event, AllocationGranted):
+        if record.pending:
+            # A grant while replies are withheld can only be the head of the
+            # pending queue resuming (direct grants require an unpaused
+            # container) — same dichotomy core.py enforces.
+            head = record.pending.pop(0)
+            record.suspended_total += event.time - head.requested_at
+            record.inflight += head.size
+        else:
+            effective = record.effective_size(
+                event.pid, event.size, scheduler.context_overhead
+            )
+            if effective != event.size:
+                record.pids_charged.add(event.pid)
+                record.overhead_pending.add(event.pid)
+            record.inflight += effective
+    elif isinstance(event, AllocationPaused):
+        effective = record.effective_size(
+            event.pid, event.size, scheduler.context_overhead
+        )
+        if effective != event.size:
+            record.pids_charged.add(event.pid)
+            record.overhead_pending.add(event.pid)
+        record.pending.append(
+            PendingAllocation(
+                pid=event.pid,
+                size=effective,
+                requested_size=event.size,
+                api=event.api,
+                requested_at=event.time,
+                resume=None,
+            )
+        )
+        record.last_suspended_at = event.time
+        record.pause_count += 1
+    elif isinstance(event, AllocationResumed):
+        pass  # state applied by the preceding AllocationGranted
+    elif isinstance(event, AllocationRejected):
+        pass  # decision only; no state change
+    elif isinstance(event, AllocationCommitted):
+        overhead = 0
+        if event.pid in record.overhead_pending:
+            overhead = scheduler.context_overhead
+            record.overhead_pending.discard(event.pid)
+        total = event.size + overhead
+        record.inflight -= total
+        record.used += total
+        record.allocations[event.address] = AllocationRecord(
+            address=event.address, pid=event.pid, size=event.size
+        )
+        if overhead:
+            key = scheduler._overhead_key(event.pid)
+            record.allocations[key] = AllocationRecord(
+                address=key, pid=event.pid, size=overhead, is_context_overhead=True
+            )
+    elif isinstance(event, AllocationReleased):
+        allocation = record.allocations.pop(event.address, None)
+        if allocation is None:
+            raise JournalError(
+                f"release of unknown address {event.address:#x} during replay"
+            )
+        record.used -= allocation.size
+    elif isinstance(event, AllocationAborted):
+        effective = event.size
+        if event.pid in record.overhead_pending:
+            effective += scheduler.context_overhead
+            record.overhead_pending.discard(event.pid)
+            record.pids_charged.discard(event.pid)
+        record.inflight -= effective
+    elif isinstance(event, MemoryAssigned):
+        record.assigned = event.assigned_total
+    elif isinstance(event, ReservationReclaimed):
+        record.assigned = event.assigned_total
+    elif isinstance(event, ProcessExited):
+        doomed = [a for a in record.allocations.values() if a.pid == event.pid]
+        for allocation in doomed:
+            del record.allocations[allocation.address]
+        record.used -= sum(a.size for a in doomed)
+        record.pids_charged.discard(event.pid)
+        record.overhead_pending.discard(event.pid)
+    elif isinstance(event, ContainerClosed):
+        record.pending.clear()
+        record.allocations.clear()
+        record.used = 0
+        record.inflight = 0
+        record.assigned = 0
+        record.closed = True
+        record.suspended_total = event.suspended_total
+    else:  # pragma: no cover - registry and appliers move in lockstep
+        raise JournalError(f"no replay rule for {type(event).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# inspection (the `repro recover` CLI)
+# ---------------------------------------------------------------------------
+
+
+def journal_summary(path: str) -> dict[str, Any]:
+    """Shape of a journal without restoring it: counts per record type."""
+    meta, records, torn = read_journal(path)
+    event_counts: dict[str, int] = {}
+    snapshots = 0
+    for record in records:
+        if record["kind"] == "snapshot":
+            snapshots += 1
+        elif record["kind"] == "event":
+            name = record.get("event", "?")
+            event_counts[name] = event_counts.get(name, 0) + 1
+    return {
+        "path": path,
+        "meta": meta,
+        "events": sum(event_counts.values()),
+        "event_counts": dict(sorted(event_counts.items())),
+        "snapshots": snapshots,
+        "torn_lines": torn,
+    }

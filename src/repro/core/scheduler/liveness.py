@@ -1,0 +1,85 @@
+"""Container liveness tracking — the daemon side of crash safety.
+
+The paper's lifecycle assumes every container ends with the customized
+nvidia-docker-plugin sending *close* (§III-B).  In practice containers die
+without one: the docker daemon is killed, the node reboots mid-run, the
+plugin itself crashes.  Each orphan then pins its reservation forever and —
+because redistribution only triggers on exits — can starve every paused
+container behind it.
+
+:class:`HeartbeatMonitor` tracks a last-seen timestamp per container.  Any
+message on a container's socket counts as a beat (an allocating container
+is self-evidently alive); idle containers are covered by the wrapper's
+explicit ``heartbeat`` notification.  Containers silent for longer than
+``timeout`` are *stale*; the daemon's reaper synthesizes the missing
+*close* for them, funnelling through the exact same
+``container_exit`` path the plugin uses so reclamation and redistribution
+behave identically to a clean shutdown.
+
+Deliberately transport- and thread-free: the daemon owns the reap loop, the
+tests drive :meth:`HeartbeatMonitor.stale` with a manual clock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+__all__ = ["HeartbeatMonitor", "DEFAULT_HEARTBEAT_TIMEOUT"]
+
+#: Generous default: one missed beat must never reap a live container that
+#: is merely blocked in a long native kernel launch.
+DEFAULT_HEARTBEAT_TIMEOUT = 30.0
+
+
+class HeartbeatMonitor:
+    """Last-seen bookkeeping with a staleness predicate.
+
+    Args:
+        timeout: seconds of silence after which a container is stale.
+        clock: time source (injectable for deterministic tests).
+    """
+
+    def __init__(
+        self,
+        timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
+        *,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        if timeout <= 0:
+            raise ValueError(f"timeout must be positive: {timeout}")
+        self.timeout = timeout
+        self.clock = clock if clock is not None else time.monotonic
+        self._last_beat: dict[str, float] = {}
+        self._lock = threading.Lock()
+
+    def beat(self, container_id: str) -> None:
+        """Record proof of life (any message from the container counts)."""
+        with self._lock:
+            self._last_beat[container_id] = self.clock()
+
+    def forget(self, container_id: str) -> None:
+        """Stop tracking (clean exit or completed reap)."""
+        with self._lock:
+            self._last_beat.pop(container_id, None)
+
+    def last_beat(self, container_id: str) -> float | None:
+        with self._lock:
+            return self._last_beat.get(container_id)
+
+    @property
+    def tracked(self) -> list[str]:
+        with self._lock:
+            return sorted(self._last_beat)
+
+    def stale(self, now: float | None = None) -> list[str]:
+        """Containers silent for longer than the timeout (reap candidates)."""
+        if now is None:
+            now = self.clock()
+        with self._lock:
+            return sorted(
+                cid
+                for cid, seen in self._last_beat.items()
+                if now - seen > self.timeout
+            )

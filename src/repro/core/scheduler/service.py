@@ -11,7 +11,7 @@ release) resumes the container — at which point the wrapper's blocked
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Callable
 
 from repro.core.scheduler.core import Decision, GpuMemoryScheduler
 from repro.errors import (
@@ -27,14 +27,28 @@ __all__ = ["SchedulerService"]
 
 
 class SchedulerService:
-    """Stateless adapter from protocol messages to scheduler-core calls."""
+    """Stateless adapter from protocol messages to scheduler-core calls.
 
-    def __init__(self, scheduler: GpuMemoryScheduler) -> None:
+    ``heartbeat_sink`` (when set by the daemon) receives the container id of
+    every handled message — any traffic from a container is proof of life,
+    so the liveness monitor piggybacks on the normal message flow and the
+    explicit ``heartbeat`` notification only matters for idle containers.
+    """
+
+    def __init__(
+        self,
+        scheduler: GpuMemoryScheduler,
+        *,
+        heartbeat_sink: Callable[[str], None] | None = None,
+    ) -> None:
         self.scheduler = scheduler
+        self.heartbeat_sink = heartbeat_sink
 
     # The transport calls this for every decoded, validated request.
     def handle(self, message: dict[str, Any], reply_handle) -> Any:
         msg_type = message["type"]
+        if self.heartbeat_sink is not None and "container_id" in message:
+            self.heartbeat_sink(message["container_id"])
         handler = getattr(self, f"_on_{msg_type}", None)
         if handler is None:
             return protocol.make_error_reply(message, f"unsupported type {msg_type!r}")
@@ -58,9 +72,24 @@ class SchedulerService:
     # -- per-message handlers --------------------------------------------
 
     def _on_register_container(self, message: dict[str, Any], reply_handle) -> Any:
-        result = self.scheduler.register_container(
-            message["container_id"], message["limit"]
-        )
+        try:
+            result = self.scheduler.register_container(
+                message["container_id"], message["limit"]
+            )
+        except SchedulerError as exc:
+            # Reattach path: after a daemon restart the container is already
+            # registered (restored from the journal).  A re-register with the
+            # same limit is the wrapper/plugin confirming it is still alive —
+            # idempotently acknowledge instead of failing the reconnect.
+            try:
+                record = self.scheduler.container(message["container_id"])
+            except (UnknownContainerError, AttributeError):
+                raise exc
+            if record.closed or record.limit != message["limit"]:
+                raise
+            return protocol.make_reply(
+                message, assigned=record.assigned, limit=record.limit, reattached=True
+            )
         if isinstance(result, tuple):
             # Multi-GPU scheduler: placement decided at registration; the
             # reply tells nvidia-docker which /dev/nvidiaN to attach.
@@ -134,3 +163,9 @@ class SchedulerService:
             message["container_id"], message["pid"]
         )
         return protocol.make_reply(message, reclaimed=reclaimed)
+
+    def _on_heartbeat(self, message: dict[str, Any], reply_handle) -> Any:
+        # Proof of life from an idle container.  The beat itself was already
+        # recorded by the heartbeat_sink hook in handle(); nothing else to do
+        # (notification: no reply goes on the wire).
+        return None

@@ -29,15 +29,23 @@ from __future__ import annotations
 from typing import Any
 
 from repro.core.wrapper.adjust import SizeAdjuster
-from repro.cuda.effects import IpcCall
+from repro.cuda.effects import HostCompute, IpcCall
 from repro.cuda.errors import cudaError
 from repro.cuda.fatbinary import FatBinaryHandle
 from repro.cuda.runtime import ApiGen, CudaRuntime
 from repro.cuda.types import cudaExtent, cudaPitchedPtr
 from repro.container.linker import SharedLibrary
 from repro.ipc import protocol
+from repro.ipc.retry import RetryPolicy
 
-__all__ = ["WrapperModule", "INTERCEPTED_SYMBOLS"]
+__all__ = ["WrapperModule", "INTERCEPTED_SYMBOLS", "WRAPPER_RETRY_POLICY"]
+
+#: Deterministic (jitter-free) backoff for the wrapper's IPC retry loop —
+#: simulations replay identically; live mode layers the jittered transport
+#: retry of :class:`repro.ipc.retry.ResilientClient` underneath this.
+WRAPPER_RETRY_POLICY = RetryPolicy(
+    max_attempts=4, base_delay=0.05, multiplier=2.0, max_delay=1.0, jitter=0.0
+)
 
 #: Table II of the paper: the symbols libgpushare.so overrides.
 INTERCEPTED_SYMBOLS = (
@@ -60,11 +68,15 @@ class WrapperModule:
         native: CudaRuntime,
         container_id: str,
         native_driver=None,
+        retry_policy: RetryPolicy = WRAPPER_RETRY_POLICY,
     ) -> None:
         self.native = native
         self.container_id = container_id
         self.pid = native.pid
         self.adjuster = SizeAdjuster()
+        self.retry_policy = retry_policy
+        #: Transient IPC failures retried (observability / test oracle).
+        self.ipc_retries = 0
         #: Cached device properties (the wrapper queries once, §III-C).
         self._cached_properties = None
         #: Driver-API hooks (§III-C: "can cover both CUDA Driver API and
@@ -89,6 +101,33 @@ class WrapperModule:
             await_reply=msg_type not in protocol.NOTIFICATION_TYPES,
         )
 
+    def _ipc_retry(self, msg_type: str, **payload: Any) -> ApiGen:
+        """One IPC exchange with bounded retry on *transient* failures.
+
+        The interpreter marks replies from a dead or wedged scheduler with
+        ``transient: True`` (typed :class:`~repro.errors.IpcDisconnected` /
+        :class:`~repro.errors.IpcTimeoutError` underneath); those are worth
+        re-asking — the daemon may be restarting from its journal.  The
+        backoff between attempts is yielded as :class:`HostCompute` so
+        simulated time accounts for the wait exactly like any host-side
+        work.  Protocol errors and rejections pass through untouched.
+        """
+        attempt = 0
+        while True:
+            reply = yield self._ipc(msg_type, **payload)
+            transient = (
+                isinstance(reply, dict)
+                and reply.get("status") == "error"
+                and reply.get("transient")
+            )
+            if not transient or attempt >= self.retry_policy.max_attempts - 1:
+                return reply
+            self.ipc_retries += 1
+            delay = self.retry_policy.delay(attempt)
+            if delay > 0:
+                yield HostCompute(delay)
+            attempt += 1
+
     def _ensure_properties(self) -> ApiGen:
         """Fetch device properties once to learn pitch/managed granularity."""
         if self._cached_properties is None:
@@ -104,7 +143,7 @@ class WrapperModule:
 
     def _checked_alloc(self, adjusted_size: int, api: str, native_call) -> ApiGen:
         """The grant → allocate → commit/abort protocol around one native call."""
-        reply = yield self._ipc(
+        reply = yield from self._ipc_retry(
             protocol.MSG_ALLOC_REQUEST, size=adjusted_size, api=api
         )
         if reply.get("status") != "ok" or reply.get("decision") != "grant":
@@ -113,12 +152,12 @@ class WrapperModule:
             return cudaError.cudaErrorMemoryAllocation, None
         err, value = yield from native_call()
         if err is not cudaError.cudaSuccess:
-            yield self._ipc(protocol.MSG_ALLOC_ABORT, size=adjusted_size)
+            yield from self._ipc_retry(protocol.MSG_ALLOC_ABORT, size=adjusted_size)
             return err, None
         address = value[0] if isinstance(value, tuple) else (
             value.ptr if isinstance(value, cudaPitchedPtr) else value
         )
-        yield self._ipc(
+        yield from self._ipc_retry(
             protocol.MSG_ALLOC_COMMIT, address=address, size=adjusted_size
         )
         return cudaError.cudaSuccess, value
@@ -192,12 +231,12 @@ class WrapperModule:
         """Free natively, then tell the scheduler the address (§III-C)."""
         err, value = yield from self.native.cudaFree(dev_ptr)
         if err is cudaError.cudaSuccess and dev_ptr != 0:
-            yield self._ipc(protocol.MSG_ALLOC_RELEASE, address=dev_ptr)
+            yield from self._ipc_retry(protocol.MSG_ALLOC_RELEASE, address=dev_ptr)
         return err, value
 
     def cudaMemGetInfo(self) -> ApiGen:  # noqa: N802
         """Answer from scheduler bookkeeping — no device round-trip (§IV-B)."""
-        reply = yield self._ipc(protocol.MSG_MEM_GET_INFO)
+        reply = yield from self._ipc_retry(protocol.MSG_MEM_GET_INFO)
         if reply.get("status") != "ok":
             # Scheduler unavailable: degrade to the native (device-wide) view.
             return (yield from self.native.cudaMemGetInfo())
@@ -224,7 +263,9 @@ class WrapperModule:
         """``__cudaUnregisterFatBinary``: forward, then report process exit."""
         err, last = yield from self.native.cudaUnregisterFatBinary(handle)
         if err is cudaError.cudaSuccess and last:
-            yield self._ipc(protocol.MSG_PROCESS_EXIT)
+            # The last chance to report: a lost process_exit would pin the
+            # pid's allocations (and 66 MiB context charge) forever.
+            yield from self._ipc_retry(protocol.MSG_PROCESS_EXIT)
         return err, last
 
     # ------------------------------------------------------------------

@@ -20,8 +20,11 @@ __all__ = [
     "SchedulerError",
     "UnknownContainerError",
     "LimitExceededError",
+    "JournalError",
     "ProtocolError",
     "TransportError",
+    "IpcTimeoutError",
+    "IpcDisconnected",
     "SimulationError",
     "ProcessError",
     "GpuError",
@@ -73,6 +76,10 @@ class LimitExceededError(SchedulerError):
     """A registration asked for more memory than the device can ever hold."""
 
 
+class JournalError(SchedulerError):
+    """The write-ahead journal is unreadable, corrupt, or incompatible."""
+
+
 # --------------------------------------------------------------------------
 # IPC
 # --------------------------------------------------------------------------
@@ -84,6 +91,23 @@ class ProtocolError(ReproError):
 
 class TransportError(ReproError):
     """The underlying socket/channel failed (closed, truncated frame...)."""
+
+
+class IpcTimeoutError(TransportError):
+    """A blocking IPC call exceeded its deadline (the peer may be wedged).
+
+    Retryable: the request may or may not have been processed, so callers
+    must only retry idempotent messages or messages the scheduler dedupes
+    (see the orphan-adoption path in ``request_allocation``).
+    """
+
+
+class IpcDisconnected(TransportError):
+    """The IPC peer went away (connection refused, reset, or EOF mid-call).
+
+    The canonical signal of a scheduler-daemon crash; clients reconnect
+    with backoff and re-issue the interrupted request.
+    """
 
 
 # --------------------------------------------------------------------------

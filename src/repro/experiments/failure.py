@@ -6,25 +6,48 @@ limited, and swapping GPU memory is currently not supported.  Therefore,
 accessing the same GPU at the same time by different containers may cause a
 program failure.  In the worst case, a deadlock situation can occur."
 
-Two scenarios, each run with and without ConVGPU:
+Three scenarios:
 
-- **over-commit failure**: two containers whose combined footprint exceeds
-  the device.  Unmanaged, the slower one's ``cudaMalloc`` fails mid-run;
-  managed, its allocation pauses and both finish.
-- **allocation deadlock**: two containers that each grab half the device
-  and then retry-loop for more (the common "wait for memory" pattern).
-  Unmanaged, neither can ever proceed — deadlock; managed, the per-container
-  limits mean the scheduler never lets them interleave into the wedge.
+- **over-commit failure** (with/without ConVGPU): two containers whose
+  combined footprint exceeds the device.  Unmanaged, the slower one's
+  ``cudaMalloc`` fails mid-run; managed, its allocation pauses and both
+  finish.
+- **allocation deadlock** (with/without ConVGPU): two containers that each
+  grab half the device and then retry-loop for more (the common "wait for
+  memory" pattern).  Unmanaged, neither can ever proceed — deadlock;
+  managed, the per-container limits mean the scheduler never lets them
+  interleave into the wedge.
+- **daemon crash** (this reproduction's extension): kill the scheduler
+  daemon while one container holds memory and another is paused
+  mid-allocation, recover from the write-ahead journal, and verify the
+  paused client reconnects, is adopted into its original queue position,
+  and eventually resumes — the failure mode the paper's in-memory Go
+  daemon could not survive.
 """
 
 from __future__ import annotations
 
+import os
+import tempfile
+import threading
+import time
 from dataclasses import dataclass
 
 from repro.container.image import make_cuda_image
 from repro.core.middleware import ConVGPU
+from repro.core.scheduler import (
+    GpuMemoryScheduler,
+    SchedulerDaemon,
+    SchedulerJournal,
+    make_policy,
+    serialize_state,
+)
 from repro.cuda.effects import HostCompute
 from repro.cuda.errors import cudaError
+from repro.errors import TransportError
+from repro.ipc import protocol
+from repro.ipc.retry import ResilientClient, RetryPolicy
+from repro.ipc.unix_socket import UnixSocketClient
 from repro.sim.engine import Environment
 from repro.units import MiB
 from repro.workloads.api import ProcessApi
@@ -32,8 +55,10 @@ from repro.workloads.runner import SimIpcBridge, SimProgramRunner, fail_program
 
 __all__ = [
     "FailureOutcome",
+    "CrashRecoveryOutcome",
     "overcommit_experiment",
     "deadlock_experiment",
+    "daemon_crash_experiment",
 ]
 
 
@@ -184,3 +209,176 @@ def deadlock_experiment(managed: bool, *, max_retries: int = 30) -> FailureOutco
     specs = [dict(spec), {**spec, "delay": 0.5}]
     limit = 2 * chunk + 128 * MiB  # true footprint incl. context overhead
     return _run_pair(managed, specs, limit_for=[limit, limit])
+
+
+@dataclass(frozen=True)
+class CrashRecoveryOutcome:
+    """Result of one daemon-crash fault injection."""
+
+    #: Restored scheduler state equals the pre-kill state, field for field.
+    state_identical: bool
+    #: The re-registering wrapper was acknowledged idempotently.
+    reattached: bool
+    #: The re-issued request joined its orphaned pending entry (no dupe).
+    adopted: bool
+    #: The paused allocation ultimately resumed with a grant.
+    resumed: bool
+    #: Transport-level reconnect attempts the paused client needed.
+    reconnect_attempts: int
+    #: Events in the journal at the moment of the kill.
+    journaled_events: int
+
+
+def daemon_crash_experiment(
+    *, policy: str = "FIFO", pause_timeout: float = 10.0
+) -> CrashRecoveryOutcome:
+    """Kill the daemon under a paused allocation; recover; finish the run.
+
+    Scenario (all sizes in MiB, device = 4096):
+
+    1. container A (limit 2000) allocates 1800 and commits;
+    2. container B (limit 3000) requests 2500 → **paused** (reply withheld);
+    3. the daemon is killed — B's blocked ``recv`` dies with a typed error;
+    4. a new daemon recovers from the journal (state must be identical);
+    5. B's client redials through :class:`~repro.ipc.retry.ResilientClient`
+       — re-register (idempotent reattach) then re-issue the allocation,
+       which is adopted by the orphaned pending entry;
+    6. A exits; redistribution resumes B with a grant.
+    """
+    with tempfile.TemporaryDirectory(prefix="convgpu-crash-") as tmp:
+        journal_path = os.path.join(tmp, "scheduler.journal")
+        base_dir = os.path.join(tmp, "daemon")
+        scheduler = GpuMemoryScheduler(4096 * MiB, make_policy(policy))
+        journal = SchedulerJournal(journal_path)
+        journal.attach(scheduler)
+        daemon = SchedulerDaemon(scheduler, base_dir=base_dir, journal=journal)
+        daemon.start()
+
+        control = UnixSocketClient(daemon.control_path)
+        control.call(
+            protocol.MSG_REGISTER_CONTAINER, container_id="cont-a", limit=2000 * MiB
+        )
+        control.call(
+            protocol.MSG_REGISTER_CONTAINER, container_id="cont-b", limit=3000 * MiB
+        )
+        client_a = UnixSocketClient(daemon.container_socket_path("cont-a"))
+        client_a.call(
+            protocol.MSG_ALLOC_REQUEST,
+            container_id="cont-a",
+            pid=1,
+            size=1800 * MiB,
+            api="cudaMalloc",
+        )
+        client_a.notify(
+            protocol.MSG_ALLOC_COMMIT,
+            container_id="cont-a",
+            pid=1,
+            address=0x1000,
+            size=1800 * MiB,
+        )
+
+        socket_path = daemon.container_socket_path("cont-b")
+        outcome: dict = {}
+
+        def first_attempt() -> None:
+            client = UnixSocketClient(socket_path, timeout=pause_timeout)
+            try:
+                outcome["first"] = client.call(
+                    protocol.MSG_ALLOC_REQUEST,
+                    container_id="cont-b",
+                    pid=2,
+                    size=2500 * MiB,
+                    api="cudaMalloc",
+                )
+            except TransportError as exc:
+                outcome["first_error"] = exc
+            finally:
+                client.close()
+
+        blocked = threading.Thread(target=first_attempt)
+        blocked.start()
+        _wait_until(lambda: scheduler.container("cont-b").paused, timeout=5.0)
+
+        # -- the crash ---------------------------------------------------
+        pre_state = serialize_state(scheduler)
+        journaled = journal.events_written
+        daemon.kill()
+        blocked.join(timeout=pause_timeout + 5.0)
+        client_a.close()
+        control.close()
+
+        # -- recovery ----------------------------------------------------
+        recovered = SchedulerDaemon.recover(journal_path, base_dir=base_dir)
+        recovered.start()
+        state_identical = serialize_state(recovered.scheduler) == pre_state
+
+        def reconnect() -> UnixSocketClient:
+            # The full wrapper handshake: re-register on the control socket
+            # (acknowledged as a reattach), then dial the container socket.
+            handshake = UnixSocketClient(recovered.control_path)
+            try:
+                reply = handshake.call(
+                    protocol.MSG_REGISTER_CONTAINER,
+                    container_id="cont-b",
+                    limit=3000 * MiB,
+                )
+                outcome["reattached"] = bool(reply.get("reattached"))
+            finally:
+                handshake.close()
+            return UnixSocketClient(
+                recovered.container_socket_path("cont-b"), timeout=pause_timeout
+            )
+
+        resilient = ResilientClient(
+            factory=reconnect, policy=RetryPolicy(max_attempts=6, jitter=0.0)
+        )
+
+        def second_attempt() -> None:
+            try:
+                outcome["second"] = resilient.call(
+                    protocol.MSG_ALLOC_REQUEST,
+                    container_id="cont-b",
+                    pid=2,
+                    size=2500 * MiB,
+                    api="cudaMalloc",
+                )
+            except TransportError as exc:
+                outcome["second_error"] = exc
+
+        reissued = threading.Thread(target=second_attempt)
+        reissued.start()
+        _wait_until(
+            lambda: recovered.scheduler.container("cont-b").pending
+            and recovered.scheduler.container("cont-b").pending[0].resume is not None,
+            timeout=5.0,
+        )
+        adopted = len(recovered.scheduler.container("cont-b").pending) == 1
+
+        # A exits -> redistribution tops B's reservation up -> resume.
+        exit_control = UnixSocketClient(recovered.control_path)
+        exit_control.call(protocol.MSG_CONTAINER_EXIT, container_id="cont-a")
+        exit_control.close()
+        reissued.join(timeout=pause_timeout + 5.0)
+        resilient.close()
+
+        resumed = outcome.get("second", {}).get("decision") == "grant"
+        result = CrashRecoveryOutcome(
+            state_identical=state_identical,
+            reattached=outcome.get("reattached", False),
+            adopted=adopted,
+            resumed=resumed,
+            reconnect_attempts=len(resilient.retries),
+            journaled_events=journaled,
+        )
+        recovered.stop()
+        return result
+
+
+def _wait_until(predicate, *, timeout: float, interval: float = 0.01) -> None:
+    """Poll a condition with a deadline (no scheduler hooks needed)."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(interval)
+    raise TimeoutError("condition not reached before deadline")

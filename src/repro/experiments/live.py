@@ -30,8 +30,14 @@ from repro.cuda.effects import (
     StreamWait,
     Synchronize,
 )
-from repro.errors import SimulationError, TransportError
+from repro.errors import (
+    IpcDisconnected,
+    IpcTimeoutError,
+    SimulationError,
+    TransportError,
+)
 from repro.gpu.device import GpuDevice
+from repro.ipc.retry import ResilientClient, RetryPolicy
 from repro.ipc.unix_socket import UnixSocketClient
 from repro.workloads.api import ProcessApi
 from repro.workloads.runner import ProgramFailure
@@ -64,14 +70,32 @@ class LiveProgramRunner:
         device: GpuDevice,
         *,
         socket_path: str | None = None,
+        client_factory: Callable[[], Any] | None = None,
+        retry_policy: RetryPolicy | None = None,
         clock: HybridClock | None = None,
     ) -> None:
         self.device = device
         self.clock = clock or HybridClock()
-        self._client: UnixSocketClient | None = None
-        if socket_path is not None:
-            self._client = UnixSocketClient(socket_path)
+        # The daemon connection is held behind a ResilientClient: a daemon
+        # restart mid-program becomes reconnect latency (measured by the
+        # hybrid clock, like any IPC cost) instead of a dead container.
+        # ``client_factory`` generalizes the dial — e.g. "re-register on the
+        # control socket, then connect to the advertised container socket" —
+        # so reconnecting after recovery re-runs the whole handshake.
+        self._client: ResilientClient | None = None
+        if client_factory is None and socket_path is not None:
+            client_factory = lambda: UnixSocketClient(socket_path)  # noqa: E731
+        if client_factory is not None:
+            self._client = ResilientClient(
+                factory=client_factory,
+                policy=retry_policy if retry_policy is not None else RetryPolicy(),
+            )
         self._last_completion = 0.0
+
+    @property
+    def ipc_retries(self) -> list[tuple[int, str]]:
+        """(attempt, error-type) pairs from the reconnect loop (observability)."""
+        return list(self._client.retries) if self._client is not None else []
 
     def close(self) -> None:
         if self._client is not None:
@@ -163,5 +187,12 @@ class LiveProgramRunner:
                 self._client.notify(msg_type, **message)
                 return None
             except TransportError as exc:
-                return {"status": "error", "error": str(exc)}
+                # The wrapper's own retry loop keys on ``transient``: a
+                # dead/wedged daemon is worth re-asking (it may be
+                # recovering), a protocol error is not.
+                return {
+                    "status": "error",
+                    "error": str(exc),
+                    "transient": isinstance(exc, (IpcDisconnected, IpcTimeoutError)),
+                }
         raise SimulationError(f"unknown effect {effect!r}")

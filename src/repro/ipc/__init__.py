@@ -10,15 +10,22 @@ Three interchangeable transports share one handler contract
   kept for the ablation benchmark);
 - :mod:`repro.ipc.channel` — in-process dispatch for deterministic tests
   and the discrete-event simulation.
+
+Client-side crash resilience (reconnect + exponential backoff with jitter)
+lives in :mod:`repro.ipc.retry`; transports raise the typed
+:class:`~repro.errors.IpcTimeoutError` / :class:`~repro.errors.IpcDisconnected`
+errors that the retry loop keys on.
 """
 
 from repro.ipc.channel import ChannelReplyHandle, InProcessChannel, PendingReply
 from repro.ipc.protocol import (
+    MAX_FRAME_BYTES,
     MSG_ALLOC_ABORT,
     MSG_ALLOC_COMMIT,
     MSG_ALLOC_RELEASE,
     MSG_ALLOC_REQUEST,
     MSG_CONTAINER_EXIT,
+    MSG_HEARTBEAT,
     MSG_MEM_GET_INFO,
     MSG_PROCESS_EXIT,
     MSG_REGISTER_CONTAINER,
@@ -28,6 +35,12 @@ from repro.ipc.protocol import (
     make_reply,
     make_request,
     validate_request,
+)
+from repro.ipc.retry import (
+    DEFAULT_RETRY_POLICY,
+    ResilientClient,
+    RetryPolicy,
+    call_with_retry,
 )
 from repro.ipc.tcp_socket import TcpSocketClient, TcpSocketServer
 from repro.ipc.unix_socket import DEFER, ReplyHandle, UnixSocketClient, UnixSocketServer
@@ -41,6 +54,12 @@ __all__ = [
     "MSG_ALLOC_RELEASE",
     "MSG_MEM_GET_INFO",
     "MSG_PROCESS_EXIT",
+    "MSG_HEARTBEAT",
+    "MAX_FRAME_BYTES",
+    "RetryPolicy",
+    "ResilientClient",
+    "DEFAULT_RETRY_POLICY",
+    "call_with_retry",
     "make_request",
     "make_reply",
     "make_error_reply",

@@ -43,6 +43,8 @@ __all__ = [
     "MSG_ALLOC_RELEASE",
     "MSG_MEM_GET_INFO",
     "MSG_PROCESS_EXIT",
+    "MSG_HEARTBEAT",
+    "MAX_FRAME_BYTES",
     "REQUEST_FIELDS",
     "NOTIFICATION_TYPES",
     "make_request",
@@ -61,17 +63,25 @@ MSG_ALLOC_ABORT = "alloc_abort"
 MSG_ALLOC_RELEASE = "alloc_release"
 MSG_MEM_GET_INFO = "mem_get_info"
 MSG_PROCESS_EXIT = "process_exit"
+MSG_HEARTBEAT = "heartbeat"
+
+#: Hard cap on one encoded frame.  Real ConVGPU messages are well under a
+#: kilobyte; anything larger is a protocol violation or an attack, and a
+#: server must reject it instead of buffering without bound.
+MAX_FRAME_BYTES = 64 * 1024
 
 #: Message types that are fire-and-forget notifications: the sender does
 #: not wait and the server sends no reply.  Keeping bookkeeping traffic
 #: one-way is what keeps cudaFree at native speed under ConVGPU (Fig. 4).
 NOTIFICATION_TYPES: frozenset[str] = frozenset(
-    {MSG_ALLOC_COMMIT, MSG_ALLOC_ABORT, MSG_ALLOC_RELEASE, MSG_PROCESS_EXIT}
+    {MSG_ALLOC_COMMIT, MSG_ALLOC_ABORT, MSG_ALLOC_RELEASE, MSG_PROCESS_EXIT,
+     MSG_HEARTBEAT}
 )
 
 #: Required payload fields (and their types) per request type.
 REQUEST_FIELDS: dict[str, dict[str, type]] = {
     MSG_REGISTER_CONTAINER: {"container_id": str, "limit": int},
+    MSG_HEARTBEAT: {"container_id": str},
     MSG_CONTAINER_EXIT: {"container_id": str},
     MSG_ALLOC_REQUEST: {"container_id": str, "pid": int, "size": int, "api": str},
     MSG_ALLOC_COMMIT: {"container_id": str, "pid": int, "address": int, "size": int},
@@ -137,11 +147,20 @@ def encode(message: Mapping[str, Any]) -> bytes:
         raise ProtocolError(f"unserializable message: {exc}") from exc
     if "\n" in text:
         raise ProtocolError("encoded message contains a newline")
-    return text.encode("utf-8") + b"\n"
+    frame = text.encode("utf-8") + b"\n"
+    if len(frame) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(frame)} bytes exceeds MAX_FRAME_BYTES ({MAX_FRAME_BYTES})"
+        )
+    return frame
 
 
 def decode(frame: bytes) -> dict[str, Any]:
     """Parse one newline-terminated JSON frame."""
+    if len(frame) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(frame)} bytes exceeds MAX_FRAME_BYTES ({MAX_FRAME_BYTES})"
+        )
     try:
         message = json.loads(frame.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:

@@ -1,0 +1,185 @@
+"""Bounded retry with exponential backoff — the client side of crash safety.
+
+The scheduler daemon is a single point of failure for every wrapper: a
+blocked ``recv`` with no daemon behind it would hang a container's CUDA
+call forever.  This module gives clients a disciplined recovery loop:
+
+- :class:`RetryPolicy` — attempt budget plus exponential backoff with full
+  jitter (the AWS-style ``random(0, min(cap, base * 2**attempt))`` schedule
+  that avoids thundering-herd reconnects after a daemon restart);
+- :class:`ResilientClient` — wraps a client *factory* (not a client): on
+  :class:`~repro.errors.IpcDisconnected` it drops the broken connection,
+  redials with backoff, and re-issues the interrupted request.
+
+Re-issuing is safe for every message in the protocol: queries are
+idempotent, notifications are applied idempotently or rejected in-band by
+the scheduler, and a re-sent ``alloc_request`` is *adopted* by the
+scheduler's orphaned pending entry after a crash instead of double-queued
+(see ``GpuMemoryScheduler.request_allocation``).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import IpcDisconnected, IpcTimeoutError, TransportError
+
+__all__ = ["RetryPolicy", "ResilientClient", "DEFAULT_RETRY_POLICY"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with full jitter.
+
+    Args:
+        max_attempts: total tries (first attempt included); >= 1.
+        base_delay: backoff unit in seconds for attempt 0.
+        multiplier: exponential growth factor per attempt.
+        max_delay: cap on any single sleep.
+        jitter: 0.0 = deterministic schedule, 1.0 = full jitter
+            (each sleep drawn uniformly from [delay*(1-jitter), delay]).
+    """
+
+    max_attempts: int = 8
+    base_delay: float = 0.02
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1: {self.max_attempts}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1]: {self.jitter}")
+
+    def delay(self, attempt: int, rng: random.Random | None = None) -> float:
+        """Sleep before retry number ``attempt`` (0-based)."""
+        ceiling = min(self.max_delay, self.base_delay * self.multiplier**attempt)
+        if self.jitter == 0.0 or ceiling == 0.0:
+            return ceiling
+        draw = rng.random() if rng is not None else random.random()
+        return ceiling * (1.0 - self.jitter * draw)
+
+    def delays(self, rng: random.Random | None = None) -> list[float]:
+        """The full schedule: one sleep between each pair of attempts."""
+        return [self.delay(i, rng) for i in range(self.max_attempts - 1)]
+
+
+#: Conservative default used by the wrapper and the live runner.
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+
+def call_with_retry(
+    operation: Callable[[], Any],
+    policy: RetryPolicy,
+    *,
+    retry_on: tuple[type[BaseException], ...] = (IpcDisconnected, IpcTimeoutError),
+    sleep: Callable[[float], None] = time.sleep,
+    rng: random.Random | None = None,
+    on_retry: Callable[[int, BaseException], None] | None = None,
+) -> Any:
+    """Run ``operation`` under the policy; re-raise the last error when spent."""
+    last_exc: BaseException | None = None
+    for attempt in range(policy.max_attempts):
+        try:
+            return operation()
+        except retry_on as exc:
+            last_exc = exc
+            if attempt == policy.max_attempts - 1:
+                break
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            sleep(policy.delay(attempt, rng))
+    assert last_exc is not None
+    raise last_exc
+
+
+__all__.append("call_with_retry")
+
+
+@dataclass
+class ResilientClient:
+    """Reconnecting request/response client over any raw transport client.
+
+    ``factory`` dials one connection and returns an object with ``call``,
+    ``notify`` and ``close`` (both socket clients qualify).  Transparent
+    reconnect-and-retry turns a daemon restart into added latency instead of
+    a wedged container.
+
+    ``sleep``/``rng`` are injectable so tests can run the full backoff
+    schedule in zero wall-clock time.
+    """
+
+    factory: Callable[[], Any]
+    policy: RetryPolicy = DEFAULT_RETRY_POLICY
+    sleep: Callable[[float], None] = time.sleep
+    rng: random.Random | None = None
+    #: (attempt, exception) pairs observed; observability + test oracle.
+    retries: list[tuple[int, str]] = field(default_factory=list)
+    _client: Any = field(default=None, init=False, repr=False)
+
+    # -- connection management --------------------------------------------
+
+    def _connected(self) -> Any:
+        if self._client is None:
+            self._client = self.factory()
+        return self._client
+
+    def _drop(self) -> None:
+        if self._client is not None:
+            try:
+                self._client.close()
+            except Exception:
+                pass
+            self._client = None
+
+    def close(self) -> None:
+        self._drop()
+
+    def __enter__(self) -> "ResilientClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- resilient operations ---------------------------------------------
+
+    def _issue(self, method: str, msg_type: str, payload: dict[str, Any]) -> Any:
+        def operation() -> Any:
+            try:
+                client = self._connected()
+                return getattr(client, method)(msg_type, **payload)
+            except (IpcDisconnected, IpcTimeoutError):
+                # The connection is suspect either way: next attempt redials.
+                self._drop()
+                raise
+
+        def record(attempt: int, exc: BaseException) -> None:
+            self.retries.append((attempt, type(exc).__name__))
+
+        try:
+            return call_with_retry(
+                operation,
+                self.policy,
+                sleep=self.sleep,
+                rng=self.rng,
+                on_retry=record,
+            )
+        except (IpcDisconnected, IpcTimeoutError):
+            raise
+        except TransportError:
+            self._drop()
+            raise
+
+    def call(self, msg_type: str, **payload: Any) -> dict[str, Any]:
+        """Blocking request/response with reconnect-and-reissue."""
+        return self._issue("call", msg_type, payload)
+
+    def notify(self, msg_type: str, **payload: Any) -> None:
+        """Fire-and-forget notification, retried until the send succeeds."""
+        self._issue("notify", msg_type, payload)

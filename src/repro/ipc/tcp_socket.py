@@ -14,9 +14,9 @@ import socket
 import threading
 from typing import Any
 
-from repro.errors import TransportError
+from repro.errors import IpcDisconnected, TransportError
 from repro.ipc import protocol
-from repro.ipc.unix_socket import DEFER, Handler, ReplyHandle
+from repro.ipc.unix_socket import DEFER, Handler, ReplyHandle, map_os_error
 
 __all__ = ["TcpSocketServer", "TcpSocketClient"]
 
@@ -109,6 +109,23 @@ class TcpSocketServer:
             while b"\n" in buffer:
                 frame, buffer = buffer.split(b"\n", 1)
                 self._handle_frame(conn, write_lock, frame + b"\n")
+            if len(buffer) > protocol.MAX_FRAME_BYTES:
+                # Never buffer a hostile/corrupt stream without bound.
+                reply = protocol.make_error_reply(
+                    {"type": "unknown", "seq": 0},
+                    f"frame exceeds {protocol.MAX_FRAME_BYTES} bytes",
+                )
+                try:
+                    with write_lock:
+                        conn.sendall(protocol.encode(reply))
+                except OSError:
+                    pass
+                try:
+                    conn.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+                conn.close()
+                return
 
     def _handle_frame(self, conn: socket.socket, write_lock: threading.Lock, frame: bytes) -> None:
         try:
@@ -153,7 +170,7 @@ class TcpSocketClient:
             self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         except OSError as exc:
             self._sock.close()
-            raise TransportError(f"cannot connect to {host}:{port}: {exc}") from exc
+            raise map_os_error(exc, f"cannot connect to {host}:{port}") from exc
         self._buffer = b""
         self._seq = 0
         self._lock = threading.Lock()
@@ -165,12 +182,16 @@ class TcpSocketClient:
             try:
                 self._sock.sendall(protocol.encode(request))
                 while b"\n" not in self._buffer:
+                    if len(self._buffer) > protocol.MAX_FRAME_BYTES:
+                        raise TransportError(
+                            f"reply frame exceeds {protocol.MAX_FRAME_BYTES} bytes"
+                        )
                     chunk = self._sock.recv(65536)
                     if not chunk:
-                        raise TransportError("server closed the connection")
+                        raise IpcDisconnected("server closed the connection")
                     self._buffer += chunk
             except OSError as exc:
-                raise TransportError(f"call failed: {exc}") from exc
+                raise map_os_error(exc, "call failed") from exc
             frame, self._buffer = self._buffer.split(b"\n", 1)
             reply = protocol.decode(frame + b"\n")
             if reply.get("seq") != self._seq:
@@ -187,7 +208,7 @@ class TcpSocketClient:
             try:
                 self._sock.sendall(protocol.encode(request))
             except OSError as exc:
-                raise TransportError(f"notify failed: {exc}") from exc
+                raise map_os_error(exc, "notify failed") from exc
 
     def close(self) -> None:
         try:

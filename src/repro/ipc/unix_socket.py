@@ -20,15 +20,36 @@ until the required size of memory is available", §III-D).
 
 from __future__ import annotations
 
+import errno
 import os
 import socket
 import threading
 from typing import Any, Callable, Mapping
 
-from repro.errors import TransportError
+from repro.errors import IpcDisconnected, IpcTimeoutError, TransportError
 from repro.ipc import protocol
 
-__all__ = ["DEFER", "ReplyHandle", "UnixSocketServer", "UnixSocketClient"]
+__all__ = ["DEFER", "ReplyHandle", "UnixSocketServer", "UnixSocketClient",
+           "map_os_error"]
+
+
+def map_os_error(exc: OSError, context: str) -> TransportError:
+    """Translate a raw socket error into the typed IPC error taxonomy.
+
+    ``socket.timeout`` (= ``TimeoutError``) becomes :class:`IpcTimeoutError`;
+    peer-gone conditions (refused, reset, broken pipe, unreachable path)
+    become :class:`IpcDisconnected`; anything else stays a plain
+    :class:`TransportError`.  Shared by both socket transports so callers
+    never see a raw ``socket.timeout`` again.
+    """
+    if isinstance(exc, socket.timeout):
+        return IpcTimeoutError(f"{context}: timed out ({exc})")
+    if isinstance(exc, (ConnectionError, BrokenPipeError, FileNotFoundError)) or (
+        exc.errno in (errno.EPIPE, errno.ECONNRESET, errno.ECONNREFUSED,
+                      errno.ENOENT, errno.EBADF, errno.ESHUTDOWN, errno.ENOTCONN)
+    ):
+        return IpcDisconnected(f"{context}: peer gone ({exc})")
+    return TransportError(f"{context}: {exc}")
 
 
 class _Defer:
@@ -176,6 +197,24 @@ class UnixSocketServer:
             while b"\n" in buffer:
                 frame, buffer = buffer.split(b"\n", 1)
                 self._dispatch(conn, write_lock, frame + b"\n")
+            if len(buffer) > protocol.MAX_FRAME_BYTES:
+                # A frame that large can never be valid; drop the connection
+                # instead of buffering a hostile/corrupt stream without bound.
+                reply = protocol.make_error_reply(
+                    {"type": "unknown", "seq": 0},
+                    f"frame exceeds {protocol.MAX_FRAME_BYTES} bytes",
+                )
+                try:
+                    with write_lock:
+                        conn.sendall(protocol.encode(reply))
+                except OSError:
+                    pass
+                try:
+                    conn.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+                conn.close()
+                return
 
     def _dispatch(self, conn: socket.socket, write_lock: threading.Lock, frame: bytes) -> None:
         try:
@@ -220,7 +259,7 @@ class UnixSocketClient:
             self._sock.connect(path)
         except OSError as exc:
             self._sock.close()
-            raise TransportError(f"cannot connect to {path}: {exc}") from exc
+            raise map_os_error(exc, f"cannot connect to {path}") from exc
         self._buffer = b""
         self._seq = 0
         self._lock = threading.Lock()
@@ -239,7 +278,7 @@ class UnixSocketClient:
                 self._sock.sendall(protocol.encode(request))
                 reply = self._read_reply()
             except OSError as exc:
-                raise TransportError(f"call failed on {self.path}: {exc}") from exc
+                raise map_os_error(exc, f"call failed on {self.path}") from exc
             if reply.get("seq") != self._seq:
                 raise TransportError(
                     f"reply seq {reply.get('seq')} != request seq {self._seq}"
@@ -261,13 +300,20 @@ class UnixSocketClient:
             try:
                 self._sock.sendall(protocol.encode(request))
             except OSError as exc:
-                raise TransportError(f"notify failed on {self.path}: {exc}") from exc
+                raise map_os_error(exc, f"notify failed on {self.path}") from exc
 
     def _read_reply(self) -> dict[str, Any]:
         while b"\n" not in self._buffer:
+            if len(self._buffer) > protocol.MAX_FRAME_BYTES:
+                raise TransportError(
+                    f"reply frame from {self.path} exceeds "
+                    f"{protocol.MAX_FRAME_BYTES} bytes"
+                )
             chunk = self._sock.recv(65536)
             if not chunk:
-                raise TransportError(f"server on {self.path} closed the connection")
+                raise IpcDisconnected(
+                    f"server on {self.path} closed the connection"
+                )
             self._buffer += chunk
         frame, self._buffer = self._buffer.split(b"\n", 1)
         return protocol.decode(frame + b"\n")

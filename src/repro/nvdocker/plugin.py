@@ -16,8 +16,9 @@ from __future__ import annotations
 from typing import Any, Callable
 
 from repro.container.volumes import Mount
-from repro.errors import VolumeError
+from repro.errors import IpcDisconnected, IpcTimeoutError, VolumeError
 from repro.ipc import protocol
+from repro.ipc.retry import RetryPolicy, call_with_retry
 
 __all__ = ["NvidiaDockerPlugin", "DRIVER_VOLUME_PREFIX", "DUMMY_VOLUME_PREFIX"]
 
@@ -34,13 +35,26 @@ class NvidiaDockerPlugin:
 
     driver_name = "nvidia-docker"
 
-    def __init__(self, driver_version: str = "375.51", control_call: ControlCall | None = None) -> None:
+    def __init__(
+        self,
+        driver_version: str = "375.51",
+        control_call: ControlCall | None = None,
+        retry_policy: RetryPolicy | None = None,
+    ) -> None:
         self.driver_version = driver_version
         self.control_call = control_call
+        #: Backoff for *close* delivery — a close lost to a restarting daemon
+        #: would leak the container's whole reservation until the reaper's
+        #: heartbeat timeout, so the plugin retries through the restart.
+        self.retry_policy = retry_policy or RetryPolicy(
+            max_attempts=5, base_delay=0.05, jitter=0.0
+        )
         #: (volume_name, container_id) pairs currently mounted.
         self._active: set[tuple[str, str]] = set()
         #: Close signals sent (for tests / observability).
         self.close_signals: list[str] = []
+        #: Close signals that could not be delivered after all retries.
+        self.close_failures: list[str] = []
 
     # -- naming helpers --------------------------------------------------
 
@@ -99,17 +113,37 @@ class NvidiaDockerPlugin:
         if volume_name.startswith(DUMMY_VOLUME_PREFIX):
             # The container stopped: forward the close signal (§III-B),
             # addressed by the scheduler key embedded in the volume name.
-            scheduler_key = volume_name[len(DUMMY_VOLUME_PREFIX):]
-            self.close_signals.append(scheduler_key)
-            if self.control_call is not None:
-                try:
-                    self.control_call(
-                        protocol.MSG_CONTAINER_EXIT, container_id=scheduler_key
-                    )
-                except Exception:
-                    # The daemon may already be gone during teardown; the
-                    # scheduler treats unknown/closed containers as no-ops.
-                    pass
+            self.send_close(volume_name[len(DUMMY_VOLUME_PREFIX):])
+
+    def send_close(self, scheduler_key: str) -> bool:
+        """Deliver the *close* signal for one container, retrying transients.
+
+        The unmount callback funnels through here; the daemon's orphan
+        reaper synthesizes the same ``container_exit`` message when this
+        delivery ultimately fails.  Retrying transient transport errors
+        means a daemon restarting from its journal still receives every
+        close.  Returns True when delivered (or when no control channel
+        exists to deliver on).
+        """
+        self.close_signals.append(scheduler_key)
+        if self.control_call is None:
+            return True
+        try:
+            call_with_retry(
+                lambda: self.control_call(
+                    protocol.MSG_CONTAINER_EXIT, container_id=scheduler_key
+                ),
+                self.retry_policy,
+                retry_on=(IpcDisconnected, IpcTimeoutError),
+            )
+            return True
+        except Exception:
+            # The daemon is gone for good during teardown; the heartbeat
+            # reaper (liveness.py) is the backstop that reclaims the
+            # reservation, and the scheduler treats unknown/closed
+            # containers as no-ops if the close raced a recovery.
+            self.close_failures.append(scheduler_key)
+            return False
 
     def is_mounted(self, volume_name: str, container_id: str) -> bool:
         return (volume_name, container_id) in self._active

@@ -1,0 +1,342 @@
+"""Unit tests for the write-ahead journal and crash recovery.
+
+The property suite (test_journal_properties.py) covers randomized crash
+consistency; these tests pin the codec, the file format, the compaction
+behaviour, the torn-tail tolerance, and the orphan-adoption contract.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core.scheduler import (
+    GpuMemoryScheduler,
+    SchedulerJournal,
+    journal_summary,
+    make_policy,
+    read_journal,
+    restore,
+    serialize_state,
+    snapshot,
+)
+from repro.core.scheduler.events import (
+    AllocationGranted,
+    AllocationPaused,
+    ContainerRegistered,
+)
+from repro.core.scheduler.journal import decode_event, encode_event
+from repro.errors import JournalError
+from repro.units import GiB, MiB
+
+from tests.conftest import ManualClock
+
+
+@pytest.fixture
+def journal_path(tmp_path):
+    return str(tmp_path / "scheduler.journal")
+
+
+def make_scheduler(policy="FIFO", total=5 * GiB):
+    clock = ManualClock()
+    sched = GpuMemoryScheduler(total, make_policy(policy), clock=clock)
+    sched.test_clock = clock
+    return sched
+
+
+class TestEventCodec:
+    def test_round_trip_every_event_type(self, journal_path):
+        sched = make_scheduler()
+        journal = SchedulerJournal(journal_path)
+        journal.attach(sched)
+        # Drive every event class at least once.
+        sched.register_container("a", 2 * GiB)
+        sched.register_container("b", 4 * GiB)
+        sched.request_allocation("a", 1, 512 * MiB)          # granted
+        sched.commit_allocation("a", 1, 0x100, 512 * MiB)    # committed
+        sched.request_allocation("a", 1, 10 * GiB)           # rejected
+        sched.request_allocation("b", 2, 3900 * MiB,
+                                 on_resume=lambda p: None)   # paused
+        sched.request_allocation("a", 3, 100 * MiB)          # granted (+overhead)
+        sched.abort_allocation("a", 3, 100 * MiB)            # aborted
+        sched.release_allocation("a", 1, 0x100)              # released
+        sched.process_exit("a", 1)                           # process exit
+        sched.container_exit("a")                            # closed -> assigned/resumed
+        journal.close()
+
+        seen = {type(event).__name__ for event in sched.log}
+        for event in sched.log:
+            assert decode_event(encode_event(event)) == event
+        # The scenario exercises the full vocabulary the journal must cover.
+        assert {
+            "ContainerRegistered", "AllocationGranted", "AllocationPaused",
+            "AllocationResumed", "AllocationRejected", "AllocationCommitted",
+            "AllocationReleased", "AllocationAborted", "MemoryAssigned",
+            "ProcessExited", "ContainerClosed",
+        } <= seen
+
+    def test_decode_unknown_event_type(self):
+        with pytest.raises(JournalError, match="unknown event type"):
+            decode_event({"kind": "event", "event": "NotAnEvent"})
+
+    def test_decode_missing_fields(self):
+        with pytest.raises(JournalError, match="missing fields"):
+            decode_event({"kind": "event", "event": "ContainerRegistered",
+                          "time": 0.0})
+
+
+class TestJournalFile:
+    def test_meta_written_once(self, journal_path):
+        sched = make_scheduler(policy="BF")
+        with SchedulerJournal(journal_path) as journal:
+            journal.attach(sched)
+            sched.register_container("a", 1 * GiB)
+        meta, records, torn = read_journal(journal_path)
+        assert meta["policy"] == "BF"
+        assert meta["total_memory"] == 5 * GiB
+        assert torn == 0
+        assert [r["kind"] for r in records] == ["event"]
+
+    def test_snapshot_compaction_interval(self, journal_path):
+        sched = make_scheduler()
+        with SchedulerJournal(journal_path, snapshot_interval=2) as journal:
+            journal.attach(sched)
+            sched.register_container("a", 1 * GiB)
+            sched.request_allocation("a", 1, 100 * MiB)
+            sched.commit_allocation("a", 1, 0x1, 100 * MiB)
+            sched.release_allocation("a", 1, 0x1)
+        summary = journal_summary(journal_path)
+        assert summary["events"] == 4
+        assert summary["snapshots"] == 2
+
+    def test_restore_equals_live_after_compaction(self, journal_path):
+        sched = make_scheduler()
+        with SchedulerJournal(journal_path, snapshot_interval=2) as journal:
+            journal.attach(sched)
+            sched.register_container("a", 1 * GiB)
+            sched.request_allocation("a", 1, 100 * MiB)
+            sched.commit_allocation("a", 1, 0x1, 100 * MiB)
+            restored = restore(journal_path, clock=sched.test_clock)
+        assert snapshot(restored) == snapshot(sched)
+        restored.check_invariants()
+
+    def test_torn_tail_is_dropped(self, journal_path):
+        sched = make_scheduler()
+        with SchedulerJournal(journal_path) as journal:
+            journal.attach(sched)
+            sched.register_container("a", 1 * GiB)
+            sched.request_allocation("a", 1, 100 * MiB)
+        with open(journal_path, "ab") as fh:
+            fh.write(b'{"kind": "event", "event": "AllocationCom')  # crash mid-write
+        meta, records, torn = read_journal(journal_path)
+        assert torn == 1
+        assert len(records) == 2
+        restored = restore(journal_path, clock=sched.test_clock)
+        assert snapshot(restored) == snapshot(sched)
+
+    def test_torn_garbage_line_is_dropped(self, journal_path):
+        sched = make_scheduler()
+        with SchedulerJournal(journal_path) as journal:
+            journal.attach(sched)
+            sched.register_container("a", 1 * GiB)
+        with open(journal_path, "ab") as fh:
+            fh.write(b"\x00\xffgarbage\n")
+        _, records, torn = read_journal(journal_path)
+        assert torn == 1 and len(records) == 1
+
+    def test_corruption_before_tail_raises(self, journal_path):
+        sched = make_scheduler()
+        with SchedulerJournal(journal_path) as journal:
+            journal.attach(sched)
+            sched.register_container("a", 1 * GiB)
+        lines = open(journal_path, "rb").read().splitlines()
+        lines.insert(1, b"not json")
+        with open(journal_path, "wb") as fh:
+            fh.write(b"\n".join(lines) + b"\n")
+        with pytest.raises(JournalError, match="corrupt journal"):
+            read_journal(journal_path)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(JournalError, match="cannot read"):
+            read_journal(str(tmp_path / "nope.journal"))
+
+    def test_restore_requires_meta(self, journal_path):
+        with open(journal_path, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps({"kind": "event", "event": "x"}) + "\n")
+        with pytest.raises(JournalError, match="no meta record"):
+            restore(journal_path)
+
+    def test_version_mismatch_rejected(self, journal_path):
+        with open(journal_path, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps({"kind": "meta", "version": 99}) + "\n")
+        with pytest.raises(JournalError, match="version"):
+            restore(journal_path)
+
+    def test_reattach_config_mismatch_rejected(self, journal_path):
+        sched = make_scheduler(policy="FIFO")
+        with SchedulerJournal(journal_path) as journal:
+            journal.attach(sched)
+            sched.register_container("a", 1 * GiB)
+        other = make_scheduler(policy="BF")
+        journal2 = SchedulerJournal(journal_path)
+        with pytest.raises(JournalError, match="configuration mismatch"):
+            journal2.attach(other)
+
+    def test_double_attach_rejected(self, journal_path):
+        sched = make_scheduler()
+        with SchedulerJournal(journal_path) as journal:
+            journal.attach(sched)
+            with pytest.raises(JournalError, match="already attached"):
+                journal.attach(sched)
+
+    def test_write_after_close_rejected(self, journal_path):
+        sched = make_scheduler()
+        journal = SchedulerJournal(journal_path)
+        journal.attach(sched)
+        journal.close()
+        with pytest.raises(JournalError, match="not attached"):
+            journal.write_snapshot()
+        # Detached: new events no longer reach the journal.
+        sched.register_container("a", 1 * GiB)
+        assert journal_summary(journal_path)["events"] == 0
+
+    def test_bad_snapshot_interval(self, journal_path):
+        with pytest.raises(JournalError, match="snapshot_interval"):
+            SchedulerJournal(journal_path, snapshot_interval=0)
+
+    def test_attach_nonfresh_scheduler_snapshots_first(self, journal_path):
+        sched = make_scheduler()
+        sched.register_container("a", 1 * GiB)  # pre-journal history
+        with SchedulerJournal(journal_path) as journal:
+            journal.attach(sched)
+        summary = journal_summary(journal_path)
+        assert summary["snapshots"] == 1  # state wasn't lost
+        restored = restore(journal_path, clock=sched.test_clock)
+        assert snapshot(restored) == snapshot(sched)
+
+
+class TestEventLimit:
+    def test_event_limit_models_crash_at_each_boundary(self, journal_path):
+        """restore(event_limit=k) == the live scheduler after k events."""
+        clock = ManualClock()
+        live = GpuMemoryScheduler(5 * GiB, make_policy("FIFO"), clock=clock)
+        with SchedulerJournal(journal_path) as journal:
+            journal.attach(live)
+            live.register_container("a", 2 * GiB)
+            live.register_container("b", 4 * GiB)
+            live.request_allocation("a", 1, 1 * GiB)
+            live.commit_allocation("a", 1, 0x1, 1 * GiB)
+            clock.advance(5.0)
+            live.request_allocation("b", 2, 3900 * MiB, on_resume=lambda p: None)
+            clock.advance(5.0)
+            live.container_exit("a")
+        total = len(live.log)
+        assert restore(journal_path, event_limit=total, clock=clock).log.events == live.log.events
+        for k in range(total + 1):
+            partial = restore(journal_path, event_limit=k, clock=clock)
+            partial.check_invariants()
+            assert len(partial.log) == k
+            # Replayed prefix is exactly the live log prefix.
+            assert partial.log.events == live.log.events[:k]
+
+
+class TestRecoveryJournalContinuity:
+    def test_recovered_scheduler_keeps_journaling(self, journal_path):
+        sched = make_scheduler()
+        with SchedulerJournal(journal_path) as journal:
+            journal.attach(sched)
+            sched.register_container("a", 1 * GiB)
+        # Recover and continue under a fresh journal writer.
+        restored = restore(journal_path, clock=sched.test_clock)
+        journal2 = SchedulerJournal(journal_path)
+        journal2.attach(restored, compact=True)
+        restored.request_allocation("a", 1, 100 * MiB)
+        journal2.close()
+        final = restore(journal_path, clock=sched.test_clock)
+        assert snapshot(final) == snapshot(restored)
+        assert journal_summary(journal_path)["snapshots"] == 1  # recovery snapshot
+
+    def test_journal_attribute_wiring(self, journal_path):
+        sched = make_scheduler()
+        journal = SchedulerJournal(journal_path)
+        assert sched.journal is None
+        journal.attach(sched)
+        assert sched.journal is journal
+        journal.close()
+        assert sched.journal is None
+
+
+class TestOrphanAdoption:
+    def _crash_with_pending(self, journal_path):
+        sched = make_scheduler()
+        with SchedulerJournal(journal_path) as journal:
+            journal.attach(sched)
+            sched.register_container("a", 2 * GiB)
+            sched.register_container("b", 4 * GiB)
+            sched.request_allocation("a", 1, 2 * GiB - 66 * MiB)
+            sched.commit_allocation("a", 1, 0x1, 2 * GiB - 66 * MiB)
+            decision = sched.request_allocation(
+                "b", 2, 3800 * MiB, on_resume=lambda p: None
+            )
+            assert decision.paused
+        return restore(journal_path, clock=sched.test_clock)
+
+    def test_restored_pending_is_orphaned(self, journal_path):
+        restored = self._crash_with_pending(journal_path)
+        record = restored.container("b")
+        assert len(record.pending) == 1
+        assert record.pending[0].resume is None
+
+    def test_reissued_request_is_adopted_not_requeued(self, journal_path):
+        restored = self._crash_with_pending(journal_path)
+        delivered = []
+        decision = restored.request_allocation(
+            "b", 2, 3800 * MiB, on_resume=delivered.append
+        )
+        assert decision.paused
+        record = restored.container("b")
+        assert len(record.pending) == 1          # adopted, not double-queued
+        assert record.pending[0].resume is not None
+        assert len(restored.log.of_type(AllocationPaused)) == 1  # no new pause event
+        # The adopted callback fires when the reservation frees up.
+        restored.container_exit("a")
+        assert delivered == [{"decision": "grant"}]
+
+    def test_mismatched_reissue_queues_normally(self, journal_path):
+        restored = self._crash_with_pending(journal_path)
+        # Different pid: not the orphan's owner -> normal pause path.
+        decision = restored.request_allocation(
+            "b", 99, 3800 * MiB, on_resume=lambda p: None
+        )
+        assert decision.paused
+        assert len(restored.container("b").pending) == 2
+
+    def test_adoption_requires_callback(self, journal_path):
+        # A plain (callback-less) request must not consume the orphan.
+        restored = self._crash_with_pending(journal_path)
+        decision = restored.request_allocation("b", 2, 3800 * MiB)
+        assert decision.paused
+        assert restored.container("b").pending[0].resume is None
+        assert len(restored.container("b").pending) == 2
+
+
+class TestSerializeState:
+    def test_serialize_is_json_clean(self, journal_path):
+        sched = make_scheduler()
+        sched.register_container("a", 1 * GiB)
+        sched.request_allocation("a", 1, 100 * MiB)
+        state = serialize_state(sched)
+        assert json.loads(json.dumps(state)) == state
+
+    def test_summary_shape(self, journal_path):
+        sched = make_scheduler()
+        with SchedulerJournal(journal_path) as journal:
+            journal.attach(sched)
+            sched.register_container("a", 1 * GiB)
+            sched.request_allocation("a", 1, 100 * MiB)
+        summary = journal_summary(journal_path)
+        assert summary["event_counts"] == {
+            "AllocationGranted": 1, "ContainerRegistered": 1,
+        }
+        assert summary["torn_lines"] == 0
+        assert os.path.basename(summary["path"]) == "scheduler.journal"

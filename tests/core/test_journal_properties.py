@@ -1,0 +1,230 @@
+"""Property-based crash-consistency suite for the scheduler journal.
+
+Random operation sequences drive a journaled scheduler; the properties
+assert that
+
+1. restoring from the journal reproduces the live state exactly
+   (``serialize_state`` equality — byte-identical, not just invariant-safe);
+2. killing the daemon at *every* event boundary (``restore(event_limit=k)``)
+   yields a scheduler whose accounting invariants hold;
+3. snapshot compaction is semantically invisible — any ``snapshot_interval``
+   restores to the same state as the pure event log.
+
+All four paper policies are exercised; the Random policy is the acid test
+for the replay design (derived decisions are applied verbatim from the
+journal, never re-drawn from the RNG).
+"""
+
+import os
+import tempfile
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.scheduler import (
+    GpuMemoryScheduler,
+    PAPER_POLICIES,
+    SchedulerJournal,
+    make_policy,
+    restore,
+    serialize_state,
+    snapshot,
+)
+from repro.errors import SchedulerError
+from repro.units import MiB
+
+from tests.conftest import ManualClock
+
+TOTAL = 1024 * MiB
+CONTAINER_IDS = ("c0", "c1", "c2")
+LIMITS = (256 * MiB, 512 * MiB, 768 * MiB)
+SIZES = (32 * MiB, 128 * MiB, 300 * MiB, 600 * MiB)
+
+OPERATIONS = st.lists(
+    st.one_of(
+        st.tuples(st.just("advance"), st.sampled_from((0.5, 1.0, 2.5))),
+        st.tuples(
+            st.just("register"),
+            st.sampled_from(CONTAINER_IDS),
+            st.sampled_from(LIMITS),
+        ),
+        st.tuples(
+            st.just("alloc"),
+            st.sampled_from(CONTAINER_IDS),
+            st.integers(min_value=1, max_value=3),  # pid
+            st.sampled_from(SIZES),
+            st.booleans(),  # commit the grant (else abort — native failure)
+        ),
+        st.tuples(st.just("commit_resumed"), st.integers(min_value=0, max_value=7)),
+        st.tuples(st.just("release"), st.integers(min_value=0, max_value=15)),
+        st.tuples(
+            st.just("pexit"),
+            st.sampled_from(CONTAINER_IDS),
+            st.integers(min_value=1, max_value=3),
+        ),
+        st.tuples(st.just("cexit"), st.sampled_from(CONTAINER_IDS)),
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+def run_operations(scheduler, clock, ops):
+    """Drive the scheduler through one random schedule.
+
+    Invalid operations (allocating in an unregistered container, releasing
+    an address twice, ...) are simply skipped — the generator explores the
+    schedule space; the *scheduler* is the validity oracle.
+    """
+    next_address = 1
+    committed = []        # (container_id, pid, address) live on the device
+    resumed = []          # grants delivered through on_resume, not yet committed
+
+    def make_on_resume(container_id, pid, size):
+        def on_resume(payload):
+            if payload.get("decision") == "grant":
+                resumed.append((container_id, pid, size))
+        return on_resume
+
+    for op in ops:
+        kind = op[0]
+        try:
+            if kind == "advance":
+                clock.advance(op[1])
+            elif kind == "register":
+                scheduler.register_container(op[1], op[2])
+            elif kind == "alloc":
+                _, cid, pid, size, commit = op
+                decision = scheduler.request_allocation(
+                    cid, pid, size, on_resume=make_on_resume(cid, pid, size)
+                )
+                if decision.granted:
+                    if commit:
+                        scheduler.commit_allocation(cid, pid, next_address, size)
+                        committed.append((cid, pid, next_address))
+                        next_address += 1
+                    else:
+                        scheduler.abort_allocation(cid, pid, size)
+            elif kind == "commit_resumed":
+                if resumed:
+                    cid, pid, size = resumed.pop(op[1] % len(resumed))
+                    scheduler.commit_allocation(cid, pid, next_address, size)
+                    committed.append((cid, pid, next_address))
+                    next_address += 1
+            elif kind == "release":
+                if committed:
+                    cid, pid, address = committed.pop(op[1] % len(committed))
+                    scheduler.release_allocation(cid, pid, address)
+            elif kind == "pexit":
+                _, cid, pid = op
+                scheduler.process_exit(cid, pid)
+                committed[:] = [c for c in committed if c[:2] != (cid, pid)]
+            elif kind == "cexit":
+                scheduler.container_exit(op[1])
+                committed[:] = [c for c in committed if c[0] != op[1]]
+        except SchedulerError:
+            continue
+    scheduler.check_invariants()
+
+
+def journaled_run(policy_name, ops, *, snapshot_interval=None, seed=0):
+    """Execute ``ops`` under a journal; return (scheduler, clock, path)."""
+    clock = ManualClock()
+    scheduler = GpuMemoryScheduler(
+        TOTAL,
+        make_policy(policy_name, np.random.default_rng(seed)),
+        clock=clock,
+    )
+    fd, path = tempfile.mkstemp(suffix=".journal")
+    os.close(fd)
+    os.unlink(path)  # journal wants to create it
+    journal = SchedulerJournal(path, snapshot_interval=snapshot_interval)
+    journal.attach(scheduler)
+    try:
+        run_operations(scheduler, clock, ops)
+    finally:
+        journal.close()
+    return scheduler, clock, path
+
+
+def cleanup(path):
+    if os.path.exists(path):
+        os.unlink(path)
+
+
+@pytest.mark.parametrize("policy_name", PAPER_POLICIES)
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(ops=OPERATIONS)
+def test_restore_reproduces_live_state(policy_name, ops):
+    """The tentpole guarantee: restored state is identical to pre-crash."""
+    live, clock, path = journaled_run(policy_name, ops)
+    try:
+        restored = restore(path, clock=clock)
+        assert serialize_state(restored) == serialize_state(live)
+        assert snapshot(restored) == snapshot(live)
+        assert restored.log.events == live.log.events
+        restored.check_invariants()
+    finally:
+        cleanup(path)
+
+
+@pytest.mark.parametrize("policy_name", PAPER_POLICIES)
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(ops=OPERATIONS)
+def test_crash_at_every_event_boundary(policy_name, ops):
+    """Kill-and-restore after each journaled event never corrupts state."""
+    live, clock, path = journaled_run(policy_name, ops)
+    try:
+        total_events = len(live.log)
+        for k in range(total_events + 1):
+            partial = restore(path, clock=clock, event_limit=k)
+            partial.check_invariants()
+            assert partial.log.events == live.log.events[:k]
+        # The final boundary is the live scheduler.
+        assert serialize_state(
+            restore(path, clock=clock, event_limit=total_events)
+        ) == serialize_state(live)
+    finally:
+        cleanup(path)
+
+
+@pytest.mark.parametrize("policy_name", ("FIFO", "Rand"))
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(ops=OPERATIONS)
+def test_snapshot_compaction_is_invisible(policy_name, ops):
+    """Every snapshot_interval restores to the same state as the pure log."""
+    reference, clock, ref_path = journaled_run(policy_name, ops)
+    expected = serialize_state(reference)
+    try:
+        for interval in (1, 3, 256):
+            _, iclock, ipath = journaled_run(
+                policy_name, ops, snapshot_interval=interval
+            )
+            try:
+                assert serialize_state(restore(ipath, clock=iclock)) == expected
+            finally:
+                cleanup(ipath)
+    finally:
+        cleanup(ref_path)
+
+
+@pytest.mark.stress
+@pytest.mark.parametrize("policy_name", PAPER_POLICIES)
+@settings(max_examples=200, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(ops=OPERATIONS)
+def test_crash_consistency_stress(policy_name, ops):
+    """The deep lane: many more random schedules (run with `pytest -m stress`)."""
+    live, clock, path = journaled_run(policy_name, ops)
+    try:
+        restored = restore(path, clock=clock)
+        assert serialize_state(restored) == serialize_state(live)
+        for k in range(len(live.log) + 1):
+            restore(path, clock=clock, event_limit=k).check_invariants()
+    finally:
+        cleanup(path)

@@ -207,3 +207,18 @@ class TestStaticLinkEscape:
         # Intercepted: the 4 GiB request is *rejected* by the 128 MiB limit.
         assert proc.value == 2
         assert system.scheduler.container("bounded").used == 0
+
+
+@pytest.mark.integration
+class TestDaemonCrashRecovery:
+    """The §crash-safety experiment: kill the daemon mid-pause, recover."""
+
+    def test_daemon_crash_experiment_recovers_exactly(self):
+        from repro.experiments.failure import daemon_crash_experiment
+
+        outcome = daemon_crash_experiment()
+        assert outcome.state_identical     # serialize_state equal across crash
+        assert outcome.reattached          # re-register acked as a reattach
+        assert outcome.adopted             # re-issued request adopted, not queued
+        assert outcome.resumed             # withheld grant delivered post-recovery
+        assert outcome.journaled_events > 0

@@ -1,0 +1,231 @@
+"""Unit tests for the retry/backoff layer (`repro.ipc.retry`).
+
+Everything runs in zero wall-clock time: ``sleep`` and ``rng`` are
+injected, so the full backoff schedule is asserted exactly.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import IpcDisconnected, IpcTimeoutError, ProtocolError
+from repro.ipc.retry import (
+    DEFAULT_RETRY_POLICY,
+    ResilientClient,
+    RetryPolicy,
+    call_with_retry,
+)
+
+
+class TestRetryPolicy:
+    def test_deterministic_schedule(self):
+        policy = RetryPolicy(
+            max_attempts=5, base_delay=0.1, multiplier=2.0, max_delay=10.0, jitter=0.0
+        )
+        assert policy.delays() == [0.1, 0.2, 0.4, 0.8]
+
+    def test_max_delay_caps_growth(self):
+        policy = RetryPolicy(
+            max_attempts=6, base_delay=1.0, multiplier=10.0, max_delay=3.0, jitter=0.0
+        )
+        assert policy.delays() == [1.0, 3.0, 3.0, 3.0, 3.0]
+
+    def test_full_jitter_stays_in_range(self):
+        policy = RetryPolicy(
+            max_attempts=8, base_delay=0.5, multiplier=2.0, max_delay=4.0, jitter=1.0
+        )
+        rng = random.Random(42)
+        for attempt in range(7):
+            ceiling = min(4.0, 0.5 * 2.0**attempt)
+            for _ in range(50):
+                assert 0.0 <= policy.delay(attempt, rng) <= ceiling
+
+    def test_partial_jitter_floor(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=1.0, jitter=0.25)
+        rng = random.Random(7)
+        for _ in range(200):
+            assert 0.75 <= policy.delay(0, rng) <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError, match="delays"):
+            RetryPolicy(base_delay=-1.0)
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter=1.5)
+
+    def test_default_policy_is_jittered(self):
+        # Thundering-herd protection after a daemon restart: the shared
+        # default must randomize its sleeps.
+        assert DEFAULT_RETRY_POLICY.jitter == 1.0
+        assert DEFAULT_RETRY_POLICY.max_attempts >= 2
+
+
+class TestCallWithRetry:
+    def test_success_first_try_never_sleeps(self):
+        sleeps = []
+        result = call_with_retry(
+            lambda: "ok", RetryPolicy(max_attempts=3), sleep=sleeps.append
+        )
+        assert result == "ok" and sleeps == []
+
+    def test_retries_then_succeeds(self):
+        attempts = []
+        sleeps = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise IpcDisconnected("daemon restarting")
+            return "recovered"
+
+        policy = RetryPolicy(max_attempts=5, base_delay=0.1, jitter=0.0)
+        assert call_with_retry(flaky, policy, sleep=sleeps.append) == "recovered"
+        assert len(attempts) == 3
+        assert sleeps == [0.1, 0.2]
+
+    def test_budget_exhaustion_reraises_last_error(self):
+        sleeps = []
+
+        def always_down():
+            raise IpcTimeoutError("no reply")
+
+        policy = RetryPolicy(max_attempts=3, base_delay=0.05, jitter=0.0)
+        with pytest.raises(IpcTimeoutError, match="no reply"):
+            call_with_retry(always_down, policy, sleep=sleeps.append)
+        assert sleeps == [0.05, 0.1]  # no sleep after the final attempt
+
+    def test_non_retryable_error_passes_through(self):
+        calls = []
+
+        def broken():
+            calls.append(1)
+            raise ProtocolError("malformed frame")
+
+        with pytest.raises(ProtocolError):
+            call_with_retry(broken, RetryPolicy(max_attempts=5), sleep=lambda _: None)
+        assert len(calls) == 1  # not worth re-asking: the request itself is bad
+
+    def test_on_retry_observes_each_failure(self):
+        seen = []
+
+        def fail_twice(state=[]):
+            state.append(1)
+            if len(state) < 3:
+                raise IpcDisconnected("gone")
+            return "up"
+
+        call_with_retry(
+            fail_twice,
+            RetryPolicy(max_attempts=4, base_delay=0.0, jitter=0.0),
+            sleep=lambda _: None,
+            on_retry=lambda attempt, exc: seen.append((attempt, type(exc).__name__)),
+        )
+        assert seen == [(0, "IpcDisconnected"), (1, "IpcDisconnected")]
+
+
+class FakeConnection:
+    """Scripted transport client: raises or returns per the plan."""
+
+    def __init__(self, plan):
+        self.plan = list(plan)
+        self.closed = False
+        self.calls = []
+
+    def call(self, msg_type, **payload):
+        self.calls.append((msg_type, payload))
+        step = self.plan.pop(0)
+        if isinstance(step, Exception):
+            raise step
+        return step
+
+    notify = call
+
+    def close(self):
+        self.closed = True
+
+
+class TestResilientClient:
+    def _client(self, connections, **kwargs):
+        """ResilientClient over a sequence of scripted connections."""
+        pool = list(connections)
+        dials = []
+
+        def factory():
+            dials.append(1)
+            return pool.pop(0)
+
+        client = ResilientClient(
+            factory=factory,
+            policy=kwargs.pop("policy", RetryPolicy(max_attempts=4, jitter=0.0)),
+            sleep=kwargs.pop("sleep", lambda _: None),
+            **kwargs,
+        )
+        return client, dials
+
+    def test_lazy_dial_and_plain_call(self):
+        conn = FakeConnection([{"status": "ok"}])
+        client, dials = self._client([conn])
+        assert dials == []  # nothing dialed until first use
+        assert client.call("mem_get_info", container_id="a") == {"status": "ok"}
+        assert dials == [1]
+        assert conn.calls == [("mem_get_info", {"container_id": "a"})]
+
+    def test_reconnects_and_reissues_after_disconnect(self):
+        dead = FakeConnection([IpcDisconnected("daemon died")])
+        alive = FakeConnection([{"status": "ok", "echo": 1}])
+        client, dials = self._client([dead, alive])
+        assert client.call("alloc_request", size=1)["echo"] == 1
+        assert dials == [1, 1]          # redialed once
+        assert dead.closed              # broken connection dropped
+        assert client.retries == [(0, "IpcDisconnected")]
+        # The interrupted request was re-issued verbatim on the new link.
+        assert alive.calls == [("alloc_request", {"size": 1})]
+
+    def test_budget_exhaustion_surfaces_typed_error(self):
+        conns = [FakeConnection([IpcDisconnected("down")]) for _ in range(3)]
+        client, dials = self._client(
+            conns, policy=RetryPolicy(max_attempts=3, jitter=0.0)
+        )
+        with pytest.raises(IpcDisconnected):
+            client.call("alloc_request", size=1)
+        assert dials == [1, 1, 1]
+        assert all(c.closed for c in conns)
+
+    def test_timeout_also_redials(self):
+        # A timed-out connection may have a poisoned stream (half-read
+        # frame): the next attempt must use a fresh one.
+        slow = FakeConnection([IpcTimeoutError("no reply in 5s")])
+        fresh = FakeConnection([{"status": "ok"}])
+        client, dials = self._client([slow, fresh])
+        assert client.call("mem_get_info")["status"] == "ok"
+        assert slow.closed and dials == [1, 1]
+
+    def test_protocol_error_not_retried(self):
+        conn = FakeConnection([ProtocolError("bad frame"), {"status": "ok"}])
+        client, _ = self._client([conn, FakeConnection([])])
+        with pytest.raises(ProtocolError):
+            client.call("alloc_request", size=1)
+        assert len(conn.calls) == 1
+        # Line framing consumed the bad reply whole: the link itself is
+        # fine, so the connection is kept for the next request.
+        assert not conn.closed
+
+    def test_backoff_schedule_honoured(self):
+        sleeps = []
+        conns = [FakeConnection([IpcDisconnected("x")]) for _ in range(3)]
+        conns.append(FakeConnection([{"status": "ok"}]))
+        client, _ = self._client(
+            conns,
+            policy=RetryPolicy(max_attempts=4, base_delay=0.1, jitter=0.0),
+            sleep=sleeps.append,
+        )
+        client.call("ping")
+        assert sleeps == [0.1, 0.2, 0.4]
+
+    def test_context_manager_closes_connection(self):
+        conn = FakeConnection([{"status": "ok"}])
+        client, _ = self._client([conn])
+        with client:
+            client.call("ping")
+        assert conn.closed

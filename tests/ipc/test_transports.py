@@ -5,13 +5,14 @@ Fig. 4/5 experiments measure.
 """
 
 import os
+import socket
 import tempfile
 import threading
 import time
 
 import pytest
 
-from repro.errors import TransportError
+from repro.errors import IpcDisconnected, IpcTimeoutError, TransportError
 from repro.ipc import protocol
 from repro.ipc.channel import InProcessChannel
 from repro.ipc.tcp_socket import TcpSocketClient, TcpSocketServer
@@ -225,3 +226,128 @@ class TestInProcessChannel:
         channel = InProcessChannel(echo_handler)
         with pytest.raises(TransportError):
             channel.notify(protocol.MSG_CONTAINER_EXIT, container_id="x")
+
+
+class TestTypedErrors:
+    """Regression suite: clients surface typed IPC errors, never raw
+    ``socket.timeout`` / ``OSError``.
+
+    The wrapper's retry loop and the ResilientClient both dispatch on
+    :class:`IpcTimeoutError` / :class:`IpcDisconnected`; a leaked raw
+    exception would bypass every recovery path and hang the CUDA call.
+    """
+
+    def test_unix_timeout_is_typed(self, socket_path):
+        def never_replies(message, reply_handle):
+            return DEFER  # withhold forever
+
+        with UnixSocketServer(socket_path, never_replies):
+            with UnixSocketClient(socket_path, timeout=0.15) as client:
+                with pytest.raises(IpcTimeoutError) as excinfo:
+                    client.call(
+                        protocol.MSG_ALLOC_REQUEST, container_id="c",
+                        pid=1, size=10, api="m",
+                    )
+        # The raw socket.timeout is chained, not leaked.
+        assert not isinstance(excinfo.value, socket.timeout)
+        assert isinstance(excinfo.value, TransportError)
+        assert isinstance(excinfo.value.__cause__, socket.timeout)
+
+    def test_unix_server_death_mid_call_is_typed(self, socket_path):
+        started = threading.Event()
+
+        server = UnixSocketServer(socket_path, lambda m, h: DEFER)
+        server.start()
+        client = UnixSocketClient(socket_path)
+        errors = []
+
+        def blocked_call():
+            started.set()
+            try:
+                client.call(
+                    protocol.MSG_ALLOC_REQUEST, container_id="c",
+                    pid=1, size=10, api="m",
+                )
+            except Exception as exc:  # noqa: BLE001 - capturing for assert
+                errors.append(exc)
+
+        thread = threading.Thread(target=blocked_call)
+        thread.start()
+        started.wait(timeout=2.0)
+        time.sleep(0.1)  # let the call reach recv
+        server.stop()    # daemon SIGKILL from the client's point of view
+        thread.join(timeout=2.0)
+        client.close()
+        assert not thread.is_alive()
+        assert len(errors) == 1
+        assert isinstance(errors[0], IpcDisconnected)
+
+    def test_unix_connect_refused_is_typed(self, socket_path):
+        with pytest.raises(IpcDisconnected):
+            UnixSocketClient(socket_path)  # nothing listening
+
+    def test_unix_notify_on_dead_server_is_typed(self, socket_path):
+        server = UnixSocketServer(socket_path, echo_handler)
+        server.start()
+        client = UnixSocketClient(socket_path)
+        server.stop()
+        with pytest.raises((IpcDisconnected, IpcTimeoutError)):
+            # One send may land in the kernel buffer of the half-closed
+            # socket; the second must surface the broken pipe, typed.
+            for _ in range(20):
+                client.notify(
+                    protocol.MSG_PROCESS_EXIT, container_id="c", pid=1
+                )
+                time.sleep(0.01)
+        client.close()
+
+    def test_tcp_timeout_is_typed(self):
+        server = TcpSocketServer(lambda m, h: DEFER)
+        server.start()
+        try:
+            client = TcpSocketClient("127.0.0.1", server.port, timeout=0.15)
+            with pytest.raises(IpcTimeoutError):
+                client.call(
+                    protocol.MSG_ALLOC_REQUEST, container_id="c",
+                    pid=1, size=10, api="m",
+                )
+            client.close()
+        finally:
+            server.stop()
+
+    def test_tcp_connect_refused_is_typed(self):
+        # Grab a port that is certainly closed by binding and releasing it.
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        with pytest.raises(IpcDisconnected):
+            TcpSocketClient("127.0.0.1", port)
+
+    def test_tcp_server_death_mid_call_is_typed(self):
+        server = TcpSocketServer(lambda m, h: DEFER)
+        server.start()
+        client = TcpSocketClient("127.0.0.1", server.port)
+        errors = []
+        started = threading.Event()
+
+        def blocked_call():
+            started.set()
+            try:
+                client.call(
+                    protocol.MSG_ALLOC_REQUEST, container_id="c",
+                    pid=1, size=10, api="m",
+                )
+            except Exception as exc:  # noqa: BLE001 - capturing for assert
+                errors.append(exc)
+
+        thread = threading.Thread(target=blocked_call)
+        thread.start()
+        started.wait(timeout=2.0)
+        time.sleep(0.1)
+        server.stop()
+        thread.join(timeout=2.0)
+        client.close()
+        assert not thread.is_alive()
+        assert len(errors) == 1
+        assert isinstance(errors[0], IpcDisconnected)
