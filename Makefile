@@ -2,7 +2,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test stress bench crash check
+.PHONY: test stress bench crash check lint
 
 test:            ## tier-1: fast unit/integration/property tests
 	$(PYTHON) -m pytest -x -q
@@ -15,5 +15,8 @@ bench:           ## regenerate every table & figure
 
 crash:           ## daemon-crash fault-injection experiment (exit 0 = recovered)
 	$(PYTHON) -m repro crash
+
+lint:            ## ruff lint (same rules as CI; needs ruff installed)
+	$(PYTHON) -m ruff check src tests benchmarks
 
 check: test crash  ## what CI runs: tier-1 tests + the crash-recovery check

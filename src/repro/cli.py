@@ -11,9 +11,12 @@ original system would drive it:
 - ``export``   — write all results as JSON/CSV into a directory;
 - ``daemon``   — run the live scheduler daemon in the foreground
   (``--journal-path`` for crash safety, ``--recover`` to restart from a
-  crashed daemon's journal);
+  crashed daemon's journal, ``--metrics-port`` for the Prometheus
+  endpoint, ``--log-level``/``--log-json`` for structured logging);
 - ``recover``  — inspect a journal offline: record counts, the restored
-  state table, and an invariant check.
+  state table, and an invariant check;
+- ``metrics``  — scrape a daemon's ``/metrics`` endpoint and pretty-print;
+- ``top``      — live per-container table from a daemon's ``/top.json``.
 """
 
 from __future__ import annotations
@@ -40,6 +43,7 @@ from repro.experiments.single import (
     creation_time_experiment,
     mnist_runtime_experiment,
 )
+from repro.obs.log import LEVELS, configure_logging
 from repro.workloads.arrivals import PAPER_CONTAINER_COUNTS
 
 __all__ = ["main", "build_parser"]
@@ -67,6 +71,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--policy", default="BF")
     run.add_argument("--count", type=int, default=16)
     run.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    run.add_argument(
+        "--chrome-trace", default=None, metavar="PATH",
+        help="write the run as a Chrome trace-event file (about://tracing)",
+    )
 
     sweep_cmd = sub.add_parser("sweep", help="the full Fig. 7/8 grid")
     sweep_cmd.add_argument("--repeats", type=int, default=6)
@@ -116,6 +124,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--ready-file", default=None,
         help="write a JSON line with the serving endpoints once listening",
     )
+    daemon_cmd.add_argument(
+        "--metrics-port", type=int, default=0, metavar="PORT",
+        help="observability HTTP port on 127.0.0.1 (0 = ephemeral; "
+             "serves /metrics, /metrics.json, /top.json, /healthz)",
+    )
+    daemon_cmd.add_argument(
+        "--no-metrics", action="store_true",
+        help="disable the observability HTTP endpoint entirely",
+    )
+    daemon_cmd.add_argument(
+        "--log-level", choices=tuple(LEVELS), default="info",
+        help="structured-log threshold (default: info)",
+    )
+    daemon_cmd.add_argument(
+        "--log-json", dest="log_json", action="store_true", default=True,
+        help="emit logs as JSON lines (default)",
+    )
+    daemon_cmd.add_argument(
+        "--no-log-json", dest="log_json", action="store_false",
+        help="emit human-readable one-line logs instead of JSON",
+    )
 
     recover_cmd = sub.add_parser(
         "recover", help="inspect a scheduler journal offline"
@@ -125,6 +154,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-verify", action="store_true",
         help="skip the accounting-invariant check on the restored state",
     )
+
+    metrics_cmd = sub.add_parser(
+        "metrics", help="scrape a daemon's /metrics endpoint and pretty-print"
+    )
+    metrics_cmd.add_argument(
+        "url",
+        help="daemon observability URL (host:port or http://host:port[/metrics])",
+    )
+    metrics_cmd.add_argument(
+        "--raw", action="store_true",
+        help="print the Prometheus text verbatim instead of pretty-printing",
+    )
+    metrics_cmd.add_argument(
+        "--buckets", action="store_true",
+        help="include per-bucket histogram rows (hidden by default)",
+    )
+    metrics_cmd.add_argument("--timeout", type=float, default=5.0)
+
+    top_cmd = sub.add_parser(
+        "top", help="live per-container table from a daemon's /top.json"
+    )
+    top_cmd.add_argument(
+        "url",
+        help="daemon observability URL (host:port or http://host:port[/top.json])",
+    )
+    top_cmd.add_argument(
+        "--interval", type=float, default=2.0,
+        help="seconds between refreshes (default: 2)",
+    )
+    top_cmd.add_argument(
+        "--iterations", type=int, default=0,
+        help="number of refreshes before exiting (0 = until interrupted)",
+    )
+    top_cmd.add_argument("--timeout", type=float, default=5.0)
     return parser
 
 
@@ -169,7 +232,25 @@ def _cmd_fig6(args) -> int:
 
 
 def _cmd_run(args) -> int:
-    result = run_schedule(args.policy, args.count, args.seed)
+    capture = args.chrome_trace is not None
+    result = run_schedule(
+        args.policy, args.count, args.seed,
+        capture_trace=capture, capture_events=capture,
+    )
+    if capture:
+        from repro.obs.chrome import write_chrome_trace
+
+        written = write_chrome_trace(
+            args.chrome_trace,
+            spans=result.spans,
+            scheduler_events=result.events,
+            metadata={
+                "policy": args.policy,
+                "containers": result.count,
+                "seed": result.seed,
+            },
+        )
+        print(f"wrote {written} trace events to {args.chrome_trace}")
     print(
         format_table(
             ("container", "type", "submitted", "finished", "suspended (s)", "exit"),
@@ -277,6 +358,7 @@ def _cmd_daemon(args) -> int:
     if args.recover and args.journal_path is None:
         print("--recover requires --journal-path", file=sys.stderr)
         return 2
+    configure_logging(level=args.log_level, json_mode=args.log_json)
     monitor = (
         HeartbeatMonitor(timeout=args.heartbeat_timeout)
         if args.heartbeat_timeout is not None
@@ -289,6 +371,7 @@ def _cmd_daemon(args) -> int:
         control_port=args.port,
         monitor=monitor,
         reap_interval=args.reap_interval,
+        metrics_port=None if args.no_metrics else args.metrics_port,
     )
     # Wall clock, not monotonic: journaled timestamps must stay comparable
     # across a restart (suspension accounting spans the crash).
@@ -314,6 +397,8 @@ def _cmd_daemon(args) -> int:
     if args.transport == "tcp":
         endpoints["host"] = daemon.host
         endpoints["port"] = daemon.control_port
+    if daemon.metrics_server is not None:
+        endpoints["metrics"] = daemon.metrics_server.url + "/metrics"
     if args.ready_file is not None:
         # Write-then-rename so a polling reader never sees a partial file.
         staging = args.ready_file + ".tmp"
@@ -365,6 +450,95 @@ def _cmd_recover(args) -> int:
     return 0
 
 
+def _obs_url(url: str, path: str) -> str:
+    """Normalize ``host:port``/base URLs to a full observability endpoint."""
+    if "://" not in url:
+        url = "http://" + url
+    scheme, _, rest = url.partition("://")
+    host, slash, existing = rest.partition("/")
+    if slash and existing:
+        return url  # caller gave an explicit path; trust it
+    return f"{scheme}://{host}{path}"
+
+
+def _http_get(url: str, timeout: float) -> str:
+    import urllib.request
+
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return response.read().decode("utf-8")
+
+
+def _cmd_metrics(args) -> int:
+    from repro.obs.exporters import parse_prometheus
+
+    url = _obs_url(args.url, "/metrics")
+    try:
+        text = _http_get(url, args.timeout)
+    except OSError as exc:
+        print(f"scrape of {url} failed: {exc}", file=sys.stderr)
+        return 1
+    if args.raw:
+        print(text, end="")
+        return 0
+    families = parse_prometheus(text)
+    for name in sorted(families):
+        family = families[name]
+        header = f"{name} ({family['type']})"
+        if family["help"]:
+            header += f" — {family['help']}"
+        print(header)
+        for key in sorted(family["samples"]):
+            if key.startswith("_bucket") and not args.buckets:
+                continue
+            value = family["samples"][key]
+            shown = int(value) if float(value).is_integer() else value
+            print(f"  {key or '(no labels)'} = {shown}")
+    return 0
+
+
+def _render_top(rows: list) -> str:
+    from repro.units import format_size
+
+    return format_table(
+        ("container", "limit", "reserved", "used", "inflight",
+         "pending", "pauses", "suspended (s)"),
+        [
+            (
+                str(row.get("container", "?")),
+                format_size(row.get("limit", 0)),
+                format_size(row.get("reserved", 0)),
+                format_size(row.get("used", 0)),
+                format_size(row.get("inflight", 0)),
+                str(row.get("pending", 0)),
+                str(row.get("pauses", 0)),
+                f"{row.get('suspended_s', 0.0):.1f}",
+            )
+            for row in rows
+        ],
+        title=f"{len(rows)} managed container(s)",
+    )
+
+
+def _cmd_top(args) -> int:
+    url = _obs_url(args.url, "/top.json")
+    refreshes = 0
+    try:
+        while True:
+            try:
+                rows = json.loads(_http_get(url, args.timeout))
+            except OSError as exc:
+                print(f"poll of {url} failed: {exc}", file=sys.stderr)
+                return 1
+            print(_render_top(rows), flush=True)
+            refreshes += 1
+            if args.iterations and refreshes >= args.iterations:
+                return 0
+            time.sleep(args.interval)
+            print()
+    except KeyboardInterrupt:
+        return 0
+
+
 def _cmd_export(args) -> int:
     os.makedirs(args.out, exist_ok=True)
 
@@ -378,6 +552,9 @@ def _cmd_export(args) -> int:
     write("sweep.json", export_mod.sweep_to_json(sweep_result))
     write("table4_finished.csv", export_mod.sweep_to_csv(sweep_result, "finished"))
     write("table5_suspended.csv", export_mod.sweep_to_csv(sweep_result, "suspended"))
+    write("sweep_p95_suspended.csv", export_mod.sweep_to_csv(sweep_result, "p95_suspended"))
+    write("sweep_slowdown.csv", export_mod.sweep_to_csv(sweep_result, "slowdown"))
+    write("sweep_fairness.csv", export_mod.sweep_to_csv(sweep_result, "fairness"))
     fig4 = api_response_experiment(repeats=10, mode="sim")
     fig5 = creation_time_experiment(repeats=10, mode="sim")
     fig6 = mnist_runtime_experiment()
@@ -398,6 +575,8 @@ _COMMANDS = {
     "export": _cmd_export,
     "daemon": _cmd_daemon,
     "recover": _cmd_recover,
+    "metrics": _cmd_metrics,
+    "top": _cmd_top,
 }
 
 

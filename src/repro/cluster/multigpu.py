@@ -116,6 +116,9 @@ class MultiGpuScheduler:
                     device.properties.total_global_mem, per_device_policy, **kwargs
                 )
             )
+        #: The shared per-device policy; the protocol service labels its
+        #: decision-latency histogram with ``scheduler.policy.name``.
+        self.policy = self.schedulers[0].policy
         #: container_id -> device ordinal.
         self._placements: dict[str, int] = {}
 

@@ -51,6 +51,7 @@ from repro.core.scheduler.records import (
     PendingAllocation,
 )
 from repro.errors import LimitExceededError, SchedulerError, UnknownContainerError
+from repro.obs.metrics import DURATION_BUCKETS, REGISTRY
 from repro.units import MiB, format_size
 
 __all__ = ["Decision", "GpuMemoryScheduler", "CONTEXT_OVERHEAD_CHARGE"]
@@ -58,6 +59,26 @@ __all__ = ["Decision", "GpuMemoryScheduler", "CONTEXT_OVERHEAD_CHARGE"]
 #: What §III-D charges per pid on its first allocation: 64 MiB process data
 #: + 2 MiB context.
 CONTEXT_OVERHEAD_CHARGE: int = 66 * MiB
+
+# Process-global instrumentation, shared by every scheduler instance (the
+# daemon runs exactly one; simulation sweeps accumulate across runs).
+# Module-level handles keep the hot path at a dict-free counter increment.
+_DECISIONS = REGISTRY.counter(
+    "convgpu_alloc_decisions_total",
+    "Allocation decisions by outcome (grant/pause/reject)",
+    labelnames=("decision",),
+)
+_PAUSE_SECONDS = REGISTRY.histogram(
+    "convgpu_pause_duration_seconds",
+    "Time an allocation spent paused before resuming (or failing)",
+    buckets=DURATION_BUCKETS,
+)
+# Label resolution (a family lock + dict lookup) is paid once at import;
+# each decision then costs a single Counter.inc / Histogram.observe.
+_GRANTS = _DECISIONS.labels(decision="grant")
+_PAUSES = _DECISIONS.labels(decision="pause")
+_REJECTS = _DECISIONS.labels(decision="reject")
+_PAUSE_WAITS = _PAUSE_SECONDS.labels()
 
 
 class Decision:
@@ -257,6 +278,7 @@ class GpuMemoryScheduler:
             # Fail pending replies in-band before dropping state.
             for pending in record.pending:
                 record.suspended_total += now - pending.requested_at
+                _PAUSE_WAITS.observe(now - pending.requested_at)
                 if pending.resume is not None:
                     resumptions.append(
                         (pending.resume, {"decision": "reject", "reason": "container exited"})
@@ -319,6 +341,7 @@ class GpuMemoryScheduler:
                         reason="exceeds container limit",
                     )
                 )
+                _REJECTS.inc()
                 return Decision(Decision.REJECT, "exceeds container limit")
             if charges_overhead:
                 record.pids_charged.add(pid)
@@ -328,6 +351,7 @@ class GpuMemoryScheduler:
                 and record.used + record.inflight + effective <= record.assigned
             ):
                 self._grant(record, pid, effective, size, api, now)
+                _GRANTS.inc()
                 return Decision(Decision.GRANT)
             # Valid but under-assigned (or behind earlier pending requests):
             # withhold the reply.  Fig. 3c.
@@ -348,6 +372,7 @@ class GpuMemoryScheduler:
                     time=now, container_id=container_id, pid=pid, size=size, api=api
                 )
             )
+            _PAUSES.inc()
             # This pause may have been the last runnable container going
             # idle: check for the all-paused wedge and break it if so.
             resumptions = self._resolve_wedge()
@@ -653,6 +678,7 @@ class GpuMemoryScheduler:
             record.pending.pop(0)
             waited = now - head.requested_at
             record.suspended_total += waited
+            _PAUSE_WAITS.observe(waited)
             self._grant(
                 record, head.pid, head.size, head.requested_size, head.api, now
             )

@@ -36,6 +36,7 @@ import os
 import shutil
 import tempfile
 import threading
+import weakref
 from typing import Any, Callable
 
 from repro.core.scheduler.core import GpuMemoryScheduler
@@ -47,8 +48,35 @@ from repro.errors import SchedulerError
 from repro.ipc import protocol
 from repro.ipc.tcp_socket import TcpSocketServer
 from repro.ipc.unix_socket import UnixSocketServer
+from repro.obs.http import MetricsServer
+from repro.obs.log import get_logger
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import Tracer
 
 __all__ = ["SchedulerDaemon", "WRAPPER_SONAME", "CONTAINER_SOCKET_NAME"]
+
+_REAPED = REGISTRY.counter(
+    "convgpu_reaped_containers_total",
+    "Containers whose close was synthesized by the orphan reaper",
+)
+_RESERVED = REGISTRY.gauge(
+    "convgpu_container_reserved_bytes",
+    "Bytes currently reserved (assigned) for the container",
+    labelnames=("container",),
+)
+_USED = REGISTRY.gauge(
+    "convgpu_container_used_bytes",
+    "Bytes committed + inflight for the container",
+    labelnames=("container",),
+)
+_PAUSE_DEPTH = REGISTRY.gauge(
+    "convgpu_pause_queue_depth",
+    "Pending (paused) allocation requests across all containers",
+)
+_UNRESERVED = REGISTRY.gauge(
+    "convgpu_unreserved_bytes",
+    "Physical GPU memory not promised to any container",
+)
 
 #: File name of the wrapper module the daemon "copies" per container.
 WRAPPER_SONAME = "libgpushare.so"
@@ -69,6 +97,12 @@ class SchedulerDaemon:
         journal: attached write-ahead journal (owned: closed on stop).
         monitor: heartbeat monitor enabling the orphan reaper.
         reap_interval: seconds between reaper sweeps.
+        metrics_port: when not ``None``, serve the observability endpoint
+            (``/metrics`` Prometheus text, ``/metrics.json``, ``/top.json``,
+            ``/healthz``) on ``127.0.0.1:metrics_port`` for the daemon's
+            lifetime (0 = ephemeral; read :attr:`metrics_server` ``.port``).
+        tracer: span recorder threaded into the service; spans parented on
+            wire trace context (off when ``None``, the default).
     """
 
     def __init__(
@@ -82,6 +116,8 @@ class SchedulerDaemon:
         journal: SchedulerJournal | None = None,
         monitor: HeartbeatMonitor | None = None,
         reap_interval: float = 1.0,
+        metrics_port: int | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         if transport not in ("unix", "tcp"):
             raise SchedulerError(f"unknown transport {transport!r}")
@@ -89,9 +125,12 @@ class SchedulerDaemon:
         self.journal = journal
         self.monitor = monitor
         self.reap_interval = reap_interval
+        self.tracer = tracer
+        self.log = get_logger("daemon")
         self.service = SchedulerService(
             scheduler,
             heartbeat_sink=monitor.beat if monitor is not None else None,
+            tracer=tracer,
         )
         self.transport = transport
         self.host = host
@@ -108,6 +147,22 @@ class SchedulerDaemon:
         self._reaper_stop = threading.Event()
         #: Container ids whose close was synthesized by the reaper.
         self.reaped: list[str] = []
+        self.metrics_port = metrics_port
+        self.metrics_server: MetricsServer | None = None
+        # Point-in-time gauges (reservations, queue depth) are produced at
+        # scrape time from scheduler state rather than pushed from hot
+        # paths — they cannot drift, and restoring from a journal needs no
+        # special handling.  The collector closes over a weakref so the
+        # process-global registry never pins a dead daemon alive.
+        daemon_ref = weakref.ref(self)
+
+        def collect_gauges() -> None:
+            daemon = daemon_ref()
+            if daemon is not None:
+                daemon._collect_gauges()
+
+        self._collector = collect_gauges
+        REGISTRY.add_collector(collect_gauges, owner=self)
 
     # -- recovery -------------------------------------------------------------
 
@@ -163,12 +218,30 @@ class SchedulerDaemon:
             self._reaper_stop.clear()
             self._reaper = threading.Thread(target=self._reap_loop, daemon=True)
             self._reaper.start()
+        if self.metrics_port is not None and self.metrics_server is None:
+            self.metrics_server = MetricsServer(
+                REGISTRY, port=self.metrics_port, top_source=self.top_snapshot
+            ).start()
+        self.log.info(
+            "daemon_started",
+            transport=self.transport,
+            base_dir=self.base_dir,
+            containers=len(self._container_dirs),
+            metrics_url=(
+                self.metrics_server.url if self.metrics_server is not None else None
+            ),
+        )
         return self
 
     def stop(self) -> None:
         """Orderly shutdown: sockets down, directories removed, journal closed."""
         self.kill()
-        for directory in self._container_dirs.values():
+        for container_id, directory in self._container_dirs.items():
+            # Per-container gauge rows live in the process-global registry;
+            # an orderly shutdown must not leave them behind as stale truth
+            # (kill() deliberately does — a crash leaves everything).
+            _RESERVED.remove(container=container_id)
+            _USED.remove(container=container_id)
             shutil.rmtree(directory, ignore_errors=True)
         self._container_dirs.clear()
         self._container_ports.clear()
@@ -194,6 +267,10 @@ class SchedulerDaemon:
         if self._control_server is not None:
             self._control_server.stop()
             self._control_server = None
+            self.log.info("daemon_stopped")
+        if self.metrics_server is not None:
+            self.metrics_server.stop()
+            self.metrics_server = None
 
     def __enter__(self) -> "SchedulerDaemon":
         return self.start()
@@ -216,10 +293,22 @@ class SchedulerDaemon:
                 if self.transport == "tcp":
                     reply["host"] = self.host
                     reply["port"] = self._container_ports[container_id]
+                self.log.info(
+                    "container_registered",
+                    container_id=container_id,
+                    limit=message["limit"],
+                    assigned=reply.get("assigned"),
+                    reattached=bool(reply.get("reattached")),
+                )
             return reply
         if msg_type == protocol.MSG_CONTAINER_EXIT:
             reply = self.service.handle(message, reply_handle)
             self._teardown_container_dir(message["container_id"])
+            self.log.info(
+                "container_exited",
+                container_id=message["container_id"],
+                reclaimed=reply.get("reclaimed") if isinstance(reply, dict) else None,
+            )
             return reply
         # Anything else on the control socket is a protocol misuse.
         return protocol.make_error_reply(
@@ -249,6 +338,8 @@ class SchedulerDaemon:
         return directory
 
     def _teardown_container_dir(self, container_id: str) -> None:
+        _RESERVED.remove(container=container_id)
+        _USED.remove(container=container_id)
         if self.monitor is not None:
             self.monitor.forget(container_id)
         server = self._container_servers.pop(container_id, None)
@@ -287,8 +378,42 @@ class SchedulerDaemon:
             )
             self._handle_control(message, None)
             swept.append(container_id)
+            _REAPED.inc()
+            self.log.warning("container_reaped", container_id=container_id)
         self.reaped.extend(swept)
         return swept
+
+    # -- observability --------------------------------------------------------
+
+    def _collect_gauges(self) -> None:
+        """Refresh point-in-time gauges from scheduler state (at scrape)."""
+        depth = 0
+        for record in self.scheduler.containers():
+            _RESERVED.labels(container=record.container_id).set(record.assigned)
+            _USED.labels(container=record.container_id).set(
+                record.used + record.inflight
+            )
+            depth += len(record.pending)
+        _PAUSE_DEPTH.set(depth)
+        _UNRESERVED.set(self.scheduler.unreserved)
+
+    def top_snapshot(self) -> list[dict[str, Any]]:
+        """Per-container rows for ``/top.json`` (what ``repro top`` renders)."""
+        rows: list[dict[str, Any]] = []
+        for record in self.scheduler.containers():
+            rows.append(
+                {
+                    "container": record.container_id,
+                    "limit": record.limit,
+                    "reserved": record.assigned,
+                    "used": record.used,
+                    "inflight": record.inflight,
+                    "pending": len(record.pending),
+                    "pauses": record.pause_count,
+                    "suspended_s": record.suspended_total,
+                }
+            )
+        return rows
 
     # -- conveniences ---------------------------------------------------------
 

@@ -39,6 +39,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
+import time
 from typing import Any, Callable, TextIO
 
 from repro.core.scheduler.core import GpuMemoryScheduler
@@ -64,6 +65,18 @@ from repro.core.scheduler.records import (
     PendingAllocation,
 )
 from repro.errors import JournalError
+from repro.obs.metrics import LATENCY_BUCKETS, REGISTRY
+
+_APPEND_SECONDS = REGISTRY.histogram(
+    "convgpu_journal_append_seconds",
+    "Wall time of one journal append (serialize + write + flush + fsync)",
+    buckets=LATENCY_BUCKETS,
+)
+_FSYNC_SECONDS = REGISTRY.histogram(
+    "convgpu_journal_fsync_seconds",
+    "Wall time of the fsync portion of journal appends (fsync=True only)",
+    buckets=LATENCY_BUCKETS,
+)
 
 __all__ = [
     "JOURNAL_VERSION",
@@ -359,10 +372,14 @@ class SchedulerJournal:
     def _write(self, record: dict[str, Any]) -> None:
         if self._fh is None:
             raise JournalError(f"journal {self.path} is closed")
+        began = time.perf_counter()
         self._fh.write(json.dumps(record, separators=(",", ":")) + "\n")
         self._fh.flush()
         if self.fsync:
+            fsync_began = time.perf_counter()
             os.fsync(self._fh.fileno())
+            _FSYNC_SECONDS.observe(time.perf_counter() - fsync_began)
+        _APPEND_SECONDS.observe(time.perf_counter() - began)
 
 
 # ---------------------------------------------------------------------------

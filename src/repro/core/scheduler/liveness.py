@@ -26,7 +26,14 @@ import threading
 import time
 from typing import Callable
 
+from repro.obs.metrics import REGISTRY
+
 __all__ = ["HeartbeatMonitor", "DEFAULT_HEARTBEAT_TIMEOUT"]
+
+_HEARTBEAT_MISSES = REGISTRY.counter(
+    "convgpu_heartbeat_misses_total",
+    "Containers that went heartbeat-stale (counted once per transition)",
+)
 
 #: Generous default: one missed beat must never reap a live container that
 #: is merely blocked in a long native kernel launch.
@@ -52,17 +59,20 @@ class HeartbeatMonitor:
         self.timeout = timeout
         self.clock = clock if clock is not None else time.monotonic
         self._last_beat: dict[str, float] = {}
+        self._reported_stale: set[str] = set()
         self._lock = threading.Lock()
 
     def beat(self, container_id: str) -> None:
         """Record proof of life (any message from the container counts)."""
         with self._lock:
             self._last_beat[container_id] = self.clock()
+            self._reported_stale.discard(container_id)
 
     def forget(self, container_id: str) -> None:
         """Stop tracking (clean exit or completed reap)."""
         with self._lock:
             self._last_beat.pop(container_id, None)
+            self._reported_stale.discard(container_id)
 
     def last_beat(self, container_id: str) -> float | None:
         with self._lock:
@@ -78,8 +88,13 @@ class HeartbeatMonitor:
         if now is None:
             now = self.clock()
         with self._lock:
-            return sorted(
+            stale = sorted(
                 cid
                 for cid, seen in self._last_beat.items()
                 if now - seen > self.timeout
             )
+            for cid in stale:
+                if cid not in self._reported_stale:
+                    self._reported_stale.add(cid)
+                    _HEARTBEAT_MISSES.inc()
+            return stale

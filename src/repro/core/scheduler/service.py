@@ -11,6 +11,7 @@ release) resumes the container — at which point the wrapper's blocked
 
 from __future__ import annotations
 
+import time
 from typing import Any, Callable
 
 from repro.core.scheduler.core import Decision, GpuMemoryScheduler
@@ -22,8 +23,22 @@ from repro.errors import (
 )
 from repro.ipc import protocol
 from repro.ipc.unix_socket import DEFER
+from repro.obs.metrics import LATENCY_BUCKETS, REGISTRY
+from repro.obs.trace import Tracer, extract_context
 
 __all__ = ["SchedulerService"]
+
+_MESSAGES = REGISTRY.counter(
+    "convgpu_messages_total",
+    "Protocol messages handled by the scheduler service",
+    labelnames=("type",),
+)
+_DECISION_SECONDS = REGISTRY.histogram(
+    "convgpu_alloc_decision_seconds",
+    "Wall time to decide one alloc_request (excluding any pause wait)",
+    buckets=LATENCY_BUCKETS,
+    labelnames=("policy",),
+)
 
 
 class SchedulerService:
@@ -33,6 +48,10 @@ class SchedulerService:
     every handled message — any traffic from a container is proof of life,
     so the liveness monitor piggybacks on the normal message flow and the
     explicit ``heartbeat`` notification only matters for idle containers.
+
+    ``tracer`` (optional, off by default) records one server-side span per
+    handled message, parented on the trace context the wrapper put on the
+    wire — the daemon half of a wrapper→daemon trace.
     """
 
     def __init__(
@@ -40,18 +59,35 @@ class SchedulerService:
         scheduler: GpuMemoryScheduler,
         *,
         heartbeat_sink: Callable[[str], None] | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.scheduler = scheduler
         self.heartbeat_sink = heartbeat_sink
+        self.tracer = tracer
+        # Label resolution takes the family lock; cache the children so the
+        # per-message cost is one dict get plus the bare inc()/observe().
+        self._message_counts: dict[str, Any] = {}
+        self._decision_seconds: Any = None
 
     # The transport calls this for every decoded, validated request.
     def handle(self, message: dict[str, Any], reply_handle) -> Any:
         msg_type = message["type"]
+        counter = self._message_counts.get(msg_type)
+        if counter is None:
+            counter = self._message_counts[msg_type] = _MESSAGES.labels(type=msg_type)
+        counter.inc()
         if self.heartbeat_sink is not None and "container_id" in message:
             self.heartbeat_sink(message["container_id"])
         handler = getattr(self, f"_on_{msg_type}", None)
         if handler is None:
             return protocol.make_error_reply(message, f"unsupported type {msg_type!r}")
+        span = None
+        if self.tracer is not None:
+            span = self.tracer.start_span(
+                f"scheduler.{msg_type}",
+                parent=extract_context(message),
+                container_id=message.get("container_id", ""),
+            )
         try:
             reply = handler(message, reply_handle)
         except (
@@ -61,6 +97,15 @@ class SchedulerService:
             ClusterError,
         ) as exc:
             reply = protocol.make_error_reply(message, str(exc))
+            if span is not None:
+                span.finish(status="error")
+                span = None
+        if span is not None:
+            if reply is DEFER:
+                span.set_attr("decision", Decision.PAUSE)
+            elif isinstance(reply, dict) and "decision" in reply:
+                span.set_attr("decision", reply["decision"])
+            span.finish()
         if msg_type in protocol.NOTIFICATION_TYPES:
             # Fire-and-forget bookkeeping: the wrapper is not waiting, so
             # no reply goes on the wire (errors surface in the event log).
@@ -116,6 +161,7 @@ class SchedulerService:
                 # paused); container_exit cleanup already reconciles state.
                 pass
 
+        began = time.perf_counter()
         decision = self.scheduler.request_allocation(
             message["container_id"],
             message["pid"],
@@ -123,6 +169,12 @@ class SchedulerService:
             api=message["api"],
             on_resume=resume,
         )
+        histogram = self._decision_seconds
+        if histogram is None:
+            policy = getattr(self.scheduler, "policy", None)
+            name = getattr(policy, "name", type(self.scheduler).__name__)
+            histogram = self._decision_seconds = _DECISION_SECONDS.labels(policy=name)
+        histogram.observe(time.perf_counter() - began)
         if decision.paused:
             return DEFER
         if decision.granted:

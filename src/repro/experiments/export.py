@@ -52,38 +52,84 @@ def sweep_to_json(result: SweepResult) -> str:
                 policy: [result.failures[policy][c] for c in result.counts]
                 for policy in result.policies
             },
+            "p95_suspended_s": {
+                policy: [result.p95_suspended[policy][c] for c in result.counts]
+                for policy in result.policies
+                if result.p95_suspended.get(policy)
+            },
+            "mean_slowdown": {
+                policy: [result.mean_slowdown[policy][c] for c in result.counts]
+                for policy in result.policies
+                if result.mean_slowdown.get(policy)
+            },
+            "fairness": {
+                policy: [result.fairness[policy][c] for c in result.counts]
+                for policy in result.policies
+                if result.fairness.get(policy)
+            },
         }
     )
 
 
+#: CSV-exportable sweep metrics -> the SweepResult attribute holding them.
+_SWEEP_METRICS = {
+    "finished": "finished",
+    "suspended": "suspended",
+    "p95_suspended": "p95_suspended",
+    "slowdown": "mean_slowdown",
+    "fairness": "fairness",
+}
+
+
 def sweep_to_csv(result: SweepResult, metric: str = "finished") -> str:
-    """One metric of the sweep as CSV (rows=policies, cols=counts)."""
-    if metric not in ("finished", "suspended"):
-        raise ValueError(f"unknown metric {metric!r}")
-    table = result.finished if metric == "finished" else result.suspended
+    """One metric of the sweep as CSV (rows=policies, cols=counts).
+
+    ``metric`` is one of ``finished``, ``suspended``, ``p95_suspended``,
+    ``slowdown``, or ``fairness``.
+    """
+    attr = _SWEEP_METRICS.get(metric)
+    if attr is None:
+        raise ValueError(
+            f"unknown metric {metric!r}; choose from {sorted(_SWEEP_METRICS)}"
+        )
+    table = getattr(result, attr)
     buffer = io.StringIO()
     writer = csv.writer(buffer)
     writer.writerow(["policy", *result.counts])
     for policy in result.policies:
-        writer.writerow([policy, *(f"{table[policy][c]:.3f}" for c in result.counts)])
+        row = table.get(policy, {})
+        writer.writerow(
+            [policy, *(f"{row[c]:.3f}" if c in row else "" for c in result.counts)]
+        )
     return buffer.getvalue()
 
 
 def schedule_to_json(result: ScheduleResult) -> str:
-    """One run with its per-container outcomes."""
-    return _dump(
-        {
-            "policy": result.policy,
-            "count": result.count,
-            "seed": result.seed,
-            "finished_time_s": result.finished_time,
-            "avg_suspended_s": result.avg_suspended,
-            "failures": result.failures,
-            "rejected_count": result.rejected_count,
-            "aborted_count": result.aborted_count,
-            "containers": [dataclasses.asdict(o) for o in result.outcomes],
+    """One run with its per-container outcomes and derived quality metrics."""
+    # In-function import: experiments.metrics imports multi, which this
+    # module shares; importing it at module scope would be circular-prone.
+    from repro.experiments.metrics import compute_metrics
+
+    payload: dict[str, Any] = {
+        "policy": result.policy,
+        "count": result.count,
+        "seed": result.seed,
+        "finished_time_s": result.finished_time,
+        "avg_suspended_s": result.avg_suspended,
+        "failures": result.failures,
+        "rejected_count": result.rejected_count,
+        "aborted_count": result.aborted_count,
+        "containers": [dataclasses.asdict(o) for o in result.outcomes],
+    }
+    if result.outcomes:
+        derived = compute_metrics(result)
+        payload["metrics"] = {
+            "p95_suspended_s": derived.p95_suspended,
+            "mean_slowdown": derived.mean_slowdown,
+            "fairness_slowdown": derived.fairness_slowdown,
+            "fairness_suspended": derived.fairness_suspended,
         }
-    )
+    return _dump(payload)
 
 
 def single_results_to_json(

@@ -80,6 +80,11 @@ class ScheduleResult:
     aborted_count: int = 0
     #: Total kernel execution time on the device (lane-seconds).
     gpu_busy_seconds: float = 0.0
+    #: Finished trace spans (populated by ``capture_trace=True``; virtual
+    #: timestamps — feed to :func:`repro.obs.chrome.write_chrome_trace`).
+    spans: list = field(default_factory=list)
+    #: The scheduler's full event log (populated by ``capture_events=True``).
+    events: list = field(default_factory=list)
 
     @property
     def gpu_utilization(self) -> float:
@@ -110,6 +115,8 @@ def run_schedule(
     program_margin: int | None = None,
     program_chunks: int = 1,
     arrivals: list[Arrival] | None = None,
+    capture_trace: bool = False,
+    capture_events: bool = False,
 ) -> ScheduleResult:
     """Simulate one cloud-usage schedule under one policy.
 
@@ -117,15 +124,26 @@ def run_schedule(
     allocates (default: the 66 MiB context charge, the allocation an
     overhead-aware user makes).  Setting it to 0 models naive users who
     allocate their full declared limit — used by the overhead ablation.
+
+    ``capture_trace`` wires a virtual-clock tracer through the wrapper and
+    scheduler and returns the finished spans on the result;
+    ``capture_events`` returns the scheduler's event log.  Both feed the
+    Chrome trace export (``repro run --chrome-trace``).
     """
     factory = SeedSequenceFactory(seed)
     env = Environment()
+    tracer = None
+    if capture_trace:
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer(clock=lambda: env.now, seed=seed)
     system = ConVGPU(
         policy,
         clock=lambda: env.now,
         rng=factory.generator("policy", policy),
         resume_mode=resume_mode,
         context_overhead=context_overhead,
+        tracer=tracer,
     )
     system.engine.images.add(make_cuda_image("sample"))
     bridge = SimIpcBridge(env, system.service.handle)
@@ -197,6 +215,8 @@ def run_schedule(
         rejected_count=len(system.scheduler.log.of_type(AllocationRejected)),
         aborted_count=len(system.scheduler.log.of_type(AllocationAborted)),
         gpu_busy_seconds=system.device.hyperq.total_kernel_seconds,
+        spans=tracer.finished() if tracer is not None else [],
+        events=list(system.scheduler.log) if capture_events else [],
     )
 
 
@@ -214,6 +234,12 @@ class SweepResult:
     suspended: dict[str, dict[int, float]]
     #: policy -> count -> total failed containers across repeats (must be 0).
     failures: dict[str, dict[int, int]]
+    #: policy -> count -> mean p95 suspension across repeats (tail waiting).
+    p95_suspended: dict[str, dict[int, float]] = field(default_factory=dict)
+    #: policy -> count -> mean per-container slowdown across repeats.
+    mean_slowdown: dict[str, dict[int, float]] = field(default_factory=dict)
+    #: policy -> count -> mean Jain's fairness index over slowdowns.
+    fairness: dict[str, dict[int, float]] = field(default_factory=dict)
 
     def finished_row(self, policy: str) -> list[float]:
         return [self.finished[policy][count] for count in self.counts]
@@ -232,15 +258,24 @@ def sweep(
     context_overhead: int | None = None,
 ) -> SweepResult:
     """Run the whole evaluation grid (Tables IV and V)."""
+    # In-function import: experiments.metrics imports this module.
+    from repro.experiments.metrics import compute_metrics
+
     finished: dict[str, dict[int, float]] = {p: {} for p in policies}
     suspended: dict[str, dict[int, float]] = {p: {} for p in policies}
     failures: dict[str, dict[int, int]] = {p: {} for p in policies}
+    p95: dict[str, dict[int, float]] = {p: {} for p in policies}
+    slowdown: dict[str, dict[int, float]] = {p: {} for p in policies}
+    fairness: dict[str, dict[int, float]] = {p: {} for p in policies}
     root = SeedSequenceFactory(seed)
     for count in counts:
         for policy in policies:
             finished_sum = 0.0
             suspended_sum = 0.0
             failure_sum = 0
+            p95_sum = 0.0
+            slowdown_sum = 0.0
+            fairness_sum = 0.0
             for rep in range(repeats):
                 # Arrival sequence depends on (count, rep) only, so all
                 # policies face the same workload within a repetition.
@@ -255,9 +290,16 @@ def sweep(
                 finished_sum += result.finished_time
                 suspended_sum += result.avg_suspended
                 failure_sum += result.failures
+                derived = compute_metrics(result)
+                p95_sum += derived.p95_suspended
+                slowdown_sum += derived.mean_slowdown
+                fairness_sum += derived.fairness_slowdown
             finished[policy][count] = finished_sum / repeats
             suspended[policy][count] = suspended_sum / repeats
             failures[policy][count] = failure_sum
+            p95[policy][count] = p95_sum / repeats
+            slowdown[policy][count] = slowdown_sum / repeats
+            fairness[policy][count] = fairness_sum / repeats
     return SweepResult(
         policies=tuple(policies),
         counts=tuple(counts),
@@ -266,6 +308,9 @@ def sweep(
         finished=finished,
         suspended=suspended,
         failures=failures,
+        p95_suspended=p95,
+        mean_slowdown=slowdown,
+        fairness=fairness,
     )
 
 

@@ -25,6 +25,12 @@ type                    sender → receiver                         purpose
 
 Every request carries ``seq`` (per-connection monotonic) echoed in the
 reply, so a transport can correlate deferred replies with requests.
+
+Messages may additionally carry the optional trace-context fields
+``trace_id``/``span_id`` (strings; see ``docs/PROTOCOL.md`` and
+:mod:`repro.obs.trace`) so one wrapper call is followable across the
+wrapper → daemon boundary as a single trace.  Receivers that predate
+those fields ignore them, per the versioning rule below.
 """
 
 from __future__ import annotations
@@ -46,6 +52,7 @@ __all__ = [
     "MSG_HEARTBEAT",
     "MAX_FRAME_BYTES",
     "REQUEST_FIELDS",
+    "TRACE_FIELDS",
     "NOTIFICATION_TYPES",
     "make_request",
     "make_reply",
@@ -90,6 +97,11 @@ REQUEST_FIELDS: dict[str, dict[str, type]] = {
     MSG_MEM_GET_INFO: {"container_id": str, "pid": int},
     MSG_PROCESS_EXIT: {"container_id": str, "pid": int},
 }
+
+#: Optional trace-context fields allowed on any message.  When present
+#: they must be strings — a malformed trace id is a protocol violation,
+#: not something to silently forward.
+TRACE_FIELDS: tuple[str, ...] = ("trace_id", "span_id")
 
 
 def make_request(msg_type: str, seq: int = 0, **payload: Any) -> dict[str, Any]:
@@ -137,6 +149,11 @@ def validate_request(message: Mapping[str, Any]) -> None:
             )
         if expected is int and name in ("limit", "size", "address", "pid") and value < 0:
             raise ProtocolError(f"{msg_type}.{name} must be >= 0, got {value}")
+    for name in TRACE_FIELDS:
+        if name in message and not isinstance(message[name], str):
+            raise ProtocolError(
+                f"{msg_type}.{name} must be str, got {message[name]!r}"
+            )
 
 
 def encode(message: Mapping[str, Any]) -> bytes:

@@ -26,8 +26,20 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.errors import IpcDisconnected, IpcTimeoutError, TransportError
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import Tracer, extract_context, inject_context
 
 __all__ = ["RetryPolicy", "ResilientClient", "DEFAULT_RETRY_POLICY"]
+
+_RETRIES = REGISTRY.counter(
+    "convgpu_ipc_retries_total",
+    "IPC attempts retried after a disconnect/timeout",
+    labelnames=("error",),
+)
+_REDIALS = REGISTRY.counter(
+    "convgpu_ipc_redials_total",
+    "Fresh connections dialed by resilient clients (first dial included)",
+)
 
 
 @dataclass(frozen=True)
@@ -113,12 +125,19 @@ class ResilientClient:
 
     ``sleep``/``rng`` are injectable so tests can run the full backoff
     schedule in zero wall-clock time.
+
+    With a ``tracer``, each logical ``call``/``notify`` records exactly one
+    span regardless of how many attempts it took — the trace context is
+    injected into the payload once, before the first attempt, so a re-issued
+    request crosses the wire with the *original* identifiers and the daemon
+    never sees the redial as a different operation.
     """
 
     factory: Callable[[], Any]
     policy: RetryPolicy = DEFAULT_RETRY_POLICY
     sleep: Callable[[float], None] = time.sleep
     rng: random.Random | None = None
+    tracer: Tracer | None = None
     #: (attempt, exception) pairs observed; observability + test oracle.
     retries: list[tuple[int, str]] = field(default_factory=list)
     _client: Any = field(default=None, init=False, repr=False)
@@ -128,6 +147,7 @@ class ResilientClient:
     def _connected(self) -> Any:
         if self._client is None:
             self._client = self.factory()
+            _REDIALS.inc()
         return self._client
 
     def _drop(self) -> None:
@@ -150,6 +170,18 @@ class ResilientClient:
     # -- resilient operations ---------------------------------------------
 
     def _issue(self, method: str, msg_type: str, payload: dict[str, Any]) -> Any:
+        span = None
+        if self.tracer is not None:
+            # One span per logical operation: opened before the first
+            # attempt, injected once (inject_context skips payloads that
+            # already carry a trace_id, e.g. from the wrapper's own span),
+            # and finished after retries resolve — a redial extends this
+            # span rather than forking a new one.
+            span = self.tracer.start_span(
+                f"ipc.{method}:{msg_type}", parent=extract_context(payload)
+            )
+            inject_context(payload, span)
+
         def operation() -> Any:
             try:
                 client = self._connected()
@@ -161,9 +193,12 @@ class ResilientClient:
 
         def record(attempt: int, exc: BaseException) -> None:
             self.retries.append((attempt, type(exc).__name__))
+            _RETRIES.labels(error=type(exc).__name__).inc()
+            if span is not None:
+                span.set_attr("retries", attempt + 1)
 
         try:
-            return call_with_retry(
+            result = call_with_retry(
                 operation,
                 self.policy,
                 sleep=self.sleep,
@@ -171,10 +206,17 @@ class ResilientClient:
                 on_retry=record,
             )
         except (IpcDisconnected, IpcTimeoutError):
+            if span is not None:
+                span.finish(status="error")
             raise
         except TransportError:
             self._drop()
+            if span is not None:
+                span.finish(status="error")
             raise
+        if span is not None:
+            span.finish()
+        return result
 
     def call(self, msg_type: str, **payload: Any) -> dict[str, Any]:
         """Blocking request/response with reconnect-and-reissue."""

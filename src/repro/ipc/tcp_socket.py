@@ -16,7 +16,14 @@ from typing import Any
 
 from repro.errors import IpcDisconnected, TransportError
 from repro.ipc import protocol
-from repro.ipc.unix_socket import DEFER, Handler, ReplyHandle, map_os_error
+from repro.ipc.unix_socket import (
+    DEFER,
+    FRAMES_RECEIVED,
+    PROTOCOL_ERRORS,
+    Handler,
+    ReplyHandle,
+    map_os_error,
+)
 
 __all__ = ["TcpSocketServer", "TcpSocketClient"]
 
@@ -128,10 +135,12 @@ class TcpSocketServer:
                 return
 
     def _handle_frame(self, conn: socket.socket, write_lock: threading.Lock, frame: bytes) -> None:
+        FRAMES_RECEIVED.labels(transport="tcp").inc()
         try:
             message = protocol.decode(frame)
             protocol.validate_request(message)
         except Exception as exc:
+            PROTOCOL_ERRORS.labels(transport="tcp").inc()
             try:
                 with write_lock:
                     conn.sendall(

@@ -28,9 +28,23 @@ from typing import Any, Callable, Mapping
 
 from repro.errors import IpcDisconnected, IpcTimeoutError, TransportError
 from repro.ipc import protocol
+from repro.obs.metrics import REGISTRY
 
 __all__ = ["DEFER", "ReplyHandle", "UnixSocketServer", "UnixSocketClient",
            "map_os_error"]
+
+# Shared by both socket transports (tcp_socket.py imports these handles):
+# the transport label tells the two apart on one scrape.
+FRAMES_RECEIVED = REGISTRY.counter(
+    "convgpu_frames_received_total",
+    "Protocol frames dispatched by socket servers",
+    labelnames=("transport",),
+)
+PROTOCOL_ERRORS = REGISTRY.counter(
+    "convgpu_protocol_errors_total",
+    "Frames rejected by decode/validation at socket servers",
+    labelnames=("transport",),
+)
 
 
 def map_os_error(exc: OSError, context: str) -> TransportError:
@@ -217,10 +231,12 @@ class UnixSocketServer:
                 return
 
     def _dispatch(self, conn: socket.socket, write_lock: threading.Lock, frame: bytes) -> None:
+        FRAMES_RECEIVED.labels(transport="unix").inc()
         try:
             message = protocol.decode(frame)
             protocol.validate_request(message)
         except Exception as exc:  # protocol errors go back in-band
+            PROTOCOL_ERRORS.labels(transport="unix").inc()
             reply = protocol.make_error_reply({"type": "unknown", "seq": 0}, str(exc))
             try:
                 with write_lock:

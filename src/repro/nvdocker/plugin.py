@@ -19,6 +19,7 @@ from repro.container.volumes import Mount
 from repro.errors import IpcDisconnected, IpcTimeoutError, VolumeError
 from repro.ipc import protocol
 from repro.ipc.retry import RetryPolicy, call_with_retry
+from repro.obs.log import get_logger
 
 __all__ = ["NvidiaDockerPlugin", "DRIVER_VOLUME_PREFIX", "DUMMY_VOLUME_PREFIX"]
 
@@ -49,6 +50,7 @@ class NvidiaDockerPlugin:
         self.retry_policy = retry_policy or RetryPolicy(
             max_attempts=5, base_delay=0.05, jitter=0.0
         )
+        self.log = get_logger("nvidia-docker-plugin")
         #: (volume_name, container_id) pairs currently mounted.
         self._active: set[tuple[str, str]] = set()
         #: Close signals sent (for tests / observability).
@@ -105,11 +107,17 @@ class NvidiaDockerPlugin:
             return f"/var/lib/nvidia-docker/volumes/{volume_name}"
         if volume_name.startswith(DUMMY_VOLUME_PREFIX):
             self._active.add((volume_name, container_id))
+            self.log.debug(
+                "volume_mounted", volume=volume_name, container_id=container_id
+            )
             return f"/var/lib/nvidia-docker/volumes/{volume_name}"
         raise VolumeError(f"unknown nvidia-docker volume {volume_name!r}")
 
     def unmount(self, volume_name: str, container_id: str) -> None:
         self._active.discard((volume_name, container_id))
+        self.log.debug(
+            "volume_unmounted", volume=volume_name, container_id=container_id
+        )
         if volume_name.startswith(DUMMY_VOLUME_PREFIX):
             # The container stopped: forward the close signal (§III-B),
             # addressed by the scheduler key embedded in the volume name.
@@ -136,13 +144,19 @@ class NvidiaDockerPlugin:
                 self.retry_policy,
                 retry_on=(IpcDisconnected, IpcTimeoutError),
             )
+            self.log.info("close_delivered", container_id=scheduler_key)
             return True
-        except Exception:
+        except Exception as exc:
             # The daemon is gone for good during teardown; the heartbeat
             # reaper (liveness.py) is the backstop that reclaims the
             # reservation, and the scheduler treats unknown/closed
             # containers as no-ops if the close raced a recovery.
             self.close_failures.append(scheduler_key)
+            self.log.error(
+                "close_delivery_failed",
+                container_id=scheduler_key,
+                error=str(exc),
+            )
             return False
 
     def is_mounted(self, volume_name: str, container_id: str) -> bool:

@@ -1,0 +1,47 @@
+"""Live observability for the ConVGPU middleware.
+
+The experiments package computes metrics *post-hoc* from finished
+schedules; this package is the *runtime* counterpart — what a production
+deployment of the daemon exposes while it is serving traffic:
+
+- :mod:`repro.obs.metrics` — dependency-free counters, gauges and
+  fixed-bucket histograms behind a :class:`~repro.obs.metrics.MetricsRegistry`;
+- :mod:`repro.obs.trace` — spans with a ``trace_id``/``span_id`` context
+  that rides inside the JSON IPC protocol, so one ``cudaMalloc`` is
+  followable wrapper → daemon → policy decision → grant/pause/resume;
+- :mod:`repro.obs.log` — structured JSON-lines logging;
+- :mod:`repro.obs.exporters` — Prometheus text format, JSON snapshots and
+  a JSONL sink;
+- :mod:`repro.obs.chrome` — Chrome trace-event (``about://tracing``)
+  export for spans and simulated schedules;
+- :mod:`repro.obs.http` — the daemon's localhost ``/metrics`` endpoint.
+
+Everything here is import-cheap and stdlib-only, so instrumentation can
+stay on by default (the overhead ablation holds it under 5%).
+"""
+
+from repro.obs.log import configure_logging, get_logger
+from repro.obs.metrics import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+from repro.obs.trace import SpanContext, Tracer, extract_context, inject_context
+
+__all__ = [
+    "REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "Tracer",
+    "SpanContext",
+    "inject_context",
+    "extract_context",
+    "get_logger",
+    "configure_logging",
+]

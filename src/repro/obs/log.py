@@ -1,0 +1,170 @@
+"""Structured JSON-lines logging for the daemon and plugin.
+
+Neither the daemon nor the nvidia-docker plugin logged anything before
+this module existed; a production operator got stack traces or silence.
+This is a deliberately small structured logger — stdlib-only, one JSON
+object per line, machine-greppable:
+
+    {"ts": 1723540000.123, "level": "info", "component": "daemon",
+     "event": "container_registered", "container_id": "c1", "limit": 1024}
+
+Usage::
+
+    log = get_logger("daemon")
+    log.info("container_registered", container_id=cid, limit=limit)
+
+Process-wide configuration (level threshold, JSON vs human one-liners,
+output stream) lives in :func:`configure_logging`; the CLI surfaces it as
+``repro daemon --log-level/--log-json``.  Loggers check the threshold
+with one integer compare before building any payload, so debug call
+sites are free when the level is ``info`` or higher.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from typing import Any, Callable, TextIO
+
+__all__ = [
+    "LEVELS",
+    "ObsLogger",
+    "configure_logging",
+    "get_logger",
+    "logging_config",
+]
+
+LEVELS: dict[str, int] = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+
+class _LogConfig:
+    """Process-wide logging state (mutable via :func:`configure_logging`)."""
+
+    __slots__ = ("threshold", "json_mode", "stream", "clock", "lock")
+
+    def __init__(self) -> None:
+        # Libraries stay quiet unless asked: experiments importing the
+        # middleware should not chat on stderr.  ``repro daemon`` lowers
+        # this to ``info`` via its --log-level default.
+        self.threshold = LEVELS["warning"]
+        self.json_mode = True
+        self.stream: TextIO | None = None  # None -> sys.stderr at emit time
+        self.clock: Callable[[], float] = time.time
+        self.lock = threading.Lock()
+
+
+_CONFIG = _LogConfig()
+
+
+def configure_logging(
+    *,
+    level: str | None = None,
+    json_mode: bool | None = None,
+    stream: TextIO | None = None,
+    clock: Callable[[], float] | None = None,
+) -> None:
+    """Set the process-wide logging behaviour (only given fields change).
+
+    Args:
+        level: one of ``debug``/``info``/``warning``/``error``.
+        json_mode: True = JSON lines, False = human-readable one-liners.
+        stream: output stream (default: ``sys.stderr`` resolved at emit
+            time, so pytest's capture sees the right object).
+        clock: timestamp source (injectable for deterministic tests).
+    """
+    if level is not None:
+        if level not in LEVELS:
+            raise ValueError(f"unknown log level {level!r}; choose from {sorted(LEVELS)}")
+        _CONFIG.threshold = LEVELS[level]
+    if json_mode is not None:
+        _CONFIG.json_mode = json_mode
+    if stream is not None:
+        _CONFIG.stream = stream
+    if clock is not None:
+        _CONFIG.clock = clock
+
+
+def logging_config() -> dict[str, Any]:
+    """The current configuration (introspection / test restore)."""
+    return {
+        "level": next(n for n, v in LEVELS.items() if v == _CONFIG.threshold),
+        "json_mode": _CONFIG.json_mode,
+        "stream": _CONFIG.stream,
+        "clock": _CONFIG.clock,
+    }
+
+
+class ObsLogger:
+    """A component-bound structured logger.
+
+    ``bound`` fields ride on every record the logger emits; ``bind``
+    derives a child with extra constant fields (e.g. a container id).
+    """
+
+    __slots__ = ("component", "bound")
+
+    def __init__(self, component: str, bound: dict[str, Any] | None = None) -> None:
+        self.component = component
+        self.bound = bound or {}
+
+    def bind(self, **fields: Any) -> "ObsLogger":
+        return ObsLogger(self.component, {**self.bound, **fields})
+
+    # -- emission -----------------------------------------------------------
+
+    def log(self, level: str, event: str, **fields: Any) -> None:
+        severity = LEVELS.get(level)
+        if severity is None:
+            raise ValueError(f"unknown log level {level!r}")
+        if severity < _CONFIG.threshold:
+            return
+        record: dict[str, Any] = {
+            "ts": _CONFIG.clock(),
+            "level": level,
+            "component": self.component,
+            "event": event,
+        }
+        record.update(self.bound)
+        record.update(fields)
+        if _CONFIG.json_mode:
+            try:
+                line = json.dumps(record, separators=(",", ":"), default=repr)
+            except (TypeError, ValueError):  # pragma: no cover - defensive
+                line = json.dumps({k: repr(v) for k, v in record.items()})
+        else:
+            detail = " ".join(
+                f"{key}={record[key]}"
+                for key in record
+                if key not in ("ts", "level", "component", "event")
+            )
+            line = (
+                f"{record['ts']:.3f} {level.upper():7s} "
+                f"{self.component}: {event}" + (f" {detail}" if detail else "")
+            )
+        stream = _CONFIG.stream if _CONFIG.stream is not None else sys.stderr
+        with _CONFIG.lock:
+            try:
+                stream.write(line + "\n")
+                stream.flush()
+            except (OSError, ValueError):
+                # A closed stream must never take the daemon down.
+                pass
+
+    def debug(self, event: str, **fields: Any) -> None:
+        self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields: Any) -> None:
+        self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields: Any) -> None:
+        self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields: Any) -> None:
+        self.log("error", event, **fields)
+
+
+def get_logger(component: str) -> ObsLogger:
+    """A logger for one component (cheap; no global registry needed)."""
+    return ObsLogger(component)

@@ -1,0 +1,256 @@
+"""Trace spans with a wire-propagated context.
+
+A :class:`Tracer` records :class:`Span` objects — named intervals with a
+``trace_id`` shared by every span of one logical operation and a unique
+``span_id`` per interval.  The context crosses the JSON IPC protocol as
+two optional string fields (``trace_id``, ``span_id``; see
+``docs/PROTOCOL.md``), so one ``cudaMalloc`` becomes a single trace:
+
+    wrapper.cudaMalloc                      (wrapper process)
+      └─ ipc.call:alloc_request             (client transport)
+           └─ scheduler.alloc_request       (daemon, parented via the wire)
+
+The tracer is **off by default** — hot paths check ``tracer is None``
+first, so simulation sweeps pay one attribute load per call when tracing
+is disabled.  Clocks are injectable: live mode uses ``time.monotonic``,
+simulations pass the DES clock so span timestamps land in virtual time
+(which is what the Chrome export renders).
+
+Identifiers come from a private :class:`random.Random` instance —
+deterministic when seeded (simulations), OS-seeded otherwise.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from typing import Any, Callable, Iterator, Mapping
+
+from contextlib import contextmanager
+
+__all__ = [
+    "TRACE_ID_FIELD",
+    "SPAN_ID_FIELD",
+    "SpanContext",
+    "Span",
+    "Tracer",
+    "inject_context",
+    "extract_context",
+]
+
+#: Wire field names (optional on every protocol message).
+TRACE_ID_FIELD = "trace_id"
+SPAN_ID_FIELD = "span_id"
+
+
+class SpanContext:
+    """The portable part of a span: what crosses the wire."""
+
+    __slots__ = ("trace_id", "span_id")
+
+    def __init__(self, trace_id: str, span_id: str) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, SpanContext)
+            and other.trace_id == self.trace_id
+            and other.span_id == self.span_id
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.trace_id, self.span_id))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<SpanContext {self.trace_id}/{self.span_id}>"
+
+
+class Span:
+    """One named interval of a trace."""
+
+    __slots__ = (
+        "name", "context", "parent_id", "start", "end", "attrs", "status", "_tracer"
+    )
+
+    def __init__(
+        self,
+        name: str,
+        context: SpanContext,
+        parent_id: str | None,
+        start: float,
+        tracer: "Tracer",
+        attrs: dict[str, Any] | None = None,
+    ) -> None:
+        self.name = name
+        self.context = context
+        self.parent_id = parent_id
+        self.start = start
+        self.end: float | None = None
+        self.attrs: dict[str, Any] = attrs or {}
+        self.status = "ok"
+        self._tracer = tracer
+
+    @property
+    def trace_id(self) -> str:
+        return self.context.trace_id
+
+    @property
+    def span_id(self) -> str:
+        return self.context.span_id
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            raise ValueError(f"span {self.name!r} not finished")
+        return self.end - self.start
+
+    def set_attr(self, key: str, value: Any) -> None:
+        self.attrs[key] = value
+
+    def finish(self, *, status: str | None = None) -> "Span":
+        """Close the span (idempotent) and hand it to the tracer's buffer."""
+        if self.end is None:
+            if status is not None:
+                self.status = status
+            self._tracer._finish(self)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "open" if self.end is None else f"{self.duration:.6f}s"
+        return f"<Span {self.name} {self.trace_id}/{self.span_id} {state}>"
+
+
+class Tracer:
+    """Span factory + bounded in-memory buffer of finished spans.
+
+    Args:
+        clock: time source for span start/end (DES clock in simulations).
+        seed: seeds the id generator for reproducible traces; ``None``
+            draws OS entropy.
+        max_spans: cap on buffered finished spans; beyond it the oldest
+            are dropped and counted in :attr:`dropped` (a tracer left on
+            in a long-lived daemon must not grow without bound).
+    """
+
+    def __init__(
+        self,
+        *,
+        clock: Callable[[], float] | None = None,
+        seed: int | None = None,
+        max_spans: int = 100_000,
+    ) -> None:
+        if max_spans < 1:
+            raise ValueError(f"max_spans must be >= 1: {max_spans}")
+        self.clock = clock if clock is not None else time.monotonic
+        self.max_spans = max_spans
+        self.spans: list[Span] = []
+        self.dropped = 0
+        self._lock = threading.Lock()
+        self._rng = random.Random(seed)
+
+    # -- ids ----------------------------------------------------------------
+
+    def _new_id(self, bits: int = 64) -> str:
+        with self._lock:
+            return f"{self._rng.getrandbits(bits):0{bits // 4}x}"
+
+    # -- span lifecycle -------------------------------------------------------
+
+    def start_span(
+        self,
+        name: str,
+        parent: "Span | SpanContext | None" = None,
+        **attrs: Any,
+    ) -> Span:
+        """Open a span; a ``parent`` keeps its trace_id, else a new trace."""
+        if isinstance(parent, Span):
+            parent = parent.context
+        if parent is not None:
+            trace_id = parent.trace_id
+            parent_id = parent.span_id
+        else:
+            trace_id = self._new_id(128)
+            parent_id = None
+        context = SpanContext(trace_id, self._new_id(64))
+        return Span(name, context, parent_id, self.clock(), self, attrs or None)
+
+    def _finish(self, span: Span) -> None:
+        span.end = self.clock()
+        with self._lock:
+            self.spans.append(span)
+            overflow = len(self.spans) - self.max_spans
+            if overflow > 0:
+                del self.spans[:overflow]
+                self.dropped += overflow
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        parent: "Span | SpanContext | None" = None,
+        **attrs: Any,
+    ) -> Iterator[Span]:
+        """Context manager: open, yield, finish (status=error on raise)."""
+        current = self.start_span(name, parent, **attrs)
+        try:
+            yield current
+        except BaseException:
+            current.finish(status="error")
+            raise
+        current.finish()
+
+    # -- queries --------------------------------------------------------------
+
+    def finished(self, name: str | None = None) -> list[Span]:
+        with self._lock:
+            spans = list(self.spans)
+        if name is not None:
+            spans = [s for s in spans if s.name == name]
+        return spans
+
+    def traces(self) -> dict[str, list[Span]]:
+        """Finished spans grouped by trace id, each group start-ordered."""
+        groups: dict[str, list[Span]] = {}
+        for span in self.finished():
+            groups.setdefault(span.trace_id, []).append(span)
+        for spans in groups.values():
+            spans.sort(key=lambda s: (s.start, s.span_id))
+        return groups
+
+    def clear(self) -> None:
+        with self._lock:
+            self.spans.clear()
+            self.dropped = 0
+
+
+# ---------------------------------------------------------------------------
+# wire propagation
+# ---------------------------------------------------------------------------
+
+
+def inject_context(
+    payload: dict[str, Any], source: Span | SpanContext | None
+) -> dict[str, Any]:
+    """Add the trace fields to an outgoing message payload (in place).
+
+    A payload that already carries a ``trace_id`` is left untouched — a
+    retry loop re-issuing a request must keep the original identifiers so
+    the redial does not fork the trace.
+    """
+    if source is None or TRACE_ID_FIELD in payload:
+        return payload
+    context = source.context if isinstance(source, Span) else source
+    payload[TRACE_ID_FIELD] = context.trace_id
+    payload[SPAN_ID_FIELD] = context.span_id
+    return payload
+
+
+def extract_context(message: Mapping[str, Any]) -> SpanContext | None:
+    """Read the trace fields off an incoming message, if present."""
+    trace_id = message.get(TRACE_ID_FIELD)
+    span_id = message.get(SPAN_ID_FIELD)
+    if isinstance(trace_id, str) and trace_id:
+        return SpanContext(trace_id, span_id if isinstance(span_id, str) else "")
+    return None

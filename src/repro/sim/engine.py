@@ -21,7 +21,7 @@ RNG seed.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Generator, Iterable
+from typing import Any, Callable, Generator, Iterable
 
 from repro.errors import SimulationError
 from repro.sim.events import AllOf, AnyOf, Event, Process, Timeout
@@ -42,6 +42,11 @@ class Environment:
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, int, Event]] = []
         self._seq = 0
+        #: Events processed by :meth:`step` (progress observability).
+        self.steps = 0
+        #: Called as ``observer(env, event)`` after each processed event;
+        #: ``None`` (the default) keeps stepping allocation-free.
+        self.observer: Callable[["Environment", Event], None] | None = None
         #: Generator currently being advanced (used to detect
         #: self-interruption); managed by :class:`repro.sim.events.Process`.
         self._active_generator: Generator[Event, Any, Any] | None = None
@@ -101,6 +106,9 @@ class Environment:
         if callbacks:
             for callback in callbacks:
                 callback(event)
+        self.steps += 1
+        if self.observer is not None:
+            self.observer(self, event)
         if not event._ok and not event.defused:
             # A failed event nobody waited for: surface it loudly instead of
             # silently dropping the error.

@@ -1,0 +1,77 @@
+"""Export of derived scheduling-quality metrics (the PR's export fix).
+
+`schedule_to_json` must carry the fairness/p95/slowdown block and
+`sweep_to_csv` must serve the new sweep metrics.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import export
+from repro.experiments.metrics import compute_metrics
+from repro.experiments.multi import run_schedule, sweep
+
+
+@pytest.fixture(scope="module")
+def schedule():
+    return run_schedule("BF", 4, 2017)
+
+
+@pytest.fixture(scope="module")
+def sweep_result():
+    return sweep(policies=("FIFO", "BF"), counts=(2, 4), repeats=2)
+
+
+class TestScheduleJson:
+    def test_metrics_block_present(self, schedule):
+        doc = json.loads(export.schedule_to_json(schedule))
+        metrics = doc["metrics"]
+        assert set(metrics) == {
+            "p95_suspended_s", "mean_slowdown",
+            "fairness_slowdown", "fairness_suspended",
+        }
+
+    def test_metrics_match_compute_metrics(self, schedule):
+        doc = json.loads(export.schedule_to_json(schedule))
+        derived = compute_metrics(schedule)
+        assert doc["metrics"]["p95_suspended_s"] == derived.p95_suspended
+        assert doc["metrics"]["mean_slowdown"] == derived.mean_slowdown
+        assert doc["metrics"]["fairness_slowdown"] == derived.fairness_slowdown
+
+    def test_fairness_in_unit_interval(self, schedule):
+        doc = json.loads(export.schedule_to_json(schedule))
+        assert 0.0 < doc["metrics"]["fairness_slowdown"] <= 1.0
+
+
+class TestSweepExports:
+    def test_sweep_json_has_new_fields(self, sweep_result):
+        doc = json.loads(export.sweep_to_json(sweep_result))
+        for key in ("p95_suspended_s", "mean_slowdown", "fairness"):
+            assert set(doc[key]) == {"FIFO", "BF"}
+            assert all(len(row) == 2 for row in doc[key].values())
+
+    def test_csv_metrics(self, sweep_result):
+        for metric in ("finished", "suspended", "p95_suspended", "slowdown", "fairness"):
+            text = export.sweep_to_csv(sweep_result, metric)
+            lines = text.strip().splitlines()
+            assert lines[0] == "policy,2,4"
+            assert len(lines) == 3  # header + 2 policies
+
+    def test_csv_rejects_unknown_metric(self, sweep_result):
+        with pytest.raises(ValueError, match="unknown metric"):
+            export.sweep_to_csv(sweep_result, "bogus")
+
+    def test_fairness_csv_values_in_unit_interval(self, sweep_result):
+        lines = export.sweep_to_csv(sweep_result, "fairness").strip().splitlines()
+        for line in lines[1:]:
+            for cell in line.split(",")[1:]:
+                assert 0.0 <= float(cell) <= 1.0
+
+    def test_sweep_aggregates_are_repeat_means(self, sweep_result):
+        # p95 of the 2-container grid is 0 (nobody waits with 2 containers
+        # on a 5 GiB device is not guaranteed — just sanity-check bounds).
+        for policy in sweep_result.policies:
+            for count in sweep_result.counts:
+                assert sweep_result.p95_suspended[policy][count] >= 0.0
+                assert sweep_result.mean_slowdown[policy][count] >= 1.0

@@ -1,0 +1,154 @@
+"""Trace-context propagation through the retry layer (`repro.ipc.retry`).
+
+The satellite requirement this file pins down: a request re-issued after
+a redial must cross the wire with its *original* trace identifiers, and
+the client must record exactly one span for the logical call no matter
+how many attempts it took.
+"""
+
+import pytest
+
+from repro.errors import IpcDisconnected, IpcTimeoutError
+from repro.ipc.retry import ResilientClient, RetryPolicy
+from repro.obs.trace import SPAN_ID_FIELD, TRACE_ID_FIELD, Tracer
+
+
+class FlakyServer:
+    """Client factory whose first ``fail_first`` calls drop the connection."""
+
+    def __init__(self, fail_first: int = 0) -> None:
+        self.fail_first = fail_first
+        self.dials = 0
+        self.seen: list[dict] = []
+
+    def __call__(self):
+        self.dials += 1
+        server = self
+
+        class Connection:
+            def call(self, msg_type, **payload):
+                server.seen.append({"type": msg_type, **payload})
+                if len(server.seen) <= server.fail_first:
+                    raise IpcDisconnected("connection lost mid-call")
+                return {"status": "ok", "echo": payload}
+
+            notify = call
+
+            def close(self):
+                pass
+
+        return Connection()
+
+
+def make_client(server, tracer):
+    return ResilientClient(
+        factory=server,
+        policy=RetryPolicy(max_attempts=4, base_delay=0.0, jitter=0.0),
+        sleep=lambda _: None,
+        tracer=tracer,
+    )
+
+
+class TestTraceAcrossRedial:
+    def test_reissued_request_keeps_trace_id(self):
+        server = FlakyServer(fail_first=2)
+        tracer = Tracer(seed=11)
+        client = make_client(server, tracer)
+        client.call("alloc_request", container_id="c1", size=64)
+        assert server.dials == 3  # initial + 2 redials
+        trace_ids = {msg[TRACE_ID_FIELD] for msg in server.seen}
+        span_ids = {msg[SPAN_ID_FIELD] for msg in server.seen}
+        assert len(trace_ids) == 1 and len(span_ids) == 1
+
+    def test_exactly_one_span_despite_retries(self):
+        server = FlakyServer(fail_first=2)
+        tracer = Tracer(seed=11)
+        client = make_client(server, tracer)
+        client.call("alloc_request", container_id="c1", size=64)
+        spans = tracer.finished()
+        assert len(spans) == 1
+        (span,) = spans
+        assert span.name == "ipc.call:alloc_request"
+        assert span.status == "ok"
+        assert span.attrs["retries"] == 2
+        assert span.trace_id == server.seen[0][TRACE_ID_FIELD]
+
+    def test_preexisting_context_is_preserved_and_parented(self):
+        """A wrapper-injected context survives the redial untouched."""
+        server = FlakyServer(fail_first=1)
+        tracer = Tracer(seed=11)
+        client = make_client(server, tracer)
+        wrapper_span = tracer.start_span("wrapper.cudaMalloc")
+        client.call(
+            "alloc_request",
+            container_id="c1",
+            size=64,
+            **{TRACE_ID_FIELD: wrapper_span.trace_id,
+               SPAN_ID_FIELD: wrapper_span.span_id},
+        )
+        # The wire kept the wrapper's ids on both attempts...
+        assert all(
+            msg[TRACE_ID_FIELD] == wrapper_span.trace_id for msg in server.seen
+        )
+        assert all(
+            msg[SPAN_ID_FIELD] == wrapper_span.span_id for msg in server.seen
+        )
+        # ...and the client span joined the wrapper's trace as a child.
+        (ipc_span,) = tracer.finished("ipc.call:alloc_request")
+        assert ipc_span.trace_id == wrapper_span.trace_id
+        assert ipc_span.parent_id == wrapper_span.span_id
+
+    def test_exhausted_retries_finish_span_as_error(self):
+        server = FlakyServer(fail_first=99)
+        tracer = Tracer(seed=11)
+        client = make_client(server, tracer)
+        with pytest.raises(IpcDisconnected):
+            client.call("alloc_request", container_id="c1", size=64)
+        (span,) = tracer.finished()
+        assert span.status == "error"
+        assert len({msg[TRACE_ID_FIELD] for msg in server.seen}) == 1
+
+    def test_no_tracer_means_no_trace_fields(self):
+        server = FlakyServer()
+        client = ResilientClient(factory=server, sleep=lambda _: None)
+        client.call("alloc_request", container_id="c1", size=64)
+        assert TRACE_ID_FIELD not in server.seen[0]
+
+    def test_notify_also_traced(self):
+        server = FlakyServer()
+        tracer = Tracer(seed=11)
+        client = make_client(server, tracer)
+        client.notify("alloc_commit", container_id="c1", address=1, size=64)
+        (span,) = tracer.finished()
+        assert span.name == "ipc.notify:alloc_commit"
+
+    def test_timeout_retries_share_the_span(self):
+        class TimeoutThenOk:
+            def __init__(self):
+                self.dials = 0
+                self.calls = 0
+                self.seen = []
+
+            def __call__(self):
+                outer = self
+                self.dials += 1
+
+                class Connection:
+                    def call(self, msg_type, **payload):
+                        outer.calls += 1
+                        outer.seen.append(payload)
+                        if outer.calls == 1:
+                            raise IpcTimeoutError("slow daemon")
+                        return {"status": "ok"}
+
+                    def close(self):
+                        pass
+
+                return Connection()
+
+        server = TimeoutThenOk()
+        tracer = Tracer(seed=11)
+        client = make_client(server, tracer)
+        client.call("mem_get_info", container_id="c1")
+        assert len(tracer.finished()) == 1
+        assert len({m[TRACE_ID_FIELD] for m in server.seen}) == 1

@@ -1,0 +1,102 @@
+"""Daemon-level observability: the acceptance surface of `repro.obs`.
+
+Starts the real daemon with its metrics endpoint and drives the wire
+protocol, then asserts what an operator would scrape.
+"""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.core.scheduler.core import GpuMemoryScheduler
+from repro.core.scheduler.daemon import SchedulerDaemon
+from repro.core.scheduler.policies import make_policy
+from repro.ipc.unix_socket import UnixSocketClient
+from repro.obs.exporters import parse_prometheus
+from repro.units import MiB
+
+pytestmark = pytest.mark.integration
+
+
+@pytest.fixture
+def daemon():
+    scheduler = GpuMemoryScheduler(1024 * MiB, make_policy("FIFO"))
+    daemon = SchedulerDaemon(scheduler, metrics_port=0).start()
+    yield daemon
+    daemon.stop()
+
+
+def scrape(daemon, path="/metrics"):
+    url = daemon.metrics_server.url + path
+    with urllib.request.urlopen(url, timeout=5.0) as response:
+        return response.read().decode("utf-8")
+
+
+def test_serves_alloc_decision_latency_histogram(daemon):
+    """Acceptance: /metrics includes the decision-latency histogram."""
+    control = UnixSocketClient(daemon.control_path)
+    try:
+        control.call("register_container", container_id="c1", limit=512 * MiB)
+        client = UnixSocketClient(daemon.container_socket_path("c1"))
+        try:
+            reply = client.call(
+                "alloc_request", container_id="c1", pid=1, size=64 * MiB,
+                api="cudaMalloc", request_id="r1",
+            )
+            assert reply["decision"] == "grant"
+        finally:
+            client.close()
+        text = scrape(daemon)
+        assert "# TYPE convgpu_alloc_decision_seconds histogram" in text
+        families = parse_prometheus(text)
+        samples = families["convgpu_alloc_decision_seconds"]["samples"]
+        inf_buckets = [
+            value for key, value in samples.items()
+            if key.startswith("_bucket") and 'policy="FIFO"' in key and 'le="+Inf"' in key
+        ]
+        # The registry is process-global and cumulative, so >= 1, not == 1.
+        assert inf_buckets and inf_buckets[0] >= 1
+        assert 'convgpu_alloc_decisions_total{decision="grant"}' in text
+    finally:
+        control.close()
+
+
+def test_per_container_gauges_appear_and_clear(daemon):
+    # Unique name: the registry is process-global, so this test must not
+    # collide with rows another test's daemon may have left behind.
+    name = "obs-gauge-container"
+    control = UnixSocketClient(daemon.control_path)
+    try:
+        control.call("register_container", container_id=name, limit=256 * MiB)
+        text = scrape(daemon)
+        assert f'convgpu_container_reserved_bytes{{container="{name}"}} {256 * MiB}' in text
+        control.call("container_exit", container_id=name)
+        text = scrape(daemon)
+        assert f'container="{name}"' not in text
+    finally:
+        control.close()
+
+
+def test_top_json_rows(daemon):
+    control = UnixSocketClient(daemon.control_path)
+    try:
+        control.call("register_container", container_id="c1", limit=128 * MiB)
+        rows = json.loads(scrape(daemon, "/top.json"))
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["container"] == "c1"
+        assert row["reserved"] == 128 * MiB
+        assert set(row) >= {"limit", "used", "inflight", "pending", "pauses",
+                            "suspended_s"}
+    finally:
+        control.close()
+
+
+def test_metrics_server_stops_with_daemon():
+    scheduler = GpuMemoryScheduler(256 * MiB, make_policy("FIFO"))
+    daemon = SchedulerDaemon(scheduler, metrics_port=0).start()
+    url = daemon.metrics_server.url
+    daemon.stop()
+    with pytest.raises(OSError):
+        urllib.request.urlopen(url + "/healthz", timeout=2.0)

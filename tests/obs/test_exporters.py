@@ -1,0 +1,108 @@
+"""Exporter tests: Prometheus text round-trip, JSON snapshot, JSONL sink."""
+
+import io
+import json
+
+from repro.obs.exporters import (
+    JsonlSink,
+    parse_prometheus,
+    render_prometheus,
+    snapshot_json,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def make_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("hits_total", "Total hits").inc(3)
+    decisions = registry.counter("decisions_total", labelnames=("decision",))
+    decisions.labels(decision="grant").inc(2)
+    decisions.labels(decision="reject").inc()
+    lat = registry.histogram("latency_seconds", "Latency", buckets=(0.1, 1.0))
+    lat.observe(0.05)
+    lat.observe(0.5)
+    lat.observe(5.0)
+    registry.gauge("depth").set(4)
+    return registry
+
+
+class TestRenderPrometheus:
+    def test_counter_lines(self):
+        text = render_prometheus(make_registry())
+        assert "# HELP hits_total Total hits" in text
+        assert "# TYPE hits_total counter" in text
+        assert "hits_total 3" in text
+
+    def test_labelled_samples(self):
+        text = render_prometheus(make_registry())
+        assert 'decisions_total{decision="grant"} 2' in text
+        assert 'decisions_total{decision="reject"} 1' in text
+
+    def test_histogram_is_cumulative_with_inf(self):
+        text = render_prometheus(make_registry())
+        assert 'latency_seconds_bucket{le="0.1"} 1' in text
+        assert 'latency_seconds_bucket{le="1"} 2' in text
+        assert 'latency_seconds_bucket{le="+Inf"} 3' in text
+        assert "latency_seconds_count 3" in text
+        assert "latency_seconds_sum 5.55" in text
+
+    def test_label_escaping(self):
+        registry = MetricsRegistry()
+        family = registry.counter("x", labelnames=("path",))
+        family.labels(path='a"b\\c\nd').inc()
+        text = render_prometheus(registry)
+        assert 'x{path="a\\"b\\\\c\\nd"} 1' in text
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+    def test_declared_but_unsampled_family_keeps_header(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat", "Latency", labelnames=("policy",))
+        text = render_prometheus(registry)
+        assert "# TYPE lat histogram" in text
+
+
+class TestParsePrometheus:
+    def test_round_trip(self):
+        registry = make_registry()
+        families = parse_prometheus(render_prometheus(registry))
+        assert families["hits_total"]["type"] == "counter"
+        assert families["hits_total"]["samples"][""] == 3
+        assert families["decisions_total"]["samples"]['{decision="grant"}'] == 2
+        hist = families["latency_seconds"]["samples"]
+        assert hist['_bucket{le="+Inf"}'] == 3
+        assert hist["_count"] == 3
+
+    def test_garbage_lines_skipped(self):
+        families = parse_prometheus("not-a-metric not-a-number\n\n# junk\n")
+        assert "not-a-metric" not in families
+
+
+def test_snapshot_json_is_valid_json():
+    doc = json.loads(snapshot_json(make_registry()))
+    assert doc["depth"]["samples"] == [{"value": 4.0}]
+
+
+class TestJsonlSink:
+    def test_appends_one_line_per_write(self):
+        registry = make_registry()
+        buffer = io.StringIO()
+        sink = JsonlSink(buffer, clock=lambda: 123.0)
+        sink.write(registry, run="r1")
+        sink.write(registry)
+        lines = buffer.getvalue().strip().splitlines()
+        assert len(lines) == 2 and sink.records_written == 2
+        first = json.loads(lines[0])
+        assert first["ts"] == 123.0 and first["run"] == "r1"
+        assert first["metrics"]["hits_total"]["samples"] == [{"value": 3.0}]
+
+    def test_path_mode_appends(self, tmp_path):
+        path = str(tmp_path / "metrics.jsonl")
+        registry = make_registry()
+        with JsonlSink(path, clock=lambda: 1.0) as sink:
+            sink.write(registry)
+        with JsonlSink(path, clock=lambda: 2.0) as sink:
+            sink.write(registry)
+        lines = open(path).read().strip().splitlines()
+        assert [json.loads(l)["ts"] for l in lines] == [1.0, 2.0]

@@ -1,0 +1,89 @@
+"""Observability HTTP endpoint tests (`repro.obs.http`).
+
+Real sockets on loopback, hence the integration marker.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.http import PROMETHEUS_CONTENT_TYPE, MetricsServer
+from repro.obs.metrics import MetricsRegistry
+
+pytestmark = pytest.mark.integration
+
+
+@pytest.fixture
+def registry():
+    registry = MetricsRegistry()
+    registry.counter("hits_total", "Total hits").inc(3)
+    return registry
+
+
+def get(url: str):
+    with urllib.request.urlopen(url, timeout=5.0) as response:
+        return response.status, response.headers.get("Content-Type"), response.read()
+
+
+class TestMetricsServer:
+    def test_metrics_text_format(self, registry):
+        with MetricsServer(registry) as server:
+            status, ctype, body = get(server.url + "/metrics")
+        assert status == 200
+        assert ctype == PROMETHEUS_CONTENT_TYPE
+        assert b"hits_total 3" in body
+
+    def test_metrics_json(self, registry):
+        with MetricsServer(registry) as server:
+            _, _, body = get(server.url + "/metrics.json")
+        assert json.loads(body)["hits_total"]["samples"] == [{"value": 3.0}]
+
+    def test_healthz(self, registry):
+        with MetricsServer(registry) as server:
+            status, _, body = get(server.url + "/healthz")
+        assert status == 200 and json.loads(body) == {"status": "ok"}
+
+    def test_top_json_from_source(self, registry):
+        rows = [{"container": "c1", "reserved": 64}]
+        with MetricsServer(registry, top_source=lambda: rows) as server:
+            _, _, body = get(server.url + "/top.json")
+        assert json.loads(body) == rows
+
+    def test_top_json_404_without_source(self, registry):
+        with MetricsServer(registry) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                get(server.url + "/top.json")
+        assert excinfo.value.code == 404
+
+    def test_unknown_path_404(self, registry):
+        with MetricsServer(registry) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                get(server.url + "/nope")
+        assert excinfo.value.code == 404
+
+    def test_collectors_run_per_scrape(self, registry):
+        reads = []
+        gauge = registry.gauge("depth")
+        registry.add_collector(lambda: (reads.append(1), gauge.set(len(reads)))[1])
+        with MetricsServer(registry) as server:
+            get(server.url + "/metrics")
+            _, _, body = get(server.url + "/metrics")
+        assert b"depth 2" in body
+
+    def test_broken_top_source_returns_500(self, registry):
+        def broken():
+            raise RuntimeError("boom")
+
+        with MetricsServer(registry, top_source=broken) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                get(server.url + "/top.json")
+        assert excinfo.value.code == 500
+
+    def test_stop_frees_port(self, registry):
+        server = MetricsServer(registry).start()
+        url = server.url
+        server.stop()
+        with pytest.raises((urllib.error.URLError, ConnectionError, OSError)):
+            get(url + "/healthz")

@@ -1,0 +1,222 @@
+"""Unit tests for the metrics primitives (`repro.obs.metrics`)."""
+
+import gc
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter()
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="only go up"):
+            Counter().inc(-1)
+
+    def test_thread_safety(self):
+        c = Counter()
+        threads = [
+            threading.Thread(target=lambda: [c.inc() for _ in range(1000)])
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 8000
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge()
+        g.set(10)
+        g.inc(5)
+        g.dec(3)
+        assert g.value == 12.0
+
+
+class TestHistogram:
+    def test_observations_land_in_buckets(self):
+        h = Histogram(buckets=(1.0, 10.0))
+        h.observe(0.5)
+        h.observe(5.0)
+        h.observe(50.0)
+        sample = h.sample()
+        # Cumulative: le=1 sees one, le=10 sees two, +Inf (count) sees all.
+        assert sample["buckets"] == [(1.0, 1), (10.0, 2)]
+        assert sample["count"] == 3
+        assert sample["sum"] == pytest.approx(55.5)
+
+    def test_boundary_value_counts_into_its_bucket(self):
+        h = Histogram(buckets=(1.0,))
+        h.observe(1.0)
+        assert h.sample()["buckets"] == [(1.0, 1)]
+
+    def test_needs_at_least_one_bound(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=())
+
+    def test_bounds_are_sorted(self):
+        h = Histogram(buckets=(10.0, 1.0, 5.0))
+        assert h.bounds == (1.0, 5.0, 10.0)
+
+
+class TestMetricFamily:
+    def test_unlabelled_family_proxies_to_single_child(self):
+        registry = MetricsRegistry()
+        family = registry.counter("requests_total", "help text")
+        family.inc()
+        family.inc(2)
+        assert family.value == 3
+
+    def test_labelled_children_are_independent(self):
+        registry = MetricsRegistry()
+        family = registry.counter("decisions", labelnames=("decision",))
+        family.labels(decision="grant").inc()
+        family.labels(decision="grant").inc()
+        family.labels("reject").inc()
+        samples = dict(family.samples())
+        assert samples[("grant",)]["value"] == 2
+        assert samples[("reject",)]["value"] == 1
+
+    def test_labelled_family_rejects_unlabelled_use(self):
+        registry = MetricsRegistry()
+        family = registry.counter("x", labelnames=("a",))
+        with pytest.raises(ValueError, match="requires labels"):
+            family.inc()
+
+    def test_label_arity_checked(self):
+        registry = MetricsRegistry()
+        family = registry.counter("x", labelnames=("a", "b"))
+        with pytest.raises(ValueError):
+            family.labels("only-one")
+        with pytest.raises(ValueError, match="missing label"):
+            family.labels(a="1")
+        with pytest.raises(ValueError, match="unknown labels"):
+            family.labels(a="1", b="2", c="3")
+
+    def test_remove_drops_one_combination(self):
+        registry = MetricsRegistry()
+        family = registry.gauge("reserved", labelnames=("container",))
+        family.labels(container="c1").set(1)
+        family.labels(container="c2").set(2)
+        family.remove(container="c1")
+        assert [values for values, _ in family.samples()] == [("c2",)]
+        family.remove(container="never-existed")  # no-op, no raise
+
+    def test_clear_resets_children(self):
+        registry = MetricsRegistry()
+        family = registry.counter("x", labelnames=("a",))
+        family.labels(a="1").inc()
+        family.clear()
+        assert family.samples() == []
+
+
+class TestMetricsRegistry:
+    def test_registration_is_idempotent(self):
+        registry = MetricsRegistry()
+        first = registry.counter("hits", "help")
+        again = registry.counter("hits")
+        assert first is again
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("hits")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("hits")
+
+    def test_labelname_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("hits", labelnames=("a",))
+        with pytest.raises(ValueError, match="already registered"):
+            registry.counter("hits", labelnames=("b",))
+
+    def test_histogram_buckets_forwarded(self):
+        registry = MetricsRegistry()
+        family = registry.histogram("lat", buckets=(0.5, 1.0))
+        family.observe(0.7)
+        (_, sample), = family.samples()
+        assert [b for b, _ in sample["buckets"]] == [0.5, 1.0]
+
+    def test_collect_sorted_by_name(self):
+        registry = MetricsRegistry()
+        registry.counter("zeta")
+        registry.counter("alpha")
+        assert [f.name for f in registry.collect()] == ["alpha", "zeta"]
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("c", "a counter").inc()
+        registry.histogram("h", buckets=(1.0,)).observe(0.1)
+        snap = registry.snapshot()
+        assert snap["c"]["samples"] == [{"value": 1.0}]
+        hist = snap["h"]["samples"][0]
+        assert hist["count"] == 1 and hist["buckets"] == [{"le": 1.0, "count": 1}]
+
+
+class TestCollectors:
+    def test_collector_runs_on_collect(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth")
+        registry.add_collector(lambda: gauge.set(7))
+        registry.collect()
+        assert gauge.value == 7
+
+    def test_collector_dropped_when_owner_dies(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth")
+
+        class Owner:
+            pass
+
+        owner = Owner()
+        calls = []
+
+        def collect():
+            calls.append(1)
+            gauge.set(1)
+
+        registry.add_collector(collect, owner=owner)
+        registry.collect()
+        assert len(calls) == 1
+        del owner
+        gc.collect()
+        registry.collect()
+        assert len(calls) == 1  # not run again; silently dropped
+
+    def test_broken_collector_does_not_break_scrape(self):
+        registry = MetricsRegistry()
+        registry.counter("fine").inc()
+
+        def broken():
+            raise RuntimeError("boom")
+
+        registry.add_collector(broken)
+        families = registry.collect()  # must not raise
+        assert [f.name for f in families] == ["fine"]
+
+    def test_remove_collector(self):
+        registry = MetricsRegistry()
+        calls = []
+        callback = lambda: calls.append(1)  # noqa: E731
+        registry.add_collector(callback)
+        registry.remove_collector(callback)
+        registry.collect()
+        assert calls == []
+
+
+def test_default_buckets_are_sorted():
+    assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)

@@ -1,0 +1,144 @@
+"""Unit tests for spans and wire context propagation (`repro.obs.trace`)."""
+
+import pytest
+
+from repro.obs.trace import (
+    SPAN_ID_FIELD,
+    TRACE_ID_FIELD,
+    SpanContext,
+    Tracer,
+    extract_context,
+    inject_context,
+)
+
+
+class ManualClock:
+    def __init__(self) -> None:
+        self.time = 0.0
+
+    def __call__(self) -> float:
+        return self.time
+
+
+@pytest.fixture
+def clock():
+    return ManualClock()
+
+
+@pytest.fixture
+def tracer(clock):
+    return Tracer(clock=clock, seed=7)
+
+
+class TestSpanLifecycle:
+    def test_span_measures_clock_interval(self, tracer, clock):
+        span = tracer.start_span("op")
+        clock.time = 2.5
+        span.finish()
+        assert span.duration == 2.5
+        assert tracer.finished() == [span]
+
+    def test_finish_is_idempotent(self, tracer, clock):
+        span = tracer.start_span("op")
+        span.finish()
+        clock.time = 99.0
+        span.finish(status="error")
+        assert span.end == 0.0
+        assert span.status == "ok"  # second finish ignored entirely
+        assert len(tracer.finished()) == 1
+
+    def test_root_span_starts_new_trace(self, tracer):
+        a = tracer.start_span("a")
+        b = tracer.start_span("b")
+        assert a.trace_id != b.trace_id
+        assert a.parent_id is None
+
+    def test_child_keeps_trace_id(self, tracer):
+        parent = tracer.start_span("parent")
+        child = tracer.start_span("child", parent=parent)
+        assert child.trace_id == parent.trace_id
+        assert child.parent_id == parent.span_id
+        assert child.span_id != parent.span_id
+
+    def test_ids_deterministic_under_seed(self):
+        ids = [Tracer(seed=42).start_span("x").trace_id for _ in range(2)]
+        assert ids[0] == ids[1]
+        assert len(ids[0]) == 32  # 128-bit hex
+
+    def test_attrs_and_status(self, tracer):
+        span = tracer.start_span("op", size=100)
+        span.set_attr("decision", "grant")
+        span.finish(status="error")
+        assert span.attrs == {"size": 100, "decision": "grant"}
+        assert span.status == "error"
+
+    def test_span_contextmanager_sets_error_on_raise(self, tracer):
+        with pytest.raises(RuntimeError):
+            with tracer.span("failing"):
+                raise RuntimeError("boom")
+        (span,) = tracer.finished("failing")
+        assert span.status == "error"
+
+    def test_buffer_is_bounded(self, clock):
+        tracer = Tracer(clock=clock, seed=1, max_spans=3)
+        for i in range(5):
+            tracer.start_span(f"s{i}").finish()
+        assert [s.name for s in tracer.finished()] == ["s2", "s3", "s4"]
+        assert tracer.dropped == 2
+
+    def test_traces_groups_by_trace_id(self, tracer, clock):
+        root = tracer.start_span("root")
+        clock.time = 1.0
+        child = tracer.start_span("child", parent=root)
+        child.finish()
+        root.finish()
+        other = tracer.start_span("other")
+        other.finish()
+        groups = tracer.traces()
+        assert set(groups) == {root.trace_id, other.trace_id}
+        assert [s.name for s in groups[root.trace_id]] == ["root", "child"]
+
+
+class TestWirePropagation:
+    def test_inject_adds_both_fields(self, tracer):
+        span = tracer.start_span("op")
+        payload = {"size": 1}
+        inject_context(payload, span)
+        assert payload[TRACE_ID_FIELD] == span.trace_id
+        assert payload[SPAN_ID_FIELD] == span.span_id
+
+    def test_inject_none_source_is_noop(self):
+        payload = {"size": 1}
+        inject_context(payload, None)
+        assert payload == {"size": 1}
+
+    def test_inject_never_overwrites_existing_trace(self, tracer):
+        """A re-issued request keeps its original identifiers (redial rule)."""
+        span = tracer.start_span("op")
+        payload = {TRACE_ID_FIELD: "original", SPAN_ID_FIELD: "parent"}
+        inject_context(payload, span)
+        assert payload[TRACE_ID_FIELD] == "original"
+        assert payload[SPAN_ID_FIELD] == "parent"
+
+    def test_extract_round_trip(self, tracer):
+        span = tracer.start_span("op")
+        payload: dict = {}
+        inject_context(payload, span)
+        context = extract_context(payload)
+        assert context == span.context
+
+    def test_extract_absent_or_malformed(self):
+        assert extract_context({}) is None
+        assert extract_context({TRACE_ID_FIELD: 123}) is None
+        assert extract_context({TRACE_ID_FIELD: ""}) is None
+        # span_id missing or wrong type degrades to empty parent, not a crash
+        ctx = extract_context({TRACE_ID_FIELD: "abc", SPAN_ID_FIELD: 5})
+        assert ctx == SpanContext("abc", "")
+
+    def test_parenting_via_extracted_context(self, tracer):
+        client = tracer.start_span("client")
+        payload: dict = {}
+        inject_context(payload, client)
+        server = tracer.start_span("server", parent=extract_context(payload))
+        assert server.trace_id == client.trace_id
+        assert server.parent_id == client.span_id

@@ -1,0 +1,85 @@
+"""End-to-end tracing: one CUDA call = one wrapper→scheduler trace.
+
+Runs the full simulated middleware with a tracer wired through
+(`run_schedule(capture_trace=True)`) and asserts the trace topology the
+docs promise — plus the protocol-level validation of the trace fields.
+"""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.experiments.multi import run_schedule
+from repro.ipc import protocol
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    return run_schedule("BF", 4, 2017, capture_trace=True, capture_events=True)
+
+
+class TestSimTraceCapture:
+    def test_run_produces_spans_and_events(self, traced_run):
+        assert traced_run.spans and traced_run.events
+
+    def test_untraced_run_produces_none(self):
+        result = run_schedule("BF", 2, 2017)
+        assert result.spans == [] and result.events == []
+
+    def test_alloc_has_wrapper_and_scheduler_spans_in_one_trace(self, traced_run):
+        by_trace: dict = {}
+        for span in traced_run.spans:
+            by_trace.setdefault(span.trace_id, []).append(span)
+        joined = [
+            spans for spans in by_trace.values()
+            if {s.name for s in spans} >= {"wrapper.cudaMalloc", "scheduler.alloc_request"}
+        ]
+        assert joined, "no trace contains both wrapper and scheduler spans"
+        for spans in joined:
+            wrapper = next(s for s in spans if s.name == "wrapper.cudaMalloc")
+            sched = next(s for s in spans if s.name == "scheduler.alloc_request")
+            # The scheduler span is a descendant of the wrapper span.
+            span_ids = {s.span_id for s in spans}
+            assert sched.parent_id in span_ids
+            assert wrapper.parent_id is None
+
+    def test_scheduler_span_records_decision(self, traced_run):
+        decisions = {
+            s.attrs.get("decision")
+            for s in traced_run.spans
+            if s.name == "scheduler.alloc_request"
+        }
+        assert decisions <= {"grant", "pause", "reject"}
+        assert "grant" in decisions
+
+    def test_span_times_are_virtual_seconds(self, traced_run):
+        finished_time = traced_run.finished_time
+        for span in traced_run.spans:
+            assert 0.0 <= span.start <= finished_time
+            assert span.end is not None and span.end <= finished_time
+
+    def test_trace_capture_does_not_change_schedule(self):
+        base = run_schedule("BF", 4, 2017)
+        traced = run_schedule("BF", 4, 2017, capture_trace=True)
+        assert traced.finished_time == base.finished_time
+        assert traced.avg_suspended == base.avg_suspended
+        assert [o.name for o in traced.outcomes] == [o.name for o in base.outcomes]
+
+
+class TestProtocolTraceFields:
+    def test_string_trace_fields_accepted(self):
+        message = protocol.make_request(
+            "mem_get_info", seq=1, container_id="c1", pid=1,
+            trace_id="abc123", span_id="def456",
+        )
+        assert message["trace_id"] == "abc123"
+
+    def test_non_string_trace_fields_rejected(self):
+        with pytest.raises(ProtocolError, match="trace_id"):
+            protocol.make_request(
+                "mem_get_info", seq=1, container_id="c1", pid=1, trace_id=123,
+            )
+        with pytest.raises(ProtocolError, match="span_id"):
+            protocol.make_request(
+                "mem_get_info", seq=1, container_id="c1", pid=1,
+                trace_id="ok", span_id=5.5,
+            )
