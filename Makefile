@@ -2,7 +2,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test stress bench crash check lint
+.PHONY: test stress bench bench-concurrency churn crash check lint
 
 test:            ## tier-1: fast unit/integration/property tests
 	$(PYTHON) -m pytest -x -q
@@ -12,6 +12,13 @@ stress:          ## deep randomized fault-injection lane
 
 bench:           ## regenerate every table & figure
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-concurrency:  ## loop-vs-threads scaling table (8/64/256 containers)
+	$(PYTHON) -m pytest benchmarks/test_bench_concurrency.py -q -s
+
+churn:           ## connection-churn / lifecycle-leak lane under a hard deadline
+	timeout 600 $(PYTHON) -m pytest tests/ipc/test_connection_churn.py \
+		tests/core/test_daemon_lifecycle.py -q
 
 crash:           ## daemon-crash fault-injection experiment (exit 0 = recovered)
 	$(PYTHON) -m repro crash

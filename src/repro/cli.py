@@ -109,6 +109,15 @@ def build_parser() -> argparse.ArgumentParser:
     daemon_cmd.add_argument("--base-dir", default=None,
                             help="socket directory (temp dir when omitted)")
     daemon_cmd.add_argument("--transport", choices=("unix", "tcp"), default="unix")
+    daemon_cmd.add_argument(
+        "--io", choices=("loop", "threads"), default="loop",
+        help="I/O backend: one shared selector loop + worker pool (default) "
+             "or the thread-per-connection ablation baseline",
+    )
+    daemon_cmd.add_argument(
+        "--io-workers", type=int, default=4, metavar="N",
+        help="dispatch worker pool size for --io loop (default: 4)",
+    )
     daemon_cmd.add_argument("--host", default="127.0.0.1")
     daemon_cmd.add_argument("--port", type=int, default=0,
                             help="control port for --transport tcp (0 = ephemeral)")
@@ -367,6 +376,8 @@ def _cmd_daemon(args) -> int:
     common = dict(
         base_dir=args.base_dir,
         transport=args.transport,
+        io=args.io,
+        io_workers=args.io_workers,
         host=args.host,
         control_port=args.port,
         monitor=monitor,
@@ -391,6 +402,7 @@ def _cmd_daemon(args) -> int:
     endpoints = {
         "pid": os.getpid(),
         "transport": args.transport,
+        "io": args.io,
         "base_dir": daemon.base_dir,
         "control": daemon.control_path,
     }

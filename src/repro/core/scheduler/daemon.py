@@ -46,6 +46,7 @@ from repro.core.scheduler.policies import SchedulingPolicy
 from repro.core.scheduler.service import SchedulerService
 from repro.errors import SchedulerError
 from repro.ipc import protocol
+from repro.ipc.loop import DEFAULT_IO_WORKERS, IoLoop
 from repro.ipc.tcp_socket import TcpSocketServer
 from repro.ipc.unix_socket import UnixSocketServer
 from repro.obs.http import MetricsServer
@@ -94,6 +95,13 @@ class SchedulerDaemon:
         transport: ``"unix"`` (the paper's choice) or ``"tcp"``; TCP mode
             listens on ``host``/``control_port`` and hands each container
             an ephemeral port in its registration reply.
+        io: ``"loop"`` (default) serves the control socket and every
+            per-container socket from one shared selector thread plus a
+            bounded worker pool — the daemon's thread count stays constant
+            no matter how many containers attach; ``"threads"`` keeps the
+            original accept-thread + reader-thread-per-connection model
+            (the Fig. 4 ablation baseline).
+        io_workers: dispatch pool size for ``io="loop"``.
         journal: attached write-ahead journal (owned: closed on stop).
         monitor: heartbeat monitor enabling the orphan reaper.
         reap_interval: seconds between reaper sweeps.
@@ -113,6 +121,8 @@ class SchedulerDaemon:
         transport: str = "unix",
         host: str = "127.0.0.1",
         control_port: int = 0,
+        io: str = "loop",
+        io_workers: int = DEFAULT_IO_WORKERS,
         journal: SchedulerJournal | None = None,
         monitor: HeartbeatMonitor | None = None,
         reap_interval: float = 1.0,
@@ -121,6 +131,8 @@ class SchedulerDaemon:
     ) -> None:
         if transport not in ("unix", "tcp"):
             raise SchedulerError(f"unknown transport {transport!r}")
+        if io not in ("loop", "threads"):
+            raise SchedulerError(f"unknown io backend {io!r}")
         self.scheduler = scheduler
         self.journal = journal
         self.monitor = monitor
@@ -135,6 +147,9 @@ class SchedulerDaemon:
         self.transport = transport
         self.host = host
         self.control_port = control_port
+        self.io = io
+        self.io_workers = io_workers
+        self._io_loop: IoLoop | None = None
         self._owns_base_dir = base_dir is None
         self.base_dir = base_dir or tempfile.mkdtemp(prefix="convgpu-")
         os.makedirs(self.base_dir, exist_ok=True)
@@ -143,6 +158,7 @@ class SchedulerDaemon:
         self._container_servers: dict[str, UnixSocketServer | TcpSocketServer] = {}
         self._container_dirs: dict[str, str] = {}
         self._container_ports: dict[str, int] = {}
+        self._teardown_lock = threading.Lock()
         self._reaper: threading.Thread | None = None
         self._reaper_stop = threading.Event()
         #: Container ids whose close was synthesized by the reaper.
@@ -194,14 +210,19 @@ class SchedulerDaemon:
     def start(self) -> "SchedulerDaemon":
         if self._control_server is not None:
             raise SchedulerError("daemon already started")
+        if self.io == "loop":
+            self._io_loop = IoLoop(workers=self.io_workers).start()
         if self.transport == "unix":
             self._control_server = UnixSocketServer(
-                self.control_path, self._handle_control
+                self.control_path, self._handle_control, loop=self._io_loop
             )
             self._control_server.start()
         else:
             server = TcpSocketServer(
-                self._handle_control, host=self.host, port=self.control_port
+                self._handle_control,
+                host=self.host,
+                port=self.control_port,
+                loop=self._io_loop,
             )
             server.start()
             self.control_port = server.port
@@ -225,6 +246,7 @@ class SchedulerDaemon:
         self.log.info(
             "daemon_started",
             transport=self.transport,
+            io=self.io,
             base_dir=self.base_dir,
             containers=len(self._container_dirs),
             metrics_url=(
@@ -268,6 +290,9 @@ class SchedulerDaemon:
             self._control_server.stop()
             self._control_server = None
             self.log.info("daemon_stopped")
+        if self._io_loop is not None:
+            self._io_loop.stop()
+            self._io_loop = None
         if self.metrics_server is not None:
             self.metrics_server.stop()
             self.metrics_server = None
@@ -303,6 +328,16 @@ class SchedulerDaemon:
             return reply
         if msg_type == protocol.MSG_CONTAINER_EXIT:
             reply = self.service.handle(message, reply_handle)
+            if isinstance(reply, dict) and reply.get("status") != "ok":
+                # Unknown (or already-exited) container: there is nothing to
+                # tear down, and tearing down anyway is exactly the
+                # reaper-races-a-real-exit double-teardown bug.
+                self.log.warning(
+                    "container_exit_rejected",
+                    container_id=message["container_id"],
+                    error=reply.get("error"),
+                )
+                return reply
             self._teardown_container_dir(message["container_id"])
             self.log.info(
                 "container_exited",
@@ -327,10 +362,14 @@ class SchedulerDaemon:
         if self.transport == "unix":
             socket_path = os.path.join(directory, CONTAINER_SOCKET_NAME)
             # (UnixSocketServer.start unlinks a stale socket left by a crash.)
-            server = UnixSocketServer(socket_path, self.service.handle)
+            server = UnixSocketServer(
+                socket_path, self.service.handle, loop=self._io_loop
+            )
             server.start()
         else:
-            server = TcpSocketServer(self.service.handle, host=self.host, port=0)
+            server = TcpSocketServer(
+                self.service.handle, host=self.host, port=0, loop=self._io_loop
+            )
             server.start()
             self._container_ports[container_id] = server.port
         self._container_servers[container_id] = server
@@ -338,15 +377,23 @@ class SchedulerDaemon:
         return directory
 
     def _teardown_container_dir(self, container_id: str) -> None:
+        """Remove one container's socket, directory and gauge rows.
+
+        Idempotent by construction: all bookkeeping is claimed atomically
+        under ``_teardown_lock``, so the orphan reaper racing a real
+        ``container_exit`` (or a repeated exit) finds nothing left to tear
+        down and returns without touching a stopped server twice.
+        """
+        with self._teardown_lock:
+            server = self._container_servers.pop(container_id, None)
+            directory = self._container_dirs.pop(container_id, None)
+            self._container_ports.pop(container_id, None)
         _RESERVED.remove(container=container_id)
         _USED.remove(container=container_id)
         if self.monitor is not None:
             self.monitor.forget(container_id)
-        server = self._container_servers.pop(container_id, None)
         if server is not None:
             server.stop()
-        self._container_ports.pop(container_id, None)
-        directory = self._container_dirs.pop(container_id, None)
         if directory is not None:
             shutil.rmtree(directory, ignore_errors=True)
 

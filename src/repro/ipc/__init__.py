@@ -11,6 +11,13 @@ Three interchangeable transports share one handler contract
 - :mod:`repro.ipc.channel` — in-process dispatch for deterministic tests
   and the discrete-event simulation.
 
+Both socket transports run on either of two server I/O backends: the
+default shared selector loop (:mod:`repro.ipc.loop` — one I/O thread plus
+a fixed worker pool multiplexes every listener and connection; pass
+``loop=IoLoop(...)`` to the server) or thread-per-connection (no ``loop``;
+the Fig. 4 ablation baseline).  Wire behaviour is identical across
+backends (DESIGN.md §10).
+
 Client-side crash resilience (reconnect + exponential backoff with jitter)
 lives in :mod:`repro.ipc.retry`; transports raise the typed
 :class:`~repro.errors.IpcTimeoutError` / :class:`~repro.errors.IpcDisconnected`
@@ -18,6 +25,7 @@ errors that the retry loop keys on.
 """
 
 from repro.ipc.channel import ChannelReplyHandle, InProcessChannel, PendingReply
+from repro.ipc.loop import DEFAULT_IO_WORKERS, IoLoop
 from repro.ipc.protocol import (
     MAX_FRAME_BYTES,
     MSG_ALLOC_ABORT,
@@ -67,6 +75,8 @@ __all__ = [
     "encode",
     "decode",
     "DEFER",
+    "IoLoop",
+    "DEFAULT_IO_WORKERS",
     "ReplyHandle",
     "UnixSocketServer",
     "UnixSocketClient",

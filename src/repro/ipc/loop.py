@@ -1,0 +1,461 @@
+"""Shared selector-based I/O core for the socket transports.
+
+The paper's daemon creates "UNIX socket for each container" (§III-D); with
+a thread-per-connection server that means two threads per container (accept
++ reader) and unbounded growth under churn.  :class:`IoLoop` replaces that
+model with the classic reactor shape:
+
+- **one I/O thread** multiplexes every registered listener and connection
+  through :mod:`selectors` — accepting, reading, and splitting the byte
+  stream into newline-delimited frames;
+- **a small bounded worker pool** runs protocol decode and the scheduler
+  handler, so a deferred (paused) reply or a slow handler never blocks
+  reads for the other few hundred containers;
+- **per-connection frame ordering** is preserved: a connection's frames are
+  processed by at most one worker at a time, in arrival order, exactly as
+  the old reader thread did — ``notify`` followed by ``call`` stays in
+  sequence and the ``seq`` correlation invariant holds.
+
+Both :class:`repro.ipc.unix_socket.UnixSocketServer` and
+:class:`repro.ipc.tcp_socket.TcpSocketServer` accept ``loop=`` and register
+their listener with it instead of spawning threads; the scheduler daemon
+creates one loop and shares it across the control socket and every
+per-container socket, so the daemon's thread count is ``1 + workers``
+regardless of how many containers are attached.
+
+Sockets stay in **blocking** mode: the loop performs exactly one ``recv``
+per readiness event (a level-triggered selector re-reports a socket that
+still has buffered bytes), and replies keep using plain ``sendall`` from
+worker or scheduler threads under the existing per-connection write lock —
+which is what keeps the wire behaviour byte-identical to the threaded
+backend (see ``docs/PROTOCOL.md``).
+"""
+
+from __future__ import annotations
+
+import selectors
+import socket
+import threading
+from collections import deque
+from queue import Queue
+from typing import Any, Callable
+
+from repro.errors import TransportError
+from repro.obs.metrics import REGISTRY
+
+__all__ = ["IoLoop", "DEFAULT_IO_WORKERS"]
+
+#: Worker threads running decode + handler for a shared loop.  The scheduler
+#: core serializes decisions behind one RLock anyway, so a handful of workers
+#: is enough to keep the socket layer ahead of the scheduler.
+DEFAULT_IO_WORKERS = 4
+
+_QUEUE_DEPTH = REGISTRY.gauge(
+    "convgpu_ioloop_queue_depth",
+    "Connections queued for a worker in the shared I/O loop",
+)
+_LOOP_CONNECTIONS = REGISTRY.gauge(
+    "convgpu_ioloop_connections",
+    "Connections currently registered with the shared I/O loop",
+)
+
+
+class _Sentinel:
+    __slots__ = ("_name",)
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{self._name}>"
+
+
+#: Queued after a connection's last frame once the peer hung up.
+_CLOSE = _Sentinel("CLOSE")
+#: Queued when a connection exceeded the frame cap (hostile/corrupt peer).
+_OVERFLOW = _Sentinel("OVERFLOW")
+#: Worker shutdown marker.
+_STOP = _Sentinel("STOP")
+
+
+class _ConnState:
+    """Loop-side bookkeeping for one registered connection."""
+
+    __slots__ = (
+        "sock", "on_frame", "on_close", "on_overflow", "max_buffer",
+        "buffer", "pending", "scheduled", "lock", "finished",
+    )
+
+    def __init__(
+        self,
+        sock: socket.socket,
+        on_frame: Callable[[bytes], None],
+        on_close: Callable[[], None],
+        on_overflow: Callable[[], None] | None,
+        max_buffer: int,
+    ) -> None:
+        self.sock = sock
+        self.on_frame = on_frame
+        self.on_close = on_close
+        self.on_overflow = on_overflow
+        self.max_buffer = max_buffer
+        self.buffer = b""
+        #: Frames (and finally a _CLOSE/_OVERFLOW sentinel) awaiting a worker.
+        self.pending: deque[Any] = deque()
+        #: True while the connection sits in the worker queue or a worker is
+        #: draining it — the exclusion that keeps frames in per-conn order.
+        self.scheduled = False
+        self.lock = threading.Lock()
+        self.finished = False
+
+
+class IoLoop:
+    """One selector thread + a bounded worker pool, shared by many servers.
+
+    Args:
+        workers: size of the dispatch pool (>= 1).
+        queue_size: bound on connections awaiting a worker; the I/O thread
+            blocks (backpressure) when all workers are busy and the queue is
+            full, which is the intended behaviour — clients see latency, the
+            daemon never sees unbounded memory.
+    """
+
+    def __init__(self, *, workers: int = DEFAULT_IO_WORKERS, queue_size: int = 1024) -> None:
+        if workers < 1:
+            raise TransportError(f"IoLoop needs at least one worker: {workers}")
+        self.workers = workers
+        self._selector: selectors.BaseSelector | None = None
+        self._queue: Queue[Any] = Queue(maxsize=queue_size)
+        self._conns: dict[socket.socket, _ConnState] = {}
+        self._listeners: dict[socket.socket, Callable[[socket.socket], None]] = {}
+        self._ops: deque[Callable[[], None]] = deque()
+        self._ops_lock = threading.Lock()
+        self._thread: threading.Thread | None = None
+        self._worker_threads: list[threading.Thread] = []
+        self._stopping = threading.Event()
+        self._wake_r: socket.socket | None = None
+        self._wake_w: socket.socket | None = None
+        self._collector: Callable[[], None] | None = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "IoLoop":
+        if self._thread is not None:
+            raise TransportError("IoLoop already started")
+        self._stopping.clear()
+        self._selector = selectors.DefaultSelector()
+        self._wake_r, self._wake_w = socket.socketpair()
+        self._wake_r.setblocking(False)
+        self._selector.register(self._wake_r, selectors.EVENT_READ, ("wake", None))
+        self._thread = threading.Thread(
+            target=self._run, name="convgpu-ioloop", daemon=True
+        )
+        self._thread.start()
+        for i in range(self.workers):
+            worker = threading.Thread(
+                target=self._worker, name=f"convgpu-ioworker-{i}", daemon=True
+            )
+            worker.start()
+            self._worker_threads.append(worker)
+        # Queue depth is sampled at scrape time; the weakref owner keeps the
+        # process-global registry from pinning a stopped loop alive.
+        queue = self._queue
+
+        def collect() -> None:
+            _QUEUE_DEPTH.set(queue.qsize())
+
+        self._collector = collect
+        REGISTRY.add_collector(collect, owner=self)
+        return self
+
+    def stop(self) -> None:
+        """Stop the loop, close every registered socket, join all threads."""
+        if self._thread is None:
+            return
+        self._stopping.set()
+        self._wake()
+        self._thread.join(timeout=5.0)
+        self._thread = None
+        # The loop thread exited without touching its registrations: close
+        # the leftovers here so blocked peers wake with a clean EOF.
+        for sock, state in list(self._conns.items()):
+            self._enqueue(state, _CLOSE)
+        self._conns.clear()
+        for listener in list(self._listeners):
+            try:
+                listener.close()
+            except OSError:
+                pass
+        self._listeners.clear()
+        # FIFO queue: workers drain every pending frame/close before the
+        # stop markers reach them.
+        for _ in self._worker_threads:
+            self._queue.put(_STOP)
+        for worker in self._worker_threads:
+            worker.join(timeout=5.0)
+        self._worker_threads.clear()
+        if self._selector is not None:
+            try:
+                self._selector.close()
+            except OSError:
+                pass
+            self._selector = None
+        for sock in (self._wake_r, self._wake_w):
+            if sock is not None:
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+        self._wake_r = self._wake_w = None
+        _LOOP_CONNECTIONS.set(0)
+
+    def __enter__(self) -> "IoLoop":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # -- registration (thread-safe) -----------------------------------------
+
+    def add_listener(
+        self, listener: socket.socket, on_accept: Callable[[socket.socket], None]
+    ) -> None:
+        """Register a listening socket; ``on_accept(conn)`` runs on the loop
+        thread for every new connection (it should call
+        :meth:`add_connection` and return quickly)."""
+
+        def op() -> None:
+            assert self._selector is not None
+            self._listeners[listener] = on_accept
+            self._selector.register(
+                listener, selectors.EVENT_READ, ("listener", on_accept)
+            )
+
+        self._post(op)
+
+    def remove_listener(self, listener: socket.socket) -> None:
+        """Unregister and close a listening socket (idempotent)."""
+
+        def op() -> None:
+            if self._listeners.pop(listener, None) is None:
+                return
+            if self._selector is not None:
+                try:
+                    self._selector.unregister(listener)
+                except (KeyError, ValueError):
+                    pass
+            try:
+                listener.close()
+            except OSError:
+                pass
+
+        self._post(op)
+
+    def add_connection(
+        self,
+        conn: socket.socket,
+        *,
+        on_frame: Callable[[bytes], None],
+        on_close: Callable[[], None],
+        on_overflow: Callable[[], None] | None = None,
+        max_buffer: int = 64 * 1024,
+    ) -> None:
+        """Register an accepted connection for read multiplexing.
+
+        ``on_frame(frame)`` runs on a worker thread, frames of one
+        connection strictly in order; ``on_close()`` runs exactly once when
+        the connection is finished (peer EOF, error, :meth:`close_connection`
+        or :meth:`stop`); ``on_overflow()`` runs (before close) when the
+        peer exceeded ``max_buffer`` without completing a frame.
+        """
+        state = _ConnState(conn, on_frame, on_close, on_overflow, max_buffer)
+
+        def op() -> None:
+            if self._selector is None:  # loop already stopped: close out
+                self._finish(state)
+                return
+            self._conns[conn] = state
+            _LOOP_CONNECTIONS.inc()
+            self._selector.register(conn, selectors.EVENT_READ, ("conn", state))
+
+        self._post(op)
+
+    def close_connection(self, conn: socket.socket) -> None:
+        """Drop one connection: pending frames still drain, then it closes."""
+
+        def op() -> None:
+            state = self._drop(conn)
+            if state is not None:
+                self._enqueue(state, _CLOSE)
+
+        self._post(op)
+
+    # -- loop thread ---------------------------------------------------------
+
+    def _post(self, op: Callable[[], None]) -> None:
+        if threading.current_thread() is self._thread:
+            op()
+            return
+        if not self.running:
+            op()
+            return
+        with self._ops_lock:
+            self._ops.append(op)
+        self._wake()
+
+    def _wake(self) -> None:
+        wake = self._wake_w
+        if wake is not None:
+            try:
+                wake.send(b"\0")
+            except OSError:
+                pass
+
+    def _run_ops(self) -> None:
+        while True:
+            with self._ops_lock:
+                if not self._ops:
+                    return
+                op = self._ops.popleft()
+            try:
+                op()
+            except Exception:
+                # A failed registration must not take down the whole loop.
+                continue
+
+    def _run(self) -> None:
+        selector = self._selector
+        assert selector is not None
+        while not self._stopping.is_set():
+            self._run_ops()
+            try:
+                events = selector.select(timeout=1.0)
+            except OSError:
+                continue
+            for key, _mask in events:
+                kind, payload = key.data
+                if kind == "wake":
+                    try:
+                        while self._wake_r is not None and self._wake_r.recv(4096):
+                            pass
+                    except (BlockingIOError, OSError):
+                        pass
+                elif kind == "listener":
+                    self._handle_accept(key.fileobj, payload)
+                else:
+                    self._handle_readable(payload)
+
+    def _handle_accept(
+        self, listener: Any, on_accept: Callable[[socket.socket], None]
+    ) -> None:
+        try:
+            conn, _addr = listener.accept()
+        except OSError:
+            return  # listener closed under us; remove_listener cleans up
+        try:
+            on_accept(conn)
+        except Exception:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _handle_readable(self, state: _ConnState) -> None:
+        try:
+            chunk = state.sock.recv(65536)
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError:
+            chunk = b""
+        if not chunk:
+            if self._drop(state.sock) is not None:
+                self._enqueue(state, _CLOSE)
+            return
+        state.buffer += chunk
+        while b"\n" in state.buffer:
+            frame, state.buffer = state.buffer.split(b"\n", 1)
+            self._enqueue(state, frame + b"\n")
+        if len(state.buffer) > state.max_buffer:
+            # A frame that large can never be valid; stop reading and let a
+            # worker send the in-band error and hang up (same behaviour as
+            # the threaded backend).
+            if self._drop(state.sock) is not None:
+                self._enqueue(state, _OVERFLOW)
+
+    def _drop(self, conn: socket.socket) -> _ConnState | None:
+        """Loop thread only: unregister a connection, once."""
+        state = self._conns.pop(conn, None)
+        if state is None:
+            return None
+        _LOOP_CONNECTIONS.dec()
+        if self._selector is not None:
+            try:
+                self._selector.unregister(conn)
+            except (KeyError, ValueError):
+                pass
+        return state
+
+    # -- worker pool ---------------------------------------------------------
+
+    def _enqueue(self, state: _ConnState, item: Any) -> None:
+        """Queue one frame/sentinel, scheduling the connection if idle."""
+        with state.lock:
+            state.pending.append(item)
+            if state.scheduled:
+                return
+            state.scheduled = True
+        self._queue.put(state)
+
+    def _worker(self) -> None:
+        while True:
+            state = self._queue.get()
+            if state is _STOP:
+                return
+            while True:
+                with state.lock:
+                    if not state.pending:
+                        state.scheduled = False
+                        break
+                    item = state.pending.popleft()
+                self._process(state, item)
+
+    def _process(self, state: _ConnState, item: Any) -> None:
+        if item is _CLOSE:
+            self._finish(state)
+            return
+        if item is _OVERFLOW:
+            if state.on_overflow is not None:
+                try:
+                    state.on_overflow()
+                except Exception:
+                    pass
+            self._finish(state)
+            return
+        try:
+            state.on_frame(item)
+        except Exception:
+            # Handler bugs are reported in-band by the server's dispatch;
+            # anything escaping to here must not kill the worker.
+            pass
+
+    def _finish(self, state: _ConnState) -> None:
+        with state.lock:
+            if state.finished:
+                return
+            state.finished = True
+        try:
+            state.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            state.sock.close()
+        except OSError:
+            pass
+        try:
+            state.on_close()
+        except Exception:
+            pass

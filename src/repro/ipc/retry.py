@@ -53,6 +53,12 @@ class RetryPolicy:
         max_delay: cap on any single sleep.
         jitter: 0.0 = deterministic schedule, 1.0 = full jitter
             (each sleep drawn uniformly from [delay*(1-jitter), delay]).
+        give_up_after: optional wall-clock budget in seconds across *all*
+            attempts — once spent, the last error surfaces immediately
+            instead of sleeping through the rest of the schedule.  With
+            hundreds of containers redialing a torn-down socket (a reaped
+            container, a moved daemon) this bounds how long each client can
+            stay wedged; ``None`` (default) keeps the pure attempt budget.
     """
 
     max_attempts: int = 8
@@ -60,6 +66,7 @@ class RetryPolicy:
     multiplier: float = 2.0
     max_delay: float = 2.0
     jitter: float = 1.0
+    give_up_after: float | None = None
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -68,6 +75,8 @@ class RetryPolicy:
             raise ValueError("delays must be >= 0")
         if not 0.0 <= self.jitter <= 1.0:
             raise ValueError(f"jitter must be in [0, 1]: {self.jitter}")
+        if self.give_up_after is not None and self.give_up_after <= 0:
+            raise ValueError(f"give_up_after must be positive: {self.give_up_after}")
 
     def delay(self, attempt: int, rng: random.Random | None = None) -> float:
         """Sleep before retry number ``attempt`` (0-based)."""
@@ -94,8 +103,17 @@ def call_with_retry(
     sleep: Callable[[float], None] = time.sleep,
     rng: random.Random | None = None,
     on_retry: Callable[[int, BaseException], None] | None = None,
+    clock: Callable[[], float] = time.monotonic,
 ) -> Any:
-    """Run ``operation`` under the policy; re-raise the last error when spent."""
+    """Run ``operation`` under the policy; re-raise the last error when spent.
+
+    Attempts stop when either budget runs out: the attempt count, or —
+    when the policy sets ``give_up_after`` — the wall clock (measured by
+    ``clock``, injectable so tests can drive it deterministically).
+    """
+    deadline = (
+        clock() + policy.give_up_after if policy.give_up_after is not None else None
+    )
     last_exc: BaseException | None = None
     for attempt in range(policy.max_attempts):
         try:
@@ -104,9 +122,12 @@ def call_with_retry(
             last_exc = exc
             if attempt == policy.max_attempts - 1:
                 break
+            delay = policy.delay(attempt, rng)
+            if deadline is not None and clock() + delay > deadline:
+                break  # the budget would be spent sleeping: surface now
             if on_retry is not None:
                 on_retry(attempt, exc)
-            sleep(policy.delay(attempt, rng))
+            sleep(delay)
     assert last_exc is not None
     raise last_exc
 
@@ -136,6 +157,7 @@ class ResilientClient:
     factory: Callable[[], Any]
     policy: RetryPolicy = DEFAULT_RETRY_POLICY
     sleep: Callable[[float], None] = time.sleep
+    clock: Callable[[], float] = time.monotonic
     rng: random.Random | None = None
     tracer: Tracer | None = None
     #: (attempt, exception) pairs observed; observability + test oracle.
@@ -204,6 +226,7 @@ class ResilientClient:
                 sleep=self.sleep,
                 rng=self.rng,
                 on_retry=record,
+                clock=self.clock,
             )
         except (IpcDisconnected, IpcTimeoutError):
             if span is not None:

@@ -5,7 +5,7 @@ it, because of its complexity and low performance compared to that of UNIX
 socket."  This transport exists solely so the IPC ablation benchmark
 (`benchmarks/test_bench_ablation_ipc.py`) can quantify that design choice on
 the reproduction machine.  Interface-compatible with
-:mod:`repro.ipc.unix_socket`.
+:mod:`repro.ipc.unix_socket`, including the ``loop=`` shared-I/O backend.
 """
 
 from __future__ import annotations
@@ -16,155 +16,55 @@ from typing import Any
 
 from repro.errors import IpcDisconnected, TransportError
 from repro.ipc import protocol
+from repro.ipc.loop import IoLoop
 from repro.ipc.unix_socket import (
     DEFER,
     FRAMES_RECEIVED,
+    OPEN_CONNECTIONS,
     PROTOCOL_ERRORS,
     Handler,
     ReplyHandle,
+    _BaseSocketServer,
     map_os_error,
 )
 
 __all__ = ["TcpSocketServer", "TcpSocketClient"]
 
+# Re-exported for callers that imported the shared handles from here.
+_ = (DEFER, FRAMES_RECEIVED, OPEN_CONNECTIONS, PROTOCOL_ERRORS, ReplyHandle)
 
-class TcpSocketServer:
-    """Threaded loopback-TCP server speaking the ConVGPU protocol."""
 
-    def __init__(self, handler: Handler, host: str = "127.0.0.1", port: int = 0) -> None:
-        self.handler = handler
+class TcpSocketServer(_BaseSocketServer):
+    """Loopback-TCP server speaking the ConVGPU protocol.
+
+    Pass ``loop=`` to serve from a shared :class:`~repro.ipc.loop.IoLoop`
+    instead of dedicated accept/reader threads.
+    """
+
+    transport = "tcp"
+
+    def __init__(
+        self,
+        handler: Handler,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        loop: IoLoop | None = None,
+    ) -> None:
+        super().__init__(handler, loop=loop)
         self.host = host
         self.port = port  # 0 = ephemeral; actual port published after start()
-        self._listener: socket.socket | None = None
-        self._threads: list[threading.Thread] = []
-        self._conns: list[socket.socket] = []
-        self._conns_lock = threading.Lock()
-        self._stopping = threading.Event()
 
-    def start(self) -> "TcpSocketServer":
-        if self._listener is not None:
-            raise TransportError("server already started")
+    def _make_listener(self) -> socket.socket:
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         listener.bind((self.host, self.port))
-        listener.listen(16)
+        listener.listen(128)
         self.port = listener.getsockname()[1]
-        self._listener = listener
-        thread = threading.Thread(target=self._accept_loop, daemon=True)
-        thread.start()
-        self._threads.append(thread)
-        return self
+        return listener
 
-    def stop(self) -> None:
-        self._stopping.set()
-        if self._listener is not None:
-            try:
-                self._listener.shutdown(socket.SHUT_RDWR)  # wake accept()
-            except OSError:
-                pass
-            try:
-                self._listener.close()
-            except OSError:
-                pass
-            self._listener = None
-        with self._conns_lock:
-            conns, self._conns = self._conns, []
-        for conn in conns:
-            try:
-                conn.shutdown(socket.SHUT_RDWR)
-            except OSError:
-                pass
-            conn.close()
-        for thread in self._threads:
-            thread.join(timeout=2.0)
-        self._threads.clear()
-
-    def __enter__(self) -> "TcpSocketServer":
-        return self.start()
-
-    def __exit__(self, *exc_info: object) -> None:
-        self.stop()
-
-    def _accept_loop(self) -> None:
-        assert self._listener is not None
-        listener = self._listener
-        while not self._stopping.is_set():
-            try:
-                conn, _addr = listener.accept()
-            except OSError:
-                return
-            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            with self._conns_lock:
-                self._conns.append(conn)
-            reader = threading.Thread(
-                target=self._serve_connection, args=(conn,), daemon=True
-            )
-            reader.start()
-            self._threads.append(reader)
-
-    def _serve_connection(self, conn: socket.socket) -> None:
-        write_lock = threading.Lock()
-        buffer = b""
-        while not self._stopping.is_set():
-            try:
-                chunk = conn.recv(65536)
-            except OSError:
-                return
-            if not chunk:
-                return
-            buffer += chunk
-            while b"\n" in buffer:
-                frame, buffer = buffer.split(b"\n", 1)
-                self._handle_frame(conn, write_lock, frame + b"\n")
-            if len(buffer) > protocol.MAX_FRAME_BYTES:
-                # Never buffer a hostile/corrupt stream without bound.
-                reply = protocol.make_error_reply(
-                    {"type": "unknown", "seq": 0},
-                    f"frame exceeds {protocol.MAX_FRAME_BYTES} bytes",
-                )
-                try:
-                    with write_lock:
-                        conn.sendall(protocol.encode(reply))
-                except OSError:
-                    pass
-                try:
-                    conn.shutdown(socket.SHUT_RDWR)
-                except OSError:
-                    pass
-                conn.close()
-                return
-
-    def _handle_frame(self, conn: socket.socket, write_lock: threading.Lock, frame: bytes) -> None:
-        FRAMES_RECEIVED.labels(transport="tcp").inc()
-        try:
-            message = protocol.decode(frame)
-            protocol.validate_request(message)
-        except Exception as exc:
-            PROTOCOL_ERRORS.labels(transport="tcp").inc()
-            try:
-                with write_lock:
-                    conn.sendall(
-                        protocol.encode(
-                            protocol.make_error_reply({"type": "unknown", "seq": 0}, str(exc))
-                        )
-                    )
-            except OSError:
-                pass
-            return
-        handle = ReplyHandle(conn, write_lock, message.get("seq", 0))
-        try:
-            result = self.handler(message, handle)
-        except Exception as exc:
-            result = protocol.make_error_reply(message, f"internal error: {exc}")
-        if message["type"] in protocol.NOTIFICATION_TYPES:
-            return  # one-way traffic: never reply (keeps seq in sync)
-        if result is DEFER:
-            return
-        if result is not None:
-            try:
-                handle.send(result)
-            except TransportError:
-                pass
+    def _configure_conn(self, conn: socket.socket) -> None:
+        conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
 
 
 class TcpSocketClient:

@@ -16,6 +16,17 @@ the :class:`ReplyHandle` the handler received — meanwhile the client's
 ``call()`` simply stays blocked in ``recv``, which is precisely how ConVGPU
 suspends a container ("the response from the scheduler will be suspended
 until the required size of memory is available", §III-D).
+
+Two interchangeable I/O backends drive each server:
+
+- **threads** (``loop=None``): one accept thread plus one reader thread per
+  connection — the original model, kept for the Fig. 4 ablation;
+- **shared loop** (``loop=IoLoop``): the server registers its listener with
+  a :class:`repro.ipc.loop.IoLoop` and contributes **zero** threads of its
+  own; one selector thread and a bounded worker pool serve every server on
+  the loop, which is how the daemon scales to hundreds of containers.
+
+Wire behaviour is identical on both backends (see ``docs/PROTOCOL.md``).
 """
 
 from __future__ import annotations
@@ -24,10 +35,12 @@ import errno
 import os
 import socket
 import threading
+import time
 from typing import Any, Callable, Mapping
 
 from repro.errors import IpcDisconnected, IpcTimeoutError, TransportError
 from repro.ipc import protocol
+from repro.ipc.loop import IoLoop
 from repro.obs.metrics import REGISTRY
 
 __all__ = ["DEFER", "ReplyHandle", "UnixSocketServer", "UnixSocketClient",
@@ -43,6 +56,11 @@ FRAMES_RECEIVED = REGISTRY.counter(
 PROTOCOL_ERRORS = REGISTRY.counter(
     "convgpu_protocol_errors_total",
     "Frames rejected by decode/validation at socket servers",
+    labelnames=("transport",),
+)
+OPEN_CONNECTIONS = REGISTRY.gauge(
+    "convgpu_open_connections",
+    "Server-side protocol connections currently open",
     labelnames=("transport",),
 )
 
@@ -80,7 +98,14 @@ Handler = Callable[[dict[str, Any], "ReplyHandle"], Any]
 
 
 class ReplyHandle:
-    """Capability to answer one request, possibly after the handler returned."""
+    """Capability to answer one request, possibly after the handler returned.
+
+    Backend-agnostic by construction: the handle owns the connection socket
+    and its per-connection write lock, so a deferred (paused) reply can be
+    completed from *any* thread — a reader thread, a shared-loop worker, or
+    the scheduler thread that resumes a paused container — and the bytes on
+    the wire are identical on both I/O backends.
+    """
 
     def __init__(self, conn: socket.socket, lock: threading.Lock, seq: int) -> None:
         self._conn = conn
@@ -102,100 +127,179 @@ class ReplyHandle:
                 raise TransportError(f"send failed: {exc}") from exc
 
 
-class UnixSocketServer:
-    """Threaded UNIX-socket server speaking the ConVGPU protocol.
+class _BaseSocketServer:
+    """Shared server machinery for both socket transports.
 
-    One instance per socket path; the GPU memory scheduler daemon creates
-    one per container plus one control socket (mirroring §III-D: "It
-    creates UNIX socket for each container").
+    Subclasses provide :meth:`_make_listener` (and optionally
+    :meth:`_configure_conn` / :meth:`_after_stop`); everything else —
+    accept, framing, dispatch, connection lifecycle on either I/O backend —
+    lives here so the two transports cannot drift apart.
+
+    Connection-lifecycle invariants (regression-tested under churn):
+
+    - every accepted connection appears in ``_conns`` exactly until it is
+      finished, whichever side hung up first — ``stop()`` never re-closes a
+      dead socket and a long-lived server never accumulates entries;
+    - in threads mode, finished reader threads are pruned immediately (the
+      seed's ``_threads`` list grew one entry per connection, forever);
+    - all ``_conns``/thread bookkeeping is done under ``_conns_lock``
+      (``stop()`` iterating while the accept path appends was a data race).
     """
 
-    def __init__(self, path: str, handler: Handler) -> None:
-        self.path = path
+    transport: str = "unknown"
+
+    def __init__(self, handler: Handler, *, loop: IoLoop | None = None) -> None:
         self.handler = handler
+        self._loop = loop
         self._listener: socket.socket | None = None
-        self._threads: list[threading.Thread] = []
+        self._accept_thread: threading.Thread | None = None
+        self._conn_threads: set[threading.Thread] = set()
         self._conns: list[socket.socket] = []
         self._conns_lock = threading.Lock()
         self._stopping = threading.Event()
 
+    # -- transport hooks -----------------------------------------------------
+
+    def _make_listener(self) -> socket.socket:
+        raise NotImplementedError
+
+    def _configure_conn(self, conn: socket.socket) -> None:
+        """Per-connection socket options (TCP sets NODELAY here)."""
+
+    def _after_stop(self) -> None:
+        """Post-shutdown cleanup (UNIX unlinks the socket file here)."""
+
     # -- lifecycle ----------------------------------------------------------
 
-    def start(self) -> "UnixSocketServer":
+    def start(self):
         if self._listener is not None:
-            raise TransportError(f"server already started on {self.path}")
-        if os.path.exists(self.path):
-            os.unlink(self.path)
-        os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
-        listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-        listener.bind(self.path)
-        listener.listen(16)
+            raise TransportError("server already started")
+        self._stopping.clear()
+        listener = self._make_listener()
         self._listener = listener
-        accept_thread = threading.Thread(
-            target=self._accept_loop, name=f"convgpu-accept:{self.path}", daemon=True
-        )
-        accept_thread.start()
-        self._threads.append(accept_thread)
+        if self._loop is not None:
+            self._loop.add_listener(listener, self._loop_accept)
+        else:
+            self._accept_thread = threading.Thread(
+                target=self._accept_loop,
+                args=(listener,),
+                name=f"convgpu-accept:{self.transport}",
+                daemon=True,
+            )
+            self._accept_thread.start()
         return self
 
     def stop(self) -> None:
-        """Stop accepting, close all connections, remove the socket file."""
+        """Stop accepting, close all connections, join worker threads."""
         self._stopping.set()
-        if self._listener is not None:
-            try:
-                # shutdown() wakes a thread blocked in accept(); close()
-                # alone can leave it sleeping until the join timeout.
-                self._listener.shutdown(socket.SHUT_RDWR)
-            except OSError:
-                pass
-            try:
-                self._listener.close()
-            except OSError:
-                pass
-            self._listener = None
-        with self._conns_lock:
-            conns, self._conns = self._conns, []
-        for conn in conns:
-            try:
-                conn.shutdown(socket.SHUT_RDWR)
-            except OSError:
-                pass
-            conn.close()
-        for thread in self._threads:
-            thread.join(timeout=2.0)
-        self._threads.clear()
-        if os.path.exists(self.path):
-            try:
-                os.unlink(self.path)
-            except OSError:
-                pass
+        listener, self._listener = self._listener, None
+        if self._loop is not None:
+            if listener is not None:
+                self._loop.remove_listener(listener)
+            with self._conns_lock:
+                conns = list(self._conns)
+            for conn in conns:
+                self._loop.close_connection(conn)
+            # The loop's workers complete the closes (after draining any
+            # frames already queued for those connections); wait briefly so
+            # stop() is observably complete for well-behaved peers.
+            deadline = time.monotonic() + 2.0
+            while time.monotonic() < deadline:
+                with self._conns_lock:
+                    if not self._conns:
+                        break
+                time.sleep(0.002)
+        else:
+            if listener is not None:
+                try:
+                    # shutdown() wakes a thread blocked in accept(); close()
+                    # alone can leave it sleeping until the join timeout.
+                    listener.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+                try:
+                    listener.close()
+                except OSError:
+                    pass
+            with self._conns_lock:
+                conns, self._conns = self._conns, []
+                threads = list(self._conn_threads)
+            for conn in conns:
+                try:
+                    conn.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+                conn.close()
+                OPEN_CONNECTIONS.labels(transport=self.transport).dec()
+            accept_thread, self._accept_thread = self._accept_thread, None
+            if accept_thread is not None:
+                accept_thread.join(timeout=2.0)
+            for thread in threads:
+                thread.join(timeout=2.0)
+        self._after_stop()
 
-    def __enter__(self) -> "UnixSocketServer":
+    def __enter__(self):
         return self.start()
 
     def __exit__(self, *exc_info: object) -> None:
         self.stop()
 
-    # -- internals ------------------------------------------------------------
+    # -- shared-loop backend ------------------------------------------------
 
-    def _accept_loop(self) -> None:
-        assert self._listener is not None
-        listener = self._listener
+    def _loop_accept(self, conn: socket.socket) -> None:
+        """Accept callback run on the loop thread: register, don't read."""
+        self._configure_conn(conn)
+        write_lock = threading.Lock()
+        with self._conns_lock:
+            if self._stopping.is_set():
+                conn.close()
+                return
+            self._conns.append(conn)
+        OPEN_CONNECTIONS.labels(transport=self.transport).inc()
+        assert self._loop is not None
+        self._loop.add_connection(
+            conn,
+            on_frame=lambda frame: self._dispatch(conn, write_lock, frame),
+            on_close=lambda: self._forget(conn),
+            on_overflow=lambda: self._send_oversize_reply(conn, write_lock),
+            max_buffer=protocol.MAX_FRAME_BYTES,
+        )
+
+    # -- threads backend ----------------------------------------------------
+
+    def _accept_loop(self, listener: socket.socket) -> None:
         while not self._stopping.is_set():
             try:
                 conn, _addr = listener.accept()
             except OSError:
                 return  # listener closed
-            with self._conns_lock:
-                self._conns.append(conn)
+            self._configure_conn(conn)
             reader = threading.Thread(
-                target=self._serve_connection,
+                target=self._serve_thread,
                 args=(conn,),
-                name=f"convgpu-conn:{self.path}",
+                name=f"convgpu-conn:{self.transport}",
                 daemon=True,
             )
+            with self._conns_lock:
+                if self._stopping.is_set():
+                    conn.close()
+                    return
+                self._conns.append(conn)
+                self._conn_threads.add(reader)
+            OPEN_CONNECTIONS.labels(transport=self.transport).inc()
             reader.start()
-            self._threads.append(reader)
+
+    def _serve_thread(self, conn: socket.socket) -> None:
+        try:
+            self._serve_connection(conn)
+        finally:
+            # Whichever way the connection ended (peer EOF, oversized frame,
+            # socket error), the entry leaves _conns and this thread leaves
+            # _conn_threads *now* — not at stop() — so a daemon under
+            # connection churn stays bounded.
+            self._forget(conn)
+            with self._conns_lock:
+                self._conn_threads.discard(threading.current_thread())
 
     def _serve_connection(self, conn: socket.socket) -> None:
         write_lock = threading.Lock()
@@ -214,29 +318,50 @@ class UnixSocketServer:
             if len(buffer) > protocol.MAX_FRAME_BYTES:
                 # A frame that large can never be valid; drop the connection
                 # instead of buffering a hostile/corrupt stream without bound.
-                reply = protocol.make_error_reply(
-                    {"type": "unknown", "seq": 0},
-                    f"frame exceeds {protocol.MAX_FRAME_BYTES} bytes",
-                )
-                try:
-                    with write_lock:
-                        conn.sendall(protocol.encode(reply))
-                except OSError:
-                    pass
-                try:
-                    conn.shutdown(socket.SHUT_RDWR)
-                except OSError:
-                    pass
-                conn.close()
+                self._send_oversize_reply(conn, write_lock)
                 return
 
-    def _dispatch(self, conn: socket.socket, write_lock: threading.Lock, frame: bytes) -> None:
-        FRAMES_RECEIVED.labels(transport="unix").inc()
+    # -- shared internals ----------------------------------------------------
+
+    def _forget(self, conn: socket.socket) -> None:
+        """Close one connection and drop its bookkeeping, exactly once."""
+        with self._conns_lock:
+            try:
+                self._conns.remove(conn)
+            except ValueError:
+                return  # stop() (or the other backend's path) already did
+        OPEN_CONNECTIONS.labels(transport=self.transport).dec()
+        try:
+            conn.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+    def _send_oversize_reply(
+        self, conn: socket.socket, write_lock: threading.Lock
+    ) -> None:
+        reply = protocol.make_error_reply(
+            {"type": "unknown", "seq": 0},
+            f"frame exceeds {protocol.MAX_FRAME_BYTES} bytes",
+        )
+        try:
+            with write_lock:
+                conn.sendall(protocol.encode(reply))
+        except OSError:
+            pass
+
+    def _dispatch(
+        self, conn: socket.socket, write_lock: threading.Lock, frame: bytes
+    ) -> None:
+        FRAMES_RECEIVED.labels(transport=self.transport).inc()
         try:
             message = protocol.decode(frame)
             protocol.validate_request(message)
         except Exception as exc:  # protocol errors go back in-band
-            PROTOCOL_ERRORS.labels(transport="unix").inc()
+            PROTOCOL_ERRORS.labels(transport=self.transport).inc()
             reply = protocol.make_error_reply({"type": "unknown", "seq": 0}, str(exc))
             try:
                 with write_lock:
@@ -260,6 +385,39 @@ class UnixSocketServer:
             try:
                 handle.send(result)
             except TransportError:
+                pass
+
+
+class UnixSocketServer(_BaseSocketServer):
+    """UNIX-socket server speaking the ConVGPU protocol.
+
+    One instance per socket path; the GPU memory scheduler daemon creates
+    one per container plus one control socket (mirroring §III-D: "It
+    creates UNIX socket for each container").  Pass ``loop=`` to serve this
+    socket from a shared :class:`~repro.ipc.loop.IoLoop` instead of
+    dedicated threads.
+    """
+
+    transport = "unix"
+
+    def __init__(self, path: str, handler: Handler, *, loop: IoLoop | None = None) -> None:
+        super().__init__(handler, loop=loop)
+        self.path = path
+
+    def _make_listener(self) -> socket.socket:
+        if os.path.exists(self.path):
+            os.unlink(self.path)
+        os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
+        listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        listener.bind(self.path)
+        listener.listen(128)
+        return listener
+
+    def _after_stop(self) -> None:
+        if os.path.exists(self.path):
+            try:
+                os.unlink(self.path)
+            except OSError:
                 pass
 
 

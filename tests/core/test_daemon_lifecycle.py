@@ -1,0 +1,213 @@
+"""Daemon connection/teardown lifecycle regressions.
+
+Covers the control-plane races the reaper introduced: a synthesized
+``container_exit`` racing a real one, teardown idempotency, error replies
+skipping teardown, and — the user-visible symptom — a wrapper whose
+container is reaped *while its allocation request is paused* unblocking
+cleanly instead of hanging in ``recv`` forever.
+"""
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro.core.scheduler.core import GpuMemoryScheduler
+from repro.core.scheduler.daemon import SchedulerDaemon
+from repro.core.scheduler.liveness import HeartbeatMonitor
+from repro.core.scheduler.policies import make_policy
+from repro.errors import IpcDisconnected, UnknownContainerError
+from repro.ipc import protocol
+from repro.ipc.unix_socket import UnixSocketClient
+from repro.units import MiB
+
+TOTAL = 100 * MiB
+IO_BACKENDS = ("loop", "threads")
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def make_daemon(tmp_path, io, monitor=None):
+    scheduler = GpuMemoryScheduler(TOTAL, make_policy("FIFO"), context_overhead=0)
+    return SchedulerDaemon(
+        scheduler,
+        base_dir=str(tmp_path / f"convgpu-{io}"),
+        io=io,
+        monitor=monitor,
+        reap_interval=999.0,  # sweeps are driven explicitly by the tests
+    )
+
+
+@pytest.mark.parametrize("io", IO_BACKENDS)
+class TestReapWhilePaused:
+    def test_paused_client_unblocks_cleanly_on_reap(self, tmp_path, io):
+        """A container reaped mid-pause never leaves its wrapper hanging.
+
+        The client either receives the in-band reject ("container exited")
+        that ``container_exit`` delivers to pending requests, or — when the
+        socket goes down before the reply crosses — a typed
+        :class:`IpcDisconnected`.  Anything else (a hang, a raw OSError) is
+        a regression.
+        """
+        clock = FakeClock()
+        monitor = HeartbeatMonitor(timeout=5.0, clock=clock)
+        daemon = make_daemon(tmp_path, io, monitor=monitor).start()
+        try:
+            with UnixSocketClient(daemon.control_path) as control:
+                control.call(
+                    protocol.MSG_REGISTER_CONTAINER, container_id="c2", limit=TOTAL
+                )
+                control.call(
+                    protocol.MSG_REGISTER_CONTAINER, container_id="c1", limit=TOTAL
+                )
+            # c2 registered first holds the whole pool's assignment, so c1's
+            # request is within its limit but over its assignment: it pauses.
+            assert daemon.scheduler.container("c1").assigned < 80 * MiB
+            outcome = {}
+
+            def blocked_alloc():
+                client = UnixSocketClient(daemon.container_socket_path("c1"))
+                try:
+                    outcome["reply"] = client.call(
+                        protocol.MSG_ALLOC_REQUEST,
+                        container_id="c1", pid=1, size=80 * MiB, api="cudaMalloc",
+                    )
+                except Exception as exc:  # noqa: BLE001 - captured for assert
+                    outcome["error"] = exc
+                finally:
+                    client.close()
+
+            thread = threading.Thread(target=blocked_alloc)
+            thread.start()
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                if daemon.scheduler.container("c1").pending:
+                    break
+                time.sleep(0.01)
+            assert daemon.scheduler.container("c1").pending, "request never paused"
+
+            # c1 goes silent past the heartbeat timeout; c2 stays live.
+            clock.now = 6.0
+            monitor.beat("c2")
+            assert daemon.reap_orphans() == ["c1"]
+
+            thread.join(timeout=10.0)
+            assert not thread.is_alive(), "paused client hung after the reap"
+            if "reply" in outcome:
+                assert outcome["reply"]["decision"] == "reject"
+                assert "exited" in outcome["reply"]["reason"]
+            else:
+                assert isinstance(outcome["error"], IpcDisconnected)
+            # The reaped container is fully torn down, the live one intact.
+            assert "c1" not in daemon._container_dirs
+            assert os.path.exists(daemon.container_socket_path("c2"))
+        finally:
+            daemon.stop()
+
+    def test_call_after_reap_is_disconnect_not_hang(self, tmp_path, io):
+        clock = FakeClock()
+        monitor = HeartbeatMonitor(timeout=5.0, clock=clock)
+        daemon = make_daemon(tmp_path, io, monitor=monitor).start()
+        try:
+            with UnixSocketClient(daemon.control_path) as control:
+                control.call(
+                    protocol.MSG_REGISTER_CONTAINER, container_id="c1", limit=TOTAL
+                )
+            client = UnixSocketClient(daemon.container_socket_path("c1"))
+            clock.now = 6.0
+            assert daemon.reap_orphans() == ["c1"]
+            with pytest.raises(IpcDisconnected):
+                client.call(
+                    protocol.MSG_ALLOC_REQUEST,
+                    container_id="c1", pid=1, size=MiB, api="cudaMalloc",
+                )
+            client.close()
+        finally:
+            daemon.stop()
+
+
+class TestTeardownIdempotency:
+    @pytest.fixture
+    def daemon(self, tmp_path):
+        daemon = make_daemon(tmp_path, "loop").start()
+        yield daemon
+        daemon.stop()
+
+    def _register(self, daemon, container_id):
+        with UnixSocketClient(daemon.control_path) as control:
+            return control.call(
+                protocol.MSG_REGISTER_CONTAINER,
+                container_id=container_id,
+                limit=TOTAL,
+            )
+
+    def test_teardown_twice_is_noop(self, daemon):
+        reply = self._register(daemon, "c1")
+        directory = reply["socket_dir"]
+        daemon._teardown_container_dir("c1")
+        assert not os.path.exists(directory)
+        daemon._teardown_container_dir("c1")  # reaper racing a real exit
+        assert "c1" not in daemon._container_dirs
+        assert "c1" not in daemon._container_servers
+
+    def test_concurrent_exits_single_teardown(self, daemon):
+        self._register(daemon, "c1")
+        stops = []
+        server = daemon._container_servers["c1"]
+        original_stop = server.stop
+
+        def counting_stop():
+            stops.append(1)
+            original_stop()
+
+        server.stop = counting_stop
+        message = protocol.make_request(
+            protocol.MSG_CONTAINER_EXIT, seq=0, container_id="c1"
+        )
+        threads = [
+            threading.Thread(target=daemon._handle_control, args=(message, None))
+            for _ in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10.0)
+        assert all(not t.is_alive() for t in threads)
+        assert len(stops) == 1, "container server stopped more than once"
+        assert "c1" not in daemon._container_dirs
+
+    def test_exit_error_reply_skips_teardown(self, daemon, monkeypatch):
+        reply = self._register(daemon, "c1")
+        directory = reply["socket_dir"]
+
+        def raising_exit(container_id):
+            raise UnknownContainerError(f"unknown container {container_id!r}")
+
+        monkeypatch.setattr(daemon.scheduler, "container_exit", raising_exit)
+        torn = []
+        monkeypatch.setattr(
+            daemon, "_teardown_container_dir", lambda cid: torn.append(cid)
+        )
+        with UnixSocketClient(daemon.control_path) as control:
+            error_reply = control.call(
+                protocol.MSG_CONTAINER_EXIT, container_id="c1"
+            )
+        assert error_reply["status"] == "error"
+        assert torn == [], "teardown ran despite the error reply"
+        assert os.path.isdir(directory)
+
+    def test_unknown_container_exit_is_harmless(self, daemon):
+        reply = self._register(daemon, "c1")
+        directory = reply["socket_dir"]
+        with UnixSocketClient(daemon.control_path) as control:
+            control.call(protocol.MSG_CONTAINER_EXIT, container_id="ghost")
+        # The stranger's exit touched nothing that exists.
+        assert os.path.isdir(directory)
+        assert "c1" in daemon._container_dirs

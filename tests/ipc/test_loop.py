@@ -1,0 +1,288 @@
+"""Tests for the shared selector-based I/O backend (`repro.ipc.loop`).
+
+Every test runs both transports through one :class:`IoLoop` — the
+configuration the scheduler daemon defaults to — and asserts that the wire
+behaviour matches the threaded backend exactly: request/reply, deferred
+(paused) replies, in-band protocol errors, notification ordering, and
+oversized-frame hangups.
+"""
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro.errors import IpcDisconnected, TransportError
+from repro.ipc import protocol
+from repro.ipc.loop import IoLoop
+from repro.ipc.tcp_socket import TcpSocketClient, TcpSocketServer
+from repro.ipc.unix_socket import DEFER, UnixSocketClient, UnixSocketServer
+
+TRANSPORTS = ("unix", "tcp")
+
+
+def echo_handler(message, reply_handle):
+    return protocol.make_reply(message, echoed=message["container_id"])
+
+
+@pytest.fixture
+def loop():
+    with IoLoop(workers=2) as lp:
+        yield lp
+
+
+@pytest.fixture
+def make_server(loop, tmp_path):
+    """make_server(transport, handler) -> (server, client_factory)."""
+    servers = []
+    counter = [0]
+
+    def _make(transport, handler):
+        counter[0] += 1
+        if transport == "unix":
+            path = str(tmp_path / f"loop{counter[0]}.sock")
+            server = UnixSocketServer(path, handler, loop=loop).start()
+            factory = lambda **kw: UnixSocketClient(path, **kw)  # noqa: E731
+        else:
+            server = TcpSocketServer(handler, loop=loop).start()
+            factory = lambda **kw: TcpSocketClient(  # noqa: E731
+                "127.0.0.1", server.port, **kw
+            )
+        servers.append(server)
+        return server, factory
+
+    yield _make
+    for server in servers:
+        server.stop()
+
+
+@pytest.mark.parametrize("transport", TRANSPORTS)
+class TestLoopBackend:
+    def test_request_reply(self, make_server, transport):
+        _server, connect = make_server(transport, echo_handler)
+        with connect() as client:
+            reply = client.call(protocol.MSG_CONTAINER_EXIT, container_id="c9")
+            assert reply["status"] == "ok"
+            assert reply["echoed"] == "c9"
+
+    def test_seq_increments_and_echoes(self, make_server, transport):
+        _server, connect = make_server(transport, echo_handler)
+        with connect() as client:
+            r1 = client.call(protocol.MSG_CONTAINER_EXIT, container_id="a")
+            r2 = client.call(protocol.MSG_CONTAINER_EXIT, container_id="b")
+            assert (r1["seq"], r2["seq"]) == (1, 2)
+
+    def test_notify_then_call_stays_in_order(self, make_server, transport):
+        """Per-connection frame ordering survives the shared worker pool."""
+        received = []
+
+        def recording(message, reply_handle):
+            received.append(message["type"])
+            return protocol.make_reply(message)
+
+        _server, connect = make_server(transport, recording)
+        with connect() as client:
+            for _ in range(10):
+                client.notify(
+                    protocol.MSG_ALLOC_RELEASE, container_id="c", pid=1, address=5
+                )
+            reply = client.call(protocol.MSG_CONTAINER_EXIT, container_id="c")
+            assert reply["status"] == "ok"
+        assert received == ["alloc_release"] * 10 + ["container_exit"]
+
+    def test_deferred_reply_blocks_until_sent(self, make_server, transport):
+        """DEFER = the paper's pause; resume crosses the loop untouched."""
+        held = {}
+
+        def pausing(message, reply_handle):
+            held["handle"] = reply_handle
+            held["message"] = message
+            return DEFER
+
+        _server, connect = make_server(transport, pausing)
+        outcome = {}
+
+        def blocked_caller():
+            with connect() as client:
+                outcome["reply"] = client.call(
+                    protocol.MSG_ALLOC_REQUEST,
+                    container_id="p", pid=1, size=10, api="m",
+                )
+
+        thread = threading.Thread(target=blocked_caller)
+        thread.start()
+        time.sleep(0.15)
+        assert "reply" not in outcome  # still suspended
+        held["handle"].send(protocol.make_reply(held["message"], decision="grant"))
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        assert outcome["reply"]["decision"] == "grant"
+
+    def test_invalid_frame_gets_error_reply(self, make_server, transport):
+        _server, connect = make_server(transport, echo_handler)
+        client = connect()
+        client._sock.sendall(b'{"type": "bogus"}\n')
+        client._buffer = b""
+        reply = _read_one_frame(client)
+        assert reply["status"] == "error"
+        client.close()
+
+    def test_handler_exception_reported_in_band(self, make_server, transport):
+        def broken(message, reply_handle):
+            raise RuntimeError("handler bug")
+
+        _server, connect = make_server(transport, broken)
+        with connect() as client:
+            reply = client.call(protocol.MSG_CONTAINER_EXIT, container_id="x")
+            assert reply["status"] == "error"
+            assert "handler bug" in reply["error"]
+
+    def test_oversized_frame_rejected_and_closed(self, make_server, transport):
+        server, connect = make_server(transport, echo_handler)
+        client = connect(timeout=5.0)
+        client._sock.sendall(b"x" * (protocol.MAX_FRAME_BYTES + 2))
+        reply = _read_one_frame(client)
+        assert reply["status"] == "error"
+        assert "exceeds" in reply["error"]
+        # The server hangs up after the error; further reads see EOF.
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            if not client._sock.recv(65536):
+                break
+        else:  # pragma: no cover - fails the test with a clear message
+            pytest.fail("server kept the hostile connection open")
+        client.close()
+        # ...and the dead connection does not linger in server bookkeeping.
+        _wait_until(lambda: not server._conns)
+        assert server._conns == []
+
+    def test_concurrent_clients(self, make_server, transport):
+        _server, connect = make_server(transport, echo_handler)
+        results = {}
+
+        def worker(name):
+            with connect() as client:
+                for _ in range(20):
+                    reply = client.call(
+                        protocol.MSG_CONTAINER_EXIT, container_id=name
+                    )
+                    assert reply["echoed"] == name
+                results[name] = True
+
+        threads = [
+            threading.Thread(target=worker, args=(f"c{i}",)) for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=15)
+        assert len(results) == 8
+
+    def test_server_stop_wakes_blocked_client(self, make_server, transport):
+        _server, connect = make_server(transport, lambda m, h: DEFER)
+        errors = []
+        started = threading.Event()
+
+        def blocked_call():
+            client = connect()
+            started.set()
+            try:
+                client.call(
+                    protocol.MSG_ALLOC_REQUEST,
+                    container_id="c", pid=1, size=10, api="m",
+                )
+            except Exception as exc:  # noqa: BLE001 - capturing for assert
+                errors.append(exc)
+            finally:
+                client.close()
+
+        thread = threading.Thread(target=blocked_call)
+        thread.start()
+        started.wait(timeout=2.0)
+        time.sleep(0.1)  # let the call reach recv
+        _server.stop()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert len(errors) == 1
+        assert isinstance(errors[0], IpcDisconnected)
+
+
+class TestSharedLoop:
+    def test_many_servers_add_no_threads(self, loop, tmp_path):
+        """20 servers on one loop: thread count stays 1 + workers."""
+        before = threading.active_count()
+        servers = []
+        for i in range(20):
+            path = str(tmp_path / f"many{i}.sock")
+            servers.append(UnixSocketServer(path, echo_handler, loop=loop).start())
+        clients = [UnixSocketClient(s.path) for s in servers]
+        for i, client in enumerate(clients):
+            reply = client.call(protocol.MSG_CONTAINER_EXIT, container_id=f"m{i}")
+            assert reply["echoed"] == f"m{i}"
+        # All 20 listeners and 20 live connections later: zero new threads.
+        assert threading.active_count() == before
+        for client in clients:
+            client.close()
+        for server in servers:
+            server.stop()
+
+    def test_loop_stop_closes_live_connections(self, tmp_path):
+        loop = IoLoop(workers=1).start()
+        path = str(tmp_path / "dying.sock")
+        server = UnixSocketServer(path, lambda m, h: DEFER, loop=loop).start()
+        client = UnixSocketClient(path)
+        errors = []
+
+        def blocked():
+            try:
+                client.call(
+                    protocol.MSG_ALLOC_REQUEST,
+                    container_id="c", pid=1, size=10, api="m",
+                )
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        thread = threading.Thread(target=blocked)
+        thread.start()
+        time.sleep(0.1)
+        loop.stop()  # daemon kill(): everything down at once
+        thread.join(timeout=5.0)
+        client.close()
+        server._loop = None  # already-stopped loop: plain cleanup below
+        assert not thread.is_alive()
+        assert len(errors) == 1
+        assert isinstance(errors[0], IpcDisconnected)
+
+    def test_loop_restart_rejected_while_running(self):
+        loop = IoLoop(workers=1).start()
+        try:
+            with pytest.raises(TransportError):
+                loop.start()
+        finally:
+            loop.stop()
+
+    def test_workers_validated(self):
+        with pytest.raises(TransportError):
+            IoLoop(workers=0)
+
+
+def _read_one_frame(client):
+    """Read one reply frame from a raw client socket (error-path tests)."""
+    buffer = b""
+    while b"\n" not in buffer:
+        chunk = client._sock.recv(65536)
+        if not chunk:
+            raise AssertionError("connection closed before a reply arrived")
+        buffer += chunk
+    frame, _rest = buffer.split(b"\n", 1)
+    return protocol.decode(frame + b"\n")
+
+
+def _wait_until(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.005)
+    assert predicate(), "condition not reached within the deadline"

@@ -124,6 +124,83 @@ class TestCallWithRetry:
         assert seen == [(0, "IpcDisconnected"), (1, "IpcDisconnected")]
 
 
+class FakeClock:
+    """Deterministic monotonic clock; sleeping on it advances time."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def sleep(self, seconds):
+        self.now += seconds
+
+
+class TestGiveUpAfter:
+    """The wall-clock budget cuts retries short of the attempt budget."""
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(give_up_after=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(give_up_after=-1.0)
+        assert RetryPolicy(give_up_after=30.0).give_up_after == 30.0
+
+    def test_budget_spent_sleeping_surfaces_immediately(self):
+        # Deterministic schedule 1, 2, 4, ... with a 2.5 s budget: the
+        # first sleep (1 s) fits, the second (2 s) would overrun -> stop
+        # after two attempts instead of ten.
+        clock = FakeClock()
+        attempts = []
+
+        def always_down():
+            attempts.append(clock.now)
+            raise IpcDisconnected("daemon gone")
+
+        policy = RetryPolicy(
+            max_attempts=10, base_delay=1.0, jitter=0.0, give_up_after=2.5
+        )
+        with pytest.raises(IpcDisconnected):
+            call_with_retry(
+                always_down, policy, sleep=clock.sleep, clock=clock
+            )
+        assert attempts == [0.0, 1.0]
+        assert clock.now <= 2.5
+
+    def test_none_keeps_pure_attempt_budget(self):
+        clock = FakeClock()
+        attempts = []
+
+        def always_down():
+            attempts.append(1)
+            raise IpcDisconnected("daemon gone")
+
+        policy = RetryPolicy(max_attempts=5, base_delay=1.0, jitter=0.0)
+        with pytest.raises(IpcDisconnected):
+            call_with_retry(
+                always_down, policy, sleep=clock.sleep, clock=clock
+            )
+        assert len(attempts) == 5
+
+    def test_success_inside_budget_unaffected(self):
+        clock = FakeClock()
+
+        def flaky(state=[]):
+            state.append(1)
+            if len(state) < 2:
+                raise IpcTimeoutError("slow daemon")
+            return "reply"
+
+        policy = RetryPolicy(
+            max_attempts=8, base_delay=0.5, jitter=0.0, give_up_after=60.0
+        )
+        assert (
+            call_with_retry(flaky, policy, sleep=clock.sleep, clock=clock)
+            == "reply"
+        )
+
+
 class FakeConnection:
     """Scripted transport client: raises or returns per the plan."""
 
@@ -229,3 +306,21 @@ class TestResilientClient:
         with client:
             client.call("ping")
         assert conn.closed
+
+    def test_give_up_after_bounds_redial_storm(self):
+        # A wrapper dialing a reaped container's torn-down socket stops
+        # at the wall-clock budget, not after the full attempt schedule.
+        clock = FakeClock()
+        conns = [FakeConnection([IpcDisconnected("gone")]) for _ in range(10)]
+        client, dials = self._client(
+            conns,
+            policy=RetryPolicy(
+                max_attempts=10, base_delay=1.0, jitter=0.0, give_up_after=2.5
+            ),
+            sleep=clock.sleep,
+            clock=clock,
+        )
+        with pytest.raises(IpcDisconnected):
+            client.call("alloc_request", size=1)
+        assert dials == [1, 1]
+        assert clock.now <= 2.5
