@@ -2,7 +2,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test stress bench bench-concurrency churn crash check lint
+.PHONY: test stress bench bench-concurrency bench-journal churn crash check lint
 
 test:            ## tier-1: fast unit/integration/property tests
 	$(PYTHON) -m pytest -x -q
@@ -15,6 +15,9 @@ bench:           ## regenerate every table & figure
 
 bench-concurrency:  ## loop-vs-threads scaling table (8/64/256 containers)
 	$(PYTHON) -m pytest benchmarks/test_bench_concurrency.py -q -s
+
+bench-journal:   ## journal ablation: fsync-under-lock vs group commit
+	$(PYTHON) -m pytest benchmarks/test_bench_ablation_journal.py -q -s
 
 churn:           ## connection-churn / lifecycle-leak lane under a hard deadline
 	timeout 600 $(PYTHON) -m pytest tests/ipc/test_connection_churn.py \

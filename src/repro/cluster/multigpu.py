@@ -21,6 +21,7 @@ Placement policies provided:
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Callable
 
 from repro.core.scheduler.core import GpuMemoryScheduler
@@ -83,7 +84,17 @@ PLACEMENT_POLICIES: dict[str, Callable[[], Callable]] = {
 
 
 class MultiGpuScheduler:
-    """ConVGPU's scheduler generalized over a device registry."""
+    """ConVGPU's scheduler generalized over a device registry.
+
+    Locking is sharded per device: each
+    :class:`~repro.core.scheduler.core.GpuMemoryScheduler` carries its own
+    mutex, so traffic for containers on different GPUs never contends.
+    The only cross-device state is the placement map, guarded by its own
+    small lock here.  Passing one :class:`SchedulingPolicy` *instance* for
+    every device is safe: policies are stateless strategy objects, and the
+    incremental candidate index each one maintains is created per scheduler
+    state via ``policy.make_index(state)`` — never shared across devices.
+    """
 
     def __init__(
         self,
@@ -119,8 +130,10 @@ class MultiGpuScheduler:
         #: The shared per-device policy; the protocol service labels its
         #: decision-latency histogram with ``scheduler.policy.name``.
         self.policy = self.schedulers[0].policy
-        #: container_id -> device ordinal.
+        #: container_id -> device ordinal; guarded by ``_placements_lock``
+        #: (the per-device scheduler locks do not cover this map).
         self._placements: dict[str, int] = {}
+        self._placements_lock = threading.Lock()
 
     # ------------------------------------------------------------------
 
@@ -137,16 +150,18 @@ class MultiGpuScheduler:
                 f"no device can ever hold {format_size(limit)}"
             )
         record = self.schedulers[ordinal].register_container(container_id, limit)
-        self._placements[container_id] = ordinal
+        with self._placements_lock:
+            self._placements[container_id] = ordinal
         return ordinal, record
 
     def device_of(self, container_id: str) -> int:
-        try:
-            return self._placements[container_id]
-        except KeyError:
-            raise UnknownContainerError(
-                f"container {container_id!r} is not placed"
-            ) from None
+        with self._placements_lock:
+            try:
+                return self._placements[container_id]
+            except KeyError:
+                raise UnknownContainerError(
+                    f"container {container_id!r} is not placed"
+                ) from None
 
     def scheduler_of(self, container_id: str) -> GpuMemoryScheduler:
         return self.schedulers[self.device_of(container_id)]
@@ -188,7 +203,8 @@ class MultiGpuScheduler:
         return self.scheduler_of(container_id).mem_get_info(container_id, pid)
 
     def container_exit(self, container_id: str) -> int:
-        ordinal = self._placements.pop(container_id, None)
+        with self._placements_lock:
+            ordinal = self._placements.pop(container_id, None)
         if ordinal is None:
             return 0
         return self.schedulers[ordinal].container_exit(container_id)

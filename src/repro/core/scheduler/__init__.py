@@ -1,9 +1,14 @@
 """ConVGPU's GPU memory scheduler (the paper's core contribution, §III-D).
 
-- :class:`~repro.core.scheduler.core.GpuMemoryScheduler` — the decision
-  engine (accept / pause / reject, redistribution, per-pid bookkeeping);
+- :class:`~repro.core.scheduler.state.SchedulerState` — the pure decision
+  core (accept / pause / reject, redistribution, per-pid bookkeeping) whose
+  transitions return :class:`~repro.core.scheduler.state.Transition`
+  effect lists instead of performing I/O;
+- :class:`~repro.core.scheduler.core.GpuMemoryScheduler` — the runtime
+  facade: one mutex around each transition, effects (journal durability,
+  metrics, resume callbacks) executed outside it;
 - :mod:`~repro.core.scheduler.policies` — FIFO / Best-Fit / Recent-Use /
-  Random plus ablation policies;
+  Random plus ablation policies, each with an incremental candidate index;
 - :class:`~repro.core.scheduler.service.SchedulerService` — protocol
   adapter for any IPC transport;
 - :class:`~repro.core.scheduler.daemon.SchedulerDaemon` — the live host
@@ -19,6 +24,7 @@ from repro.core.scheduler.core import (
     Decision,
     GpuMemoryScheduler,
 )
+from repro.core.scheduler.state import SchedulerState, Transition
 from repro.core.scheduler.daemon import (
     CONTAINER_SOCKET_NAME,
     WRAPPER_SONAME,
@@ -81,6 +87,8 @@ from repro.core.scheduler.stats import (
 
 __all__ = [
     "GpuMemoryScheduler",
+    "SchedulerState",
+    "Transition",
     "Decision",
     "CONTEXT_OVERHEAD_CHARGE",
     "SchedulerService",

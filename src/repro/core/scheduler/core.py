@@ -1,64 +1,48 @@
-"""The GPU memory scheduler — ConVGPU's core decision engine (§III-D).
+"""The GPU memory scheduler runtime — ConVGPU's core engine (§III-D).
 
 "GPU memory scheduler determines to accept, pause, or reject every GPU
-memory allocation from the containers."  This class is the transport-free
-heart of the middleware: the daemon (live mode) and the simulation runner
-both drive exactly this object, so the algorithmic behaviour measured in
-Fig. 7/8 is the behaviour unit-tested here.
+memory allocation from the containers."  Since the core/runtime split
+(DESIGN.md §11) this module is the *runtime* half: a thin
+:class:`GpuMemoryScheduler` facade that wraps the pure transition core
+(:class:`~repro.core.scheduler.state.SchedulerState`) with everything the
+paper's "each step is protected by a mutex lock" sentence implies in a
+live daemon — and nothing more:
 
-Semantics implemented (normative statement in DESIGN.md §6):
+- the mutex is held **only** across the state transition and the in-memory
+  event-log append (both allocation-free bookkeeping);
+- every effect the transition returns is executed *after* the lock is
+  released: journal durability (``journal.wait_durable()``, the
+  group-commit handshake), metrics, and the resume-callback deliveries
+  that perform socket I/O.
 
-- registration assigns ``min(limit, unreserved)`` immediately (Fig. 3b);
-- an allocation is **granted** when it fits in the container's assigned
-  memory, **paused** when it exceeds assigned but not the declared limit
-  (Fig. 3c), **rejected** beyond the limit;
-- the first allocation of each pid is charged an extra 66 MiB — the CUDA
-  context overhead the paper reverse-engineered;
-- grants are held as *inflight* reservations until the wrapper commits the
-  real device address, closing the check-then-allocate race;
-- when reserved memory returns to the pool (container exit), the configured
-  policy repeatedly picks a paused container and tops its reservation up
-  toward the limit (§III-E walks through this exact scenario);
-- a paused allocation resumes when it fits into the (possibly enlarged)
-  reservation; resumption callbacks deliver the withheld replies;
-- "Each step is protected by a mutex lock to prevent the race condition."
+That ordering keeps the WAL guarantee of PR 1 — a decision is durable
+before its reply (or any resumed reply) leaves the daemon — while an fsync
+no longer serializes unrelated allocation decisions: appends are batched
+by the journal's writer thread and many transitions share one disk flush.
+
+The algorithmic behaviour measured in Fig. 7/8 lives entirely in the pure
+core and is pinned byte-for-byte by ``tests/core/test_golden_traces.py``;
+the daemon (live mode) and the simulation runner both drive exactly this
+facade.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Any, Callable, Iterable
+from typing import Any, Callable
 
-from repro.core.scheduler.events import (
-    AllocationAborted,
-    AllocationCommitted,
-    AllocationGranted,
-    AllocationPaused,
-    AllocationRejected,
-    AllocationReleased,
-    AllocationResumed,
-    ContainerClosed,
-    ContainerRegistered,
-    EventLog,
-    MemoryAssigned,
-    ProcessExited,
-    ReservationReclaimed,
-)
+from repro.core.scheduler.events import EventLog
 from repro.core.scheduler.policies import SchedulingPolicy
-from repro.core.scheduler.records import (
-    AllocationRecord,
-    ContainerRecord,
-    PendingAllocation,
+from repro.core.scheduler.records import ContainerRecord
+from repro.core.scheduler.state import (
+    CONTEXT_OVERHEAD_CHARGE,
+    Decision,
+    SchedulerState,
+    Transition,
 )
-from repro.errors import LimitExceededError, SchedulerError, UnknownContainerError
 from repro.obs.metrics import DURATION_BUCKETS, REGISTRY
-from repro.units import MiB, format_size
 
 __all__ = ["Decision", "GpuMemoryScheduler", "CONTEXT_OVERHEAD_CHARGE"]
-
-#: What §III-D charges per pid on its first allocation: 64 MiB process data
-#: + 2 MiB context.
-CONTEXT_OVERHEAD_CHARGE: int = 66 * MiB
 
 # Process-global instrumentation, shared by every scheduler instance (the
 # daemon runs exactly one; simulation sweeps accumulate across runs).
@@ -81,38 +65,8 @@ _REJECTS = _DECISIONS.labels(decision="reject")
 _PAUSE_WAITS = _PAUSE_SECONDS.labels()
 
 
-class Decision:
-    """Outcome of an allocation request."""
-
-    GRANT = "grant"
-    PAUSE = "pause"
-    REJECT = "reject"
-
-    __slots__ = ("kind", "reason")
-
-    def __init__(self, kind: str, reason: str = "") -> None:
-        self.kind = kind
-        self.reason = reason
-
-    @property
-    def granted(self) -> bool:
-        return self.kind == Decision.GRANT
-
-    @property
-    def paused(self) -> bool:
-        return self.kind == Decision.PAUSE
-
-    @property
-    def rejected(self) -> bool:
-        return self.kind == Decision.REJECT
-
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        suffix = f" ({self.reason})" if self.reason else ""
-        return f"<Decision {self.kind}{suffix}>"
-
-
 class GpuMemoryScheduler:
-    """Transport-independent scheduler state machine.
+    """Transport-independent scheduler: pure core + effects runtime.
 
     Args:
         total_memory: size of the physical GPU pool being partitioned.
@@ -126,6 +80,10 @@ class GpuMemoryScheduler:
             allocation fits the reservation) or ``"full"`` (resume only
             once the reservation reaches the declared limit — the stricter
             reading of Fig. 3d, kept for the ablation).
+
+    The public API (``register_container`` … ``process_exit``) is the
+    seed's, verb for verb; every call is one locked transition on
+    ``self.state`` followed by its unlocked effects.
     """
 
     def __init__(
@@ -137,23 +95,35 @@ class GpuMemoryScheduler:
         context_overhead: int = CONTEXT_OVERHEAD_CHARGE,
         resume_mode: str = "fit",
     ) -> None:
-        if total_memory <= 0:
-            raise SchedulerError(f"total_memory must be positive: {total_memory}")
-        if resume_mode not in ("fit", "full"):
-            raise SchedulerError(f"unknown resume_mode {resume_mode!r}")
-        if context_overhead < 0:
-            raise SchedulerError("context_overhead must be >= 0")
-        self.total_memory = total_memory
-        self.policy = policy
+        self.state = SchedulerState(
+            total_memory,
+            policy,
+            context_overhead=context_overhead,
+            resume_mode=resume_mode,
+        )
         self.clock = clock if clock is not None else (lambda: 0.0)
-        self.context_overhead = context_overhead
-        self.resume_mode = resume_mode
         self.log = EventLog()
         self._lock = threading.RLock()
-        self._containers: dict[str, ContainerRecord] = {}
-        self._seq = 0
         #: Set by SchedulerJournal.attach(); None when running unjournaled.
         self.journal: Any = None
+
+    # -- configuration passthrough (journal meta + callers read these) -----
+
+    @property
+    def total_memory(self) -> int:
+        return self.state.total_memory
+
+    @property
+    def policy(self) -> SchedulingPolicy:
+        return self.state.policy
+
+    @property
+    def context_overhead(self) -> int:
+        return self.state.context_overhead
+
+    @property
+    def resume_mode(self) -> str:
+        return self.state.resume_mode
 
     # ------------------------------------------------------------------
     # queries
@@ -163,148 +133,69 @@ class GpuMemoryScheduler:
     def reserved(self) -> int:
         """Sum of all live reservations."""
         with self._lock:
-            return sum(c.assigned for c in self._containers.values() if not c.closed)
+            return self.state.reserved
 
     @property
     def unreserved(self) -> int:
         """Physical memory not promised to any container."""
-        return self.total_memory - self.reserved
+        with self._lock:
+            return self.state.unreserved
 
     def container(self, container_id: str) -> ContainerRecord:
         with self._lock:
-            record = self._containers.get(container_id)
-            if record is None:
-                raise UnknownContainerError(f"unknown container {container_id!r}")
-            return record
+            return self.state.container(container_id)
 
     def containers(self, *, include_closed: bool = False) -> list[ContainerRecord]:
         with self._lock:
-            records = list(self._containers.values())
-        if not include_closed:
-            records = [r for r in records if not r.closed]
+            records = [
+                r
+                for r in self.state.records()
+                if include_closed or not r.closed
+            ]
         return sorted(records, key=lambda r: r.created_seq)
 
     def paused_containers(self) -> list[ContainerRecord]:
-        return [r for r in self.containers() if r.paused]
+        # One consistent snapshot under a single lock acquisition (the seed
+        # filtered the result of containers(), taking the lock twice and
+        # allowing a resume to slip between the two reads).
+        with self._lock:
+            records = [
+                r for r in self.state.records() if not r.closed and r.paused
+            ]
+        return sorted(records, key=lambda r: r.created_seq)
 
     def check_invariants(self) -> None:
         """Assert global accounting invariants (property tests lean on this)."""
         with self._lock:
-            reserved = 0
-            for record in self._containers.values():
-                if record.closed:
-                    if record.assigned or record.used or record.inflight:
-                        raise SchedulerError(
-                            f"{record.container_id}: closed but holds memory"
-                        )
-                    continue
-                if not 0 <= record.assigned <= record.limit:
-                    raise SchedulerError(
-                        f"{record.container_id}: assigned {record.assigned} "
-                        f"outside [0, {record.limit}]"
-                    )
-                if record.used + record.inflight > record.assigned:
-                    raise SchedulerError(
-                        f"{record.container_id}: used+inflight "
-                        f"{record.used + record.inflight} > assigned {record.assigned}"
-                    )
-                committed = sum(r.size for r in record.allocations.values())
-                if committed != record.used:
-                    raise SchedulerError(
-                        f"{record.container_id}: used {record.used} != "
-                        f"sum(allocations) {committed}"
-                    )
-                reserved += record.assigned
-            if reserved > self.total_memory:
-                raise SchedulerError(
-                    f"over-reserved: {reserved} > {self.total_memory}"
-                )
+            self.state.check_invariants()
+
+    def mem_get_info(self, container_id: str, pid: int) -> tuple[int, int]:
+        """The container's virtualized ``cudaMemGetInfo`` view (§IV-B)."""
+        with self._lock:
+            return self.state.mem_get_info(container_id, pid)
 
     # ------------------------------------------------------------------
-    # registration / teardown
+    # transitions (the wrapper/plugin-facing verbs)
     # ------------------------------------------------------------------
 
     def register_container(self, container_id: str, limit: int) -> ContainerRecord:
-        """Declare a container's limit before it is created (§III-B).
-
-        Immediately reserves ``min(limit, unreserved)`` for it (Fig. 3b);
-        the remainder arrives later through redistribution.
-        """
-        if limit <= 0:
-            raise SchedulerError(f"limit must be positive: {limit}")
-        if limit > self.total_memory:
-            raise LimitExceededError(
-                f"limit {format_size(limit)} exceeds GPU capacity "
-                f"{format_size(self.total_memory)}"
-            )
+        """Declare a container's limit before it is created (§III-B)."""
         with self._lock:
-            existing = self._containers.get(container_id)
-            if existing is not None and not existing.closed:
-                raise SchedulerError(f"container {container_id!r} already registered")
-            self._seq += 1
-            record = ContainerRecord(
-                container_id=container_id,
-                limit=limit,
-                created_seq=self._seq,
-                created_at=self.clock(),
-            )
-            record.assigned = min(limit, self.unreserved)
-            self._containers[container_id] = record
-            self.log.append(
-                ContainerRegistered(
-                    time=record.created_at,
-                    container_id=container_id,
-                    limit=limit,
-                    assigned=record.assigned,
-                )
-            )
-            return record
+            transition = self.state.register(container_id, limit, self.clock())
+            self._publish(transition)
+        self._finish(transition)
+        return transition.value
 
     def container_exit(self, container_id: str) -> int:
         """The nvidia-docker-plugin's *close* signal (§III-B).
 
-        Clears every record of the container, fails any still-pending
-        allocations (their processes are gone anyway, but the reply handles
-        must not leak), returns the reservation to the pool, and triggers
-        redistribution.  Returns the bytes reclaimed.
+        Returns the bytes reclaimed into the pool.
         """
-        resumptions: list[tuple[Callable[[dict[str, Any]], None], dict[str, Any]]] = []
         with self._lock:
-            record = self._containers.get(container_id)
-            if record is None or record.closed:
-                return 0
-            now = self.clock()
-            reclaimed = record.assigned
-            # Fail pending replies in-band before dropping state.
-            for pending in record.pending:
-                record.suspended_total += now - pending.requested_at
-                _PAUSE_WAITS.observe(now - pending.requested_at)
-                if pending.resume is not None:
-                    resumptions.append(
-                        (pending.resume, {"decision": "reject", "reason": "container exited"})
-                    )
-            record.pending.clear()
-            record.allocations.clear()
-            record.used = 0
-            record.inflight = 0
-            record.assigned = 0
-            record.closed = True
-            self.log.append(
-                ContainerClosed(
-                    time=now,
-                    container_id=container_id,
-                    reclaimed=reclaimed,
-                    suspended_total=record.suspended_total,
-                )
-            )
-            resumptions.extend(self._redistribute())
-            resumptions.extend(self._resolve_wedge())
-        self._deliver(resumptions)
-        return reclaimed
-
-    # ------------------------------------------------------------------
-    # the allocation protocol (wrapper-facing)
-    # ------------------------------------------------------------------
+            transition = self.state.container_exit(container_id, self.clock())
+            self._publish(transition)
+        self._finish(transition)
+        return transition.value
 
     def request_allocation(
         self,
@@ -320,403 +211,101 @@ class GpuMemoryScheduler:
         request, in which case ``on_resume`` will eventually be called with
         the withheld reply payload (grant or reject).
         """
-        if size <= 0:
-            raise SchedulerError(f"allocation size must be positive: {size}")
         with self._lock:
-            record = self._require_open(container_id)
-            if on_resume is not None and self._adopt_orphan(
-                record, pid, size, api, on_resume
-            ):
-                return Decision(Decision.PAUSE)
-            now = self.clock()
-            effective = record.effective_size(pid, size, self.context_overhead)
-            charges_overhead = effective != size
-            if record.used + record.inflight + effective > record.limit:
-                self.log.append(
-                    AllocationRejected(
-                        time=now,
-                        container_id=container_id,
-                        pid=pid,
-                        size=size,
-                        reason="exceeds container limit",
-                    )
-                )
-                _REJECTS.inc()
-                return Decision(Decision.REJECT, "exceeds container limit")
-            if charges_overhead:
-                record.pids_charged.add(pid)
-                record.overhead_pending.add(pid)
-            if (
-                not record.paused
-                and record.used + record.inflight + effective <= record.assigned
-            ):
-                self._grant(record, pid, effective, size, api, now)
-                _GRANTS.inc()
-                return Decision(Decision.GRANT)
-            # Valid but under-assigned (or behind earlier pending requests):
-            # withhold the reply.  Fig. 3c.
-            record.pending.append(
-                PendingAllocation(
-                    pid=pid,
-                    size=effective,
-                    requested_size=size,
-                    api=api,
-                    requested_at=now,
-                    resume=on_resume,
-                )
+            transition = self.state.request(
+                container_id, pid, size, api, on_resume, self.clock()
             )
-            record.last_suspended_at = now
-            record.pause_count += 1
-            self.log.append(
-                AllocationPaused(
-                    time=now, container_id=container_id, pid=pid, size=size, api=api
-                )
-            )
-            _PAUSES.inc()
-            # This pause may have been the last runnable container going
-            # idle: check for the all-paused wedge and break it if so.
-            resumptions = self._resolve_wedge()
-        self._deliver(resumptions)
-        return Decision(Decision.PAUSE)
-
-    def _adopt_orphan(
-        self,
-        record: ContainerRecord,
-        pid: int,
-        size: int,
-        api: str,
-        on_resume: Callable[[dict[str, Any]], None],
-    ) -> bool:
-        """Re-attach a reconnecting wrapper to its pre-crash pending entry.
-
-        After :func:`~repro.core.scheduler.journal.restore` the pending
-        queue is rebuilt from the journal but its ``resume`` callbacks are
-        gone (they wrapped the dead daemon's sockets).  When the wrapper's
-        retry loop re-issues the identical ``alloc_request``, we adopt the
-        orphaned entry — keeping its original queue position and
-        ``requested_at`` timestamp — instead of double-queueing the request.
-        No event is logged: the pause already is in the journal.
-
-        Caller holds the lock.  Returns True when an orphan was adopted.
-        """
-        for pending in record.pending:
-            if (
-                pending.resume is None
-                and pending.pid == pid
-                and pending.requested_size == size
-                and pending.api == api
-            ):
-                pending.resume = on_resume
-                return True
-        return False
-
-    def _grant(
-        self,
-        record: ContainerRecord,
-        pid: int,
-        effective: int,
-        size: int,
-        api: str,
-        now: float,
-    ) -> None:
-        record.inflight += effective
-        self.log.append(
-            AllocationGranted(
-                time=now,
-                container_id=record.container_id,
-                pid=pid,
-                size=size,
-                api=api,
-            )
-        )
+            self._publish(transition)
+        self._finish(transition)
+        return transition.value
 
     def commit_allocation(
         self, container_id: str, pid: int, address: int, size: int
     ) -> None:
-        """The wrapper's post-allocation report: address + pid + size.
-
-        Moves the inflight reservation to committed usage and records the
-        address in the hash structure.  The first commit of a pid also
-        materializes its context-overhead record.
-        """
+        """The wrapper's post-allocation report: address + pid + size."""
         with self._lock:
-            record = self._require_open(container_id)
-            now = self.clock()
-            if address in record.allocations:
-                raise SchedulerError(
-                    f"duplicate commit for address {address:#x} in {container_id}"
-                )
-            overhead = 0
-            overhead_key = self._overhead_key(pid)
-            if pid in record.overhead_pending:
-                overhead = self.context_overhead
-                record.overhead_pending.discard(pid)
-            total = size + overhead
-            if total > record.inflight:
-                raise SchedulerError(
-                    f"commit of {format_size(total)} exceeds inflight "
-                    f"{format_size(record.inflight)} in {container_id}"
-                )
-            record.inflight -= total
-            record.used += total
-            record.allocations[address] = AllocationRecord(
-                address=address, pid=pid, size=size
+            transition = self.state.commit(
+                container_id, pid, address, size, self.clock()
             )
-            if overhead:
-                record.allocations[overhead_key] = AllocationRecord(
-                    address=overhead_key,
-                    pid=pid,
-                    size=overhead,
-                    is_context_overhead=True,
-                )
-            self.log.append(
-                AllocationCommitted(
-                    time=now,
-                    container_id=container_id,
-                    pid=pid,
-                    address=address,
-                    size=size,
-                )
-            )
+            self._publish(transition)
+        self._finish(transition)
 
     def abort_allocation(self, container_id: str, pid: int, size: int) -> None:
-        """The wrapper reports that the *native* allocation failed.
-
-        Rolls the inflight reservation back (including the overhead charge
-        when the pid has no committed allocation yet), then re-checks this
-        container's own pending queue — the freed headroom may unblock it.
-        """
-        resumptions: list[tuple[Callable[[dict[str, Any]], None], dict[str, Any]]] = []
+        """The wrapper reports that the *native* allocation failed."""
         with self._lock:
-            record = self._require_open(container_id)
-            now = self.clock()
-            effective = size
-            if pid in record.overhead_pending:
-                effective += self.context_overhead
-                record.overhead_pending.discard(pid)
-                record.pids_charged.discard(pid)
-            if effective > record.inflight:
-                raise SchedulerError(
-                    f"abort of {format_size(effective)} exceeds inflight "
-                    f"{format_size(record.inflight)} in {container_id}"
-                )
-            record.inflight -= effective
-            self.log.append(
-                AllocationAborted(
-                    time=now, container_id=container_id, pid=pid, size=size
-                )
-            )
-            resumptions.extend(self._try_resume(record))
-            resumptions.extend(self._resolve_wedge())
-        self._deliver(resumptions)
+            transition = self.state.abort(container_id, pid, size, self.clock())
+            self._publish(transition)
+        self._finish(transition)
 
     def release_allocation(self, container_id: str, pid: int, address: int) -> int:
-        """``cudaFree`` path: drop the hash entry, shrink usage (§III-C).
-
-        Freed bytes stay inside the container's reservation (the guarantee
-        is for the container's lifetime) but may resume the container's own
-        pending allocations.  Returns the released size.
-        """
-        resumptions: list[tuple[Callable[[dict[str, Any]], None], dict[str, Any]]] = []
+        """``cudaFree`` path (§III-C).  Returns the released size."""
         with self._lock:
-            record = self._require_open(container_id)
-            now = self.clock()
-            allocation = record.allocations.pop(address, None)
-            if allocation is None:
-                raise SchedulerError(
-                    f"release of unknown address {address:#x} in {container_id}"
-                )
-            record.used -= allocation.size
-            self.log.append(
-                AllocationReleased(
-                    time=now,
-                    container_id=container_id,
-                    pid=pid,
-                    address=address,
-                    size=allocation.size,
-                )
-            )
-            resumptions.extend(self._try_resume(record))
-            resumptions.extend(self._resolve_wedge())
-        self._deliver(resumptions)
-        return allocation.size
+            transition = self.state.release(container_id, pid, address, self.clock())
+            self._publish(transition)
+        self._finish(transition)
+        return transition.value
 
     def process_exit(self, container_id: str, pid: int) -> int:
         """``__cudaUnregisterFatBinary`` path (§III-C/D).
 
-        Drops *all* allocation records of the pid — "some program may not
-        free its allocated GPU memory" — including its context-overhead
-        charge.  Returns the bytes reclaimed into the reservation.
-        """
-        resumptions: list[tuple[Callable[[dict[str, Any]], None], dict[str, Any]]] = []
-        with self._lock:
-            record = self._require_open(container_id)
-            now = self.clock()
-            doomed = [a for a in record.allocations.values() if a.pid == pid]
-            reclaimed = sum(a.size for a in doomed)
-            for allocation in doomed:
-                del record.allocations[allocation.address]
-            record.used -= reclaimed
-            record.pids_charged.discard(pid)
-            record.overhead_pending.discard(pid)
-            self.log.append(
-                ProcessExited(
-                    time=now, container_id=container_id, pid=pid, reclaimed=reclaimed
-                )
-            )
-            resumptions.extend(self._try_resume(record))
-            resumptions.extend(self._resolve_wedge())
-        self._deliver(resumptions)
-        return reclaimed
-
-    def mem_get_info(self, container_id: str, pid: int) -> tuple[int, int]:
-        """The container's virtualized ``cudaMemGetInfo`` view (§IV-B).
-
-        The scheduler "already knows the return value of the API without
-        using the original CUDA API": free = limit − used, total = limit —
-        the container sees its slice, not the physical device.
+        Returns the bytes reclaimed into the reservation.
         """
         with self._lock:
-            record = self._require_open(container_id)
-            return record.limit - record.used - record.inflight, record.limit
+            transition = self.state.process_exit(container_id, pid, self.clock())
+            self._publish(transition)
+        self._finish(transition)
+        return transition.value
 
     # ------------------------------------------------------------------
-    # redistribution + resumption
+    # the effects runtime
     # ------------------------------------------------------------------
 
-    def _redistribute(self):
-        """Hand unreserved memory to paused containers via the policy.
+    def _publish(self, transition: Transition) -> None:
+        """Append the transition's events to the log (caller holds the lock).
 
-        Caller holds the lock.  Returns the resume deliveries to perform
-        outside the lock.
+        EventLog listeners run here — under the lock — which for an
+        attached journal means *enqueueing* the events on the group-commit
+        writer, preserving the global event order at queue-append cost.
+        The disk write, flush and fsync all happen on the writer thread.
         """
-        resumptions: list[tuple[Callable[[dict[str, Any]], None], dict[str, Any]]] = []
-        now = self.clock()
-        while True:
-            free = self.unreserved
-            if free <= 0:
-                break
-            candidates = [
-                r for r in self._containers.values()
-                if not r.closed and r.paused and r.insufficiency > 0
-            ]
-            if not candidates:
-                break
-            chosen = self.policy.select(candidates, free)
-            amount = min(chosen.insufficiency, free)
-            if amount <= 0:  # defensive; insufficiency > 0 was filtered
-                break
-            chosen.assigned += amount
-            self.log.append(
-                MemoryAssigned(
-                    time=now,
-                    container_id=chosen.container_id,
-                    amount=amount,
-                    assigned_total=chosen.assigned,
-                    policy=self.policy.name,
-                )
-            )
-            resumptions.extend(self._try_resume(chosen))
-        return resumptions
+        for event in transition.events:
+            self.log.append(event)
 
-    def _resolve_wedge(self):
-        """Break the all-paused reservation wedge (deadlock prevention, §I).
+    def _finish(self, transition: Transition) -> None:
+        """Execute the transition's effects outside the mutex.
 
-        Partial reservations (registration grants and policy leftovers,
-        Fig. 3b/3d) can reach a state where *every* open container is
-        paused and every byte is reserved — nobody can run, nobody will
-        exit, nothing will ever be redistributed.  The paper asserts its
-        algorithms "can prevent the system from falling into deadlock
-        situations"; the mechanism we implement for that guarantee is:
-
-        when no open container is runnable, reclaim the *idle* part of
-        every paused container's reservation (memory they cannot use —
-        their head request exceeds it by definition) back into the pool and
-        re-run the policy loop, which then completes containers one at a
-        time instead of leaving everyone starved.
-
-        Caller holds the lock; returns resume deliveries.
+        Order matters: durability first (WAL — no reply, resumed or
+        direct, may leave before its decision is on disk), then metrics,
+        then the resume callbacks (which may do socket I/O).
         """
-        open_records = [r for r in self._containers.values() if not r.closed]
-        if not open_records or any(not r.paused for r in open_records):
-            return []
-        reclaimed = 0
-        now = self.clock()
-        for record in open_records:
-            idle = record.assigned - record.used - record.inflight
-            if idle > 0:
-                record.assigned -= idle
-                reclaimed += idle
-                self.log.append(
-                    ReservationReclaimed(
-                        time=now,
-                        container_id=record.container_id,
-                        amount=idle,
-                        assigned_total=record.assigned,
-                    )
-                )
-        if reclaimed == 0:
-            return []
-        return self._redistribute()
-
-    def _try_resume(self, record: ContainerRecord):
-        """Resume the head of the pending queue while it fits.
-
-        Pending requests resume strictly in order — the wrapper blocks the
-        calling thread per request, so out-of-order resumption cannot
-        happen on the real socket either.  Caller holds the lock; returns
-        the deliveries to perform outside it.
-        """
-        resumptions: list[tuple[Callable[[dict[str, Any]], None], dict[str, Any]]] = []
-        now = self.clock()
-        while record.pending:
-            head = record.pending[0]
-            if self.resume_mode == "full" and record.assigned < record.limit:
-                break
-            if record.used + record.inflight + head.size > record.assigned:
-                break
-            record.pending.pop(0)
-            waited = now - head.requested_at
-            record.suspended_total += waited
+        journal = self.journal
+        if journal is not None and transition.events:
+            journal.wait_durable()
+        # Read the handles through the module globals each time so the
+        # obs-overhead benchmark can stub them by (module, name).
+        if transition.metric == Decision.GRANT:
+            _GRANTS.inc()
+        elif transition.metric == Decision.PAUSE:
+            _PAUSES.inc()
+        elif transition.metric == Decision.REJECT:
+            _REJECTS.inc()
+        for waited in transition.waits:
             _PAUSE_WAITS.observe(waited)
-            self._grant(
-                record, head.pid, head.size, head.requested_size, head.api, now
-            )
-            self.log.append(
-                AllocationResumed(
-                    time=now,
-                    container_id=record.container_id,
-                    pid=head.pid,
-                    size=head.requested_size,
-                    waited=waited,
-                )
-            )
-            if head.resume is not None:
-                resumptions.append((head.resume, {"decision": "grant"}))
-        return resumptions
-
-    @staticmethod
-    def _deliver(
-        resumptions: Iterable[tuple[Callable[[dict[str, Any]], None], dict[str, Any]]],
-    ) -> None:
-        """Run resume callbacks outside the mutex (they may do socket I/O)."""
-        for callback, payload in resumptions:
+        for callback, payload in transition.resumptions:
             callback(payload)
 
     # ------------------------------------------------------------------
+    # compatibility shims (journal replay, tests, stats)
+    # ------------------------------------------------------------------
 
-    def _require_open(self, container_id: str) -> ContainerRecord:
-        record = self._containers.get(container_id)
-        if record is None:
-            raise UnknownContainerError(f"unknown container {container_id!r}")
-        if record.closed:
-            raise UnknownContainerError(f"container {container_id!r} already closed")
-        return record
+    @property
+    def _containers(self) -> dict[str, ContainerRecord]:
+        return self.state._containers
+
+    @property
+    def _seq(self) -> int:
+        return self.state._seq
 
     @staticmethod
     def _overhead_key(pid: int) -> int:
-        """Synthetic hash key for a pid's context-overhead record.
-
-        Negative so it can never collide with a real device address.
-        """
-        return -pid
+        return SchedulerState._overhead_key(pid)

@@ -191,6 +191,8 @@ class SchedulerDaemon:
         policy: SchedulingPolicy | None = None,
         rng: Any = None,
         snapshot_interval: int | None = 256,
+        fsync: bool = False,
+        journal_mode: str = "group",
         **daemon_kwargs: Any,
     ) -> "SchedulerDaemon":
         """Rebuild a daemon from a crashed daemon's journal.
@@ -198,10 +200,17 @@ class SchedulerDaemon:
         Restores the scheduler state, re-attaches the journal (writing a
         compaction snapshot so the recovery itself is durable), and returns
         a daemon ready to :meth:`start` — which recreates the socket of
-        every container that was open at the crash.
+        every container that was open at the crash.  ``fsync`` and
+        ``journal_mode`` configure the re-attached journal the same way
+        :class:`SchedulerJournal` takes them (group commit by default).
         """
         scheduler = restore(journal_path, clock=clock, policy=policy, rng=rng)
-        journal = SchedulerJournal(journal_path, snapshot_interval=snapshot_interval)
+        journal = SchedulerJournal(
+            journal_path,
+            snapshot_interval=snapshot_interval,
+            fsync=fsync,
+            mode=journal_mode,
+        )
         journal.attach(scheduler, compact=True)
         return cls(scheduler, journal=journal, **daemon_kwargs)
 

@@ -128,8 +128,11 @@ class EventLog:
     """Append-only event sink with typed filtering.
 
     ``listeners`` are called synchronously on every append (inside the
-    scheduler's lock) — the write-ahead journal subscribes here so every
-    decision is durable before its reply leaves the daemon.
+    scheduler's lock), so they must be cheap: the write-ahead journal
+    subscribes here but only *enqueues* the event for its group-commit
+    writer thread — the disk write, flush and fsync happen off-lock, and
+    the runtime facade waits for durability after releasing the lock,
+    before any reply leaves the daemon (DESIGN.md §11).
     """
 
     events: list[SchedulerEvent] = field(default_factory=list)

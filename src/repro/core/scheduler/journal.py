@@ -6,24 +6,43 @@ reservations to containers evaporates.  This module makes the scheduler
 crash-recoverable:
 
 - every :class:`~repro.core.scheduler.events.SchedulerEvent` is appended to
-  an on-disk journal *inside the scheduler's lock, before the decision's
-  reply leaves the daemon* (classic WAL ordering);
+  an on-disk journal *before the decision's reply leaves the daemon*
+  (classic WAL ordering);
 - every ``snapshot_interval`` events a **compacted snapshot** — the full
   serialized scheduler state — is interleaved, bounding replay time;
 - :func:`restore` rebuilds a scheduler from the newest snapshot plus the
   event tail, byte-identical to the pre-crash state (verified by the
   crash-consistency property suite in ``tests/core/test_journal_properties.py``).
 
+**Group commit** (the default, ``mode="group"``): the scheduler's lock is
+never held across disk I/O.  The event-log listener only *enqueues* the
+event — a list append under a condition variable — and a dedicated writer
+thread drains the queue in batches: one ``write`` + ``flush`` (+ one
+``fsync`` when enabled) per batch, in strict enqueue order.  The runtime
+facade calls :meth:`SchedulerJournal.wait_durable` after releasing the
+scheduler lock and before any reply leaves, so the WAL guarantee is
+unchanged while concurrent transitions share a single flush instead of
+serializing on it (``benchmarks/test_bench_ablation_journal.py`` measures
+the difference; ``mode="sync"`` keeps the seed's write-under-the-lock
+behaviour as the ablation baseline).
+
+Interval snapshots are taken only at **quiescent points**: the writer
+thread briefly takes the scheduler lock with its queue drained — so the
+serialized state exactly matches the journal position — then writes and
+flushes the snapshot *outside* that lock.
+
 Replay never re-runs the scheduling *policy*: derived decisions
-(``MemoryAssigned``, ``ReservationReclaimed``, resumes) are applied verbatim
-from the journal, so recovery is deterministic even under the Random policy.
+(``MemoryAssigned``, ``ReservationReclaimed``, resumes) are applied
+verbatim from the journal via
+:meth:`~repro.core.scheduler.state.SchedulerState.apply_event`, so
+recovery is deterministic even under the Random policy.
 
 What intentionally does **not** survive a crash:
 
 - withheld reply callbacks (``PendingAllocation.resume``) — they wrap dead
   sockets.  Restored pending entries are *orphans*; when the wrapper
   reconnects and re-issues its request, ``request_allocation`` adopts the
-  orphan instead of double-queueing (see ``core.py``);
+  orphan instead of double-queueing (see ``state.py``);
 - event-log history older than the newest snapshot (state is exact, the
   Fig. 8 timeline before the snapshot is compacted away).
 
@@ -39,6 +58,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
+import threading
 import time
 from typing import Any, Callable, TextIO
 
@@ -59,17 +79,12 @@ from repro.core.scheduler.events import (
     SchedulerEvent,
 )
 from repro.core.scheduler.policies import SchedulingPolicy, make_policy
-from repro.core.scheduler.records import (
-    AllocationRecord,
-    ContainerRecord,
-    PendingAllocation,
-)
 from repro.errors import JournalError
 from repro.obs.metrics import LATENCY_BUCKETS, REGISTRY
 
 _APPEND_SECONDS = REGISTRY.histogram(
     "convgpu_journal_append_seconds",
-    "Wall time of one journal append (serialize + write + flush + fsync)",
+    "Wall time of one journal append batch (serialize + write + flush + fsync)",
     buckets=LATENCY_BUCKETS,
 )
 _FSYNC_SECONDS = REGISTRY.histogram(
@@ -142,87 +157,12 @@ def decode_event(record: dict[str, Any]) -> SchedulerEvent:
 def serialize_state(scheduler: GpuMemoryScheduler) -> dict[str, Any]:
     """Full scheduler state as plain JSON types (snapshot payload).
 
-    Container order preserves the ``_containers`` dict order so a snapshot
-    restore and an event replay produce indistinguishable schedulers.
-    ``resume`` callbacks are dropped — they wrap connections that will not
-    survive the crash; see the module docstring.
+    Locks the runtime facade for one consistent read, then delegates to
+    the pure core's :meth:`~repro.core.scheduler.state.SchedulerState.
+    serialize`.
     """
     with scheduler._lock:
-        return {
-            "seq": scheduler._seq,
-            "containers": [
-                {
-                    "container_id": r.container_id,
-                    "limit": r.limit,
-                    "created_seq": r.created_seq,
-                    "created_at": r.created_at,
-                    "assigned": r.assigned,
-                    "used": r.used,
-                    "inflight": r.inflight,
-                    "closed": r.closed,
-                    "allocations": [
-                        [a.address, a.pid, a.size, a.is_context_overhead]
-                        for a in r.allocations.values()
-                    ],
-                    "pids_charged": sorted(r.pids_charged),
-                    "overhead_pending": sorted(r.overhead_pending),
-                    "pending": [
-                        {
-                            "pid": p.pid,
-                            "size": p.size,
-                            "requested_size": p.requested_size,
-                            "api": p.api,
-                            "requested_at": p.requested_at,
-                        }
-                        for p in r.pending
-                    ],
-                    "last_suspended_at": r.last_suspended_at,
-                    "suspended_total": r.suspended_total,
-                    "pause_count": r.pause_count,
-                }
-                for r in scheduler._containers.values()
-            ],
-        }
-
-
-def _load_state(scheduler: GpuMemoryScheduler, state: dict[str, Any]) -> None:
-    """Install a snapshot payload into a fresh scheduler."""
-    scheduler._seq = state["seq"]
-    scheduler._containers.clear()
-    for entry in state["containers"]:
-        record = ContainerRecord(
-            container_id=entry["container_id"],
-            limit=entry["limit"],
-            created_seq=entry["created_seq"],
-            created_at=entry["created_at"],
-            assigned=entry["assigned"],
-            used=entry["used"],
-            inflight=entry["inflight"],
-            closed=entry["closed"],
-            last_suspended_at=entry["last_suspended_at"],
-            suspended_total=entry["suspended_total"],
-            pause_count=entry["pause_count"],
-        )
-        record.allocations = {
-            address: AllocationRecord(
-                address=address, pid=pid, size=size, is_context_overhead=overhead
-            )
-            for address, pid, size, overhead in entry["allocations"]
-        }
-        record.pids_charged = set(entry["pids_charged"])
-        record.overhead_pending = set(entry["overhead_pending"])
-        record.pending = [
-            PendingAllocation(
-                pid=p["pid"],
-                size=p["size"],
-                requested_size=p["requested_size"],
-                api=p["api"],
-                requested_at=p["requested_at"],
-                resume=None,  # orphan: re-attached when the wrapper re-issues
-            )
-            for p in entry["pending"]
-        ]
-        scheduler._containers[record.container_id] = record
+        return scheduler.state.serialize()
 
 
 # ---------------------------------------------------------------------------
@@ -238,11 +178,15 @@ class SchedulerJournal:
         snapshot_interval: events between compacted snapshots; ``None``
             disables compaction (pure event log — what the property tests
             use so every prefix is replayable).
-        fsync: force data to the platters on every append.  Off by default:
-            the reproduction favours test throughput, a production deploy
-            flips it on for durability across power loss (the write is
-            still flushed to the OS either way, so it survives a process
-            SIGKILL — the failure mode this PR defends against).
+        fsync: force data to the platters on every append batch.  Off by
+            default: the reproduction favours test throughput, a production
+            deploy flips it on for durability across power loss (the write
+            is still flushed to the OS either way, so it survives a process
+            SIGKILL — the failure mode PR 1 defends against).
+        mode: ``"group"`` (default) appends through the background
+            group-commit writer so no disk I/O happens under the scheduler
+            lock; ``"sync"`` writes synchronously inside the event-log
+            listener — the seed behaviour, kept as the ablation baseline.
     """
 
     def __init__(
@@ -251,19 +195,33 @@ class SchedulerJournal:
         *,
         snapshot_interval: int | None = 256,
         fsync: bool = False,
+        mode: str = "group",
     ) -> None:
         if snapshot_interval is not None and snapshot_interval < 1:
             raise JournalError(
                 f"snapshot_interval must be >= 1 or None: {snapshot_interval}"
             )
+        if mode not in ("group", "sync"):
+            raise JournalError(f"unknown journal mode {mode!r}")
         self.path = path
         self.snapshot_interval = snapshot_interval
         self.fsync = fsync
+        self.mode = mode
         self._fh: TextIO | None = None
         self._scheduler: GpuMemoryScheduler | None = None
         self._events_since_snapshot = 0
         #: Appended event count this process lifetime (observability).
         self.events_written = 0
+        # Group-commit machinery.  Lock ordering: scheduler lock, then
+        # ``_cond`` — producers enqueue under both; the writer's quiescent
+        # snapshot acquires them in the same order; never the reverse.
+        self._cond = threading.Condition()
+        self._queue: list[tuple[str, Any]] = []  # ("event", ev) | ("snapshot", st)
+        self._enqueued = 0
+        self._durable = 0
+        self._stop = False
+        self._error: Exception | None = None
+        self._writer: threading.Thread | None = None
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -273,7 +231,9 @@ class SchedulerJournal:
         A fresh (empty) journal gets a ``meta`` record pinning the
         scheduler's configuration; attaching an incompatible scheduler to
         an existing journal raises.  With ``compact=True`` (the recovery
-        path) a snapshot of the current state is written immediately.
+        path) a snapshot of the current state is written immediately.  In
+        group mode the writer thread starts here, after the synchronous
+        meta/initial-snapshot writes.
         """
         if self._scheduler is not None:
             raise JournalError(f"journal {self.path} already attached")
@@ -306,6 +266,13 @@ class SchedulerJournal:
             self.write_snapshot()
         scheduler.log.listeners.append(self.record)
         scheduler.journal = self
+        if self.mode == "group":
+            self._stop = False
+            self._error = None
+            self._writer = threading.Thread(
+                target=self._run_writer, name="journal-writer", daemon=True
+            )
+            self._writer.start()
 
     @staticmethod
     def _check_meta(meta: dict[str, Any], scheduler: GpuMemoryScheduler) -> None:
@@ -331,6 +298,7 @@ class SchedulerJournal:
             raise JournalError(f"journal/scheduler configuration mismatch: {detail}")
 
     def close(self) -> None:
+        """Detach, drain the writer, and close the file."""
         if self._scheduler is not None:
             try:
                 self._scheduler.log.listeners.remove(self.record)
@@ -338,7 +306,14 @@ class SchedulerJournal:
                 pass
             if getattr(self._scheduler, "journal", None) is self:
                 self._scheduler.journal = None
-            self._scheduler = None
+        writer = self._writer
+        if writer is not None:
+            with self._cond:
+                self._stop = True
+                self._cond.notify_all()
+            writer.join()
+            self._writer = None
+        self._scheduler = None
         if self._fh is not None:
             self._fh.close()
             self._fh = None
@@ -352,22 +327,162 @@ class SchedulerJournal:
     # -- appends ------------------------------------------------------------
 
     def record(self, event: SchedulerEvent) -> None:
-        """EventLog listener: persist one event (called under the lock)."""
-        self._write(encode_event(event))
-        self.events_written += 1
-        self._events_since_snapshot += 1
-        if (
-            self.snapshot_interval is not None
-            and self._events_since_snapshot >= self.snapshot_interval
-        ):
-            self.write_snapshot()
+        """EventLog listener (called under the scheduler lock).
+
+        Group mode: enqueue only — a list append and a notify; the writer
+        thread does the disk I/O.  Sync mode: the seed's behaviour, write +
+        flush (+ fsync) right here under the lock.
+        """
+        if self._fh is None:
+            raise JournalError(f"journal {self.path} is closed")
+        if self._writer is None:
+            self._write(encode_event(event))
+            self.events_written += 1
+            self._events_since_snapshot += 1
+            if (
+                self.snapshot_interval is not None
+                and self._events_since_snapshot >= self.snapshot_interval
+            ):
+                self.write_snapshot()
+            return
+        with self._cond:
+            self._enqueued += 1
+            self._queue.append(("event", event))
+            self._cond.notify()
+
+    def wait_durable(self) -> None:
+        """Block until everything enqueued so far is written and flushed.
+
+        The runtime facade calls this *after* releasing the scheduler lock
+        and before any reply leaves — the group-commit half of the WAL
+        ordering guarantee.  No-op in sync mode (appends were already
+        durable when the listener returned) and when detached.
+        """
+        writer = self._writer
+        if writer is None:
+            if self._error is not None:
+                raise self._error
+            return
+        with self._cond:
+            target = self._enqueued
+            while self._durable < target and self._error is None:
+                if not writer.is_alive():
+                    break
+                self._cond.wait(0.05)
+            if self._error is not None:
+                raise self._error
 
     def write_snapshot(self) -> None:
-        """Append a compacted snapshot of the attached scheduler's state."""
+        """Append a compacted snapshot of the attached scheduler's state.
+
+        With the writer running, the state is serialized under the
+        scheduler lock *while enqueueing* (so no event can slip between
+        the serialization and its position in the write order) and the
+        call returns once the snapshot is durable.
+        """
         if self._scheduler is None:
             raise JournalError("journal not attached to a scheduler")
-        self._write({"kind": "snapshot", "state": serialize_state(self._scheduler)})
-        self._events_since_snapshot = 0
+        if self._writer is None:
+            self._write({"kind": "snapshot", "state": serialize_state(self._scheduler)})
+            self._events_since_snapshot = 0
+            return
+        scheduler = self._scheduler
+        with scheduler._lock:
+            state = scheduler.state.serialize()
+            with self._cond:
+                self._enqueued += 1
+                self._queue.append(("snapshot", state))
+                self._cond.notify()
+        self.wait_durable()
+
+    # -- the group-commit writer thread --------------------------------------
+
+    def _run_writer(self) -> None:
+        while True:
+            with self._cond:
+                while not self._queue and not self._stop:
+                    self._cond.wait()
+                batch = self._queue
+                self._queue = []
+                stopping = self._stop
+            if batch:
+                try:
+                    self._write_items(batch)
+                except Exception as exc:  # surface via wait_durable
+                    with self._cond:
+                        self._error = exc
+                        self._durable += len(batch)
+                        self._cond.notify_all()
+                    return
+                with self._cond:
+                    self._durable += len(batch)
+                    self._cond.notify_all()
+                try:
+                    self._maybe_snapshot_at_quiescent_point()
+                except Exception as exc:
+                    with self._cond:
+                        self._error = exc
+                        self._cond.notify_all()
+                    return
+            elif stopping:
+                return
+
+    def _write_items(self, items: list[tuple[str, Any]]) -> None:
+        """One batch: serialize + write every item, one flush, one fsync."""
+        if self._fh is None:
+            raise JournalError(f"journal {self.path} is closed")
+        began = time.perf_counter()
+        for kind, payload in items:
+            if kind == "event":
+                self._fh.write(
+                    json.dumps(encode_event(payload), separators=(",", ":")) + "\n"
+                )
+                self.events_written += 1
+                self._events_since_snapshot += 1
+            else:  # snapshot (pre-serialized state)
+                self._fh.write(
+                    json.dumps(
+                        {"kind": "snapshot", "state": payload},
+                        separators=(",", ":"),
+                    )
+                    + "\n"
+                )
+                self._events_since_snapshot = 0
+        self._fh.flush()
+        if self.fsync:
+            fsync_began = time.perf_counter()
+            os.fsync(self._fh.fileno())
+            _FSYNC_SECONDS.observe(time.perf_counter() - fsync_began)
+        _APPEND_SECONDS.observe(time.perf_counter() - began)
+
+    def _maybe_snapshot_at_quiescent_point(self) -> None:
+        """Interval compaction, only ever between batches.
+
+        Quiescence: the scheduler lock is taken with the queue drained, so
+        the serialized state corresponds exactly to the current journal
+        position.  The lock is released before the snapshot (and any
+        events drained with it) hit the disk — no I/O under the lock.
+        """
+        if (
+            self.snapshot_interval is None
+            or self._events_since_snapshot < self.snapshot_interval
+        ):
+            return
+        scheduler = self._scheduler
+        if scheduler is None:
+            return
+        with scheduler._lock:
+            with self._cond:
+                drained = self._queue
+                self._queue = []
+            state = scheduler.state.serialize()
+        self._write_items(drained + [("snapshot", state)])
+        if drained:
+            with self._cond:
+                self._durable += len(drained)
+                self._cond.notify_all()
+
+    # -- low-level append (meta, sync mode, pre-writer snapshots) ------------
 
     def _write(self, record: dict[str, Any]) -> None:
         if self._fh is None:
@@ -474,7 +589,6 @@ def restore(
     # Pick the newest snapshot whose position is within the event limit,
     # then replay the event tail after it.
     base_state: dict[str, Any] | None = None
-    base_events = 0
     tail: list[SchedulerEvent] = []
     events_seen = 0
     for record in records:
@@ -486,140 +600,15 @@ def restore(
             events_seen += 1
         elif kind == "snapshot":
             base_state = record["state"]
-            base_events = events_seen
             tail.clear()
         else:
             raise JournalError(f"unknown journal record kind {kind!r} in {path}")
     if base_state is not None:
-        _load_state(scheduler, base_state)
-    del base_events  # informational only
+        scheduler.state.load_snapshot(base_state)
     for event in tail:
-        _apply_event(scheduler, event)
+        scheduler.state.apply_event(event)
         scheduler.log.append(event)
     return scheduler
-
-
-# ---------------------------------------------------------------------------
-# event replay
-# ---------------------------------------------------------------------------
-
-
-def _apply_event(scheduler: GpuMemoryScheduler, event: SchedulerEvent) -> None:
-    """Apply one journaled event to the scheduler state, policy-free.
-
-    Mirrors exactly the state mutation ``core.py`` performed when it logged
-    the event; derived amounts (redistribution targets, reclaimed idle
-    memory) come from the event itself, so replay never re-runs the policy
-    and is deterministic for all four algorithms.
-    """
-    containers = scheduler._containers
-    if isinstance(event, ContainerRegistered):
-        scheduler._seq += 1
-        record = ContainerRecord(
-            container_id=event.container_id,
-            limit=event.limit,
-            created_seq=scheduler._seq,
-            created_at=event.time,
-        )
-        record.assigned = event.assigned
-        containers[event.container_id] = record
-        return
-    record = containers.get(event.container_id)
-    if record is None:
-        raise JournalError(
-            f"journal references unknown container {event.container_id!r} "
-            f"in {type(event).__name__}"
-        )
-    if isinstance(event, AllocationGranted):
-        if record.pending:
-            # A grant while replies are withheld can only be the head of the
-            # pending queue resuming (direct grants require an unpaused
-            # container) — same dichotomy core.py enforces.
-            head = record.pending.pop(0)
-            record.suspended_total += event.time - head.requested_at
-            record.inflight += head.size
-        else:
-            effective = record.effective_size(
-                event.pid, event.size, scheduler.context_overhead
-            )
-            if effective != event.size:
-                record.pids_charged.add(event.pid)
-                record.overhead_pending.add(event.pid)
-            record.inflight += effective
-    elif isinstance(event, AllocationPaused):
-        effective = record.effective_size(
-            event.pid, event.size, scheduler.context_overhead
-        )
-        if effective != event.size:
-            record.pids_charged.add(event.pid)
-            record.overhead_pending.add(event.pid)
-        record.pending.append(
-            PendingAllocation(
-                pid=event.pid,
-                size=effective,
-                requested_size=event.size,
-                api=event.api,
-                requested_at=event.time,
-                resume=None,
-            )
-        )
-        record.last_suspended_at = event.time
-        record.pause_count += 1
-    elif isinstance(event, AllocationResumed):
-        pass  # state applied by the preceding AllocationGranted
-    elif isinstance(event, AllocationRejected):
-        pass  # decision only; no state change
-    elif isinstance(event, AllocationCommitted):
-        overhead = 0
-        if event.pid in record.overhead_pending:
-            overhead = scheduler.context_overhead
-            record.overhead_pending.discard(event.pid)
-        total = event.size + overhead
-        record.inflight -= total
-        record.used += total
-        record.allocations[event.address] = AllocationRecord(
-            address=event.address, pid=event.pid, size=event.size
-        )
-        if overhead:
-            key = scheduler._overhead_key(event.pid)
-            record.allocations[key] = AllocationRecord(
-                address=key, pid=event.pid, size=overhead, is_context_overhead=True
-            )
-    elif isinstance(event, AllocationReleased):
-        allocation = record.allocations.pop(event.address, None)
-        if allocation is None:
-            raise JournalError(
-                f"release of unknown address {event.address:#x} during replay"
-            )
-        record.used -= allocation.size
-    elif isinstance(event, AllocationAborted):
-        effective = event.size
-        if event.pid in record.overhead_pending:
-            effective += scheduler.context_overhead
-            record.overhead_pending.discard(event.pid)
-            record.pids_charged.discard(event.pid)
-        record.inflight -= effective
-    elif isinstance(event, MemoryAssigned):
-        record.assigned = event.assigned_total
-    elif isinstance(event, ReservationReclaimed):
-        record.assigned = event.assigned_total
-    elif isinstance(event, ProcessExited):
-        doomed = [a for a in record.allocations.values() if a.pid == event.pid]
-        for allocation in doomed:
-            del record.allocations[allocation.address]
-        record.used -= sum(a.size for a in doomed)
-        record.pids_charged.discard(event.pid)
-        record.overhead_pending.discard(event.pid)
-    elif isinstance(event, ContainerClosed):
-        record.pending.clear()
-        record.allocations.clear()
-        record.used = 0
-        record.inflight = 0
-        record.assigned = 0
-        record.closed = True
-        record.suspended_total = event.suspended_total
-    else:  # pragma: no cover - registry and appliers move in lockstep
-        raise JournalError(f"no replay rule for {type(event).__name__}")
 
 
 # ---------------------------------------------------------------------------

@@ -101,6 +101,16 @@ class ContainerRecord:
         """Bytes of assigned memory not yet used or promised."""
         return self.assigned - self.used - self.inflight
 
+    @property
+    def is_redistribution_candidate(self) -> bool:
+        """Eligible to receive freed memory from the policy (§III-D).
+
+        Open, paused, and still short of its declared limit — the exact
+        filter the redistribution loop applies before asking the policy,
+        and the candidacy predicate every incremental policy index keys on.
+        """
+        return not self.closed and bool(self.pending) and self.insufficiency > 0
+
     def effective_size(self, pid: int, size: int, overhead: int) -> int:
         """Request size adjusted with the first-allocation overhead (§III-D)."""
         if pid in self.pids_charged:

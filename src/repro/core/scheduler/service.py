@@ -7,6 +7,11 @@ A paused allocation is expressed as ``DEFER``: the reply handle is captured
 into the scheduler's pending record and completed when redistribution (or a
 release) resumes the container — at which point the wrapper's blocked
 ``recv`` wakes up.
+
+The resume closure below performs socket I/O, which is safe because the
+scheduler runtime delivers resume callbacks *outside* its transition lock
+and only after the triggering events are journal-durable (DESIGN.md §11)
+— a slow or dead client can never stall a scheduling decision.
 """
 
 from __future__ import annotations
