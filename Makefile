@@ -2,7 +2,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test stress bench bench-concurrency bench-journal churn crash check lint
+.PHONY: test stress bench bench-concurrency bench-journal churn crash check lint analyze
 
 test:            ## tier-1: fast unit/integration/property tests
 	$(PYTHON) -m pytest -x -q
@@ -29,4 +29,7 @@ crash:           ## daemon-crash fault-injection experiment (exit 0 = recovered)
 lint:            ## ruff lint (same rules as CI; needs ruff installed)
 	$(PYTHON) -m ruff check src tests benchmarks
 
-check: test crash  ## what CI runs: tier-1 tests + the crash-recovery check
+analyze:         ## reprolint: AST invariant checker (DESIGN.md §12); no deps
+	$(PYTHON) -m repro lint src
+
+check: test crash analyze  ## what CI runs: tier-1 tests + crash recovery + reprolint

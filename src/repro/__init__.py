@@ -17,6 +17,7 @@ from repro.core.scheduler import (
     GpuMemoryScheduler,
     PAPER_POLICIES,
     make_policy,
+    register_policy,
 )
 from repro.gpu.properties import TESLA_K20M, DeviceProperties
 from repro.sim.engine import Environment
@@ -28,6 +29,7 @@ __all__ = [
     "ConVGPU",
     "GpuMemoryScheduler",
     "make_policy",
+    "register_policy",
     "PAPER_POLICIES",
     "CONTEXT_OVERHEAD_CHARGE",
     "Environment",

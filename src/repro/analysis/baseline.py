@@ -1,0 +1,91 @@
+"""Baseline support: grandfathered findings tracked in a committed file.
+
+A finding's fingerprint hashes its rule, file and the stripped source
+line it sits on — stable across unrelated edits that move the line, so a
+baseline does not churn with the file.  Duplicate (rule, file, line-text)
+triples get an occurrence index.
+
+The committed baseline for this repo is **empty by policy**: every real
+finding is fixed and every deliberate one carries an inline suppression
+with its reason (ISSUE 5 satellite 1).  The mechanism exists so a future
+rule can land before its backlog is paid down.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Iterable, Sequence
+
+from repro.analysis.core import Finding, refinding
+
+__all__ = [
+    "apply_baseline",
+    "assign_fingerprints",
+    "load_baseline",
+    "write_baseline",
+]
+
+_VERSION = 1
+
+
+def assign_fingerprints(findings: Sequence[Finding]) -> list[Finding]:
+    seen: dict[tuple[str, str, str], int] = {}
+    out: list[Finding] = []
+    for finding in findings:
+        key = (finding.rule, finding.path, finding.snippet)
+        index = seen.get(key, 0)
+        seen[key] = index + 1
+        digest = hashlib.sha1(
+            f"{finding.rule}|{finding.path}|{finding.snippet}|{index}".encode()
+        ).hexdigest()[:16]
+        out.append(refinding(finding, fingerprint=digest))
+    return out
+
+
+def load_baseline(path: str) -> set[str]:
+    """Fingerprints from a baseline file; empty set when absent."""
+    if not os.path.exists(path):
+        return set()
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    if not isinstance(data, dict) or data.get("version") != _VERSION:
+        raise ValueError(f"unrecognized baseline format in {path}")
+    return {
+        entry["fingerprint"]
+        for entry in data.get("findings", [])
+        if isinstance(entry, dict) and "fingerprint" in entry
+    }
+
+
+def apply_baseline(
+    findings: Iterable[Finding], baseline: set[str]
+) -> tuple[list[Finding], int]:
+    """Split into (new findings, count suppressed by the baseline)."""
+    fresh: list[Finding] = []
+    grandfathered = 0
+    for finding in findings:
+        if finding.fingerprint and finding.fingerprint in baseline:
+            grandfathered += 1
+        else:
+            fresh.append(finding)
+    return fresh, grandfathered
+
+
+def write_baseline(path: str, findings: Sequence[Finding]) -> None:
+    payload = {
+        "version": _VERSION,
+        "findings": [
+            {
+                "fingerprint": finding.fingerprint,
+                "rule": finding.rule,
+                "path": finding.path,
+                "message": finding.message,
+            }
+            for finding in findings
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -1,0 +1,179 @@
+"""Configuration for the reprolint rules.
+
+Every scope below is a tuple of *path suffixes* matched against the
+``/``-normalized path of an analyzed file, so the same config works on an
+installed tree, a checkout, or a test fixture that mirrors the layout.
+Tests narrow or redirect scopes with :func:`dataclasses.replace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["LintConfig"]
+
+
+def _tuple(*items: str) -> tuple[str, ...]:
+    return tuple(items)
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Knobs for the rule set; defaults encode this repo's architecture."""
+
+    #: Repo root override; ``None`` means walk up from the analyzed paths
+    #: looking for ``pyproject.toml``.
+    root: str | None = None
+
+    # -- purity (DESIGN.md §11: the transition core is pure) ---------------
+    #: Modules that may not import/call I/O, time, threads or RNGs, and may
+    #: not mutate module globals.
+    pure_module_suffixes: tuple[str, ...] = field(
+        default_factory=lambda: _tuple("repro/core/scheduler/state.py")
+    )
+    #: Modules whose import alone makes code effectful/nondeterministic.
+    pure_forbidden_modules: frozenset[str] = frozenset(
+        {
+            "io",
+            "os",
+            "pathlib",
+            "random",
+            "secrets",
+            "selectors",
+            "shutil",
+            "socket",
+            "subprocess",
+            "sys",
+            "tempfile",
+            "threading",
+            "time",
+        }
+    )
+    #: Builtins that perform I/O.
+    pure_forbidden_calls: frozenset[str] = frozenset(
+        {"open", "print", "input", "exec", "eval", "__import__"}
+    )
+    #: Dotted-call prefixes that smuggle in a non-injected RNG.
+    pure_forbidden_prefixes: tuple[str, ...] = field(
+        default_factory=lambda: _tuple("np.random.", "numpy.random.")
+    )
+    #: Base class marking scheduling policies; their ``make_index``/
+    #: ``select`` must stay effect-free except the injected ``self._rng``.
+    policy_base_classes: frozenset[str] = frozenset({"SchedulingPolicy"})
+    policy_pure_methods: tuple[str, ...] = field(
+        default_factory=lambda: _tuple("make_index", "select")
+    )
+
+    # -- lock discipline (DESIGN.md §11: no I/O or callbacks under the lock)
+    #: Modules whose ``with *_lock:`` blocks are held to the discipline.
+    lock_module_suffixes: tuple[str, ...] = field(
+        default_factory=lambda: _tuple(
+            "repro/core/scheduler/core.py",
+            "repro/core/scheduler/journal.py",
+            "repro/core/scheduler/daemon.py",
+            "repro/cluster/multigpu.py",
+        )
+    )
+    #: Call names (last dotted segment) that block or touch the outside
+    #: world; calling one inside a critical section is a finding.
+    lock_blocking_calls: frozenset[str] = frozenset(
+        {
+            "accept",
+            "connect",
+            "fsync",
+            "flush",
+            "join",
+            "recv",
+            "select",
+            "send",
+            "sendall",
+            "sleep",
+            "urlopen",
+            "wait_durable",
+            "write_snapshot",
+            # The journal's synchronous appenders flush (and may fsync);
+            # reaching them from inside a critical section is the exact
+            # write-under-lock regression the group-commit split removed.
+            "_write",
+            "_write_items",
+        }
+    )
+    #: Bare names whose call under the lock hands control to user code.
+    lock_callback_names: frozenset[str] = frozenset(
+        {"callback", "on_resume", "resume"}
+    )
+
+    # -- lock ordering (journal docstring: scheduler lock, then _cond) -----
+    #: Cross-object receivers resolved to their class for graph nodes,
+    #: e.g. ``scheduler._lock`` inside the journal.
+    lock_class_aliases: dict[str, str] = field(
+        default_factory=lambda: {"scheduler": "GpuMemoryScheduler"}
+    )
+
+    # -- loop-thread safety (DESIGN.md §10: the selector thread never blocks)
+    #: suffix -> {class name -> selector-thread entry-point methods}.
+    loop_entry_points: dict[str, dict[str, tuple[str, ...]]] = field(
+        default_factory=lambda: {
+            "repro/ipc/loop.py": {
+                "IoLoop": (
+                    "_run",
+                    "_run_ops",
+                    "_handle_accept",
+                    "_handle_readable",
+                    "_drop",
+                    "_enqueue",
+                    "_wake",
+                ),
+            }
+        }
+    )
+    #: Nested functions with these names are ops posted to the loop thread.
+    loop_closure_names: frozenset[str] = frozenset({"op"})
+    #: Calls that may block the selector thread.
+    loop_blocking_calls: frozenset[str] = frozenset(
+        {
+            "accept",
+            "acquire",
+            "connect",
+            "fsync",
+            "flush",
+            "join",
+            "put",
+            "recv",
+            "send",
+            "sendall",
+            "sleep",
+            "urlopen",
+            "wait",
+            "wait_durable",
+        }
+    )
+
+    # -- protocol drift (docs/PROTOCOL.md: one schema module) --------------
+    #: The schema module: ``MSG_*`` constants + ``REQUEST_FIELDS`` +
+    #: ``TRACE_FIELDS``.  Resolved against the repo root unless absolute.
+    schema_path: str = "src/repro/ipc/protocol.py"
+    #: Files allowed to *dispatch* on message types via ``_on_<type>``
+    #: handler methods (checked against the schema).
+    protocol_handler_suffixes: tuple[str, ...] = field(
+        default_factory=lambda: _tuple("repro/core/scheduler/service.py")
+    )
+    #: The protocol reference doc kept in sync with the schema module
+    #: (``None`` disables the doc check).
+    protocol_doc_path: str | None = "docs/PROTOCOL.md"
+
+    # -- observability hygiene ---------------------------------------------
+    #: Names treated as the process-global metrics registry.
+    metric_registry_names: frozenset[str] = frozenset({"REGISTRY"})
+    #: Naming convention for declared metrics.
+    metric_name_pattern: str = r"convgpu_[a-z0-9_]+"
+    #: Modules where IpcDisconnected can fly: a broad handler that
+    #: silently swallows it hides daemon/wrapper connectivity bugs.
+    except_module_suffixes: tuple[str, ...] = field(
+        default_factory=lambda: _tuple(
+            "repro/ipc/",
+            "repro/core/wrapper/",
+            "repro/core/scheduler/service.py",
+            "repro/core/scheduler/daemon.py",
+        )
+    )

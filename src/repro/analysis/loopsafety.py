@@ -1,0 +1,108 @@
+"""loop-blocking: the selector thread must never block.
+
+DESIGN.md §10: one I/O thread multiplexes every listener and connection;
+anything that can stall it — a sleep, a join, an unbounded queue put, a
+blocking socket call — stalls *every* container at once.  This rule keeps
+an explicit entry-point list (the ``IoLoop`` methods that run on the
+selector thread, plus the ``op`` closures posted to it), expands it by a
+one-level walk into same-class helpers, and flags calls into the
+configured blocking set from any reachable body.
+
+The loop has a few *deliberate* blocking points (the backpressure
+``Queue.put``, the one ``recv`` per readiness event); those carry inline
+``loop-blocking`` suppressions with their reasons, which doubles as
+documentation at the call site.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.core import (
+    Context,
+    Finding,
+    Rule,
+    SourceFile,
+    dotted_name,
+    walk_shallow,
+)
+
+__all__ = ["LoopBlockingRule"]
+
+
+class LoopBlockingRule(Rule):
+    id = "loop-blocking"
+
+    def check_file(self, source: SourceFile, ctx: Context) -> Iterable[Finding]:
+        cfg = ctx.config
+        for suffix, classes in cfg.loop_entry_points.items():
+            if not source.matches((suffix,)):
+                continue
+            for node in source.tree.body:
+                if isinstance(node, ast.ClassDef) and node.name in classes:
+                    yield from self._check_class(
+                        source, ctx, node, classes[node.name]
+                    )
+
+    def _check_class(
+        self,
+        source: SourceFile,
+        ctx: Context,
+        cls: ast.ClassDef,
+        entry_names: tuple[str, ...],
+    ) -> Iterable[Finding]:
+        cfg = ctx.config
+        methods = {
+            item.name: item
+            for item in cls.body
+            if isinstance(item, ast.FunctionDef)
+        }
+        # Entry points: the configured selector-thread methods, plus every
+        # closure posted to the loop thread (named per loop_closure_names).
+        entries: dict[str, ast.FunctionDef] = {
+            name: methods[name] for name in entry_names if name in methods
+        }
+        for method in methods.values():
+            for node in ast.walk(method):
+                if (
+                    isinstance(node, ast.FunctionDef)
+                    and node.name in cfg.loop_closure_names
+                ):
+                    entries[f"{method.name}.<{node.name}>"] = node
+        # One-level call-graph walk: self.m() from an entry makes m's body
+        # selector-thread code too.
+        reachable: dict[str, tuple[ast.FunctionDef, str]] = {
+            name: (fn, name) for name, fn in entries.items()
+        }
+        for entry_name, fn in entries.items():
+            for node in ast.walk(fn):
+                if not isinstance(node, ast.Call):
+                    continue
+                callee = node.func
+                if (
+                    isinstance(callee, ast.Attribute)
+                    and isinstance(callee.value, ast.Name)
+                    and callee.value.id == "self"
+                    and callee.attr in methods
+                    and callee.attr not in reachable
+                ):
+                    reachable[callee.attr] = (methods[callee.attr], entry_name)
+        for name, (fn, via) in reachable.items():
+            # Entries' nested closures are their own entries; do not
+            # double-report their bodies under the enclosing method.
+            for node in walk_shallow(fn):
+                if not isinstance(node, ast.Call):
+                    continue
+                called = dotted_name(node.func)
+                if called is None:
+                    continue
+                last = called.split(".")[-1]
+                if last in cfg.loop_blocking_calls:
+                    path = name if via == name else f"{via} -> {name}"
+                    yield source.finding(
+                        self.id, node,
+                        f"{last}() can block the selector thread "
+                        f"(reachable via {cls.name}.{path}); one stalled "
+                        "call stalls every connection (DESIGN.md §10)",
+                    )

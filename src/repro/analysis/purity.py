@@ -1,0 +1,123 @@
+"""purity: the scheduler transition core and policy indexes stay pure.
+
+DESIGN.md §11 moved every effect out of ``repro.core.scheduler.state`` —
+transitions take an explicit ``now`` and return a ``Transition``; the
+runtime facade performs the I/O.  That is only worth anything if it
+cannot silently regress, so this rule forbids the pure modules from
+importing or calling time/threads/RNG/I/O and from mutating module
+globals.  Policies get the same treatment for their ``make_index`` /
+``select`` hooks (the redistribution hot path replays byte-for-byte in
+the golden traces): the single allowed effect is the injected RNG,
+reached through ``self`` — which is why ``self.*`` calls are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.core import Context, Finding, Rule, SourceFile, dotted_name
+
+__all__ = ["PurityRule"]
+
+
+class PurityRule(Rule):
+    id = "purity"
+
+    def check_file(self, source: SourceFile, ctx: Context) -> Iterable[Finding]:
+        cfg = ctx.config
+        findings: list[Finding] = []
+        if source.matches(cfg.pure_module_suffixes):
+            findings.extend(self._check_module(source, ctx))
+        findings.extend(self._check_policies(source, ctx))
+        return findings
+
+    # -- the pure modules ---------------------------------------------------
+
+    def _check_module(self, source: SourceFile, ctx: Context) -> Iterable[Finding]:
+        cfg = ctx.config
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    top = alias.name.split(".")[0]
+                    if top in cfg.pure_forbidden_modules:
+                        yield source.finding(
+                            self.id, node,
+                            f"pure module imports {alias.name!r}; the transition "
+                            f"core may not depend on I/O, time, threads or RNGs",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                top = (node.module or "").split(".")[0]
+                if node.level == 0 and top in cfg.pure_forbidden_modules:
+                    yield source.finding(
+                        self.id, node,
+                        f"pure module imports from {node.module!r}; the transition "
+                        f"core may not depend on I/O, time, threads or RNGs",
+                    )
+            elif isinstance(node, ast.Global):
+                yield source.finding(
+                    self.id, node,
+                    "pure module mutates module globals "
+                    f"({', '.join(node.names)}); state must flow through "
+                    "explicit transitions",
+                )
+            elif isinstance(node, ast.Call):
+                finding = self._effectful_call(source, node, ctx)
+                if finding is not None:
+                    yield finding
+
+    # -- registered policies ------------------------------------------------
+
+    def _check_policies(self, source: SourceFile, ctx: Context) -> Iterable[Finding]:
+        cfg = ctx.config
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            bases = {
+                (dotted_name(base) or "").split(".")[-1] for base in node.bases
+            }
+            if not bases & cfg.policy_base_classes:
+                continue
+            for item in node.body:
+                if (
+                    isinstance(item, ast.FunctionDef)
+                    and item.name in cfg.policy_pure_methods
+                ):
+                    for call in ast.walk(item):
+                        if not isinstance(call, ast.Call):
+                            continue
+                        finding = self._effectful_call(
+                            source, call, ctx,
+                            where=f"policy {node.name}.{item.name}",
+                        )
+                        if finding is not None:
+                            yield finding
+
+    def _effectful_call(
+        self,
+        source: SourceFile,
+        call: ast.Call,
+        ctx: Context,
+        *,
+        where: str = "pure module",
+    ) -> Finding | None:
+        cfg = ctx.config
+        name = dotted_name(call.func)
+        if name is None:
+            return None
+        root = name.split(".")[0]
+        if root == "self":
+            return None  # the injected RNG (and other owned state) is fine
+        if name in cfg.pure_forbidden_calls:
+            reason = f"calls {name}()"
+        elif root in cfg.pure_forbidden_modules:
+            reason = f"calls {name}()"
+        elif any(name.startswith(prefix) for prefix in cfg.pure_forbidden_prefixes):
+            reason = f"builds a non-injected RNG via {name}()"
+        else:
+            return None
+        return source.finding(
+            self.id, call,
+            f"{where} {reason}; effects belong in the runtime facade "
+            "(inject the dependency instead)",
+        )

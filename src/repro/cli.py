@@ -125,6 +125,12 @@ def build_parser() -> argparse.ArgumentParser:
                             help="GPU pool size in MiB")
     daemon_cmd.add_argument("--policy", default="FIFO")
     daemon_cmd.add_argument(
+        "--policy-plugin", action="append", default=[], metavar="MODULE",
+        dest="policy_plugins",
+        help="import MODULE before resolving --policy; the module registers "
+             "out-of-tree policies via repro.register_policy (repeatable)",
+    )
+    daemon_cmd.add_argument(
         "--heartbeat-timeout", type=float, default=None,
         help="reap containers silent for this many seconds (off by default)",
     )
@@ -163,6 +169,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-verify", action="store_true",
         help="skip the accounting-invariant check on the restored state",
     )
+    recover_cmd.add_argument(
+        "--policy-plugin", action="append", default=[], metavar="MODULE",
+        dest="policy_plugins",
+        help="import MODULE before restoring (a journal written under a "
+             "plug-in policy needs it registered to rebuild the scheduler)",
+    )
 
     metrics_cmd = sub.add_parser(
         "metrics", help="scrape a daemon's /metrics endpoint and pretty-print"
@@ -197,6 +209,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="number of refreshes before exiting (0 = until interrupted)",
     )
     top_cmd.add_argument("--timeout", type=float, default=5.0)
+
+    lint_cmd = sub.add_parser(
+        "lint", help="reprolint: AST invariant checks (DESIGN.md §12)"
+    )
+    lint_cmd.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files/directories to analyze (default: src)",
+    )
+    lint_cmd.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="fmt",
+    )
+    lint_cmd.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="baseline file (default: <root>/.reprolint.json when present)",
+    )
+    lint_cmd.add_argument(
+        "--no-baseline", action="store_true",
+        help="report grandfathered findings too",
+    )
+    lint_cmd.add_argument(
+        "--write-baseline", action="store_true",
+        help="rewrite the baseline with the current findings and exit 0",
+    )
     return parser
 
 
@@ -354,6 +389,21 @@ def _cmd_crash(args) -> int:
     return 0 if survived else 1
 
 
+def _load_policy_plugins(modules) -> None:
+    """Import each plug-in module; importing is registration (the module
+    calls ``repro.register_policy`` at top level)."""
+    import importlib
+
+    from repro.core.scheduler.policies import POLICIES
+
+    for name in modules:
+        before = set(POLICIES)
+        importlib.import_module(name)
+        added = sorted(set(POLICIES) - before)
+        if added:
+            print(f"policy plugin {name}: registered {', '.join(added)}")
+
+
 def _cmd_daemon(args) -> int:
     from repro.core.scheduler import (
         GpuMemoryScheduler,
@@ -368,22 +418,23 @@ def _cmd_daemon(args) -> int:
         print("--recover requires --journal-path", file=sys.stderr)
         return 2
     configure_logging(level=args.log_level, json_mode=args.log_json)
+    _load_policy_plugins(args.policy_plugins)
     monitor = (
         HeartbeatMonitor(timeout=args.heartbeat_timeout)
         if args.heartbeat_timeout is not None
         else None
     )
-    common = dict(
-        base_dir=args.base_dir,
-        transport=args.transport,
-        io=args.io,
-        io_workers=args.io_workers,
-        host=args.host,
-        control_port=args.port,
-        monitor=monitor,
-        reap_interval=args.reap_interval,
-        metrics_port=None if args.no_metrics else args.metrics_port,
-    )
+    common = {
+        "base_dir": args.base_dir,
+        "transport": args.transport,
+        "io": args.io,
+        "io_workers": args.io_workers,
+        "host": args.host,
+        "control_port": args.port,
+        "monitor": monitor,
+        "reap_interval": args.reap_interval,
+        "metrics_port": None if args.no_metrics else args.metrics_port,
+    }
     # Wall clock, not monotonic: journaled timestamps must stay comparable
     # across a restart (suspension accounting spans the crash).
     if args.recover:
@@ -435,6 +486,7 @@ def _cmd_recover(args) -> int:
         snapshot,
     )
 
+    _load_policy_plugins(args.policy_plugins)
     summary = journal_summary(args.journal)
     meta = summary["meta"] or {}
     print(
@@ -576,6 +628,40 @@ def _cmd_export(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.analysis import (
+        analyze_paths,
+        apply_baseline,
+        assign_fingerprints,
+        find_root,
+        load_baseline,
+        render_json,
+        render_text,
+        write_baseline,
+    )
+
+    try:
+        findings = assign_fingerprints(analyze_paths(args.paths))
+    except FileNotFoundError as exc:
+        print(f"no such file or directory: {exc}", file=sys.stderr)
+        return 2
+    baseline_path = args.baseline
+    if baseline_path is None:
+        baseline_path = os.path.join(find_root(args.paths), ".reprolint.json")
+    if args.write_baseline:
+        write_baseline(baseline_path, findings)
+        print(f"wrote {len(findings)} finding(s) to {baseline_path}")
+        return 0
+    grandfathered = 0
+    if not args.no_baseline:
+        findings, grandfathered = apply_baseline(
+            findings, load_baseline(baseline_path)
+        )
+    render = render_json if args.fmt == "json" else render_text
+    print(render(findings, grandfathered=grandfathered))
+    return 1 if findings else 0
+
+
 _COMMANDS = {
     "fig4": _cmd_fig4,
     "fig5": _cmd_fig5,
@@ -589,6 +675,7 @@ _COMMANDS = {
     "recover": _cmd_recover,
     "metrics": _cmd_metrics,
     "top": _cmd_top,
+    "lint": _cmd_lint,
 }
 
 

@@ -8,6 +8,7 @@ from repro.core.scheduler import (
     SchedulerDaemon,
     SchedulerService,
     make_policy,
+    register_policy,
 )
 from repro.core.wrapper import INTERCEPTED_SYMBOLS, SizeAdjuster, WrapperModule
 
@@ -19,6 +20,7 @@ __all__ = [
     "SchedulerDaemon",
     "CONTEXT_OVERHEAD_CHARGE",
     "make_policy",
+    "register_policy",
     "WrapperModule",
     "INTERCEPTED_SYMBOLS",
     "SizeAdjuster",

@@ -68,6 +68,7 @@ from repro.core.scheduler.policies import (
     SmallestFirstPolicy,
     WorstFitPolicy,
     make_policy,
+    register_policy,
 )
 from repro.core.scheduler.records import (
     AllocationRecord,
@@ -105,6 +106,7 @@ __all__ = [
     "POLICIES",
     "PAPER_POLICIES",
     "make_policy",
+    "register_policy",
     "ContainerRecord",
     "AllocationRecord",
     "PendingAllocation",

@@ -412,9 +412,10 @@ class SchedulerDaemon:
         while not self._reaper_stop.wait(self.reap_interval):
             try:
                 self.reap_orphans()
-            except Exception:
-                # The reaper must never die silently mid-run; individual
-                # failures are retried on the next sweep.
+            except Exception as exc:
+                # The reaper thread must survive a failed sweep; individual
+                # failures are logged and retried on the next interval.
+                self.log.error("reap_sweep_failed", error=str(exc))
                 continue
 
     def reap_orphans(self) -> list[str]:

@@ -394,7 +394,42 @@ POLICIES: dict[str, Callable[..., SchedulingPolicy]] = {
 
 #: The four algorithms evaluated in the paper, in table order.
 PAPER_POLICIES = ("FIFO", "BF", "RU", "Rand")
-__all__.append("PAPER_POLICIES")
+__all__ += ["PAPER_POLICIES", "register_policy"]
+
+
+def register_policy(
+    name: str,
+    factory: Callable[..., SchedulingPolicy],
+    *,
+    replace: bool = False,
+) -> Callable[..., SchedulingPolicy]:
+    """Register an out-of-tree scheduling policy under ``name``.
+
+    ``factory`` is a zero-argument callable (typically the policy class)
+    returning a :class:`SchedulingPolicy`; after registration the daemon
+    CLI reaches it via ``--policy NAME`` (load the defining module with
+    ``--policy-plugin``).  Registered policies are held to the same
+    contract as the built-ins — ``select`` is the pure ordering,
+    ``make_index`` may ship a custom :class:`CandidateIndex` — and
+    reprolint's ``purity`` rule applies to any ``SchedulingPolicy``
+    subclass it can see.
+
+    Returns the factory, so a module can register at import time::
+
+        register_policy("LRU", LruPolicy)
+
+    Raises:
+        ValueError: the name is taken (pass ``replace=True`` to override).
+        TypeError: the factory is not callable.
+    """
+    if not callable(factory):
+        raise TypeError(f"policy factory for {name!r} is not callable: {factory!r}")
+    if not replace and name in POLICIES:
+        raise ValueError(
+            f"policy {name!r} is already registered; pass replace=True to override"
+        )
+    POLICIES[name] = factory
+    return factory
 
 
 def make_policy(name: str, rng: np.random.Generator | None = None) -> SchedulingPolicy:

@@ -161,9 +161,10 @@ class SchedulerService:
             # Deliver the withheld reply; the container was paused until now.
             try:
                 reply_handle.send(protocol.make_reply(message, **payload))
+            # reprolint: ignore[swallowed-exception] -- the wrapper's socket
+            # is gone (container killed while paused); container_exit
+            # cleanup already reconciles the scheduler state.
             except Exception:
-                # The wrapper's socket is gone (container killed while
-                # paused); container_exit cleanup already reconciles state.
                 pass
 
         began = time.perf_counter()

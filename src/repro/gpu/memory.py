@@ -245,7 +245,7 @@ class GpuMemoryAllocator:
             if self._used > self.total:
                 raise GpuError(f"over-allocated: {self._used} > {self.total}")
             spans = sorted((a.address, a.end) for a in self._live.values())
-            for (s1, e1), (s2, _e2) in zip(spans, spans[1:]):
+            for (_s1, e1), (s2, _e2) in zip(spans, spans[1:]):
                 if s2 < e1:
                     raise GpuError(f"overlapping allocations at {s2:#x}")
             return

@@ -182,7 +182,7 @@ class IoLoop:
         self._thread = None
         # The loop thread exited without touching its registrations: close
         # the leftovers here so blocked peers wake with a clean EOF.
-        for sock, state in list(self._conns.items()):
+        for _sock, state in list(self._conns.items()):
             self._enqueue(state, _CLOSE)
         self._conns.clear()
         for listener in list(self._listeners):
@@ -311,6 +311,8 @@ class IoLoop:
         wake = self._wake_w
         if wake is not None:
             try:
+                # reprolint: ignore[loop-blocking] -- one byte into the
+                # socketpair buffer; cannot block, and _run drains it.
                 wake.send(b"\0")
             except OSError:
                 pass
@@ -323,8 +325,10 @@ class IoLoop:
                 op = self._ops.popleft()
             try:
                 op()
+            # reprolint: ignore[swallowed-exception] -- a failed
+            # registration op must not take down the loop that serves every
+            # other connection; the op's owner observes the broken state.
             except Exception:
-                # A failed registration must not take down the whole loop.
                 continue
 
     def _run(self) -> None:
@@ -340,6 +344,8 @@ class IoLoop:
                 kind, payload = key.data
                 if kind == "wake":
                     try:
+                        # reprolint: ignore[loop-blocking] -- the wake pipe
+                        # is non-blocking (setblocking(False) in start()).
                         while self._wake_r is not None and self._wake_r.recv(4096):
                             pass
                     except (BlockingIOError, OSError):
@@ -353,6 +359,8 @@ class IoLoop:
         self, listener: Any, on_accept: Callable[[socket.socket], None]
     ) -> None:
         try:
+            # reprolint: ignore[loop-blocking] -- called only on a readiness
+            # event, so a connection is already queued; returns immediately.
             conn, _addr = listener.accept()
         except OSError:
             return  # listener closed under us; remove_listener cleans up
@@ -366,6 +374,9 @@ class IoLoop:
 
     def _handle_readable(self, state: _ConnState) -> None:
         try:
+            # reprolint: ignore[loop-blocking] -- exactly one recv per
+            # readiness event: the level-triggered selector guarantees
+            # buffered bytes, so this returns without waiting.
             chunk = state.sock.recv(65536)
         except (BlockingIOError, InterruptedError):
             return
@@ -408,6 +419,9 @@ class IoLoop:
             if state.scheduled:
                 return
             state.scheduled = True
+        # reprolint: ignore[loop-blocking] -- deliberate backpressure: when
+        # all workers are busy and the queue is full the I/O thread waits,
+        # trading client latency for bounded daemon memory (class docstring).
         self._queue.put(state)
 
     def _worker(self) -> None:
@@ -431,15 +445,19 @@ class IoLoop:
             if state.on_overflow is not None:
                 try:
                     state.on_overflow()
+                # reprolint: ignore[swallowed-exception] -- the overflow
+                # notifier is best-effort; the close below is the real
+                # handling and must still run.
                 except Exception:
                     pass
             self._finish(state)
             return
         try:
             state.on_frame(item)
+        # reprolint: ignore[swallowed-exception] -- handler bugs are
+        # reported in-band by the server's dispatch; anything escaping to
+        # here must not kill the shared worker.
         except Exception:
-            # Handler bugs are reported in-band by the server's dispatch;
-            # anything escaping to here must not kill the worker.
             pass
 
     def _finish(self, state: _ConnState) -> None:
@@ -457,5 +475,8 @@ class IoLoop:
             pass
         try:
             state.on_close()
+        # reprolint: ignore[swallowed-exception] -- on_close runs exactly
+        # once per connection during teardown; a buggy callback must not
+        # leak the socket or kill the worker.
         except Exception:
             pass

@@ -176,6 +176,9 @@ class ResilientClient:
         if self._client is not None:
             try:
                 self._client.close()
+            # reprolint: ignore[swallowed-exception] -- the client is being
+            # dropped because its transport already failed; a second error
+            # from close() carries no new information.
             except Exception:
                 pass
             self._client = None

@@ -69,8 +69,9 @@ class MnistConfig:
         )
 
 
-def mnist_program(api: ProcessApi, config: MnistConfig = MnistConfig()):
+def mnist_program(api: ProcessApi, config: MnistConfig | None = None):
     """Generator reproducing the MNIST trainer's CUDA call sequence."""
+    config = config if config is not None else MnistConfig()
     # Graph build: persistent pools.
     pools: list[int] = []
     for size in config.pool_sizes:
@@ -109,8 +110,9 @@ def mnist_program(api: ProcessApi, config: MnistConfig = MnistConfig()):
     return 0
 
 
-def make_mnist_command(config: MnistConfig = MnistConfig()):
+def make_mnist_command(config: MnistConfig | None = None):
     """Entrypoint factory for the MNIST trainer."""
+    config = config if config is not None else MnistConfig()
 
     def command(api: ProcessApi):
         return mnist_program(api, config)

@@ -1,0 +1,37 @@
+"""Harness for the reprolint analyzer tests.
+
+Fixture files are written under ``tmp_path`` and analyzed with a config
+whose scope suffixes are redirected at the fixture names — the rules
+match on path *suffixes*, so a snippet called ``mod.py`` stands in for
+``repro/core/scheduler/core.py`` once the config says so.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import textwrap
+
+import pytest
+
+from repro.analysis import LintConfig, analyze_paths
+
+
+@pytest.fixture
+def lint(tmp_path):
+    """``lint({"mod.py": source, ...}, **config_overrides) -> findings``."""
+
+    def run(files, *, rules=None, **overrides):
+        paths = []
+        for rel, text in files.items():
+            target = tmp_path / rel
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(textwrap.dedent(text))
+            paths.append(str(target))
+        config = dataclasses.replace(LintConfig(root=str(tmp_path)), **overrides)
+        return analyze_paths(paths, config, rules=rules)
+
+    return run
+
+
+def rules_of(findings):
+    return [finding.rule for finding in findings]

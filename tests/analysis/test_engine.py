@@ -1,0 +1,207 @@
+"""Engine behavior: suppressions, baselines, reporters, parse errors and
+the ``repro lint`` CLI surface."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import textwrap
+
+from repro.analysis import (
+    apply_baseline,
+    assign_fingerprints,
+    find_root,
+    load_baseline,
+    render_json,
+    render_text,
+    write_baseline,
+)
+from repro.cli import main
+from tests.analysis.conftest import rules_of
+
+_BARE = """\
+def risky():
+    try:
+        return 1
+    except:{comment}
+        return None
+"""
+
+
+# ---------------------------------------------------------------------------
+# suppressions
+# ---------------------------------------------------------------------------
+
+
+def test_suppression_on_the_finding_line(lint):
+    source = _BARE.format(comment="  # reprolint: ignore[bare-except] -- why")
+    assert lint({"mod.py": source}) == []
+
+
+def test_suppression_in_comment_block_above(lint):
+    source = """\
+    def risky():
+        try:
+            return 1
+        # reprolint: ignore[bare-except] -- a reason that wraps
+        # onto a second comment line before the handler.
+        except:
+            return None
+    """
+    assert lint({"mod.py": source}) == []
+
+
+def test_suppression_for_other_rule_does_not_apply(lint):
+    source = _BARE.format(comment="  # reprolint: ignore[purity] -- wrong id")
+    findings = lint({"mod.py": source})
+    assert rules_of(findings) == ["bare-except"]
+
+
+def test_suppression_without_rule_list_silences_everything(lint):
+    source = _BARE.format(comment="  # reprolint: ignore[] -- blanket")
+    assert lint({"mod.py": source}) == []
+
+
+def test_suppression_does_not_leak_past_code_lines(lint):
+    # The comment block scan stops at the first non-comment line.
+    source = """\
+    # reprolint: ignore[bare-except] -- too far away
+    def risky():
+        try:
+            return 1
+        except:
+            return None
+    """
+    findings = lint({"mod.py": source})
+    assert rules_of(findings) == ["bare-except"]
+
+
+# ---------------------------------------------------------------------------
+# parse errors
+# ---------------------------------------------------------------------------
+
+
+def test_unparseable_file_yields_parse_error_finding(lint):
+    findings = lint({"broken.py": "def broken(:\n", "fine.py": "X = 1\n"})
+    assert rules_of(findings) == ["parse-error"]
+    assert findings[0].path == "broken.py"
+
+
+# ---------------------------------------------------------------------------
+# baseline
+# ---------------------------------------------------------------------------
+
+
+def test_fingerprints_stable_across_line_moves(lint):
+    before = lint({"a.py": _BARE.format(comment="")})
+    after = lint({"b/a.py": "\n\n\n" + _BARE.format(comment="")})
+    # Same rule, same (relative) snippet: moving the line must not churn
+    # the fingerprint — only the path takes part, so normalize it here.
+    [first] = assign_fingerprints(before)
+    shifted = assign_fingerprints(
+        [dataclasses.replace(f, path="a.py") for f in after]
+    )
+    assert first.line != shifted[0].line
+    assert first.fingerprint == shifted[0].fingerprint
+
+
+def test_duplicate_findings_get_distinct_fingerprints(lint):
+    source = """\
+    def f():
+        try:
+            return 1
+        except:
+            return None
+        try:
+            return 2
+        except:
+            return None
+    """
+    findings = assign_fingerprints(lint({"mod.py": source}))
+    assert len(findings) == 2
+    assert findings[0].snippet == findings[1].snippet
+    assert findings[0].fingerprint != findings[1].fingerprint
+
+
+def test_baseline_round_trip_grandfathers_old_findings(lint, tmp_path):
+    findings = assign_fingerprints(lint({"mod.py": _BARE.format(comment="")}))
+    path = str(tmp_path / "baseline.json")
+    write_baseline(path, findings)
+    fresh, grandfathered = apply_baseline(findings, load_baseline(path))
+    assert fresh == []
+    assert grandfathered == 1
+    assert load_baseline(str(tmp_path / "missing.json")) == set()
+
+
+# ---------------------------------------------------------------------------
+# reporters
+# ---------------------------------------------------------------------------
+
+
+def test_reporters(lint):
+    findings = assign_fingerprints(lint({"mod.py": _BARE.format(comment="")}))
+    text = render_text(findings, grandfathered=2)
+    assert "mod.py:4" in text
+    assert "[bare-except]" in text
+    assert "1 finding(s): 1 bare-except" in text
+    assert "(2 grandfathered by the baseline)" in text
+    assert render_text([]) == "no findings"
+
+    payload = json.loads(render_json(findings))
+    assert payload["count"] == 1
+    assert payload["findings"][0]["rule"] == "bare-except"
+    assert payload["findings"][0]["fingerprint"]
+
+
+def test_find_root_walks_up_to_pyproject(tmp_path):
+    (tmp_path / "pyproject.toml").write_text("[project]\n")
+    nested = tmp_path / "src" / "pkg"
+    nested.mkdir(parents=True)
+    (nested / "mod.py").write_text("X = 1\n")
+    assert find_root([str(nested / "mod.py")]) == str(tmp_path)
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+def _write(tmp_path, name, source):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source))
+    return str(path)
+
+
+def test_cli_exit_codes_and_text_output(tmp_path, capsys):
+    bad = _write(tmp_path, "bad.py", _BARE.format(comment=""))
+    assert main(["lint", bad]) == 1
+    out = capsys.readouterr().out
+    assert "[bare-except]" in out
+
+    good = _write(tmp_path, "good.py", "X = 1\n")
+    assert main(["lint", good]) == 0
+    assert "no findings" in capsys.readouterr().out
+
+
+def test_cli_json_format(tmp_path, capsys):
+    bad = _write(tmp_path, "bad.py", _BARE.format(comment=""))
+    assert main(["lint", "--format", "json", bad]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["count"] == 1
+
+
+def test_cli_missing_path_is_usage_error(tmp_path, capsys):
+    assert main(["lint", str(tmp_path / "nope")]) == 2
+    assert "no such file" in capsys.readouterr().err
+
+
+def test_cli_write_baseline_then_grandfather(tmp_path, capsys):
+    bad = _write(tmp_path, "bad.py", _BARE.format(comment=""))
+    baseline = str(tmp_path / ".reprolint.json")
+    assert main(["lint", "--baseline", baseline, "--write-baseline", bad]) == 0
+    capsys.readouterr()
+    # Grandfathered by the baseline: exit 0, nothing fresh.
+    assert main(["lint", "--baseline", baseline, bad]) == 0
+    assert "grandfathered" in capsys.readouterr().out
+    # --no-baseline brings the finding back.
+    assert main(["lint", "--baseline", baseline, "--no-baseline", bad]) == 1

@@ -1,0 +1,132 @@
+"""Mutation tests: reintroduce the historical bugs into copies of the
+*real* sources and prove the analyzer reports each with the right rule.
+
+Each test copies a production module into a tmp tree that mirrors the
+repo layout (the rules match path suffixes), checks the unmutated copy
+is clean, applies one seeded regression and asserts exactly that
+finding appears.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import LintConfig, analyze_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+CORE_PY = REPO_ROOT / "src" / "repro" / "core" / "scheduler" / "core.py"
+PROTOCOL_PY = REPO_ROOT / "src" / "repro" / "ipc" / "protocol.py"
+
+#: The seed's paused_containers(): filters the snapshot returned by
+#: containers() after its lock is released — two acquisitions, and a
+#: resume can flip ``paused`` between them.
+_SEED_PAUSED = '''\
+    def paused_containers(self) -> list[ContainerRecord]:
+        return sorted(
+            [r for r in self.containers() if r.paused],
+            key=lambda r: r.created_seq,
+        )
+'''
+
+
+def _plant_core(tmp_path, text):
+    target = tmp_path / "repro" / "core" / "scheduler" / "core.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(text)
+    return target
+
+
+def _lint_core(tmp_path, target):
+    config = LintConfig(root=str(tmp_path))
+    return analyze_paths([str(target)], config)
+
+
+@pytest.fixture
+def core_source():
+    return CORE_PY.read_text()
+
+
+def test_unmutated_core_copy_is_clean(tmp_path, core_source):
+    target = _plant_core(tmp_path, core_source)
+    assert _lint_core(tmp_path, target) == []
+
+
+def test_reintroduced_double_lock_is_flagged(tmp_path, core_source):
+    current = core_source[
+        core_source.index("    def paused_containers")
+        : core_source.index("    def check_invariants")
+    ]
+    mutated = core_source.replace(current, _SEED_PAUSED + "\n")
+    assert mutated != core_source
+    target = _plant_core(tmp_path, mutated)
+    findings = _lint_core(tmp_path, target)
+    assert [f.rule for f in findings] == ["double-lock"]
+    assert "paused_containers" in findings[0].message
+    assert "filters a snapshot" in findings[0].message
+
+
+def test_reintroduced_fsync_under_lock_is_flagged(tmp_path, core_source):
+    marker = "with self._lock:\n"
+    at = core_source.index(marker) + len(marker)
+    mutated = core_source[:at] + "            os.fsync(0)\n" + core_source[at:]
+    target = _plant_core(tmp_path, mutated)
+    findings = _lint_core(tmp_path, target)
+    assert [f.rule for f in findings] == ["lock-discipline"]
+    assert "fsync()" in findings[0].message
+
+
+def test_undeclared_protocol_field_is_flagged(tmp_path):
+    client = tmp_path / "client.py"
+    client.write_text(
+        textwrap.dedent(
+            """\
+            from repro.ipc import protocol
+
+            def send():
+                return protocol.make_request(
+                    protocol.MSG_ALLOC_REQUEST,
+                    seq=1,
+                    container_id="c",
+                    pid=1,
+                    size=4,
+                    api="cuMemAlloc",
+                    priority=3,
+                )
+            """
+        )
+    )
+    config = dataclasses.replace(
+        LintConfig(root=str(tmp_path)),
+        schema_path=str(PROTOCOL_PY),
+        protocol_doc_path=None,
+    )
+    findings = analyze_paths([str(client)], config)
+    assert [f.rule for f in findings] == ["protocol-drift"]
+    assert "'priority'" in findings[0].message
+    assert "'alloc_request'" in findings[0].message
+
+
+def test_undeclared_metric_name_is_flagged(tmp_path):
+    mod = tmp_path / "mod.py"
+    mod.write_text(
+        'DECLARED = REGISTRY.counter("convgpu_real_total", "help")\n'
+        'GHOST = REGISTRY.get("convgpu_bogus_total")\n'
+    )
+    findings = analyze_paths([str(mod)], LintConfig(root=str(tmp_path)))
+    assert [f.rule for f in findings] == ["metric-drift"]
+    assert "'convgpu_bogus_total'" in findings[0].message
+
+
+def test_duplicate_metric_declaration_is_flagged(tmp_path):
+    mod = tmp_path / "mod.py"
+    mod.write_text(
+        'A = REGISTRY.counter("convgpu_dup_total", "help")\n'
+        'B = REGISTRY.counter("convgpu_dup_total", "help")\n'
+    )
+    findings = analyze_paths([str(mod)], LintConfig(root=str(tmp_path)))
+    assert [f.rule for f in findings] == ["metric-drift"]
+    assert "more than once" in findings[0].message

@@ -1,0 +1,647 @@
+"""Per-rule good/bad fixtures: each invariant fires on the violating
+snippet and stays quiet on the idiomatic one."""
+
+from __future__ import annotations
+
+from tests.analysis.conftest import rules_of
+
+# ---------------------------------------------------------------------------
+# purity
+# ---------------------------------------------------------------------------
+
+
+def test_purity_flags_effectful_pure_module(lint):
+    findings = lint(
+        {
+            "state.py": """\
+            import time
+
+            def now():
+                return time.time()
+            """
+        },
+        pure_module_suffixes=("state.py",),
+    )
+    assert rules_of(findings) == ["purity", "purity"]
+    assert "imports 'time'" in findings[0].message
+    assert "time.time()" in findings[1].message
+
+
+def test_purity_flags_global_mutation(lint):
+    findings = lint(
+        {
+            "state.py": """\
+            COUNT = 0
+
+            def bump():
+                global COUNT
+                COUNT += 1
+            """
+        },
+        pure_module_suffixes=("state.py",),
+    )
+    assert rules_of(findings) == ["purity"]
+    assert "module globals" in findings[0].message
+
+
+def test_purity_accepts_effect_free_module(lint):
+    findings = lint(
+        {
+            "state.py": """\
+            import math
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class Record:
+                size: int
+
+            def scale(record, factor):
+                return Record(size=math.ceil(record.size * factor))
+            """
+        },
+        pure_module_suffixes=("state.py",),
+    )
+    assert findings == []
+
+
+def test_purity_flags_effectful_policy_select(lint):
+    findings = lint(
+        {
+            "policies.py": """\
+            import time
+
+            class SchedulingPolicy:
+                pass
+
+            class WallClockPolicy(SchedulingPolicy):
+                def select(self, candidates):
+                    tick = time.time()
+                    return candidates
+            """
+        }
+    )
+    assert rules_of(findings) == ["purity"]
+    assert "policy WallClockPolicy.select" in findings[0].message
+
+
+def test_purity_allows_injected_rng_and_helper_methods(lint):
+    # self.* reaches the injected RNG; methods outside make_index/select
+    # are not held to the purity contract.
+    findings = lint(
+        {
+            "policies.py": """\
+            import time
+
+            class SchedulingPolicy:
+                pass
+
+            class RandomPolicy(SchedulingPolicy):
+                def select(self, candidates):
+                    return self._rng.choice(candidates)
+
+                def debug_stamp(self):
+                    return time.time()
+            """
+        }
+    )
+    assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# lock-discipline
+# ---------------------------------------------------------------------------
+
+_LOCKED_SEND = """\
+import threading
+
+class Scheduler:
+    def __init__(self, sock):
+        self._lock = threading.Lock()
+        self.sock = sock
+
+    def bad(self, payload):
+        with self._lock:
+            self.sock.sendall(payload)
+"""
+
+
+def test_lock_discipline_flags_blocking_call_under_lock(lint):
+    findings = lint({"mod.py": _LOCKED_SEND}, lock_module_suffixes=("mod.py",))
+    assert rules_of(findings) == ["lock-discipline"]
+    assert "sendall()" in findings[0].message
+
+
+def test_lock_discipline_flags_callback_under_lock(lint):
+    findings = lint(
+        {
+            "mod.py": """\
+            import threading
+
+            class Scheduler:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def resume_all(self, callback):
+                    with self._lock:
+                        callback()
+            """
+        },
+        lock_module_suffixes=("mod.py",),
+    )
+    assert rules_of(findings) == ["lock-discipline"]
+    assert "user callback" in findings[0].message
+
+
+def test_lock_discipline_ignores_closures_built_under_lock(lint):
+    # A closure defined under the lock runs later, outside it.
+    findings = lint(
+        {
+            "mod.py": """\
+            import threading
+
+            class Scheduler:
+                def __init__(self, sock):
+                    self._lock = threading.Lock()
+                    self.sock = sock
+                    self.ops = []
+
+                def good(self, payload):
+                    with self._lock:
+                        def later():
+                            self.sock.sendall(payload)
+                        self.ops.append(later)
+            """
+        },
+        lock_module_suffixes=("mod.py",),
+    )
+    assert findings == []
+
+
+def test_lock_discipline_scoped_to_configured_modules(lint):
+    findings = lint({"mod.py": _LOCKED_SEND}, lock_module_suffixes=("other.py",))
+    assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# double-lock
+# ---------------------------------------------------------------------------
+
+_DOUBLE_LOCK_CLASS = """\
+import threading
+
+class Scheduler:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.items = []
+
+    def snapshot(self):
+        with self._lock:
+            return list(self.items)
+
+    def %s
+"""
+
+
+def test_double_lock_flags_two_regions(lint):
+    body = """two_reads(self):
+        with self._lock:
+            first = list(self.items)
+        with self._lock:
+            second = list(self.items)
+        return first + second
+"""
+    findings = lint(
+        {"mod.py": _DOUBLE_LOCK_CLASS % body}, lock_module_suffixes=("mod.py",)
+    )
+    assert rules_of(findings) == ["double-lock"]
+    assert "2 times" in findings[0].message
+    assert "two_reads" in findings[0].message
+
+
+def test_double_lock_flags_snapshot_filtered_outside_lock(lint):
+    # The PR-4 paused_containers() bug class: filter the result of a
+    # lock-taking method after the lock is gone.
+    body = """paused(self):
+        return [r for r in self.snapshot() if r]
+"""
+    findings = lint(
+        {"mod.py": _DOUBLE_LOCK_CLASS % body}, lock_module_suffixes=("mod.py",)
+    )
+    assert rules_of(findings) == ["double-lock"]
+    assert "filters a snapshot" in findings[0].message
+
+
+def test_double_lock_accepts_single_consistent_snapshot(lint):
+    body = """paused(self):
+        with self._lock:
+            return [r for r in self.items if r]
+"""
+    findings = lint(
+        {"mod.py": _DOUBLE_LOCK_CLASS % body}, lock_module_suffixes=("mod.py",)
+    )
+    assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# lock-order
+# ---------------------------------------------------------------------------
+
+
+def test_lock_order_flags_reversed_nesting(lint):
+    findings = lint(
+        {
+            "mod.py": """\
+            import threading
+
+            class Pair:
+                def __init__(self):
+                    self.a_lock = threading.Lock()
+                    self.b_lock = threading.Lock()
+
+                def forward(self):
+                    with self.a_lock:
+                        with self.b_lock:
+                            pass
+
+                def backward(self):
+                    with self.b_lock:
+                        with self.a_lock:
+                            pass
+            """
+        },
+        lock_module_suffixes=("mod.py",),
+    )
+    assert rules_of(findings) == ["lock-order"]
+    assert "cycle" in findings[0].message
+    assert "Pair.a_lock" in findings[0].message
+    assert "Pair.b_lock" in findings[0].message
+
+
+def test_lock_order_accepts_consistent_nesting(lint):
+    findings = lint(
+        {
+            "mod.py": """\
+            import threading
+
+            class Pair:
+                def __init__(self):
+                    self.a_lock = threading.Lock()
+                    self.b_lock = threading.Lock()
+
+                def forward(self):
+                    with self.a_lock:
+                        with self.b_lock:
+                            pass
+
+                def also_forward(self):
+                    with self.a_lock:
+                        with self.b_lock:
+                            pass
+            """
+        },
+        lock_module_suffixes=("mod.py",),
+    )
+    assert findings == []
+
+
+def test_lock_order_resolves_cross_class_aliases(lint):
+    # The journal contract: scheduler lock, then _cond.  A writer thread
+    # taking them in the opposite order closes the cycle through the
+    # ``scheduler`` alias (-> GpuMemoryScheduler).
+    findings = lint(
+        {
+            "journal.py": """\
+            import threading
+
+            class Journal:
+                def __init__(self):
+                    self._cond = threading.Condition()
+
+                def append(self, scheduler):
+                    with scheduler._lock:
+                        with self._cond:
+                            pass
+
+                def writer(self, scheduler):
+                    with self._cond:
+                        with scheduler._lock:
+                            pass
+            """
+        },
+        lock_module_suffixes=("journal.py",),
+    )
+    assert rules_of(findings) == ["lock-order"]
+    assert "GpuMemoryScheduler._lock" in findings[0].message
+    assert "Journal._cond" in findings[0].message
+
+
+def test_lock_order_sees_call_into_acquiring_method(lint):
+    findings = lint(
+        {
+            "mod.py": """\
+            import threading
+
+            class Pair:
+                def __init__(self):
+                    self.a_lock = threading.Lock()
+                    self.b_lock = threading.Lock()
+
+                def take_a(self):
+                    with self.a_lock:
+                        pass
+
+                def forward(self):
+                    with self.a_lock:
+                        with self.b_lock:
+                            pass
+
+                def backward(self):
+                    with self.b_lock:
+                        self.take_a()
+            """
+        },
+        lock_module_suffixes=("mod.py",),
+    )
+    assert rules_of(findings) == ["lock-order"]
+
+
+# ---------------------------------------------------------------------------
+# loop-blocking
+# ---------------------------------------------------------------------------
+
+_LOOP_ENTRY = {"loop.py": {"IoLoop": ("_run",)}}
+
+
+def test_loop_blocking_walks_one_level_of_helpers(lint):
+    findings = lint(
+        {
+            "loop.py": """\
+            import time
+
+            class IoLoop:
+                def _run(self):
+                    while True:
+                        self._step()
+
+                def _step(self):
+                    time.sleep(0.1)
+
+                def shutdown(self):
+                    time.sleep(1.0)
+            """
+        },
+        loop_entry_points=_LOOP_ENTRY,
+    )
+    # shutdown() is not reachable from the selector thread: one finding.
+    assert rules_of(findings) == ["loop-blocking"]
+    assert "sleep()" in findings[0].message
+    assert "_run -> _step" in findings[0].message
+
+
+def test_loop_blocking_covers_posted_op_closures(lint):
+    findings = lint(
+        {
+            "loop.py": """\
+            class IoLoop:
+                def post(self, queue):
+                    def op():
+                        queue.put(1)
+                    self.ops.append(op)
+            """
+        },
+        loop_entry_points=_LOOP_ENTRY,
+    )
+    assert rules_of(findings) == ["loop-blocking"]
+    assert "put()" in findings[0].message
+    assert "post.<op>" in findings[0].message
+
+
+def test_loop_blocking_quiet_on_nonblocking_loop(lint):
+    findings = lint(
+        {
+            "loop.py": """\
+            class IoLoop:
+                def _run(self):
+                    while True:
+                        for key, _ in self.selector_events():
+                            self.dispatch(key)
+            """
+        },
+        loop_entry_points=_LOOP_ENTRY,
+    )
+    assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# protocol-drift
+# ---------------------------------------------------------------------------
+
+_SCHEMA = """\
+MSG_PING = "ping"
+MSG_DATA = "data"
+
+REQUEST_FIELDS: dict = {
+    MSG_PING: {"container_id": str},
+    MSG_DATA: {"container_id": str, "size": int},
+}
+
+TRACE_FIELDS: tuple = ("trace_id", "span_id")
+"""
+
+
+def _proto_lint(lint, client_source, **overrides):
+    overrides.setdefault("schema_path", "proto.py")
+    overrides.setdefault("protocol_doc_path", None)
+    return lint({"proto.py": _SCHEMA, "client.py": client_source}, **overrides)
+
+
+def test_protocol_drift_flags_undeclared_constant(lint):
+    findings = _proto_lint(
+        lint,
+        """\
+        def kind(protocol):
+            return protocol.MSG_BOGUS
+        """,
+    )
+    assert rules_of(findings) == ["protocol-drift"]
+    assert "MSG_BOGUS" in findings[0].message
+
+
+def test_protocol_drift_flags_undeclared_payload_field(lint):
+    findings = _proto_lint(
+        lint,
+        """\
+        def send(protocol):
+            return protocol.make_request(
+                protocol.MSG_PING, seq=1, container_id="c", priority=3
+            )
+        """,
+    )
+    assert rules_of(findings) == ["protocol-drift"]
+    assert "'priority'" in findings[0].message
+    assert "'ping'" in findings[0].message
+
+
+def test_protocol_drift_flags_undeclared_type_literal(lint):
+    findings = _proto_lint(
+        lint,
+        """\
+        def send(client):
+            return client.make_request("mystery", container_id="c")
+        """,
+    )
+    assert rules_of(findings) == ["protocol-drift"]
+    assert "'mystery'" in findings[0].message
+
+
+def test_protocol_drift_flags_match_against_unknown_type(lint):
+    findings = _proto_lint(
+        lint,
+        """\
+        def dispatch(message):
+            msg_type = message["type"]
+            if msg_type == "bogus":
+                return None
+            if msg_type in ("ping", "data", "ping_reply"):
+                return message
+        """,
+    )
+    assert rules_of(findings) == ["protocol-drift"]
+    assert "'bogus'" in findings[0].message
+
+
+def test_protocol_drift_flags_handler_for_unknown_type(lint):
+    findings = _proto_lint(
+        lint,
+        """\
+        class Service:
+            def _on_ping(self, message, reply_handle):
+                return None
+
+            def _on_bogus(self, message, reply_handle):
+                return None
+        """,
+        protocol_handler_suffixes=("client.py",),
+    )
+    assert rules_of(findings) == ["protocol-drift"]
+    assert "_on_bogus" in findings[0].message
+
+
+def test_protocol_drift_accepts_declared_vocabulary(lint):
+    findings = _proto_lint(
+        lint,
+        """\
+        def send(protocol, client):
+            client.call("data", container_id="c", size=4, trace_id="t")
+            return protocol.make_request(protocol.MSG_PING, seq=2, container_id="c")
+        """,
+    )
+    # .call with a bare string first arg is not resolvable to a declared
+    # constant statically, so only make_request string literals are checked.
+    assert findings == []
+
+
+def test_protocol_doc_drift_is_bidirectional(lint, tmp_path):
+    (tmp_path / "PROTOCOL.md").write_text(
+        "| `ping` | `container_id` | liveness probe |\n"
+        "| `mystery` | — | never declared |\n"
+    )
+    findings = lint(
+        {"proto.py": _SCHEMA},
+        schema_path="proto.py",
+        protocol_doc_path="PROTOCOL.md",
+    )
+    assert rules_of(findings) == ["protocol-doc-drift", "protocol-doc-drift"]
+    by_message = sorted(f.message for f in findings)
+    assert any("'data'" in m and "missing" in m for m in by_message)
+    assert any("'mystery'" in m for m in by_message)
+
+
+# ---------------------------------------------------------------------------
+# metric-drift / bare-except / swallowed-exception
+# ---------------------------------------------------------------------------
+
+
+def test_metric_drift_flags_duplicate_declaration(lint):
+    findings = lint(
+        {
+            "a.py": 'X = REGISTRY.counter("convgpu_things_total", "help")\n',
+            "b.py": 'Y = REGISTRY.counter("convgpu_things_total", "help")\n',
+        }
+    )
+    assert rules_of(findings) == ["metric-drift"]
+    assert "more than once" in findings[0].message
+    assert findings[0].path == "b.py"
+
+
+def test_metric_drift_flags_undeclared_lookup(lint):
+    findings = lint({"a.py": 'V = REGISTRY.get("convgpu_ghost_total")\n'})
+    assert rules_of(findings) == ["metric-drift"]
+    assert "never" in findings[0].message
+
+
+def test_metric_drift_enforces_naming_convention(lint):
+    findings = lint({"a.py": 'X = REGISTRY.counter("requestCount", "help")\n'})
+    assert rules_of(findings) == ["metric-drift"]
+    assert "convention" in findings[0].message
+
+
+def test_metric_drift_quiet_on_declared_names(lint):
+    findings = lint(
+        {
+            "a.py": 'X = REGISTRY.counter("convgpu_things_total", "help")\n',
+            "b.py": 'V = REGISTRY.get("convgpu_things_total")\n',
+        }
+    )
+    assert findings == []
+
+
+def test_bare_except_flagged_everywhere(lint):
+    findings = lint(
+        {
+            "anywhere.py": """\
+            def risky():
+                try:
+                    return 1
+                except:
+                    return None
+            """
+        }
+    )
+    assert rules_of(findings) == ["bare-except"]
+
+
+def test_swallowed_exception_flags_silent_broad_handler(lint):
+    findings = lint(
+        {
+            "mod.py": """\
+            def drop(client):
+                try:
+                    client.close()
+                except Exception:
+                    pass
+            """
+        },
+        except_module_suffixes=("mod.py",),
+    )
+    assert rules_of(findings) == ["swallowed-exception"]
+
+
+def test_swallowed_exception_accepts_logged_or_narrow_handlers(lint):
+    findings = lint(
+        {
+            "mod.py": """\
+            def drop(client, log):
+                try:
+                    client.close()
+                except ValueError:
+                    pass
+                try:
+                    client.close()
+                except Exception as exc:
+                    log.warning("close_failed", error=str(exc))
+            """
+        },
+        except_module_suffixes=("mod.py",),
+    )
+    assert findings == []

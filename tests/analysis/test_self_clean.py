@@ -1,0 +1,32 @@
+"""The acceptance gate: the analyzer over the repo's own ``src/`` tree
+reports nothing — every real finding is fixed and every deliberate
+exception carries a reasoned inline suppression."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import LintConfig, analyze_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_repo_source_tree_is_clean():
+    findings = analyze_paths(
+        [str(REPO_ROOT / "src")], LintConfig(root=str(REPO_ROOT))
+    )
+    assert findings == [], "\n".join(f.located() for f in findings)
+
+
+def test_every_suppression_in_src_carries_a_reason():
+    # ``# reprolint: ignore[...]`` without ``-- reason`` is banned in this
+    # tree: the reason doubles as documentation at the call site.
+    from repro.analysis.engine import collect_files
+    from repro.analysis.core import SourceFile
+
+    unreasoned = []
+    for path in collect_files([str(REPO_ROOT / "src")]):
+        rel = str(Path(path).relative_to(REPO_ROOT))
+        source = SourceFile(path, rel, Path(path).read_text())
+        unreasoned.extend(f"{rel}:{line}" for line in sorted(source.unreasoned))
+    assert unreasoned == []

@@ -1,5 +1,7 @@
 """Tests for the Docker-like engine: lifecycle, cgroups, processes, libraries."""
 
+import dataclasses
+
 import pytest
 
 from repro.container.cgroups import CgroupManager, HostResources
@@ -219,5 +221,5 @@ class TestTimingModel:
         assert engine.timing.creation_time(mounted) > engine.timing.creation_time(base)
 
     def test_timing_model_is_frozen(self):
-        with pytest.raises(Exception):
+        with pytest.raises(dataclasses.FrozenInstanceError):
             EngineTimingModel().image_setup = 1.0

@@ -1,5 +1,7 @@
 """Tests for CUDA value types, error codes, effects, and fat binaries."""
 
+import dataclasses
+
 import pytest
 
 from repro.cuda.effects import DeviceOp, HostCompute, IpcCall, KernelLaunch
@@ -62,7 +64,7 @@ class TestEffects:
 
     def test_effects_are_frozen(self):
         op = DeviceOp(1.0, api="x")
-        with pytest.raises(Exception):
+        with pytest.raises(dataclasses.FrozenInstanceError):
             op.duration = 2.0
 
 

@@ -31,7 +31,7 @@ class TestBasicAllocation:
             allocation = allocator.allocate(3 * KiB)
             spans.append((allocation.address, allocation.end))
         spans.sort()
-        for (s1, e1), (s2, _) in zip(spans, spans[1:]):
+        for (_s1, e1), (s2, _) in zip(spans, spans[1:]):
             assert s2 >= e1
 
     def test_alignment_applied(self, allocator):

@@ -101,7 +101,7 @@ class TestKillWhilePaused:
                 # Killed mid-kernel; the program dies without cudaFree.
                 from repro.workloads.runner import fail_program
 
-                raise fail_program(137)
+                raise fail_program(137) from None
             return 0
 
         container, proc = launch(

@@ -134,7 +134,7 @@ class TestConnectionChurn:
         server, connect = server_and_connect
 
         def hostile_round():
-            for i in range(20):
+            for _ in range(20):
                 client = connect()
                 try:
                     client._sock.sendall(b"x" * (protocol.MAX_FRAME_BYTES + 2))

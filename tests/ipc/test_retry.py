@@ -109,7 +109,9 @@ class TestCallWithRetry:
     def test_on_retry_observes_each_failure(self):
         seen = []
 
-        def fail_twice(state=[]):
+        state = []
+
+        def fail_twice():
             state.append(1)
             if len(state) < 3:
                 raise IpcDisconnected("gone")
@@ -186,7 +188,9 @@ class TestGiveUpAfter:
     def test_success_inside_budget_unaffected(self):
         clock = FakeClock()
 
-        def flaky(state=[]):
+        state = []
+
+        def flaky():
             state.append(1)
             if len(state) < 2:
                 raise IpcTimeoutError("slow daemon")
