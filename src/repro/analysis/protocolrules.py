@@ -41,6 +41,12 @@ _NON_PAYLOAD_KWARGS = frozenset({"seq", "timeout", "await_reply"})
 #: Backticked tokens leading a markdown table row: the doc's type column.
 _DOC_ROW_RE = re.compile(r"^\|\s*`([a-z_]+)`", re.MULTILINE)
 
+#: Binary-codec tables in the schema module that must be *derived* from
+#: ``REQUEST_FIELDS`` (comprehension, call, …), never hand-written dict
+#: literals — a literal copy can silently drift from the schema the moment
+#: a message type is added or a field changes.
+_DERIVED_TABLES = frozenset({"MESSAGE_TAGS", "TAG_MESSAGES", "BINARY_FIELDS"})
+
 
 @dataclass
 class SchemaInfo:
@@ -131,7 +137,10 @@ class ProtocolDriftRule(Rule):
 
     def check_file(self, source: SourceFile, ctx: Context) -> Iterable[Finding]:
         schema = load_schema(ctx)
-        if schema is None or source.rel == schema.rel:
+        if schema is None:
+            return
+        if source.rel == schema.rel:
+            yield from self._check_schema_derivations(source)
             return
         for node in ast.walk(source.tree):
             if isinstance(node, ast.Attribute) and node.attr.startswith("MSG_"):
@@ -147,6 +156,34 @@ class ProtocolDriftRule(Rule):
                 yield from self._check_comparison(source, node, schema)
         if source.matches(ctx.config.protocol_handler_suffixes):
             yield from self._check_handlers(source, schema)
+
+    # -- the schema module itself -------------------------------------------
+
+    def _check_schema_derivations(self, source: SourceFile) -> Iterable[Finding]:
+        """The binary tag/field tables must be derived, not hand-written.
+
+        ``MESSAGE_TAGS`` / ``TAG_MESSAGES`` / ``BINARY_FIELDS`` extend
+        themselves when ``REQUEST_FIELDS`` grows precisely because they are
+        computed from it.  A hand-written ``{...}`` literal (with or without
+        an annotation) freezes a copy that drifts silently — flag it at the
+        source instead of debugging a codec mismatch on the wire.
+        """
+        for node in source.tree.body:
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                target, value = node.target, node.value
+            else:
+                continue
+            if not isinstance(target, ast.Name) or target.id not in _DERIVED_TABLES:
+                continue
+            if isinstance(value, ast.Dict):
+                yield source.finding(
+                    self.id, value,
+                    f"{target.id} is a hand-written dict literal; binary "
+                    f"codec tables must be derived from REQUEST_FIELDS so "
+                    f"they cannot drift from the schema",
+                )
 
     # -- construction sites -------------------------------------------------
 

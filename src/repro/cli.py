@@ -118,6 +118,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--io-workers", type=int, default=4, metavar="N",
         help="dispatch worker pool size for --io loop (default: 4)",
     )
+    daemon_cmd.add_argument(
+        "--codec", choices=("auto", "binary", "json"), default="auto",
+        help="wire codec: auto (default) negotiates binary per connection "
+             "and falls back to JSON for old peers; json pins the "
+             "trace-friendly debug mode (docs/PROTOCOL.md)",
+    )
     daemon_cmd.add_argument("--host", default="127.0.0.1")
     daemon_cmd.add_argument("--port", type=int, default=0,
                             help="control port for --transport tcp (0 = ephemeral)")
@@ -429,6 +435,7 @@ def _cmd_daemon(args) -> int:
         "transport": args.transport,
         "io": args.io,
         "io_workers": args.io_workers,
+        "codec": args.codec,
         "host": args.host,
         "control_port": args.port,
         "monitor": monitor,
@@ -454,6 +461,7 @@ def _cmd_daemon(args) -> int:
         "pid": os.getpid(),
         "transport": args.transport,
         "io": args.io,
+        "codec": args.codec,
         "base_dir": daemon.base_dir,
         "control": daemon.control_path,
     }

@@ -209,6 +209,20 @@ class MultiGpuScheduler:
             return 0
         return self.schedulers[ordinal].container_exit(container_id)
 
+    def begin_batch(self) -> None:
+        """Enter batch mode on every device scheduler (see core.begin_batch).
+
+        A pipelined frame batch may carry traffic for containers placed on
+        different devices; entering batch mode everywhere lets each device
+        coalesce its share into one durability wait at commit.
+        """
+        for scheduler in self.schedulers:
+            scheduler.begin_batch()
+
+    def commit_batch(self) -> None:
+        for scheduler in self.schedulers:
+            scheduler.commit_batch()
+
     # ------------------------------------------------------------------
 
     @property

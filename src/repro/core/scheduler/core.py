@@ -106,6 +106,10 @@ class GpuMemoryScheduler:
         self._lock = threading.RLock()
         #: Set by SchedulerJournal.attach(); None when running unjournaled.
         self.journal: Any = None
+        #: Per-thread batch buffer (``begin_batch``/``commit_batch``).  Each
+        #: transport worker dispatches one connection's frame batch on one
+        #: thread, so thread-local state is exactly per-batch state.
+        self._batch = threading.local()
 
     # -- configuration passthrough (journal meta + callers read these) -----
 
@@ -271,16 +275,57 @@ class GpuMemoryScheduler:
         for event in transition.events:
             self.log.append(event)
 
+    def begin_batch(self) -> None:
+        """Enter batch mode on the calling thread (re-entrant).
+
+        Until the matching :meth:`commit_batch`, every transition's
+        durability wait and resume-callback deliveries are deferred into a
+        per-thread buffer.  The transport's batch dispatcher brackets one
+        readable event's worth of frames with these calls, so N pipelined
+        decisions share a single group-commit handshake with the journal
+        writer instead of paying one ``wait_durable`` round-trip each —
+        and still no reply (direct or resumed) leaves before every
+        decision in the batch is on disk.
+        """
+        depth = getattr(self._batch, "depth", 0)
+        if depth == 0:
+            self._batch.pending = []
+        self._batch.depth = depth + 1
+
+    def commit_batch(self) -> None:
+        """Flush the calling thread's deferred effects (one durability wait)."""
+        depth = getattr(self._batch, "depth", 0)
+        if depth == 0:
+            return
+        self._batch.depth = depth - 1
+        if depth > 1:
+            return
+        pending, self._batch.pending = self._batch.pending, []
+        journal = self.journal
+        if journal is not None and any(t.events for t in pending):
+            # One wait covers the whole batch: the writer thread drains every
+            # enqueued event up to (at least) the last one in strict order,
+            # so durability of the last implies durability of all.
+            journal.wait_durable()
+        for transition in pending:
+            for callback, payload in transition.resumptions:
+                callback(payload)
+
     def _finish(self, transition: Transition) -> None:
         """Execute the transition's effects outside the mutex.
 
         Order matters: durability first (WAL — no reply, resumed or
         direct, may leave before its decision is on disk), then metrics,
-        then the resume callbacks (which may do socket I/O).
+        then the resume callbacks (which may do socket I/O).  Inside a
+        :meth:`begin_batch` window the durability wait and the resume
+        deliveries are deferred to :meth:`commit_batch`; metrics are not
+        reply-ordered, so they stay immediate either way.
         """
-        journal = self.journal
-        if journal is not None and transition.events:
-            journal.wait_durable()
+        batching = getattr(self._batch, "depth", 0) > 0
+        if not batching:
+            journal = self.journal
+            if journal is not None and transition.events:
+                journal.wait_durable()
         # Read the handles through the module globals each time so the
         # obs-overhead benchmark can stub them by (module, name).
         if transition.metric == Decision.GRANT:
@@ -291,6 +336,9 @@ class GpuMemoryScheduler:
             _REJECTS.inc()
         for waited in transition.waits:
             _PAUSE_WAITS.observe(waited)
+        if batching:
+            self._batch.pending.append(transition)
+            return
         for callback, payload in transition.resumptions:
             callback(payload)
 

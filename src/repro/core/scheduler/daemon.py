@@ -85,6 +85,32 @@ WRAPPER_SONAME = "libgpushare.so"
 CONTAINER_SOCKET_NAME = "convgpu.sock"
 
 
+class _ControlHandler:
+    """Handler object for the control socket.
+
+    The servers' batch dispatcher discovers ``batch_begin``/``batch_commit``
+    by attribute lookup on the handler; a bound method exposes neither, so
+    the daemon hands the servers handler *objects* — the service itself for
+    per-container sockets, and this thin wrapper (which forwards dispatch to
+    ``SchedulerDaemon._handle_control`` and the batch hooks to the service)
+    for the control socket.
+    """
+
+    __slots__ = ("_daemon",)
+
+    def __init__(self, daemon: "SchedulerDaemon") -> None:
+        self._daemon = daemon
+
+    def __call__(self, message: dict[str, Any], reply_handle) -> Any:
+        return self._daemon._handle_control(message, reply_handle)
+
+    def batch_begin(self) -> None:
+        self._daemon.service.batch_begin()
+
+    def batch_commit(self) -> None:
+        self._daemon.service.batch_commit()
+
+
 class SchedulerDaemon:
     """Host daemon: control socket + per-container sockets and directories.
 
@@ -102,6 +128,11 @@ class SchedulerDaemon:
             original accept-thread + reader-thread-per-connection model
             (the Fig. 4 ablation baseline).
         io_workers: dispatch pool size for ``io="loop"``.
+        codec: wire codec offered by every socket the daemon serves —
+            ``"auto"`` (default) negotiates binary with capable peers and
+            falls back to JSON; ``"json"`` pins the trace-friendly debug
+            mode (and models an old, JSON-only daemon in the downgrade
+            tests).  See ``docs/PROTOCOL.md``.
         journal: attached write-ahead journal (owned: closed on stop).
         monitor: heartbeat monitor enabling the orphan reaper.
         reap_interval: seconds between reaper sweeps.
@@ -123,6 +154,7 @@ class SchedulerDaemon:
         control_port: int = 0,
         io: str = "loop",
         io_workers: int = DEFAULT_IO_WORKERS,
+        codec: str = "auto",
         journal: SchedulerJournal | None = None,
         monitor: HeartbeatMonitor | None = None,
         reap_interval: float = 1.0,
@@ -133,6 +165,8 @@ class SchedulerDaemon:
             raise SchedulerError(f"unknown transport {transport!r}")
         if io not in ("loop", "threads"):
             raise SchedulerError(f"unknown io backend {io!r}")
+        if codec not in ("auto", protocol.CODEC_BINARY, protocol.CODEC_JSON):
+            raise SchedulerError(f"unknown codec {codec!r}")
         self.scheduler = scheduler
         self.journal = journal
         self.monitor = monitor
@@ -149,6 +183,8 @@ class SchedulerDaemon:
         self.control_port = control_port
         self.io = io
         self.io_workers = io_workers
+        self.codec = codec
+        self._control_handler = _ControlHandler(self)
         self._io_loop: IoLoop | None = None
         self._owns_base_dir = base_dir is None
         self.base_dir = base_dir or tempfile.mkdtemp(prefix="convgpu-")
@@ -223,15 +259,19 @@ class SchedulerDaemon:
             self._io_loop = IoLoop(workers=self.io_workers).start()
         if self.transport == "unix":
             self._control_server = UnixSocketServer(
-                self.control_path, self._handle_control, loop=self._io_loop
+                self.control_path,
+                self._control_handler,
+                loop=self._io_loop,
+                codec=self.codec,
             )
             self._control_server.start()
         else:
             server = TcpSocketServer(
-                self._handle_control,
+                self._control_handler,
                 host=self.host,
                 port=self.control_port,
                 loop=self._io_loop,
+                codec=self.codec,
             )
             server.start()
             self.control_port = server.port
@@ -371,13 +411,19 @@ class SchedulerDaemon:
         if self.transport == "unix":
             socket_path = os.path.join(directory, CONTAINER_SOCKET_NAME)
             # (UnixSocketServer.start unlinks a stale socket left by a crash.)
+            # The service *object* (not its bound .handle) goes in so the
+            # batch dispatcher finds the batch_begin/batch_commit hooks.
             server = UnixSocketServer(
-                socket_path, self.service.handle, loop=self._io_loop
+                socket_path, self.service, loop=self._io_loop, codec=self.codec
             )
             server.start()
         else:
             server = TcpSocketServer(
-                self.service.handle, host=self.host, port=0, loop=self._io_loop
+                self.service,
+                host=self.host,
+                port=0,
+                loop=self._io_loop,
+                codec=self.codec,
             )
             server.start()
             self._container_ports[container_id] = server.port

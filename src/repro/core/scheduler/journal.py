@@ -24,7 +24,12 @@ scheduler lock and before any reply leaves, so the WAL guarantee is
 unchanged while concurrent transitions share a single flush instead of
 serializing on it (``benchmarks/test_bench_ablation_journal.py`` measures
 the difference; ``mode="sync"`` keeps the seed's write-under-the-lock
-behaviour as the ablation baseline).
+behaviour as the ablation baseline).  The socket servers' pipelined batch
+dispatch leans on the same machinery: a readable event's worth of frames
+is bracketed by ``begin_batch``/``commit_batch`` on the scheduler facade,
+which defers the ``wait_durable`` to the bracket's end — N pipelined
+decisions ride one writer-thread flush, and every reply in the batch still
+leaves only after the events it depends on are durable.
 
 Interval snapshots are taken only at **quiescent points**: the writer
 thread briefly takes the scheduler lock with its queue drained — so the

@@ -65,10 +65,19 @@ class ChannelReplyHandle:
 
 
 class InProcessChannel:
-    """Synchronous dispatch straight into a protocol handler."""
+    """Synchronous dispatch straight into a protocol handler.
 
-    def __init__(self, handler) -> None:
+    ``codec`` selects which wire serialization each request round-trips
+    through before dispatch (``"json"`` default, or ``"binary"``), so
+    deterministic in-process tests exercise the exact codec constraints of
+    the socket path — no negotiation here, the caller *is* both peers.
+    """
+
+    def __init__(self, handler, *, codec: str = protocol.CODEC_JSON) -> None:
+        if codec not in protocol.SUPPORTED_CODECS:
+            raise TransportError(f"unknown codec {codec!r}")
         self.handler = handler
+        self.codec = codec
         self._seq = 0
 
     def call(self, msg_type: str, **payload: Any) -> PendingReply:
@@ -77,7 +86,7 @@ class InProcessChannel:
         request = protocol.make_request(msg_type, seq=self._seq, **payload)
         # Round-trip through encode/decode so the in-process path exercises
         # the same serialization constraints as the socket path.
-        request = protocol.decode(protocol.encode(request))
+        request = protocol.decode_any(protocol.encode_as(request, self.codec))
         protocol.validate_request(request)
         pending = PendingReply()
         handle = ChannelReplyHandle(pending, request["seq"])

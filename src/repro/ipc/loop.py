@@ -7,14 +7,20 @@ model with the classic reactor shape:
 
 - **one I/O thread** multiplexes every registered listener and connection
   through :mod:`selectors` — accepting, reading, and splitting the byte
-  stream into newline-delimited frames;
+  stream into frames (newline-delimited by default; servers install
+  :func:`repro.ipc.protocol.split_frames` to speak both codecs);
 - **a small bounded worker pool** runs protocol decode and the scheduler
   handler, so a deferred (paused) reply or a slow handler never blocks
   reads for the other few hundred containers;
 - **per-connection frame ordering** is preserved: a connection's frames are
   processed by at most one worker at a time, in arrival order, exactly as
   the old reader thread did — ``notify`` followed by ``call`` stays in
-  sequence and the ``seq`` correlation invariant holds.
+  sequence and the ``seq`` correlation invariant holds;
+- **batch dispatch**: every complete frame found in one readable event is
+  handed to the connection's ``on_batch`` callback as one unit (contiguous
+  batches already queued for the same connection are merged), so a
+  pipelining client's burst is decoded and dispatched together and the
+  server can cover the whole burst with a single group-commit ``fsync``.
 
 Both :class:`repro.ipc.unix_socket.UnixSocketServer` and
 :class:`repro.ipc.tcp_socket.TcpSocketServer` accept ``loop=`` and register
@@ -40,7 +46,7 @@ from collections import deque
 from queue import Queue
 from typing import Any, Callable
 
-from repro.errors import TransportError
+from repro.errors import ProtocolError, TransportError
 from repro.obs.metrics import REGISTRY
 
 __all__ = ["IoLoop", "DEFAULT_IO_WORKERS"]
@@ -78,29 +84,59 @@ _OVERFLOW = _Sentinel("OVERFLOW")
 _STOP = _Sentinel("STOP")
 
 
+class _BadFrame:
+    """Queued when the splitter rejected the stream (framing violation).
+
+    Carries the :class:`~repro.errors.ProtocolError` message so a worker can
+    send the in-band error reply before hanging up — the selector thread
+    itself never writes and never dies on a hostile peer.
+    """
+
+    __slots__ = ("message",)
+
+    def __init__(self, message: str) -> None:
+        self.message = message
+
+
+def _split_lines(buffer: bytes) -> tuple[list[bytes], bytes]:
+    """Default splitter: newline-delimited frames (the JSON-only wire)."""
+    if b"\n" not in buffer:
+        return [], buffer
+    *lines, rest = buffer.split(b"\n")
+    return [line + b"\n" for line in lines], rest
+
+
 class _ConnState:
     """Loop-side bookkeeping for one registered connection."""
 
     __slots__ = (
-        "sock", "on_frame", "on_close", "on_overflow", "max_buffer",
+        "sock", "on_frame", "on_batch", "on_close", "on_overflow",
+        "on_frame_error", "splitter", "max_buffer",
         "buffer", "pending", "scheduled", "lock", "finished",
     )
 
     def __init__(
         self,
         sock: socket.socket,
-        on_frame: Callable[[bytes], None],
+        on_frame: Callable[[bytes], None] | None,
+        on_batch: Callable[[list[bytes]], None] | None,
         on_close: Callable[[], None],
         on_overflow: Callable[[], None] | None,
+        on_frame_error: Callable[[str], None] | None,
+        splitter: Callable[[bytes], tuple[list[bytes], bytes]],
         max_buffer: int,
     ) -> None:
         self.sock = sock
         self.on_frame = on_frame
+        self.on_batch = on_batch
         self.on_close = on_close
         self.on_overflow = on_overflow
+        self.on_frame_error = on_frame_error
+        self.splitter = splitter
         self.max_buffer = max_buffer
         self.buffer = b""
-        #: Frames (and finally a _CLOSE/_OVERFLOW sentinel) awaiting a worker.
+        #: Frame batches (and finally a _CLOSE/_OVERFLOW/_BadFrame sentinel)
+        #: awaiting a worker.
         self.pending: deque[Any] = deque()
         #: True while the connection sits in the worker queue or a worker is
         #: draining it — the exclusion that keeps frames in per-conn order.
@@ -259,20 +295,37 @@ class IoLoop:
         self,
         conn: socket.socket,
         *,
-        on_frame: Callable[[bytes], None],
+        on_frame: Callable[[bytes], None] | None = None,
+        on_batch: Callable[[list[bytes]], None] | None = None,
         on_close: Callable[[], None],
         on_overflow: Callable[[], None] | None = None,
+        on_frame_error: Callable[[str], None] | None = None,
+        split: Callable[[bytes], tuple[list[bytes], bytes]] | None = None,
         max_buffer: int = 64 * 1024,
     ) -> None:
         """Register an accepted connection for read multiplexing.
 
+        Exactly one of ``on_frame`` / ``on_batch`` must be given.
         ``on_frame(frame)`` runs on a worker thread, frames of one
-        connection strictly in order; ``on_close()`` runs exactly once when
-        the connection is finished (peer EOF, error, :meth:`close_connection`
-        or :meth:`stop`); ``on_overflow()`` runs (before close) when the
-        peer exceeded ``max_buffer`` without completing a frame.
+        connection strictly in order; ``on_batch(frames)`` receives every
+        complete frame of a readable event (plus any batches already queued
+        for the connection) as one list, same ordering guarantee.
+        ``on_close()`` runs exactly once when the connection is finished
+        (peer EOF, error, :meth:`close_connection` or :meth:`stop`);
+        ``on_overflow()`` runs (before close) when the peer exceeded
+        ``max_buffer`` without completing a frame.  ``split(buffer)`` is the
+        framing function ``(complete_frames, remainder)`` — defaults to
+        newline splitting; it may raise :class:`~repro.errors.ProtocolError`
+        for unrecoverable framing (bad binary header), which is routed to
+        ``on_frame_error(message)`` on a worker and then closes the
+        connection.
         """
-        state = _ConnState(conn, on_frame, on_close, on_overflow, max_buffer)
+        if (on_frame is None) == (on_batch is None):
+            raise TransportError("exactly one of on_frame/on_batch required")
+        state = _ConnState(
+            conn, on_frame, on_batch, on_close, on_overflow, on_frame_error,
+            split if split is not None else _split_lines, max_buffer,
+        )
 
         def op() -> None:
             if self._selector is None:  # loop already stopped: close out
@@ -387,9 +440,17 @@ class IoLoop:
                 self._enqueue(state, _CLOSE)
             return
         state.buffer += chunk
-        while b"\n" in state.buffer:
-            frame, state.buffer = state.buffer.split(b"\n", 1)
-            self._enqueue(state, frame + b"\n")
+        try:
+            frames, state.buffer = state.splitter(state.buffer)
+        except ProtocolError as exc:
+            # Unrecoverable framing (bad magic/version/length): the stream
+            # position is meaningless from here on.  A worker reports the
+            # error in-band and hangs up; the selector thread survives.
+            if self._drop(state.sock) is not None:
+                self._enqueue(state, _BadFrame(str(exc)))
+            return
+        if frames:
+            self._enqueue(state, frames)
         if len(state.buffer) > state.max_buffer:
             # A frame that large can never be valid; stop reading and let a
             # worker send the in-band error and hang up (same behaviour as
@@ -435,6 +496,12 @@ class IoLoop:
                         state.scheduled = False
                         break
                     item = state.pending.popleft()
+                    if isinstance(item, list):
+                        # Merge batches that piled up while this worker was
+                        # busy: one dispatch (and one journal fsync) covers
+                        # everything the peer has sent so far.
+                        while state.pending and isinstance(state.pending[0], list):
+                            item = item + state.pending.popleft()
                 self._process(state, item)
 
     def _process(self, state: _ConnState, item: Any) -> None:
@@ -452,13 +519,33 @@ class IoLoop:
                     pass
             self._finish(state)
             return
-        try:
-            state.on_frame(item)
-        # reprolint: ignore[swallowed-exception] -- handler bugs are
-        # reported in-band by the server's dispatch; anything escaping to
-        # here must not kill the shared worker.
-        except Exception:
-            pass
+        if isinstance(item, _BadFrame):
+            if state.on_frame_error is not None:
+                try:
+                    state.on_frame_error(item.message)
+                # reprolint: ignore[swallowed-exception] -- the in-band
+                # error reply is best-effort (the peer may already be gone);
+                # the close below is the real handling.
+                except Exception:
+                    pass
+            self._finish(state)
+            return
+        if state.on_batch is not None:
+            try:
+                state.on_batch(item)
+            # reprolint: ignore[swallowed-exception] -- handler bugs are
+            # reported in-band by the server's dispatch; anything escaping
+            # to here must not kill the shared worker.
+            except Exception:
+                pass
+            return
+        for frame in item:
+            try:
+                state.on_frame(frame)  # type: ignore[misc]
+            # reprolint: ignore[swallowed-exception] -- same as above, and
+            # per-frame so one bad frame never drops the rest of its batch.
+            except Exception:
+                pass
 
     def _finish(self, state: _ConnState) -> None:
         with state.lock:

@@ -166,6 +166,21 @@ class ResilientClient:
 
     # -- connection management --------------------------------------------
 
+    @property
+    def codec(self) -> str | None:
+        """Wire codec of the *current* connection (``None`` when dropped).
+
+        Codec choice is a per-connection property, never cached across a
+        redial: negotiation happens inside the factory's client constructor,
+        so every reconnect re-runs the hello handshake from scratch and may
+        land on a different codec than the previous connection (e.g. after
+        the daemon was replaced by a JSON-only build).  Regression-tested in
+        ``tests/ipc/test_handshake.py``.
+        """
+        if self._client is None:
+            return None
+        return getattr(self._client, "codec", None)
+
     def _connected(self) -> Any:
         if self._client is None:
             self._client = self.factory()

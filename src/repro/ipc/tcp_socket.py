@@ -11,11 +11,7 @@ the reproduction machine.  Interface-compatible with
 from __future__ import annotations
 
 import socket
-import threading
-from typing import Any
 
-from repro.errors import IpcDisconnected, TransportError
-from repro.ipc import protocol
 from repro.ipc.loop import IoLoop
 from repro.ipc.unix_socket import (
     DEFER,
@@ -24,6 +20,7 @@ from repro.ipc.unix_socket import (
     PROTOCOL_ERRORS,
     Handler,
     ReplyHandle,
+    _BaseSocketClient,
     _BaseSocketServer,
     map_os_error,
 )
@@ -50,8 +47,9 @@ class TcpSocketServer(_BaseSocketServer):
         port: int = 0,
         *,
         loop: IoLoop | None = None,
+        codec: str = "auto",
     ) -> None:
-        super().__init__(handler, loop=loop)
+        super().__init__(handler, loop=loop, codec=codec)
         self.host = host
         self.port = port  # 0 = ephemeral; actual port published after start()
 
@@ -67,10 +65,15 @@ class TcpSocketServer(_BaseSocketServer):
         conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
 
 
-class TcpSocketClient:
+class TcpSocketClient(_BaseSocketClient):
     """Blocking request/response client over loopback TCP."""
 
-    def __init__(self, host: str, port: int, timeout: float | None = None) -> None:
+    def __init__(
+        self, host: str, port: int, timeout: float | None = None,
+        codec: str = "auto",
+    ) -> None:
+        super().__init__()
+        self._label = f"{host}:{port}"
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         if timeout is not None:
             self._sock.settimeout(timeout)
@@ -80,53 +83,4 @@ class TcpSocketClient:
         except OSError as exc:
             self._sock.close()
             raise map_os_error(exc, f"cannot connect to {host}:{port}") from exc
-        self._buffer = b""
-        self._seq = 0
-        self._lock = threading.Lock()
-
-    def call(self, msg_type: str, **payload: Any) -> dict[str, Any]:
-        with self._lock:
-            self._seq += 1
-            request = protocol.make_request(msg_type, seq=self._seq, **payload)
-            try:
-                self._sock.sendall(protocol.encode(request))
-                while b"\n" not in self._buffer:
-                    if len(self._buffer) > protocol.MAX_FRAME_BYTES:
-                        raise TransportError(
-                            f"reply frame exceeds {protocol.MAX_FRAME_BYTES} bytes"
-                        )
-                    chunk = self._sock.recv(65536)
-                    if not chunk:
-                        raise IpcDisconnected("server closed the connection")
-                    self._buffer += chunk
-            except OSError as exc:
-                raise map_os_error(exc, "call failed") from exc
-            frame, self._buffer = self._buffer.split(b"\n", 1)
-            reply = protocol.decode(frame + b"\n")
-            if reply.get("seq") != self._seq:
-                raise TransportError("reply out of order")
-            return reply
-
-    def notify(self, msg_type: str, **payload: Any) -> None:
-        """Send a fire-and-forget notification (no reply expected)."""
-        if msg_type not in protocol.NOTIFICATION_TYPES:
-            raise TransportError(f"{msg_type!r} is not a notification type")
-        with self._lock:
-            self._seq += 1
-            request = protocol.make_request(msg_type, seq=self._seq, **payload)
-            try:
-                self._sock.sendall(protocol.encode(request))
-            except OSError as exc:
-                raise map_os_error(exc, "notify failed") from exc
-
-    def close(self) -> None:
-        try:
-            self._sock.close()
-        except OSError:
-            pass
-
-    def __enter__(self) -> "TcpSocketClient":
-        return self
-
-    def __exit__(self, *exc_info: object) -> None:
-        self.close()
+        self._init_stream(codec)

@@ -8,7 +8,10 @@ measures *actual* kernel round-trip costs, not a constant we made up; the
 ablation benchmark compares this against loopback TCP to reproduce the
 paper's design argument.
 
-Frames are newline-delimited JSON (see :mod:`repro.ipc.protocol`).
+Frames carry the protocol in either codec — newline-delimited JSON or the
+versioned binary framing — negotiated per connection with the ``hello``
+handshake (see :mod:`repro.ipc.protocol` and ``docs/PROTOCOL.md``); JSON is
+the floor both sides can always fall back to.
 
 Pause semantics: the server hands each request to a handler which may reply
 immediately or return :data:`DEFER`; a deferred reply is completed later via
@@ -38,7 +41,12 @@ import threading
 import time
 from typing import Any, Callable, Mapping
 
-from repro.errors import IpcDisconnected, IpcTimeoutError, TransportError
+from repro.errors import (
+    IpcDisconnected,
+    IpcTimeoutError,
+    ProtocolError,
+    TransportError,
+)
 from repro.ipc import protocol
 from repro.ipc.loop import IoLoop
 from repro.obs.metrics import REGISTRY
@@ -97,6 +105,20 @@ DEFER = _Defer()
 Handler = Callable[[dict[str, Any], "ReplyHandle"], Any]
 
 
+class _ConnCtx:
+    """Per-connection negotiated state, shared by dispatch and handles.
+
+    Mutated only by the single worker/reader that processes the
+    connection's frames in order, so no lock is needed; reply handles
+    capture the value at decode time.
+    """
+
+    __slots__ = ("codec",)
+
+    def __init__(self) -> None:
+        self.codec = protocol.CODEC_JSON
+
+
 class ReplyHandle:
     """Capability to answer one request, possibly after the handler returned.
 
@@ -104,13 +126,22 @@ class ReplyHandle:
     and its per-connection write lock, so a deferred (paused) reply can be
     completed from *any* thread — a reader thread, a shared-loop worker, or
     the scheduler thread that resumes a paused container — and the bytes on
-    the wire are identical on both I/O backends.
+    the wire are identical on both I/O backends.  The reply is encoded with
+    the codec of the frame that carried the request, captured at decode
+    time — on a negotiated connection that is the negotiated codec.
     """
 
-    def __init__(self, conn: socket.socket, lock: threading.Lock, seq: int) -> None:
+    def __init__(
+        self,
+        conn: socket.socket,
+        lock: threading.Lock,
+        seq: int,
+        codec: str = protocol.CODEC_JSON,
+    ) -> None:
         self._conn = conn
         self._lock = lock
         self.seq = seq
+        self.codec = codec
         self._sent = False
 
     def send(self, reply: Mapping[str, Any]) -> None:
@@ -120,11 +151,26 @@ class ReplyHandle:
                 raise TransportError(f"reply for seq={self.seq} already sent")
             self._sent = True
             try:
-                self._conn.sendall(protocol.encode(reply))
+                self._conn.sendall(protocol.encode_as(reply, self.codec))
             except OSError as exc:
                 # Client vanished (container killed while paused): the
                 # scheduler's exit path cleans its state; nothing to do here.
                 raise TransportError(f"send failed: {exc}") from exc
+
+    def render(self, reply: Mapping[str, Any]) -> bytes:
+        """Encode the reply and consume the handle *without* writing.
+
+        The batch dispatcher uses this to coalesce every immediate reply of
+        one frame batch into a single ``sendall`` — flushed only after the
+        batch's group commit, so no decision leaves before it is durable.
+        At-most-once is preserved: a handle rendered here raises on a later
+        :meth:`send`, exactly as if it had been sent.
+        """
+        with self._lock:
+            if self._sent:
+                raise TransportError(f"reply for seq={self.seq} already sent")
+            self._sent = True
+        return protocol.encode_as(reply, self.codec)
 
 
 class _BaseSocketServer:
@@ -148,9 +194,29 @@ class _BaseSocketServer:
 
     transport: str = "unknown"
 
-    def __init__(self, handler: Handler, *, loop: IoLoop | None = None) -> None:
+    def __init__(
+        self,
+        handler: Handler,
+        *,
+        loop: IoLoop | None = None,
+        codec: str = "auto",
+    ) -> None:
+        if codec not in ("auto", protocol.CODEC_BINARY, protocol.CODEC_JSON):
+            raise TransportError(f"unknown codec {codec!r}")
         self.handler = handler
+        self.codec = codec
+        #: Codecs this server will agree to in the hello handshake.  JSON is
+        #: always offered (the protocol floor); ``codec="json"`` yields a
+        #: JSON-only server, the "old peer" of the downgrade rule.
+        self._supported = (
+            (protocol.CODEC_JSON,)
+            if codec == protocol.CODEC_JSON
+            else protocol.SUPPORTED_CODECS
+        )
         self._loop = loop
+        # Label resolution takes the metric family's lock; resolve the
+        # per-frame counter's child once instead of on every frame.
+        self._frames_received = FRAMES_RECEIVED.labels(transport=self.transport)
         self._listener: socket.socket | None = None
         self._accept_thread: threading.Thread | None = None
         self._conn_threads: set[threading.Thread] = set()
@@ -250,6 +316,7 @@ class _BaseSocketServer:
         """Accept callback run on the loop thread: register, don't read."""
         self._configure_conn(conn)
         write_lock = threading.Lock()
+        ctx = _ConnCtx()
         with self._conns_lock:
             if self._stopping.is_set():
                 conn.close()
@@ -259,9 +326,15 @@ class _BaseSocketServer:
         assert self._loop is not None
         self._loop.add_connection(
             conn,
-            on_frame=lambda frame: self._dispatch(conn, write_lock, frame),
+            on_batch=lambda frames: self._dispatch_batch(
+                conn, write_lock, ctx, frames
+            ),
             on_close=lambda: self._forget(conn),
-            on_overflow=lambda: self._send_oversize_reply(conn, write_lock),
+            on_overflow=lambda: self._send_oversize_reply(conn, write_lock, ctx),
+            on_frame_error=lambda message: self._send_frame_error(
+                conn, write_lock, ctx, message
+            ),
+            split=protocol.split_frames,
             max_buffer=protocol.MAX_FRAME_BYTES,
         )
 
@@ -303,6 +376,7 @@ class _BaseSocketServer:
 
     def _serve_connection(self, conn: socket.socket) -> None:
         write_lock = threading.Lock()
+        ctx = _ConnCtx()
         buffer = b""
         while not self._stopping.is_set():
             try:
@@ -312,13 +386,19 @@ class _BaseSocketServer:
             if not chunk:
                 return  # client closed
             buffer += chunk
-            while b"\n" in buffer:
-                frame, buffer = buffer.split(b"\n", 1)
-                self._dispatch(conn, write_lock, frame + b"\n")
+            try:
+                frames, buffer = protocol.split_frames(buffer)
+            except ProtocolError as exc:
+                # Unrecoverable framing (bad magic/version/length): report
+                # in-band and hang up, same as the loop backend.
+                self._send_frame_error(conn, write_lock, ctx, str(exc))
+                return
+            if frames:
+                self._dispatch_batch(conn, write_lock, ctx, frames)
             if len(buffer) > protocol.MAX_FRAME_BYTES:
                 # A frame that large can never be valid; drop the connection
                 # instead of buffering a hostile/corrupt stream without bound.
-                self._send_oversize_reply(conn, write_lock)
+                self._send_oversize_reply(conn, write_lock, ctx)
                 return
 
     # -- shared internals ----------------------------------------------------
@@ -340,8 +420,29 @@ class _BaseSocketServer:
         except OSError:
             pass
 
+    def _send_frame_error(
+        self,
+        conn: socket.socket,
+        write_lock: threading.Lock,
+        ctx: _ConnCtx,
+        message: str,
+    ) -> None:
+        """In-band error for an unrecoverable framing violation.
+
+        The stream is undecodable at this point, so there is no frame codec
+        to mirror — the error goes out as newline-JSON, the protocol floor
+        every peer (and every debugging probe) can parse.
+        """
+        PROTOCOL_ERRORS.labels(transport=self.transport).inc()
+        reply = protocol.make_error_reply({"type": "unknown", "seq": 0}, message)
+        try:
+            with write_lock:
+                conn.sendall(protocol.encode(reply))
+        except OSError:
+            pass
+
     def _send_oversize_reply(
-        self, conn: socket.socket, write_lock: threading.Lock
+        self, conn: socket.socket, write_lock: threading.Lock, ctx: _ConnCtx
     ) -> None:
         reply = protocol.make_error_reply(
             {"type": "unknown", "seq": 0},
@@ -353,23 +454,87 @@ class _BaseSocketServer:
         except OSError:
             pass
 
-    def _dispatch(
-        self, conn: socket.socket, write_lock: threading.Lock, frame: bytes
+    def _dispatch_batch(
+        self,
+        conn: socket.socket,
+        write_lock: threading.Lock,
+        ctx: _ConnCtx,
+        frames: list[bytes],
     ) -> None:
-        FRAMES_RECEIVED.labels(transport=self.transport).inc()
+        """Decode and dispatch every frame of one readable event as a unit.
+
+        Immediate replies are encoded into ``out`` (consuming their handles)
+        and flushed with one ``sendall`` *after* the handler's batch-commit
+        hook — so a single group-commit ``fsync`` makes every decision in
+        the batch durable before any reply reaches a client.  Deferred
+        (paused) replies keep their handles and are sent whenever the
+        scheduler resumes them; resumes triggered *by this batch* happen
+        inside ``batch_commit``, after that same fsync.
+        """
+        out: list[bytes] = []
+        begin = getattr(self.handler, "batch_begin", None)
+        commit = getattr(self.handler, "batch_commit", None)
+        if begin is not None:
+            begin()
         try:
-            message = protocol.decode(frame)
-            protocol.validate_request(message)
+            for frame in frames:
+                self._dispatch_one(conn, write_lock, ctx, frame, out)
+        finally:
+            if commit is not None:
+                commit()
+        if out:
+            try:
+                with write_lock:
+                    conn.sendall(b"".join(out))
+            except OSError:
+                pass
+
+    def _dispatch_one(
+        self,
+        conn: socket.socket,
+        write_lock: threading.Lock,
+        ctx: _ConnCtx,
+        frame: bytes,
+        out: list[bytes],
+    ) -> None:
+        self._frames_received.inc()
+        # Replies are rendered in the codec the *frame* arrived in, not the
+        # connection's negotiated codec: a raw newline-JSON probe on a
+        # negotiated-binary connection (debug tooling, a client that never
+        # upgraded) still gets an answer it can parse.
+        frame_codec = (
+            protocol.CODEC_BINARY
+            if frame[:4] == protocol.WIRE_MAGIC
+            else protocol.CODEC_JSON
+        )
+        try:
+            if frame_codec == protocol.CODEC_BINARY:
+                # Binary decode enforces the field tables by construction
+                # (types, ranges, lengths), so the JSON-side validate pass
+                # would be redundant on the hot path.
+                message = protocol.decode_binary(frame)
+                if message["type"] not in protocol.REQUEST_FIELDS:
+                    raise ProtocolError(
+                        f"unexpected message type {message['type']!r}"
+                    )
+            else:
+                message = protocol.decode(frame)
+                protocol.validate_request(message)
         except Exception as exc:  # protocol errors go back in-band
             PROTOCOL_ERRORS.labels(transport=self.transport).inc()
             reply = protocol.make_error_reply({"type": "unknown", "seq": 0}, str(exc))
-            try:
-                with write_lock:
-                    conn.sendall(protocol.encode(reply))
-            except OSError:
-                pass
+            out.append(protocol.encode_as(reply, frame_codec))
             return
-        handle = ReplyHandle(conn, write_lock, message.get("seq", 0))
+        if message["type"] == protocol.MSG_HELLO:
+            # Codec negotiation is a transport concern: answer here (always
+            # in JSON, both directions) and switch the connection before the
+            # batch's remaining frames — a pipelining client may follow its
+            # hello with binary frames optimistically.
+            chosen = protocol.negotiate_codec(message["codecs"], self._supported)
+            out.append(protocol.encode(protocol.make_reply(message, codec=chosen)))
+            ctx.codec = chosen
+            return
+        handle = ReplyHandle(conn, write_lock, message.get("seq", 0), frame_codec)
         try:
             result = self.handler(message, handle)
         except Exception as exc:  # handler bug: report, don't kill the conn
@@ -383,8 +548,10 @@ class _BaseSocketServer:
             return  # scheduler will complete the handle later (pause)
         if result is not None:
             try:
-                handle.send(result)
-            except TransportError:
+                out.append(handle.render(result))
+            except (TransportError, ProtocolError):
+                # Already sent by the handler itself, or unserializable —
+                # either way the rest of the batch must still dispatch.
                 pass
 
 
@@ -400,8 +567,15 @@ class UnixSocketServer(_BaseSocketServer):
 
     transport = "unix"
 
-    def __init__(self, path: str, handler: Handler, *, loop: IoLoop | None = None) -> None:
-        super().__init__(handler, loop=loop)
+    def __init__(
+        self,
+        path: str,
+        handler: Handler,
+        *,
+        loop: IoLoop | None = None,
+        codec: str = "auto",
+    ) -> None:
+        super().__init__(handler, loop=loop, codec=codec)
         self.path = path
 
     def _make_listener(self) -> socket.socket:
@@ -421,22 +595,75 @@ class UnixSocketServer(_BaseSocketServer):
                 pass
 
 
-class UnixSocketClient:
-    """Blocking request/response client (the wrapper module's side)."""
+class _BaseSocketClient:
+    """Shared blocking request/response client machinery (both transports).
 
-    def __init__(self, path: str, timeout: float | None = None) -> None:
-        self.path = path
-        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-        if timeout is not None:
-            self._sock.settimeout(timeout)
-        try:
-            self._sock.connect(path)
-        except OSError as exc:
-            self._sock.close()
-            raise map_os_error(exc, f"cannot connect to {path}") from exc
+    Subclass ``__init__`` connects its socket, then calls
+    :meth:`_init_stream` — which runs the hello handshake unless the caller
+    pinned ``codec="json"`` (the legacy wire, also the trace-friendly debug
+    mode).  ``codec="auto"`` and ``codec="binary"`` both offer every
+    supported codec and accept whatever the server picks; a peer that
+    rejects or mis-answers the hello leaves the connection on JSON, never
+    broken.  Because negotiation happens at connect time, every redial
+    (e.g. :class:`repro.ipc.retry.ResilientClient` re-running its factory)
+    renegotiates from scratch instead of assuming the old connection's
+    codec.
+    """
+
+    def __init__(self) -> None:
+        # Subclasses set _sock/_label before calling _init_stream().
+        self._sock: socket.socket
+        self._label = ""
         self._buffer = b""
+        self._frames: list[bytes] = []
         self._seq = 0
         self._lock = threading.Lock()
+        self.codec = protocol.CODEC_JSON
+
+    def _init_stream(self, codec: str) -> None:
+        if codec not in ("auto", protocol.CODEC_BINARY, protocol.CODEC_JSON):
+            self.close()
+            raise TransportError(f"unknown codec {codec!r}")
+        if codec == protocol.CODEC_JSON:
+            return  # legacy wire: no handshake, stay on JSON
+        try:
+            self._negotiate()
+        except BaseException:
+            self.close()
+            raise
+
+    def _negotiate(self) -> None:
+        """Run the hello handshake (always JSON) and adopt the result.
+
+        The hello rides on seq 0, outside the application seq counter, so
+        negotiated and JSON-pinned connections number their calls
+        identically (1, 2, …) — codec choice never shifts the visible
+        wire contract.
+        """
+        with self._lock:
+            request = protocol.make_request(
+                protocol.MSG_HELLO,
+                seq=0,
+                codecs=list(protocol.SUPPORTED_CODECS),
+            )
+            try:
+                self._sock.sendall(protocol.encode(request))
+                reply = self._read_reply()
+            except OSError as exc:
+                raise map_os_error(
+                    exc, f"handshake failed on {self._label}"
+                ) from exc
+            chosen = reply.get("codec")
+            if (
+                reply.get("status") == "ok"
+                and reply.get("seq") == 0
+                and chosen in protocol.SUPPORTED_CODECS
+            ):
+                self.codec = chosen
+            # Anything else — an error reply from a JSON-only peer (possibly
+            # with seq 0), an unknown codec name — downgrades to JSON; the
+            # legacy peer answered exactly one frame, so the stream is back
+            # in sync either way.
 
     def call(self, msg_type: str, **payload: Any) -> dict[str, Any]:
         """Send one request and block until its reply arrives.
@@ -449,15 +676,89 @@ class UnixSocketClient:
             self._seq += 1
             request = protocol.make_request(msg_type, seq=self._seq, **payload)
             try:
-                self._sock.sendall(protocol.encode(request))
+                self._sock.sendall(protocol.encode_as(request, self.codec))
                 reply = self._read_reply()
             except OSError as exc:
-                raise map_os_error(exc, f"call failed on {self.path}") from exc
+                raise map_os_error(exc, f"call failed on {self._label}") from exc
             if reply.get("seq") != self._seq:
                 raise TransportError(
                     f"reply seq {reply.get('seq')} != request seq {self._seq}"
                 )
             return reply
+
+    def call_pipelined(
+        self, requests: list[tuple[str, dict[str, Any]]]
+    ) -> list[dict[str, Any]]:
+        """Send N requests in one ``sendall``, then collect the N replies.
+
+        The client half of request pipelining: the server batch-decodes
+        every complete frame per readable event, dispatches them as one
+        unit under a single journal group commit, and answers with one
+        ``sendall`` of its own — so a window of W requests costs one
+        syscall round-trip and one fsync instead of W of each.
+
+        Replies are matched by ``seq``, not by arrival order: a paused
+        allocation's reply is withheld until the scheduler resumes it and
+        may land after the replies of later requests in the window.
+        Returns replies in request order.
+
+        Equivalent to :meth:`pipeline_send` + :meth:`pipeline_collect`;
+        use those directly to overlap windows across several connections.
+        """
+        return self.pipeline_collect(self.pipeline_send(requests))
+
+    def pipeline_send(
+        self, requests: list[tuple[str, dict[str, Any]]]
+    ) -> list[int]:
+        """Fire one pipelined window; returns the seqs of expected replies.
+
+        Unlike :meth:`call`, requests are validated by the codec/server
+        rather than eagerly here — the window is written with a single
+        ``sendall`` and a schema violation comes back as that request's
+        in-band error reply.
+        """
+        with self._lock:
+            parts: list[bytes] = []
+            seqs: list[int] = []
+            codec = self.codec
+            for msg_type, payload in requests:
+                self._seq += 1
+                request = {"type": msg_type, "seq": self._seq, **payload}
+                parts.append(protocol.encode_as(request, codec))
+                if msg_type not in protocol.NOTIFICATION_TYPES:
+                    seqs.append(self._seq)
+            if not parts:
+                return seqs
+            try:
+                self._sock.sendall(b"".join(parts))
+            except OSError as exc:
+                raise map_os_error(
+                    exc, f"pipelined send failed on {self._label}"
+                ) from exc
+            return seqs
+
+    def pipeline_collect(self, seqs: list[int]) -> list[dict[str, Any]]:
+        """Collect the replies for one :meth:`pipeline_send` window."""
+        if not seqs:
+            return []
+        with self._lock:
+            by_seq: dict[int, dict[str, Any]] = {}
+            outstanding = set(seqs)
+            try:
+                while outstanding:
+                    reply = self._read_reply()
+                    seq = reply.get("seq")
+                    if seq not in outstanding:
+                        raise TransportError(
+                            f"unexpected reply seq {seq!r} from {self._label}"
+                        )
+                    outstanding.discard(seq)
+                    by_seq[seq] = reply
+            except OSError as exc:
+                raise map_os_error(
+                    exc, f"pipelined call failed on {self._label}"
+                ) from exc
+            return [by_seq[seq] for seq in seqs]
 
     def notify(self, msg_type: str, **payload: Any) -> None:
         """Send a fire-and-forget notification (no reply expected).
@@ -472,25 +773,32 @@ class UnixSocketClient:
             self._seq += 1
             request = protocol.make_request(msg_type, seq=self._seq, **payload)
             try:
-                self._sock.sendall(protocol.encode(request))
+                self._sock.sendall(protocol.encode_as(request, self.codec))
             except OSError as exc:
-                raise map_os_error(exc, f"notify failed on {self.path}") from exc
+                raise map_os_error(exc, f"notify failed on {self._label}") from exc
 
     def _read_reply(self) -> dict[str, Any]:
-        while b"\n" not in self._buffer:
+        # Frames already split from an earlier recv (a pipelined window's
+        # replies usually land in one chunk) are served without touching
+        # the buffer again.
+        if self._frames:
+            return protocol.decode_any(self._frames.pop(0))
+        while True:
+            frames, self._buffer = protocol.split_frames(self._buffer)
+            self._frames.extend(frames)
+            if self._frames:
+                return protocol.decode_any(self._frames.pop(0))
             if len(self._buffer) > protocol.MAX_FRAME_BYTES:
                 raise TransportError(
-                    f"reply frame from {self.path} exceeds "
+                    f"reply frame from {self._label} exceeds "
                     f"{protocol.MAX_FRAME_BYTES} bytes"
                 )
             chunk = self._sock.recv(65536)
             if not chunk:
                 raise IpcDisconnected(
-                    f"server on {self.path} closed the connection"
+                    f"server on {self._label} closed the connection"
                 )
             self._buffer += chunk
-        frame, self._buffer = self._buffer.split(b"\n", 1)
-        return protocol.decode(frame + b"\n")
 
     def close(self) -> None:
         try:
@@ -498,8 +806,28 @@ class UnixSocketClient:
         except OSError:
             pass
 
-    def __enter__(self) -> "UnixSocketClient":
+    def __enter__(self):
         return self
 
     def __exit__(self, *exc_info: object) -> None:
         self.close()
+
+
+class UnixSocketClient(_BaseSocketClient):
+    """Blocking request/response client (the wrapper module's side)."""
+
+    def __init__(
+        self, path: str, timeout: float | None = None, codec: str = "auto"
+    ) -> None:
+        super().__init__()
+        self.path = path
+        self._label = path
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        if timeout is not None:
+            self._sock.settimeout(timeout)
+        try:
+            self._sock.connect(path)
+        except OSError as exc:
+            self._sock.close()
+            raise map_os_error(exc, f"cannot connect to {path}") from exc
+        self._init_stream(codec)

@@ -541,6 +541,40 @@ def test_protocol_drift_accepts_declared_vocabulary(lint):
     assert findings == []
 
 
+def test_protocol_drift_flags_handwritten_binary_tables(lint):
+    """Inside the schema module, the binary tables must be derived."""
+    handwritten = _SCHEMA + """\
+
+MESSAGE_TAGS: dict = {"ping": 1, "data": 2}
+TAG_MESSAGES = {1: "ping", 2: "data"}
+BINARY_FIELDS = {name: tuple(f.items()) for name, f in REQUEST_FIELDS.items()}
+"""
+    findings = lint(
+        {"proto.py": handwritten},
+        schema_path="proto.py",
+        protocol_doc_path=None,
+    )
+    assert rules_of(findings) == ["protocol-drift", "protocol-drift"]
+    assert "MESSAGE_TAGS" in findings[0].message
+    assert "TAG_MESSAGES" in findings[1].message
+    assert all("derived from REQUEST_FIELDS" in f.message for f in findings)
+
+
+def test_protocol_drift_accepts_derived_binary_tables(lint):
+    derived = _SCHEMA + """\
+
+MESSAGE_TAGS: dict = {n: i + 1 for i, n in enumerate(sorted(REQUEST_FIELDS))}
+TAG_MESSAGES: dict = {tag: name for name, tag in MESSAGE_TAGS.items()}
+BINARY_FIELDS = {name: tuple(f.items()) for name, f in REQUEST_FIELDS.items()}
+"""
+    findings = lint(
+        {"proto.py": derived},
+        schema_path="proto.py",
+        protocol_doc_path=None,
+    )
+    assert findings == []
+
+
 def test_protocol_doc_drift_is_bidirectional(lint, tmp_path):
     (tmp_path / "PROTOCOL.md").write_text(
         "| `ping` | `container_id` | liveness probe |\n"

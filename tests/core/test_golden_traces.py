@@ -38,6 +38,7 @@ from repro.core.scheduler.events import (
 )
 from repro.core.scheduler.journal import encode_event
 from repro.core.scheduler.policies import PAPER_POLICIES, make_policy
+from repro.ipc import protocol
 from repro.units import GiB, MiB
 
 GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
@@ -271,6 +272,112 @@ class TestGoldenTraces:
         assert len(log.of_type(AllocationResumed)) >= 10
         assert len(log.of_type(AllocationRejected)) >= 5
         assert len(log.of_type(MemoryAssigned)) >= 10
+
+
+class TestWireCodecInvariance:
+    """The wire is transparent to scheduler semantics.
+
+    The same deterministic workload, driven over a live socket under every
+    {I/O backend} x {wire codec} cell, must leave the scheduler with a
+    byte-identical serialized event log — the binary codec and the batch
+    dispatch path are allowed to change performance, never a decision, an
+    ordering, or a float.
+    """
+
+    WORKLOAD_POLICY = "Rand"  # any paper policy works; rng is seeded
+
+    def _drive_over_wire(self, loop, client_codec: str, path: str) -> str:
+        from repro.core.scheduler.service import SchedulerService
+        from repro.ipc.unix_socket import UnixSocketClient, UnixSocketServer
+
+        policy = make_policy(self.WORKLOAD_POLICY, np.random.default_rng(SEED))
+        sched = GpuMemoryScheduler(TOTAL_MEMORY, policy, clock=lambda: 0.0)
+        service = SchedulerService(sched)
+        with UnixSocketServer(path, service, loop=loop):
+            with UnixSocketClient(path, codec=client_codec) as client:
+                self._workload(client)
+        return serialize_trace(sched)
+
+    @staticmethod
+    def _workload(client) -> None:
+        address = [0x1000]
+
+        def commit(cid: str, pid: int, size: int) -> None:
+            # Commits are fire-and-forget; the next blocking call fences them.
+            client.notify(
+                protocol.MSG_ALLOC_COMMIT,
+                container_id=cid, pid=pid, address=address[0], size=size,
+            )
+            address[0] += 0x1000
+
+        for i in range(4):
+            reply = client.call(
+                protocol.MSG_REGISTER_CONTAINER,
+                container_id=f"w{i}", limit=1 * GiB,
+            )
+            assert reply["status"] == "ok"
+        for i in range(4):
+            for pid in (1, 2):
+                reply = client.call(
+                    protocol.MSG_ALLOC_REQUEST,
+                    container_id=f"w{i}", pid=pid, size=64 * MiB,
+                    api="cuMemAlloc",
+                )
+                assert reply["status"] == "ok"
+                if reply.get("decision") == "grant":
+                    commit(f"w{i}", pid, 64 * MiB)
+        # Over-limit ask: answered in-band (reject or error), never deferred.
+        over = client.call(
+            protocol.MSG_ALLOC_REQUEST,
+            container_id="w0", pid=1, size=2 * GiB, api="cuMemAlloc",
+        )
+        assert over.get("decision") != "grant"
+        # Pipelined burst with a notification in the middle: exercises the
+        # batch-dispatch + group-commit path on the server side.
+        burst = [
+            (
+                protocol.MSG_ALLOC_REQUEST,
+                {"container_id": "w1", "pid": pid, "size": 32 * MiB,
+                 "api": "cuMemAlloc"},
+            )
+            for pid in (1, 2, 3)
+        ]
+        burst.insert(2, (protocol.MSG_HEARTBEAT, {"container_id": "w1"}))
+        replies = client.call_pipelined(burst)
+        assert len(replies) == 3
+        for reply in replies:
+            if reply.get("decision") == "grant":
+                commit("w1", 1, 32 * MiB)
+        client.call(protocol.MSG_MEM_GET_INFO, container_id="w2", pid=1)
+        client.notify(protocol.MSG_ALLOC_RELEASE,
+                      container_id="w0", pid=1, address=0x1000)
+        client.notify(protocol.MSG_PROCESS_EXIT, container_id="w3", pid=2)
+        for i in range(4):
+            client.call(protocol.MSG_CONTAINER_EXIT, container_id=f"w{i}")
+
+    def test_event_log_byte_identical_across_backends_and_codecs(self, tmp_path):
+        from repro.ipc.loop import IoLoop
+
+        traces: dict[tuple[str, str], str] = {}
+        for codec in ("binary", "json"):
+            client_codec = "auto" if codec == "binary" else "json"
+            path = str(tmp_path / f"threads-{codec}.sock")
+            traces[("threads", codec)] = self._drive_over_wire(
+                None, client_codec, path
+            )
+            with IoLoop(workers=2) as loop:
+                path = str(tmp_path / f"loop-{codec}.sock")
+                traces[("loop", codec)] = self._drive_over_wire(
+                    loop, client_codec, path
+                )
+        reference_cell = ("threads", "json")
+        reference = traces[reference_cell]
+        assert reference.strip(), "workload produced an empty event log"
+        for cell, trace in traces.items():
+            assert trace == reference, (
+                f"{cell}: event log diverged from {reference_cell} "
+                f"({_first_divergence(reference, trace)})"
+            )
 
 
 def _first_divergence(golden: str, actual: str) -> str:

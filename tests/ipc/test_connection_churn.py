@@ -70,26 +70,47 @@ def backend(request):
             yield ("loop", loop)
 
 
+@pytest.fixture(params=("binary", "json"))
+def codec(request):
+    """Wire codec dimension of the churn matrix (CI selects with -k)."""
+    return request.param
+
+
 @pytest.fixture(params=("unix", "tcp"))
-def server_and_connect(request, backend, tmp_path):
+def server_and_connect(request, backend, codec, tmp_path):
     _name, loop = backend
+    # "auto" negotiates down to binary against an auto server; "json"
+    # pins the legacy wire.  Either way the *server* stays auto, so the
+    # same daemon serves both kinds of client at once — exactly the
+    # mixed fleet a rolling upgrade produces.
+    client_codec = "auto" if codec == "binary" else "json"
     if request.param == "unix":
         path = str(tmp_path / "churn.sock")
         server = UnixSocketServer(path, echo_handler, loop=loop).start()
-        connect = lambda: UnixSocketClient(path)  # noqa: E731
+        connect = lambda: UnixSocketClient(path, codec=client_codec)  # noqa: E731
     else:
         server = TcpSocketServer(echo_handler, loop=loop).start()
-        connect = lambda: TcpSocketClient("127.0.0.1", server.port)  # noqa: E731
+        connect = lambda: TcpSocketClient(  # noqa: E731
+            "127.0.0.1", server.port, codec=client_codec
+        )
     yield server, connect
     server.stop()
 
 
 class TestConnectionChurn:
-    def test_churn_leaves_no_threads_or_conns(self, server_and_connect, backend):
+    def test_churn_leaves_no_threads_or_conns(
+        self, server_and_connect, backend, codec
+    ):
         """500 connect/call/disconnect cycles: bookkeeping stays bounded."""
         server, connect = server_and_connect
         backend_name, _loop = backend
         gauge = OPEN_CONNECTIONS.labels(transport=server.transport)
+        gauge_baseline = gauge.value
+        with connect() as probe:  # the matrix cell really negotiated it
+            assert probe.codec == codec
+        # Let the server finish tearing down the probe before snapshotting
+        # the baselines the churn must return to.
+        wait_until(lambda: gauge.value == gauge_baseline)
         threads_before = threading.active_count()
         gauge_before = gauge.value
 

@@ -9,6 +9,9 @@ denial of service for every container on the GPU.
 """
 
 import json
+import socket
+import struct
+import time
 
 import pytest
 from hypothesis import given, settings
@@ -16,6 +19,8 @@ from hypothesis import strategies as st
 
 from repro.errors import ProtocolError
 from repro.ipc import protocol
+from repro.ipc.loop import IoLoop
+from repro.ipc.unix_socket import UnixSocketClient, UnixSocketServer
 
 VALID_REQUESTS = [
     protocol.make_request(protocol.MSG_REGISTER_CONTAINER, seq=1,
@@ -147,6 +152,191 @@ class TestFrameCap:
             protocol.MSG_HEARTBEAT, container_id="x" * padding
         )
         assert protocol.decode(protocol.encode(message)) == message
+
+
+def _header(
+    magic=protocol.WIRE_MAGIC,
+    version=protocol.WIRE_VERSION,
+    flags=0,
+    tag=1,
+    length=0,
+):
+    return struct.pack("!4sBBHI", magic, version, flags, tag, length)
+
+
+class TestBinaryFramingFuzz:
+    """The binary wire under attack: typed errors only, stream rules hold."""
+
+    @pytest.mark.parametrize(
+        "message", VALID_REQUESTS, ids=[m["type"] for m in VALID_REQUESTS]
+    )
+    def test_every_message_type_round_trips_binary(self, message):
+        frame = protocol.encode_binary(message)
+        assert frame[:4] == protocol.WIRE_MAGIC
+        assert protocol.decode_binary(frame) == message
+
+    def test_truncated_header_and_payload_at_every_boundary(self):
+        """No prefix of a binary frame decodes; split_frames waits for it."""
+        frame = protocol.encode_binary(VALID_REQUESTS[2])
+        for cut in range(len(frame)):
+            with pytest.raises(ProtocolError):
+                protocol.decode_binary(frame[:cut])
+            frames, rest = protocol.split_frames(frame[:cut])
+            assert frames == [] and rest == frame[:cut]
+
+    def test_wrong_magic_rejected(self):
+        frame = _header(magic=b"NOPE") + b""
+        with pytest.raises(ProtocolError, match="magic"):
+            protocol.decode_binary(frame)
+        # On a stream, non-magic bytes are treated as the JSON side: the
+        # splitter waits for a newline rather than raising.
+        frames, rest = protocol.split_frames(frame)
+        assert frames == [] and rest == frame
+
+    @pytest.mark.parametrize("version", [0, 2, 7, 255])
+    def test_version_skew_rejected_everywhere(self, version):
+        frame = _header(version=version)
+        with pytest.raises(ProtocolError, match="wire version"):
+            protocol.decode_binary(frame)
+        # A version skew poisons the whole stream: split_frames must raise
+        # (unrecoverable), not skip bytes.
+        with pytest.raises(ProtocolError, match="wire version"):
+            protocol.split_frames(frame)
+
+    @pytest.mark.parametrize(
+        "length",
+        [
+            protocol.MAX_FRAME_BYTES + 1,
+            2**31,          # would be negative as i32
+            2**32 - 1,      # u32 all-ones ("negative" length)
+        ],
+    )
+    def test_oversized_and_negative_declared_lengths_rejected(self, length):
+        frame = _header(length=length)
+        with pytest.raises(ProtocolError, match="MAX_FRAME_BYTES"):
+            protocol.decode_binary(frame + b"x")
+        with pytest.raises(ProtocolError, match="MAX_FRAME_BYTES"):
+            protocol.split_frames(frame)
+
+    def test_unknown_tag_rejected(self):
+        frame = _header(tag=999, length=8) + b"\x00" * 8
+        with pytest.raises(ProtocolError, match="tag"):
+            protocol.decode_binary(frame)
+
+    @given(st.binary(max_size=256))
+    @settings(max_examples=300, deadline=None)
+    def test_garbage_payload_never_escapes_typed_errors(self, payload):
+        """A well-formed header over arbitrary payload bytes: dict or
+        ProtocolError, never KeyError/struct.error/UnicodeDecodeError."""
+        frame = _header(tag=1, length=len(payload)) + payload
+        try:
+            message = protocol.decode_binary(frame)
+        except ProtocolError:
+            return
+        assert isinstance(message, dict)
+
+    @given(st.binary(max_size=2048))
+    @settings(max_examples=300, deadline=None)
+    def test_split_frames_on_arbitrary_bytes(self, buffer):
+        """split_frames: either a clean split (reassemblable) or a typed
+        error — and every returned frame decodes or errors typed."""
+        try:
+            frames, rest = protocol.split_frames(buffer)
+        except ProtocolError:
+            return
+        assert b"".join(frames) + rest == buffer
+        for frame in frames:
+            try:
+                protocol.decode_any(frame)
+            except ProtocolError:
+                pass
+
+    @given(st.binary(max_size=2048))
+    @settings(max_examples=300, deadline=None)
+    def test_decode_any_on_arbitrary_bytes(self, frame):
+        try:
+            message = protocol.decode_any(frame)
+        except ProtocolError:
+            return
+        assert isinstance(message, dict)
+
+    def test_garbage_mid_stream_after_valid_frames(self):
+        """Valid frames split off before the poison byte run is reached."""
+        good = protocol.encode_binary(VALID_REQUESTS[0])
+        poison = _header(version=9)
+        with pytest.raises(ProtocolError, match="wire version"):
+            protocol.split_frames(good + poison)
+        # The valid prefix alone is recoverable:
+        frames, rest = protocol.split_frames(good)
+        assert frames == [good] and rest == b""
+
+
+class TestBinaryFramingAgainstLiveLoop:
+    """Hostile binary frames must never kill the shared selector thread."""
+
+    @pytest.fixture
+    def loop_server(self, tmp_path):
+        def handler(message, reply_handle):
+            return protocol.make_reply(message)
+
+        with IoLoop(workers=2) as loop:
+            path = str(tmp_path / "fuzz.sock")
+            server = UnixSocketServer(path, handler, loop=loop).start()
+            yield loop, path
+            server.stop()
+
+    def _raw_send(self, path, payload):
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(5.0)
+        sock.connect(path)
+        try:
+            sock.sendall(payload)
+            # Half-close: the server sees EOF after the hostile bytes, so
+            # this read drains any in-band error reply and then returns.
+            sock.shutdown(socket.SHUT_WR)
+            received = b""
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                try:
+                    chunk = sock.recv(65536)
+                except TimeoutError:
+                    break
+                if not chunk:
+                    break
+                received += chunk
+            return received
+        finally:
+            sock.close()
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            _header(version=9),                                   # version skew
+            _header(length=protocol.MAX_FRAME_BYTES + 1) + b"x",  # oversize
+            _header(length=2**32 - 1),                            # "negative"
+            _header(tag=999, length=4) + b"\x00" * 4,             # bad tag
+            protocol.WIRE_MAGIC[:3],                              # truncated magic, then EOF
+        ],
+        ids=["version-skew", "oversized", "negative-length", "bad-tag",
+             "truncated-magic"],
+    )
+    def test_hostile_frames_get_inband_error_and_loop_survives(
+        self, loop_server, payload
+    ):
+        loop, path = loop_server
+        received = self._raw_send(path, payload)
+        if payload not in (protocol.WIRE_MAGIC[:3],):
+            # Unrecoverable framing: exactly one in-band error reply (JSON,
+            # the pre-negotiation codec) and then EOF.
+            frames, _rest = protocol.split_frames(received)
+            assert frames, f"no in-band error reply, got {received!r}"
+            reply = protocol.decode_any(frames[0])
+            assert reply["status"] == "error"
+        # The selector thread is alive and serving new connections:
+        assert loop.running
+        with UnixSocketClient(path) as client:
+            reply = client.call(protocol.MSG_CONTAINER_EXIT, container_id="alive")
+            assert reply["status"] == "ok"
 
 
 class TestValidateFuzz:
