@@ -167,6 +167,11 @@ class LintConfig:
     metric_registry_names: frozenset[str] = frozenset({"REGISTRY"})
     #: Naming convention for declared metrics.
     metric_name_pattern: str = r"convgpu_[a-z0-9_]+"
+    #: Names treated as the process-global flight recorder (``RECORDER``
+    #: plus the per-module ``_REC`` alias the overhead benchmark stubs).
+    event_registry_names: frozenset[str] = frozenset({"RECORDER", "_REC"})
+    #: Naming convention for declared flight events (``subsystem.verb``).
+    event_name_pattern: str = r"[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+"
     #: Modules where IpcDisconnected can fly: a broad handler that
     #: silently swallows it hides daemon/wrapper connectivity bugs.
     except_module_suffixes: tuple[str, ...] = field(

@@ -12,6 +12,7 @@ from repro.analysis.lockorder import LockOrderRule
 from repro.analysis.loopsafety import LoopBlockingRule
 from repro.analysis.obsrules import (
     BareExceptRule,
+    EventDriftRule,
     MetricDriftRule,
     SwallowedExceptionRule,
 )
@@ -30,6 +31,7 @@ DEFAULT_RULES = (
     LoopBlockingRule,
     ProtocolDriftRule,
     MetricDriftRule,
+    EventDriftRule,
     BareExceptRule,
     SwallowedExceptionRule,
 )

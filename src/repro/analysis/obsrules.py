@@ -15,6 +15,17 @@
   does nothing silently eats connectivity errors the retry layer is
   supposed to see.  Deliberate swallows carry an inline suppression with
   the reason.
+
+- **event-drift** — the flight recorder's analogue of metric-drift:
+  every event type must be declared exactly once via
+  ``RECORDER.declare("subsystem.verb", ...)`` (a duplicate declaration
+  either shadows the first or raises at import, depending on fields);
+  declared names must follow the dotted ``subsystem.verb`` convention
+  dumps and ``repro doctor`` key on; payload slots must be the record's
+  actual ``s``/``a``/``b``/``c``/``x`` slots; and ``.record()`` must
+  take a declared tag, never a string literal (a string would decode as
+  an unknown tag at dump time — the runtime half of this check is the
+  dump's ``unknown_tags`` counter).
 """
 
 from __future__ import annotations
@@ -25,9 +36,15 @@ from typing import Iterable
 
 from repro.analysis.core import Context, Finding, Rule, SourceFile, dotted_name
 
-__all__ = ["BareExceptRule", "MetricDriftRule", "SwallowedExceptionRule"]
+__all__ = [
+    "BareExceptRule",
+    "EventDriftRule",
+    "MetricDriftRule",
+    "SwallowedExceptionRule",
+]
 
 _DECL_METHODS = frozenset({"counter", "gauge", "histogram"})
+_EVENT_SLOTS = frozenset({"s", "a", "b", "c", "x"})
 _BROAD_TYPES = frozenset({"Exception", "BaseException"})
 
 
@@ -91,6 +108,70 @@ class MetricDriftRule(Rule):
                     self.id, node,
                     f"metric {name!r} is looked up by name but never "
                     "declared against the registry",
+                )
+
+
+class EventDriftRule(Rule):
+    id = "event-drift"
+
+    def check_file(self, source: SourceFile, ctx: Context) -> Iterable[Finding]:
+        cfg = ctx.config
+        pattern = re.compile(cfg.event_name_pattern)
+        decls = ctx.state.setdefault("events.decls", {})
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if not _is_registry(func.value, cfg.event_registry_names):
+                continue
+            if func.attr == "declare":
+                if not node.args:
+                    continue
+                first = node.args[0]
+                if not (
+                    isinstance(first, ast.Constant) and isinstance(first.value, str)
+                ):
+                    continue
+                name = first.value
+                decls.setdefault(name, []).append((source, node))
+                if pattern.fullmatch(name) is None:
+                    yield source.finding(
+                        self.id, first,
+                        f"flight event name {name!r} does not match the "
+                        f"`{cfg.event_name_pattern}` convention "
+                        "(dotted subsystem.verb)",
+                    )
+                for keyword in node.keywords:
+                    if keyword.arg is not None and keyword.arg not in _EVENT_SLOTS:
+                        yield source.finding(
+                            self.id, keyword.value,
+                            f"flight event {name!r} labels unknown payload "
+                            f"slot {keyword.arg!r}; valid slots are "
+                            "s (string), a/b/c (ints) and x (float)",
+                        )
+            elif func.attr == "record" and node.args:
+                first = node.args[0]
+                if isinstance(first, ast.Constant) and isinstance(first.value, str):
+                    yield source.finding(
+                        self.id, first,
+                        "record() takes the integer tag returned by "
+                        "declare(), not an event name; a raw string decodes "
+                        "as an unknown tag at dump time",
+                    )
+        return
+
+    def finalize(self, ctx: Context) -> Iterable[Finding]:
+        decls: dict = ctx.state.get("events.decls", {})
+        for name, sites in decls.items():
+            for source, node in sites[1:]:
+                first_source, first_node = sites[0]
+                yield source.finding(
+                    self.id, node,
+                    f"flight event {name!r} is declared more than once "
+                    f"(first at {first_source.rel}:{first_node.lineno}); "
+                    "declare each event type exactly once and share the tag",
                 )
 
 

@@ -16,7 +16,14 @@ original system would drive it:
 - ``recover``  — inspect a journal offline: record counts, the restored
   state table, and an invariant check;
 - ``metrics``  — scrape a daemon's ``/metrics`` endpoint and pretty-print;
-- ``top``      — live per-container table from a daemon's ``/top.json``.
+- ``top``      — live per-container table from a daemon's ``/top.json``
+  (plus sampled stage-latency and batch-shape tables from
+  ``/metrics.json``);
+- ``dump``     — capture a flight-recorder dump from a live daemon
+  (HTTP ``/flight.jsonl``) or signal one by pid (SIGUSR2);
+- ``doctor``   — post-mortem correlation of a flight dump, a journal and
+  an optional metrics snapshot (timeline, wedged containers, stage
+  breakdown, slowest traces).
 """
 
 from __future__ import annotations
@@ -147,8 +154,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     daemon_cmd.add_argument(
         "--metrics-port", type=int, default=0, metavar="PORT",
-        help="observability HTTP port on 127.0.0.1 (0 = ephemeral; "
-             "serves /metrics, /metrics.json, /top.json, /healthz)",
+        help="observability HTTP port on 127.0.0.1 (0 = ephemeral; serves "
+             "/metrics, /metrics.json, /top.json, /flight.jsonl, /healthz)",
+    )
+    daemon_cmd.add_argument(
+        "--flight-dump", default=None, metavar="PATH",
+        help="flight-recorder dump file (default: <base-dir>/flight.jsonl); "
+             "written on SIGUSR2, on a crashed daemon thread, and on an "
+             "I/O-loop watchdog stall",
+    )
+    daemon_cmd.add_argument(
+        "--watchdog-interval", type=float, default=5.0, metavar="SECONDS",
+        help="I/O-loop stall threshold for the flight-dump watchdog "
+             "(default: 5)",
     )
     daemon_cmd.add_argument(
         "--no-metrics", action="store_true",
@@ -215,6 +233,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="number of refreshes before exiting (0 = until interrupted)",
     )
     top_cmd.add_argument("--timeout", type=float, default=5.0)
+
+    dump_cmd = sub.add_parser(
+        "dump", help="capture a flight-recorder dump from a live daemon"
+    )
+    dump_cmd.add_argument(
+        "target",
+        help="daemon observability URL (host:port) to fetch /flight.jsonl "
+             "from, or a daemon pid to signal with SIGUSR2",
+    )
+    dump_cmd.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the fetched dump here (default: stdout; ignored for a "
+             "pid target, which writes to the daemon's --flight-dump path)",
+    )
+    dump_cmd.add_argument("--timeout", type=float, default=5.0)
+
+    doctor_cmd = sub.add_parser(
+        "doctor", help="post-mortem report from a flight dump (+ journal)"
+    )
+    doctor_cmd.add_argument("dump", help="flight-recorder dump file (JSONL)")
+    doctor_cmd.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="scheduler journal to merge into the timeline and replay for "
+             "wedged-container detection",
+    )
+    doctor_cmd.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="a saved /metrics.json snapshot to cross-check stage totals",
+    )
+    doctor_cmd.add_argument(
+        "--top", type=int, default=10, metavar="K",
+        help="slowest traces to report (default: 10)",
+    )
+    doctor_cmd.add_argument(
+        "--tail", type=int, default=40, metavar="N",
+        help="timeline entries to print (default: 40)",
+    )
+    doctor_cmd.add_argument(
+        "--json", action="store_true",
+        help="emit the full structured report as JSON instead of text",
+    )
 
     lint_cmd = sub.add_parser(
         "lint", help="reprolint: AST invariant checks (DESIGN.md §12)"
@@ -441,6 +500,8 @@ def _cmd_daemon(args) -> int:
         "monitor": monitor,
         "reap_interval": args.reap_interval,
         "metrics_port": None if args.no_metrics else args.metrics_port,
+        "flight_dump": args.flight_dump,
+        "watchdog_interval": args.watchdog_interval,
     }
     # Wall clock, not monotonic: journaled timestamps must stay comparable
     # across a restart (suspension accounting spans the crash).
@@ -457,6 +518,22 @@ def _cmd_daemon(args) -> int:
         daemon = SchedulerDaemon(scheduler, journal=journal, **common)
     daemon.start()
 
+    # Post-mortem hooks: SIGUSR2 dumps the flight recorder on demand, and
+    # an uncaught exception on any daemon thread dumps before the thread
+    # dies — both land at the same path `repro doctor` reads.
+    flight_path = args.flight_dump or os.path.join(daemon.base_dir, "flight.jsonl")
+    signal.signal(signal.SIGUSR2, lambda *_: daemon.dump_flight("sigusr2"))
+    previous_excepthook = threading.excepthook
+
+    def _crash_hook(hook_args) -> None:
+        try:
+            daemon.dump_flight("crash")
+        except OSError:
+            pass
+        previous_excepthook(hook_args)
+
+    threading.excepthook = _crash_hook
+
     endpoints = {
         "pid": os.getpid(),
         "transport": args.transport,
@@ -464,6 +541,7 @@ def _cmd_daemon(args) -> int:
         "codec": args.codec,
         "base_dir": daemon.base_dir,
         "control": daemon.control_path,
+        "flight_dump": flight_path,
     }
     if args.transport == "tcp":
         endpoints["host"] = daemon.host
@@ -591,8 +669,63 @@ def _render_top(rows: list) -> str:
     )
 
 
+def _render_stage_tables(metrics: dict) -> str:
+    """Stage-latency + batch-shape tables from a ``/metrics.json`` payload."""
+    sections: list[str] = []
+    stage_family = metrics.get("convgpu_stage_seconds", {})
+    rows = []
+    for entry in stage_family.get("samples", []):
+        count = entry.get("count", 0)
+        if not count:
+            continue
+        mean = entry.get("sum", 0.0) / count
+        worst = ""
+        exemplars = entry.get("exemplars") or []
+        if exemplars:
+            top = max(exemplars, key=lambda e: e["value"])
+            worst = f"{top['exemplar']} ({top['value'] * 1e3:.2f}ms)"
+        rows.append(
+            (entry.get("stage", "?"), str(count), f"{mean * 1e6:.1f}", worst)
+        )
+    if rows:
+        sections.append(
+            format_table(
+                ("stage", "samples", "mean (µs)", "worst exemplar"),
+                rows,
+                title="stage latency (sampled)",
+            )
+        )
+    batch_rows = []
+    for name, label in (
+        ("convgpu_ipc_batch_depth", "batch depth"),
+        ("convgpu_ipc_coalesced_reply_bytes", "coalesced reply bytes"),
+    ):
+        for entry in metrics.get(name, {}).get("samples", []):
+            count = entry.get("count", 0)
+            if not count:
+                continue
+            batch_rows.append(
+                (
+                    label,
+                    entry.get("transport", "?"),
+                    str(count),
+                    f"{entry.get('sum', 0.0) / count:.1f}",
+                )
+            )
+    if batch_rows:
+        sections.append(
+            format_table(
+                ("histogram", "transport", "observations", "mean"),
+                batch_rows,
+                title="batch shape",
+            )
+        )
+    return "\n".join(sections)
+
+
 def _cmd_top(args) -> int:
     url = _obs_url(args.url, "/top.json")
+    metrics_url = _obs_url(args.url, "/metrics.json")
     refreshes = 0
     try:
         while True:
@@ -602,6 +735,13 @@ def _cmd_top(args) -> int:
                 print(f"poll of {url} failed: {exc}", file=sys.stderr)
                 return 1
             print(_render_top(rows), flush=True)
+            try:
+                metrics = json.loads(_http_get(metrics_url, args.timeout))
+            except (OSError, ValueError):
+                metrics = {}  # older daemon without /metrics.json: table only
+            tables = _render_stage_tables(metrics)
+            if tables:
+                print(tables, flush=True)
             refreshes += 1
             if args.iterations and refreshes >= args.iterations:
                 return 0
@@ -609,6 +749,55 @@ def _cmd_top(args) -> int:
             print()
     except KeyboardInterrupt:
         return 0
+
+
+def _cmd_dump(args) -> int:
+    if args.target.isdigit():
+        # A pid: ask the daemon to dump locally (its SIGUSR2 handler writes
+        # to the path announced in its ready file / startup line).
+        try:
+            os.kill(int(args.target), signal.SIGUSR2)
+        except (OSError, ProcessLookupError) as exc:
+            print(f"signal to pid {args.target} failed: {exc}", file=sys.stderr)
+            return 1
+        print(f"sent SIGUSR2 to {args.target}; the daemon writes its "
+              f"--flight-dump path")
+        return 0
+    url = _obs_url(args.target, "/flight.jsonl")
+    try:
+        text = _http_get(url, args.timeout)
+    except OSError as exc:
+        print(f"fetch of {url} failed: {exc}", file=sys.stderr)
+        return 1
+    if args.out is None:
+        print(text, end="")
+        return 0
+    staging = args.out + ".tmp"
+    with open(staging, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    os.replace(staging, args.out)
+    print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_doctor(args) -> int:
+    from repro.obs.doctor import analyze, render
+
+    try:
+        report = analyze(
+            args.dump,
+            journal_path=args.journal,
+            metrics_path=args.metrics,
+            top=args.top,
+        )
+    except (OSError, ValueError) as exc:
+        print(f"doctor failed: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True, default=repr))
+    else:
+        print(render(report, tail=args.tail), end="")
+    return 1 if report["wedged"] else 0
 
 
 def _cmd_export(args) -> int:
@@ -683,6 +872,8 @@ _COMMANDS = {
     "recover": _cmd_recover,
     "metrics": _cmd_metrics,
     "top": _cmd_top,
+    "dump": _cmd_dump,
+    "doctor": _cmd_doctor,
     "lint": _cmd_lint,
 }
 

@@ -29,6 +29,7 @@ facade.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Any, Callable
 
 from repro.core.scheduler.events import EventLog
@@ -40,9 +41,13 @@ from repro.core.scheduler.state import (
     SchedulerState,
     Transition,
 )
+from repro.obs import stages as _stages
 from repro.obs.metrics import DURATION_BUCKETS, REGISTRY
+from repro.obs.recorder import RECORDER
 
 __all__ = ["Decision", "GpuMemoryScheduler", "CONTEXT_OVERHEAD_CHARGE"]
+
+_perf_counter = time.perf_counter
 
 # Process-global instrumentation, shared by every scheduler instance (the
 # daemon runs exactly one; simulation sweeps accumulate across runs).
@@ -63,6 +68,22 @@ _GRANTS = _DECISIONS.labels(decision="grant")
 _PAUSES = _DECISIONS.labels(decision="pause")
 _REJECTS = _DECISIONS.labels(decision="reject")
 _PAUSE_WAITS = _PAUSE_SECONDS.labels()
+
+# Flight-recorder events for the *rare* transitions only (pause/reject and
+# resume deliveries) — grants are the hot path and stay out of the ring.
+# Module alias so the obs-overhead benchmark can stub it by (module, name).
+_REC = RECORDER
+_EV_PAUSE = RECORDER.declare("sched.pause", s="container")
+_EV_REJECT = RECORDER.declare("sched.reject", s="container")
+_EV_RESUME = RECORDER.declare("sched.resume", a="resumed")
+
+
+def _container_of(transition: Transition) -> str:
+    for event in transition.events:
+        container_id = getattr(event, "container_id", "")
+        if container_id:
+            return container_id
+    return ""
 
 
 class GpuMemoryScheduler:
@@ -182,24 +203,44 @@ class GpuMemoryScheduler:
     # transitions (the wrapper/plugin-facing verbs)
     # ------------------------------------------------------------------
 
+    def _transact(self, fn: Callable[[], Transition]) -> Transition:
+        """One locked transition + publish, then the unlocked effects.
+
+        When the transport armed a stage clock for this request
+        (:func:`repro.obs.stages.current`), the lock wait and the
+        transition's critical section are attributed to the ``lock`` and
+        ``transition`` stages; with no clock armed anywhere the cost over
+        the previous inline form is one module-attribute read and three
+        predictable branches.
+        """
+        clock = _stages.current() if _stages.ARMED_CLOCKS else None
+        timed = clock is not None
+        began = _perf_counter() if timed else 0.0
+        with self._lock:
+            acquired = _perf_counter() if timed else 0.0
+            transition = fn()
+            self._publish(transition)
+            done = _perf_counter() if timed else 0.0
+        if timed:
+            clock.add(_stages.S_LOCK, acquired - began)
+            clock.add(_stages.S_TRANSITION, done - acquired)
+        self._finish(transition)
+        return transition
+
     def register_container(self, container_id: str, limit: int) -> ContainerRecord:
         """Declare a container's limit before it is created (§III-B)."""
-        with self._lock:
-            transition = self.state.register(container_id, limit, self.clock())
-            self._publish(transition)
-        self._finish(transition)
-        return transition.value
+        return self._transact(
+            lambda: self.state.register(container_id, limit, self.clock())
+        ).value
 
     def container_exit(self, container_id: str) -> int:
         """The nvidia-docker-plugin's *close* signal (§III-B).
 
         Returns the bytes reclaimed into the pool.
         """
-        with self._lock:
-            transition = self.state.container_exit(container_id, self.clock())
-            self._publish(transition)
-        self._finish(transition)
-        return transition.value
+        return self._transact(
+            lambda: self.state.container_exit(container_id, self.clock())
+        ).value
 
     def request_allocation(
         self,
@@ -215,50 +256,40 @@ class GpuMemoryScheduler:
         request, in which case ``on_resume`` will eventually be called with
         the withheld reply payload (grant or reject).
         """
-        with self._lock:
-            transition = self.state.request(
+        return self._transact(
+            lambda: self.state.request(
                 container_id, pid, size, api, on_resume, self.clock()
             )
-            self._publish(transition)
-        self._finish(transition)
-        return transition.value
+        ).value
 
     def commit_allocation(
         self, container_id: str, pid: int, address: int, size: int
     ) -> None:
         """The wrapper's post-allocation report: address + pid + size."""
-        with self._lock:
-            transition = self.state.commit(
-                container_id, pid, address, size, self.clock()
-            )
-            self._publish(transition)
-        self._finish(transition)
+        self._transact(
+            lambda: self.state.commit(container_id, pid, address, size, self.clock())
+        )
 
     def abort_allocation(self, container_id: str, pid: int, size: int) -> None:
         """The wrapper reports that the *native* allocation failed."""
-        with self._lock:
-            transition = self.state.abort(container_id, pid, size, self.clock())
-            self._publish(transition)
-        self._finish(transition)
+        self._transact(
+            lambda: self.state.abort(container_id, pid, size, self.clock())
+        )
 
     def release_allocation(self, container_id: str, pid: int, address: int) -> int:
         """``cudaFree`` path (§III-C).  Returns the released size."""
-        with self._lock:
-            transition = self.state.release(container_id, pid, address, self.clock())
-            self._publish(transition)
-        self._finish(transition)
-        return transition.value
+        return self._transact(
+            lambda: self.state.release(container_id, pid, address, self.clock())
+        ).value
 
     def process_exit(self, container_id: str, pid: int) -> int:
         """``__cudaUnregisterFatBinary`` path (§III-C/D).
 
         Returns the bytes reclaimed into the reservation.
         """
-        with self._lock:
-            transition = self.state.process_exit(container_id, pid, self.clock())
-            self._publish(transition)
-        self._finish(transition)
-        return transition.value
+        return self._transact(
+            lambda: self.state.process_exit(container_id, pid, self.clock())
+        ).value
 
     # ------------------------------------------------------------------
     # the effects runtime
@@ -307,9 +338,13 @@ class GpuMemoryScheduler:
             # enqueued event up to (at least) the last one in strict order,
             # so durability of the last implies durability of all.
             journal.wait_durable()
+        resumed = 0
         for transition in pending:
             for callback, payload in transition.resumptions:
                 callback(payload)
+                resumed += 1
+        if resumed:
+            _REC.record(_EV_RESUME, a=resumed)
 
     def _finish(self, transition: Transition) -> None:
         """Execute the transition's effects outside the mutex.
@@ -325,22 +360,34 @@ class GpuMemoryScheduler:
         if not batching:
             journal = self.journal
             if journal is not None and transition.events:
-                journal.wait_durable()
+                clock = _stages.current() if _stages.ARMED_CLOCKS else None
+                if clock is None:
+                    journal.wait_durable()
+                else:
+                    began = _perf_counter()
+                    journal.wait_durable()
+                    clock.add(_stages.S_FSYNC, _perf_counter() - began)
         # Read the handles through the module globals each time so the
         # obs-overhead benchmark can stub them by (module, name).
         if transition.metric == Decision.GRANT:
             _GRANTS.inc()
         elif transition.metric == Decision.PAUSE:
             _PAUSES.inc()
+            _REC.record(_EV_PAUSE, s=_container_of(transition))
         elif transition.metric == Decision.REJECT:
             _REJECTS.inc()
+            _REC.record(_EV_REJECT, s=_container_of(transition))
         for waited in transition.waits:
             _PAUSE_WAITS.observe(waited)
         if batching:
             self._batch.pending.append(transition)
             return
+        resumed = 0
         for callback, payload in transition.resumptions:
             callback(payload)
+            resumed += 1
+        if resumed:
+            _REC.record(_EV_RESUME, a=resumed)
 
     # ------------------------------------------------------------------
     # compatibility shims (journal replay, tests, stats)

@@ -36,6 +36,7 @@ import os
 import shutil
 import tempfile
 import threading
+import time
 import weakref
 from typing import Any, Callable
 
@@ -52,9 +53,18 @@ from repro.ipc.unix_socket import UnixSocketServer
 from repro.obs.http import MetricsServer
 from repro.obs.log import get_logger
 from repro.obs.metrics import REGISTRY
+from repro.obs.recorder import RECORDER
 from repro.obs.trace import Tracer
 
 __all__ = ["SchedulerDaemon", "WRAPPER_SONAME", "CONTAINER_SOCKET_NAME"]
+
+_REC = RECORDER
+_EV_START = RECORDER.declare("daemon.start", s="transport", a="containers")
+_EV_STOP = RECORDER.declare("daemon.stop")
+_EV_REGISTER = RECORDER.declare("daemon.register", s="container", a="limit")
+_EV_EXIT = RECORDER.declare("daemon.exit", s="container", a="reclaimed")
+_EV_REAP = RECORDER.declare("daemon.reap", s="container")
+_EV_STALL = RECORDER.declare("daemon.watchdog_stall", x="stalled_seconds")
 
 _REAPED = REGISTRY.counter(
     "convgpu_reaped_containers_total",
@@ -138,10 +148,17 @@ class SchedulerDaemon:
         reap_interval: seconds between reaper sweeps.
         metrics_port: when not ``None``, serve the observability endpoint
             (``/metrics`` Prometheus text, ``/metrics.json``, ``/top.json``,
-            ``/healthz``) on ``127.0.0.1:metrics_port`` for the daemon's
-            lifetime (0 = ephemeral; read :attr:`metrics_server` ``.port``).
+            ``/flight.jsonl``, ``/healthz``) on ``127.0.0.1:metrics_port``
+            for the daemon's lifetime (0 = ephemeral; read
+            :attr:`metrics_server` ``.port``).
         tracer: span recorder threaded into the service; spans parented on
             wire trace context (off when ``None``, the default).
+        flight_dump: path the flight recorder dumps to on a watchdog stall
+            (and where :meth:`dump_flight` writes by default — the CLI's
+            SIGUSR2 handler and crash hook route here).  Enables the I/O
+            watchdog thread when ``io="loop"``.
+        watchdog_interval: seconds the shared I/O loop may go without an
+            iteration before the watchdog declares a stall and dumps.
     """
 
     def __init__(
@@ -160,6 +177,8 @@ class SchedulerDaemon:
         reap_interval: float = 1.0,
         metrics_port: int | None = None,
         tracer: Tracer | None = None,
+        flight_dump: str | None = None,
+        watchdog_interval: float = 5.0,
     ) -> None:
         if transport not in ("unix", "tcp"):
             raise SchedulerError(f"unknown transport {transport!r}")
@@ -197,6 +216,11 @@ class SchedulerDaemon:
         self._teardown_lock = threading.Lock()
         self._reaper: threading.Thread | None = None
         self._reaper_stop = threading.Event()
+        self.flight_dump = flight_dump
+        self.watchdog_interval = watchdog_interval
+        self._watchdog: threading.Thread | None = None
+        self._watchdog_stop = threading.Event()
+        self._stall_dumped = False
         #: Container ids whose close was synthesized by the reaper.
         self.reaped: list[str] = []
         self.metrics_port = metrics_port
@@ -290,8 +314,16 @@ class SchedulerDaemon:
             self._reaper.start()
         if self.metrics_port is not None and self.metrics_server is None:
             self.metrics_server = MetricsServer(
-                REGISTRY, port=self.metrics_port, top_source=self.top_snapshot
+                REGISTRY,
+                port=self.metrics_port,
+                top_source=self.top_snapshot,
+                flight_source=lambda: RECORDER.dump_text(reason="http"),
             ).start()
+        if self.flight_dump is not None and self._io_loop is not None:
+            self._watchdog_stop.clear()
+            self._watchdog = threading.Thread(target=self._watchdog_loop, daemon=True)
+            self._watchdog.start()
+        _REC.record(_EV_START, s=self.transport, a=len(self._container_dirs))
         self.log.info(
             "daemon_started",
             transport=self.transport,
@@ -328,6 +360,10 @@ class SchedulerDaemon:
         left exactly as they were — what a SIGKILL leaves behind.  The
         fault-injection tests follow this with :meth:`recover`.
         """
+        if self._watchdog is not None:
+            self._watchdog_stop.set()
+            self._watchdog.join(timeout=2.0)
+            self._watchdog = None
         if self._reaper is not None:
             self._reaper_stop.set()
             self._reaper.join(timeout=2.0)
@@ -338,6 +374,7 @@ class SchedulerDaemon:
         if self._control_server is not None:
             self._control_server.stop()
             self._control_server = None
+            _REC.record(_EV_STOP)
             self.log.info("daemon_stopped")
         if self._io_loop is not None:
             self._io_loop.stop()
@@ -367,6 +404,7 @@ class SchedulerDaemon:
                 if self.transport == "tcp":
                     reply["host"] = self.host
                     reply["port"] = self._container_ports[container_id]
+                _REC.record(_EV_REGISTER, s=container_id, a=message["limit"])
                 self.log.info(
                     "container_registered",
                     container_id=container_id,
@@ -388,10 +426,14 @@ class SchedulerDaemon:
                 )
                 return reply
             self._teardown_container_dir(message["container_id"])
+            reclaimed = reply.get("reclaimed") if isinstance(reply, dict) else None
+            _REC.record(
+                _EV_EXIT, s=message["container_id"], a=int(reclaimed or 0)
+            )
             self.log.info(
                 "container_exited",
                 container_id=message["container_id"],
-                reclaimed=reply.get("reclaimed") if isinstance(reply, dict) else None,
+                reclaimed=reclaimed,
             )
             return reply
         # Anything else on the control socket is a protocol misuse.
@@ -482,11 +524,51 @@ class SchedulerDaemon:
             self._handle_control(message, None)
             swept.append(container_id)
             _REAPED.inc()
+            _REC.record(_EV_REAP, s=container_id)
             self.log.warning("container_reaped", container_id=container_id)
         self.reaped.extend(swept)
         return swept
 
     # -- observability --------------------------------------------------------
+
+    def dump_flight(self, reason: str) -> str:
+        """Dump the flight recorder; returns the path written.
+
+        Writes to :attr:`flight_dump` when configured, else
+        ``<base_dir>/flight.jsonl``.  The CLI's SIGUSR2 handler and crash
+        hook, and the watchdog's stall path, all funnel through here so
+        every post-mortem input lands at one predictable location.
+        """
+        path = self.flight_dump or os.path.join(self.base_dir, "flight.jsonl")
+        RECORDER.dump(path, reason=reason)
+        self.log.warning("flight_dumped", path=path, reason=reason)
+        return path
+
+    def _watchdog_loop(self) -> None:
+        """Dump the flight recorder once if the shared I/O loop stalls.
+
+        A wedged selector thread (handler deadlock, runaway callback) stops
+        advancing ``IoLoop.last_tick``; when the gap exceeds
+        ``watchdog_interval`` the recorder still holds the events leading up
+        to the wedge — exactly what ``repro doctor`` needs.  One-shot: a
+        stalled loop would otherwise be re-dumped every interval.
+        """
+        poll = max(0.2, self.watchdog_interval / 4.0)
+        while not self._watchdog_stop.wait(poll):
+            loop = self._io_loop
+            if loop is None or self._stall_dumped:
+                continue
+            last = loop.last_tick
+            if last == 0.0:
+                continue
+            stalled = time.time() - last
+            if stalled > self.watchdog_interval:
+                self._stall_dumped = True
+                _REC.record(_EV_STALL, x=stalled)
+                try:
+                    self.dump_flight("watchdog-stall")
+                except OSError as exc:
+                    self.log.error("flight_dump_failed", error=str(exc))
 
     def _collect_gauges(self) -> None:
         """Refresh point-in-time gauges from scheduler state (at scrape)."""

@@ -86,6 +86,14 @@ from repro.core.scheduler.events import (
 from repro.core.scheduler.policies import SchedulingPolicy, make_policy
 from repro.errors import JournalError
 from repro.obs.metrics import LATENCY_BUCKETS, REGISTRY
+from repro.obs.recorder import RECORDER
+
+# Flight-recorder events (module alias: the obs-overhead bench stub idiom).
+_REC = RECORDER
+_EV_FLUSH = RECORDER.declare(
+    "journal.flush", a="items", b="fsync", x="seconds"
+)
+_EV_SNAPSHOT = RECORDER.declare("journal.snapshot")
 
 _APPEND_SECONDS = REGISTRY.histogram(
     "convgpu_journal_append_seconds",
@@ -437,6 +445,7 @@ class SchedulerJournal:
         if self._fh is None:
             raise JournalError(f"journal {self.path} is closed")
         began = time.perf_counter()
+        snapshots = 0
         for kind, payload in items:
             if kind == "event":
                 self._fh.write(
@@ -453,12 +462,19 @@ class SchedulerJournal:
                     + "\n"
                 )
                 self._events_since_snapshot = 0
+                snapshots += 1
         self._fh.flush()
         if self.fsync:
             fsync_began = time.perf_counter()
             os.fsync(self._fh.fileno())
             _FSYNC_SECONDS.observe(time.perf_counter() - fsync_began)
-        _APPEND_SECONDS.observe(time.perf_counter() - began)
+        elapsed = time.perf_counter() - began
+        _APPEND_SECONDS.observe(elapsed)
+        _REC.record(
+            _EV_FLUSH, a=len(items), b=1 if self.fsync else 0, x=elapsed
+        )
+        for _ in range(snapshots):
+            _REC.record(_EV_SNAPSHOT)
 
     def _maybe_snapshot_at_quiescent_point(self) -> None:
         """Interval compaction, only ever between batches.
@@ -499,7 +515,11 @@ class SchedulerJournal:
             fsync_began = time.perf_counter()
             os.fsync(self._fh.fileno())
             _FSYNC_SECONDS.observe(time.perf_counter() - fsync_began)
-        _APPEND_SECONDS.observe(time.perf_counter() - began)
+        elapsed = time.perf_counter() - began
+        _APPEND_SECONDS.observe(elapsed)
+        _REC.record(_EV_FLUSH, a=1, b=1 if self.fsync else 0, x=elapsed)
+        if record.get("kind") == "snapshot":
+            _REC.record(_EV_SNAPSHOT)
 
 
 # ---------------------------------------------------------------------------

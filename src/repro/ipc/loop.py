@@ -42,14 +42,28 @@ from __future__ import annotations
 import selectors
 import socket
 import threading
+import time
 from collections import deque
 from queue import Queue
 from typing import Any, Callable
 
 from repro.errors import ProtocolError, TransportError
+from repro.obs import stages as _stages
 from repro.obs.metrics import REGISTRY
+from repro.obs.recorder import RECORDER
 
 __all__ = ["IoLoop", "DEFAULT_IO_WORKERS"]
+
+_perf_counter = time.perf_counter
+
+# Module alias so the obs-overhead benchmark can stub the recorder per
+# module (the _HOT_METRICS idiom); flight events declared once at import.
+_REC = RECORDER
+_EV_ACCEPT = RECORDER.declare("io.accept", a="fd")
+_EV_READ = RECORDER.declare("io.read", a="fd", b="bytes", c="frames")
+_EV_CLOSE = RECORDER.declare("io.close", a="fd")
+_EV_OVERFLOW = RECORDER.declare("io.overflow", a="fd", b="buffered")
+_EV_FRAME_ERROR = RECORDER.declare("io.frame_error", s="error", a="fd")
 
 #: Worker threads running decode + handler for a shared loop.  The scheduler
 #: core serializes decisions behind one RLock anyway, so a handful of workers
@@ -172,6 +186,10 @@ class IoLoop:
         self._wake_r: socket.socket | None = None
         self._wake_w: socket.socket | None = None
         self._collector: Callable[[], None] | None = None
+        #: Wall-clock timestamp of the selector thread's last iteration;
+        #: the daemon's watchdog reads it to detect a stalled loop (the
+        #: select timeout bounds the gap to ~1s when healthy).
+        self.last_tick = 0.0
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -388,6 +406,7 @@ class IoLoop:
         selector = self._selector
         assert selector is not None
         while not self._stopping.is_set():
+            self.last_tick = time.time()
             self._run_ops()
             try:
                 events = selector.select(timeout=1.0)
@@ -417,6 +436,7 @@ class IoLoop:
             conn, _addr = listener.accept()
         except OSError:
             return  # listener closed under us; remove_listener cleans up
+        _REC.record(_EV_ACCEPT, a=conn.fileno())
         try:
             on_accept(conn)
         except Exception:
@@ -426,6 +446,10 @@ class IoLoop:
                 pass
 
     def _handle_readable(self, state: _ConnState) -> None:
+        # recv/frame stage attribution is sampled (every Nth readable
+        # event); the flight-recorder io.read event is always on.
+        timed = _stages.io_sample()
+        began = _perf_counter() if timed else 0.0
         try:
             # reprolint: ignore[loop-blocking] -- exactly one recv per
             # readiness event: the level-triggered selector guarantees
@@ -439,6 +463,7 @@ class IoLoop:
             if self._drop(state.sock) is not None:
                 self._enqueue(state, _CLOSE)
             return
+        received = _perf_counter() if timed else 0.0
         state.buffer += chunk
         try:
             frames, state.buffer = state.splitter(state.buffer)
@@ -447,8 +472,13 @@ class IoLoop:
             # position is meaningless from here on.  A worker reports the
             # error in-band and hangs up; the selector thread survives.
             if self._drop(state.sock) is not None:
+                _REC.record(_EV_FRAME_ERROR, s=str(exc)[:120], a=state.sock.fileno())
                 self._enqueue(state, _BadFrame(str(exc)))
             return
+        if timed:
+            _stages.observe_stage(_stages.S_RECV, received - began)
+            _stages.observe_stage(_stages.S_FRAME, _perf_counter() - received)
+        _REC.record(_EV_READ, a=state.sock.fileno(), b=len(chunk), c=len(frames))
         if frames:
             self._enqueue(state, frames)
         if len(state.buffer) > state.max_buffer:
@@ -456,6 +486,7 @@ class IoLoop:
             # worker send the in-band error and hang up (same behaviour as
             # the threaded backend).
             if self._drop(state.sock) is not None:
+                _REC.record(_EV_OVERFLOW, a=state.sock.fileno(), b=len(state.buffer))
                 self._enqueue(state, _OVERFLOW)
 
     def _drop(self, conn: socket.socket) -> _ConnState | None:
@@ -552,6 +583,10 @@ class IoLoop:
             if state.finished:
                 return
             state.finished = True
+        try:
+            _REC.record(_EV_CLOSE, a=state.sock.fileno())
+        except OSError:
+            pass
         try:
             state.sock.shutdown(socket.SHUT_RDWR)
         except OSError:

@@ -49,10 +49,21 @@ from repro.errors import (
 )
 from repro.ipc import protocol
 from repro.ipc.loop import IoLoop
+from repro.obs import stages as _stages
 from repro.obs.metrics import REGISTRY
+from repro.obs.recorder import RECORDER
 
 __all__ = ["DEFER", "ReplyHandle", "UnixSocketServer", "UnixSocketClient",
            "map_os_error"]
+
+_perf_counter = time.perf_counter
+
+# Module alias for the obs-overhead benchmark's stub idiom.
+_REC = RECORDER
+_EV_BATCH = RECORDER.declare(
+    "ipc.batch", s="transport", a="frames", b="out_bytes", x="seconds"
+)
+_EV_HELLO = RECORDER.declare("ipc.hello", s="codec")
 
 # Shared by both socket transports (tcp_socket.py imports these handles):
 # the transport label tells the two apart on one scrape.
@@ -70,6 +81,18 @@ OPEN_CONNECTIONS = REGISTRY.gauge(
     "convgpu_open_connections",
     "Server-side protocol connections currently open",
     labelnames=("transport",),
+)
+BATCH_DEPTH = REGISTRY.histogram(
+    "convgpu_ipc_batch_depth",
+    "Frames dispatched per batch (one readable event, merged batches)",
+    labelnames=("transport",),
+    buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256),
+)
+COALESCED_BYTES = REGISTRY.histogram(
+    "convgpu_ipc_coalesced_reply_bytes",
+    "Bytes per coalesced reply sendall (one per dispatched batch)",
+    labelnames=("transport",),
+    buckets=(64, 128, 256, 512, 1024, 2048, 4096, 16384, 65536),
 )
 
 
@@ -110,13 +133,17 @@ class _ConnCtx:
 
     Mutated only by the single worker/reader that processes the
     connection's frames in order, so no lock is needed; reply handles
-    capture the value at decode time.
+    capture the value at decode time.  ``sample_n`` is the stage-sampling
+    batch counter (:func:`repro.obs.stages.maybe_start`) — a plain slot
+    here because per-connection state is cheaper to touch than a
+    thread-local on the per-batch hot path.
     """
 
-    __slots__ = ("codec",)
+    __slots__ = ("codec", "sample_n")
 
     def __init__(self) -> None:
         self.codec = protocol.CODEC_JSON
+        self.sample_n = 0
 
 
 class ReplyHandle:
@@ -217,6 +244,8 @@ class _BaseSocketServer:
         # Label resolution takes the metric family's lock; resolve the
         # per-frame counter's child once instead of on every frame.
         self._frames_received = FRAMES_RECEIVED.labels(transport=self.transport)
+        self._batch_depth = BATCH_DEPTH.labels(transport=self.transport)
+        self._coalesced_bytes = COALESCED_BYTES.labels(transport=self.transport)
         self._listener: socket.socket | None = None
         self._accept_thread: threading.Thread | None = None
         self._conn_threads: set[threading.Thread] = set()
@@ -386,6 +415,10 @@ class _BaseSocketServer:
             if not chunk:
                 return  # client closed
             buffer += chunk
+            # The blocking recv above includes idle wait-for-client time, so
+            # unlike the loop backend only the frame-split stage is timed.
+            timed = _stages.io_sample()
+            split_began = _perf_counter() if timed else 0.0
             try:
                 frames, buffer = protocol.split_frames(buffer)
             except ProtocolError as exc:
@@ -393,6 +426,10 @@ class _BaseSocketServer:
                 # in-band and hang up, same as the loop backend.
                 self._send_frame_error(conn, write_lock, ctx, str(exc))
                 return
+            if timed:
+                _stages.observe_stage(
+                    _stages.S_FRAME, _perf_counter() - split_began
+                )
             if frames:
                 self._dispatch_batch(conn, write_lock, ctx, frames)
             if len(buffer) > protocol.MAX_FRAME_BYTES:
@@ -472,22 +509,81 @@ class _BaseSocketServer:
         inside ``batch_commit``, after that same fsync.
         """
         out: list[bytes] = []
+        began = _perf_counter()
+        # One sampling decision per batch: every SAMPLE_EVERY-th batch arms
+        # a StageClock for its first frame AND times the batch-level stage
+        # shares (fsync/send), so the sampled request and its amortized
+        # durability/wire costs land on the same observation — and the
+        # unsampled stream pays a single counter bump per batch.
+        clock = _stages.maybe_start(ctx)
+        timed = clock is not None
+        self._batch_depth.observe(len(frames))
         begin = getattr(self.handler, "batch_begin", None)
         commit = getattr(self.handler, "batch_commit", None)
         if begin is not None:
             begin()
         try:
             for frame in frames:
-                self._dispatch_one(conn, write_lock, ctx, frame, out)
+                self._dispatch_one(conn, write_lock, ctx, frame, out, clock)
+                clock = None
         finally:
             if commit is not None:
-                commit()
+                if timed:
+                    commit_began = _perf_counter()
+                    commit()
+                    # One group-commit fsync covered the whole batch; each
+                    # request's durability share is the amortized cost.
+                    _stages.observe_stage(
+                        _stages.S_FSYNC,
+                        (_perf_counter() - commit_began) / max(1, len(frames)),
+                    )
+                else:
+                    commit()
+        out_bytes = 0
         if out:
+            payload = b"".join(out)
+            out_bytes = len(payload)
+            self._coalesced_bytes.observe(out_bytes)
             try:
-                with write_lock:
-                    conn.sendall(b"".join(out))
+                if timed:
+                    send_began = _perf_counter()
+                    with write_lock:
+                        conn.sendall(payload)
+                    _stages.observe_stage(
+                        _stages.S_SEND, _perf_counter() - send_began
+                    )
+                else:
+                    with write_lock:
+                        conn.sendall(payload)
             except OSError:
                 pass
+        elapsed = _perf_counter() - began
+        if elapsed >= _stages.SLOW_SECONDS:
+            # Slow-outlier catch at batch granularity: armed samples name
+            # exact traces, while this check guarantees a stalled batch is
+            # never missed even when none of its frames were sampled.  The
+            # client-visible latency of every reply in the batch includes
+            # the whole batch's dispatch time, so the batch clock *is* the
+            # right slowness measure for the unsampled stream.
+            _stages.note_slow(
+                trace="",
+                msg_type=f"batch[{len(frames)}]",
+                container="",
+                total=elapsed,
+            )
+        # Real batches (pipelined clients) always leave a flight event; a
+        # depth-1 stream records only its sampled batches — the loop's
+        # per-chunk io.read events already cover every frame, and the
+        # blocking wire is exactly where a per-message record would eat
+        # the always-on budget.
+        if timed or len(frames) > 1:
+            _REC.record(
+                _EV_BATCH,
+                s=self.transport,
+                a=len(frames),
+                b=out_bytes,
+                x=elapsed,
+            )
 
     def _dispatch_one(
         self,
@@ -496,8 +592,14 @@ class _BaseSocketServer:
         ctx: _ConnCtx,
         frame: bytes,
         out: list[bytes],
+        clock: "_stages.StageClock | None" = None,
     ) -> None:
         self._frames_received.inc()
+        # Stage attribution: the batch dispatcher arms a StageClock for the
+        # first frame of every SAMPLE_EVERY-th batch (decode → dispatch →
+        # lock/transition/fsync via stages.current() in the scheduler
+        # runtime → encode); unarmed frames pay nothing here — slow-outlier
+        # detection rides the batch clock in _dispatch_batch.
         # Replies are rendered in the codec the *frame* arrived in, not the
         # connection's negotiated codec: a raw newline-JSON probe on a
         # negotiated-binary connection (debug tooling, a client that never
@@ -525,6 +627,8 @@ class _BaseSocketServer:
             reply = protocol.make_error_reply({"type": "unknown", "seq": 0}, str(exc))
             out.append(protocol.encode_as(reply, frame_codec))
             return
+        if clock is not None:
+            clock.mark(_stages.S_DECODE)
         if message["type"] == protocol.MSG_HELLO:
             # Codec negotiation is a transport concern: answer here (always
             # in JSON, both directions) and switch the connection before the
@@ -533,26 +637,48 @@ class _BaseSocketServer:
             chosen = protocol.negotiate_codec(message["codecs"], self._supported)
             out.append(protocol.encode(protocol.make_reply(message, codec=chosen)))
             ctx.codec = chosen
+            _REC.record(_EV_HELLO, s=chosen)
             return
         handle = ReplyHandle(conn, write_lock, message.get("seq", 0), frame_codec)
-        try:
-            result = self.handler(message, handle)
-        except Exception as exc:  # handler bug: report, don't kill the conn
-            result = protocol.make_error_reply(message, f"internal error: {exc}")
-        if message["type"] in protocol.NOTIFICATION_TYPES:
-            # The client is not reading a reply for these; sending one would
-            # desynchronize its seq correlation.  Enforced here so handler
-            # sloppiness cannot corrupt the stream.
-            return
-        if result is DEFER:
-            return  # scheduler will complete the handle later (pause)
-        if result is not None:
+        if clock is not None:
+            _stages.set_current(clock)
+            try:
+                result = self.handler(message, handle)
+            except Exception as exc:
+                result = protocol.make_error_reply(message, f"internal error: {exc}")
+            finally:
+                _stages.set_current(None)
+            clock.mark_dispatch()
+        else:
+            try:
+                result = self.handler(message, handle)
+            except Exception as exc:  # handler bug: report, don't kill the conn
+                result = protocol.make_error_reply(message, f"internal error: {exc}")
+        rendered = False
+        if (
+            message["type"] not in protocol.NOTIFICATION_TYPES
+            and result is not DEFER
+            and result is not None
+        ):
+            # Notifications get no reply (sending one would desynchronize the
+            # client's seq correlation) and DEFER means the scheduler will
+            # complete the handle later (pause).
             try:
                 out.append(handle.render(result))
+                rendered = True
             except (TransportError, ProtocolError):
                 # Already sent by the handler itself, or unserializable —
                 # either way the rest of the batch must still dispatch.
                 pass
+        if clock is not None:
+            if rendered:
+                clock.mark(_stages.S_ENCODE)
+            _stages.finish(
+                clock,
+                trace=message.get("trace_id", ""),
+                msg_type=message["type"],
+                container=message.get("container_id", ""),
+            )
 
 
 class UnixSocketServer(_BaseSocketServer):

@@ -14,7 +14,15 @@ deployment of the daemon exposes while it is serving traffic:
   a JSONL sink;
 - :mod:`repro.obs.chrome` — Chrome trace-event (``about://tracing``)
   export for spans and simulated schedules;
-- :mod:`repro.obs.http` — the daemon's localhost ``/metrics`` endpoint.
+- :mod:`repro.obs.http` — the daemon's localhost ``/metrics`` endpoint;
+- :mod:`repro.obs.recorder` — the always-on flight recorder (fixed-size
+  per-thread rings of typed binary events, dumped as versioned JSONL on
+  crash, SIGUSR2, watchdog stall, or ``repro dump``);
+- :mod:`repro.obs.stages` — sampled per-request stage-latency attribution
+  (recv → frame → decode → dispatch → lock → transition → fsync_wait →
+  encode → send) with trace-id exemplars and a slow-trace buffer;
+- :mod:`repro.obs.doctor` — post-mortem correlation of a flight dump,
+  the journal and a metrics snapshot (what ``repro doctor`` renders).
 
 Everything here is import-cheap and stdlib-only, so instrumentation can
 stay on by default (the overhead ablation holds it under 5%).
@@ -29,9 +37,13 @@ from repro.obs.metrics import (
     MetricsRegistry,
     get_registry,
 )
+from repro.obs.recorder import RECORDER, FlightRecorder, read_dump
 from repro.obs.trace import SpanContext, Tracer, extract_context, inject_context
 
 __all__ = [
+    "RECORDER",
+    "FlightRecorder",
+    "read_dump",
     "REGISTRY",
     "Counter",
     "Gauge",

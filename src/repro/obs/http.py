@@ -6,6 +6,8 @@ A tiny threaded HTTP server (stdlib ``http.server``) exposing:
 - ``GET /metrics.json``  — the registry snapshot as JSON;
 - ``GET /top.json``      — per-container live table (what ``repro top``
   renders), produced by the ``top_source`` callback;
+- ``GET /flight.jsonl``  — a live flight-recorder dump (versioned JSONL,
+  what ``repro dump`` fetches), produced by the ``flight_source`` callback;
 - ``GET /healthz``       — liveness probe (``{"status": "ok"}``).
 
 Bound to loopback by default — this endpoint is an operator surface, not
@@ -40,6 +42,8 @@ class MetricsServer:
         port: TCP port; 0 picks an ephemeral one, published as :attr:`port`.
         top_source: zero-arg callable returning the JSON-able per-container
             rows served at ``/top.json`` (absent -> endpoint returns 404).
+        flight_source: zero-arg callable returning the flight-recorder dump
+            as JSONL text, served at ``/flight.jsonl`` (absent -> 404).
     """
 
     def __init__(
@@ -49,11 +53,13 @@ class MetricsServer:
         host: str = "127.0.0.1",
         port: int = 0,
         top_source: Callable[[], Any] | None = None,
+        flight_source: Callable[[], str] | None = None,
     ) -> None:
         self.registry = registry if registry is not None else REGISTRY
         self.host = host
         self.port = port
         self.top_source = top_source
+        self.flight_source = flight_source
         self._server: ThreadingHTTPServer | None = None
         self._thread: threading.Thread | None = None
         #: Requests served per path (self-observability).
@@ -125,6 +131,13 @@ class MetricsServer:
                     return
                 body = json.dumps(self.top_source(), default=repr).encode("utf-8")
                 content_type = "application/json"
+            elif path == "/flight.jsonl":
+                if self.flight_source is None:
+                    self._send(request, 404, b'{"error":"no flight source"}',
+                               "application/json")
+                    return
+                body = self.flight_source().encode("utf-8")
+                content_type = "application/x-ndjson"
             elif path == "/healthz":
                 body = b'{"status":"ok"}'
                 content_type = "application/json"

@@ -679,3 +679,55 @@ def test_swallowed_exception_accepts_logged_or_narrow_handlers(lint):
         except_module_suffixes=("mod.py",),
     )
     assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# event-drift
+# ---------------------------------------------------------------------------
+
+
+def test_event_drift_flags_duplicate_declaration(lint):
+    findings = lint(
+        {
+            "a.py": '_EV = RECORDER.declare("io.read", a="bytes")\n',
+            "b.py": '_EV = RECORDER.declare("io.read", a="bytes")\n',
+        }
+    )
+    assert rules_of(findings) == ["event-drift"]
+    assert "more than once" in findings[0].message
+    assert findings[0].path == "b.py"
+
+
+def test_event_drift_enforces_dotted_naming(lint):
+    findings = lint({"a.py": '_EV = RECORDER.declare("ReadEvent")\n'})
+    assert rules_of(findings) == ["event-drift"]
+    assert "convention" in findings[0].message
+
+
+def test_event_drift_flags_unknown_payload_slot(lint):
+    findings = lint(
+        {"a.py": '_EV = RECORDER.declare("io.read", bytes_read="bytes")\n'}
+    )
+    assert rules_of(findings) == ["event-drift"]
+    assert "'bytes_read'" in findings[0].message
+
+
+def test_event_drift_flags_string_literal_record(lint):
+    findings = lint({"a.py": '_REC.record("io.read", a=1)\n'})
+    assert rules_of(findings) == ["event-drift"]
+    assert "integer tag" in findings[0].message
+
+
+def test_event_drift_quiet_on_declared_tag_use(lint):
+    findings = lint(
+        {
+            "a.py": """\
+            _EV_READ = RECORDER.declare("io.read", a="fd", b="bytes")
+            _REC = RECORDER
+
+            def on_read(fd, n):
+                _REC.record(_EV_READ, a=fd, b=n)
+            """
+        }
+    )
+    assert findings == []

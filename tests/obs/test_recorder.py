@@ -1,0 +1,140 @@
+"""Unit tests for the flight recorder (`repro.obs.recorder`)."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.recorder import FLIGHT_VERSION, FlightRecorder, read_dump
+
+
+@pytest.fixture
+def rec():
+    return FlightRecorder(capacity=8)
+
+
+class TestDeclare:
+    def test_tags_are_distinct_and_stable(self, rec):
+        a = rec.declare("io.read", a="bytes")
+        b = rec.declare("io.close", a="fd")
+        assert a != b
+        assert rec.declare("io.read", a="bytes") == a  # idempotent
+
+    def test_conflicting_redeclare_raises(self, rec):
+        rec.declare("io.read", a="bytes")
+        with pytest.raises(ValueError, match="different fields"):
+            rec.declare("io.read", a="frames")
+
+    def test_unknown_slot_rejected(self, rec):
+        with pytest.raises(ValueError, match="slots"):
+            rec.declare("io.read", bytes_read="bytes")
+
+    def test_tag_zero_is_never_assigned(self, rec):
+        assert rec.declare("a.b") >= 1
+
+
+class TestRecordAndDump:
+    def test_roundtrip_labels_payload_fields(self, rec):
+        tag = rec.declare("sched.pause", s="container", a="pid", x="seconds")
+        rec.record(tag, s="c1", a=42, x=0.5)
+        lines = rec.dump_lines(reason="test")
+        meta = json.loads(lines[0])
+        assert meta["kind"] == "flight_meta"
+        assert meta["version"] == FLIGHT_VERSION
+        assert meta["reason"] == "test"
+        assert meta["events"] == 1
+        assert meta["registry"]["sched.pause"]["fields"] == {
+            "s": "container", "a": "pid", "x": "seconds",
+        }
+        event = json.loads(lines[1])
+        assert event["kind"] == "flight_event"
+        assert event["event"] == "sched.pause"
+        assert event["container"] == "c1"
+        assert event["pid"] == 42
+        assert event["seconds"] == 0.5
+        assert event["thread"]
+
+    def test_events_merge_sorted_across_threads(self, rec):
+        tag = rec.declare("t.tick", a="n")
+
+        def worker(base):
+            for i in range(3):
+                rec.record(tag, a=base + i)
+
+        threads = [threading.Thread(target=worker, args=(b,)) for b in (0, 10)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        lines = [json.loads(line) for line in rec.dump_lines(reason="x")]
+        events = [line for line in lines if line["kind"] == "flight_event"]
+        assert len(events) == 6
+        stamps = [e["ts"] for e in events]
+        assert stamps == sorted(stamps)
+        assert lines[0]["threads"] and len(lines[0]["threads"]) == 2
+
+    def test_ring_overwrites_oldest_and_counts_them(self, rec):
+        tag = rec.declare("t.tick", a="n")
+        for i in range(12):  # capacity 8 -> 4 overwritten
+            rec.record(tag, a=i)
+        lines = [json.loads(line) for line in rec.dump_lines(reason="x")]
+        assert lines[0]["overwritten"] == 4
+        kept = [e["n"] for e in lines[1:] if e["kind"] == "flight_event"]
+        assert kept == list(range(4, 12))
+
+    def test_unknown_tag_counted_not_emitted(self, rec):
+        rec.record(999, a=1)
+        meta = json.loads(rec.dump_lines(reason="x")[0])
+        assert meta["unknown_tags"] == 1
+        assert meta["events"] == 0
+
+    def test_string_intern_overflow_degrades_to_sentinel(self):
+        rec = FlightRecorder(capacity=2)
+        tag = rec.declare("t.s", s="name")
+        # _MAX_STRINGS is 2048; exhaust the table then record once more.
+        for i in range(2050):
+            rec.record(tag, s=f"unique-{i}")
+        rec.record(tag, s="one-too-many")
+        lines = [json.loads(line) for line in rec.dump_lines(reason="x")]
+        names = [e["name"] for e in lines[1:] if e["kind"] == "flight_event"]
+        assert "…" in names
+
+    def test_capacity_must_be_power_of_two(self):
+        with pytest.raises(ValueError, match="power of two"):
+            FlightRecorder(capacity=6)
+
+
+class TestDumpFile:
+    def test_dump_and_read_back(self, rec, tmp_path):
+        tag = rec.declare("t.tick", a="n")
+        rec.record(tag, a=7)
+        path = str(tmp_path / "flight.jsonl")
+        assert rec.dump(path, reason="sigusr2") == path
+        meta, lines = read_dump(path)
+        assert meta["reason"] == "sigusr2"
+        assert [e["n"] for e in lines if e["kind"] == "flight_event"] == [7]
+
+    def test_read_dump_tolerates_torn_tail(self, rec, tmp_path):
+        tag = rec.declare("t.tick", a="n")
+        rec.record(tag, a=1)
+        path = str(tmp_path / "flight.jsonl")
+        rec.dump(path, reason="crash")
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"kind": "flight_event", "truncat')
+        meta, lines = read_dump(path)
+        assert meta["reason"] == "crash"
+        assert len(lines) == 1
+
+    def test_dump_sections_are_appended(self, rec):
+        rec.add_dump_section(lambda: [{"kind": "extra", "value": 1}])
+        lines = [json.loads(line) for line in rec.dump_lines(reason="x")]
+        assert {"kind": "extra", "value": 1} in lines
+
+    def test_broken_section_does_not_abort_dump(self, rec):
+        def bad():
+            raise RuntimeError("broken section")
+
+        rec.add_dump_section(bad)
+        rec.add_dump_section(lambda: [{"kind": "extra", "value": 2}])
+        lines = [json.loads(line) for line in rec.dump_lines(reason="x")]
+        assert {"kind": "extra", "value": 2} in lines
