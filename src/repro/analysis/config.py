@@ -96,12 +96,23 @@ class LintConfig:
             # write-under-lock regression the group-commit split removed.
             "_write",
             "_write_items",
+            # The compactor's atomic swap: renaming/replacing a file is
+            # filesystem I/O; under the scheduler lock it would stall
+            # every producer for the duration of the rewrite.
+            "rename",
+            "replace",
         }
     )
     #: Bare names whose call under the lock hands control to user code.
     lock_callback_names: frozenset[str] = frozenset(
         {"callback", "on_resume", "resume"}
     )
+    #: Lock attributes that exist precisely to serialize file I/O (the
+    #: journal's ``_io_lock``: writer batches vs the compactor's atomic
+    #: rename + reopen).  Blocking I/O inside them is their whole job, so
+    #: lock-discipline and double-lock skip them — the scheduler lock is
+    #: never exempt, which is the invariant those rules protect.
+    lock_io_exempt_attrs: frozenset[str] = frozenset({"_io_lock"})
 
     # -- lock ordering (journal docstring: scheduler lock, then _cond) -----
     #: Cross-object receivers resolved to their class for graph nodes,

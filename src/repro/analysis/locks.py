@@ -73,7 +73,11 @@ class LockDisciplineRule(Rule):
         for node in ast.walk(source.tree):
             if not isinstance(node, ast.With):
                 continue
-            locks = lock_withitems(node)
+            locks = [
+                (recv, attr)
+                for recv, attr in lock_withitems(node)
+                if attr not in cfg.lock_io_exempt_attrs
+            ]
             if not locks:
                 continue
             held = ", ".join(
@@ -114,12 +118,15 @@ class DoubleLockRule(Rule):
             return
         for node in source.tree.body:
             if isinstance(node, ast.ClassDef):
-                yield from self._check_class(source, node)
+                yield from self._check_class(source, node, ctx)
 
     def _check_class(
-        self, source: SourceFile, cls: ast.ClassDef
+        self, source: SourceFile, cls: ast.ClassDef, ctx: Context
     ) -> Iterable[Finding]:
-        lock_attrs = _own_lock_attrs(cls)
+        # I/O-serialization locks (the journal's ``_io_lock``) are exempt:
+        # their multi-region use is the writer/compactor handshake, not
+        # the snapshot-tearing bug this rule exists for.
+        lock_attrs = _own_lock_attrs(cls) - set(ctx.config.lock_io_exempt_attrs)
         if not lock_attrs:
             return
         acquiring, acquiring_props = _acquiring_members(cls, lock_attrs)

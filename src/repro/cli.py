@@ -15,6 +15,9 @@ original system would drive it:
   endpoint, ``--log-level``/``--log-json`` for structured logging);
 - ``recover``  — inspect a journal offline: record counts, the restored
   state table, and an invariant check;
+- ``compact``  — rewrite a journal offline down to its newest snapshot
+  plus the event tail (fsynced sidecar + atomic rename; the live daemon
+  does the same in the background with ``--compact-at-bytes``);
 - ``metrics``  — scrape a daemon's ``/metrics`` endpoint and pretty-print;
 - ``top``      — live per-container table from a daemon's ``/top.json``
   (plus sampled stage-latency and batch-shape tables from
@@ -113,6 +116,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--recover", action="store_true",
         help="restore state from --journal-path instead of starting fresh",
     )
+    daemon_cmd.add_argument(
+        "--compact-at-bytes", type=int, default=None, metavar="BYTES",
+        help="background-compact the journal (meta + newest snapshot + "
+             "tail, swapped in by atomic rename) whenever it outgrows "
+             "BYTES; bounds file size and restart cost (default: off)",
+    )
     daemon_cmd.add_argument("--base-dir", default=None,
                             help="socket directory (temp dir when omitted)")
     daemon_cmd.add_argument("--transport", choices=("unix", "tcp"), default="unix")
@@ -198,6 +207,17 @@ def build_parser() -> argparse.ArgumentParser:
         dest="policy_plugins",
         help="import MODULE before restoring (a journal written under a "
              "plug-in policy needs it registered to rebuild the scheduler)",
+    )
+
+    compact_cmd = sub.add_parser(
+        "compact", help="compact a journal offline (newest snapshot + tail)"
+    )
+    compact_cmd.add_argument("journal", help="path to the journal file")
+    compact_cmd.add_argument(
+        "--policy-plugin", action="append", default=[], metavar="MODULE",
+        dest="policy_plugins",
+        help="import MODULE first (a journal with no snapshot yet is "
+             "replayed to synthesize one, which needs its policy registered)",
     )
 
     metrics_cmd = sub.add_parser(
@@ -506,14 +526,21 @@ def _cmd_daemon(args) -> int:
     # Wall clock, not monotonic: journaled timestamps must stay comparable
     # across a restart (suspension accounting spans the crash).
     if args.recover:
-        daemon = SchedulerDaemon.recover(args.journal_path, clock=time.time, **common)
+        daemon = SchedulerDaemon.recover(
+            args.journal_path,
+            clock=time.time,
+            compact_at_bytes=args.compact_at_bytes,
+            **common,
+        )
     else:
         scheduler = GpuMemoryScheduler(
             args.total_memory * MiB, make_policy(args.policy), clock=time.time
         )
         journal = None
         if args.journal_path is not None:
-            journal = SchedulerJournal(args.journal_path)
+            journal = SchedulerJournal(
+                args.journal_path, compact_at_bytes=args.compact_at_bytes
+            )
             journal.attach(scheduler)
         daemon = SchedulerDaemon(scheduler, journal=journal, **common)
     daemon.start()
@@ -591,12 +618,47 @@ def _cmd_recover(args) -> int:
     )
     for name, count in summary["event_counts"].items():
         print(f"  {name:24s} {count}")
+    if summary["corrupt"] is not None:
+        # A terminated-but-unparseable line is real corruption, not a torn
+        # write; the counts above stop at that line.
+        print(f"\ncorruption detected: {summary['corrupt']}", file=sys.stderr)
+        print("restore aborted; repair or truncate the journal first",
+              file=sys.stderr)
+        return 1
     scheduler = restore(args.journal)
     print()
     print(format_snapshot(snapshot(scheduler)))
     if not args.no_verify:
         scheduler.check_invariants()
         print("\ninvariants: OK")
+    return 0
+
+
+def _cmd_compact(args) -> int:
+    from repro.core.scheduler import compact_journal
+    from repro.errors import JournalError
+
+    _load_policy_plugins(args.policy_plugins)
+    try:
+        stats = compact_journal(args.journal)
+    except JournalError as exc:
+        print(f"compaction failed (journal untouched): {exc}", file=sys.stderr)
+        return 1
+    print(
+        format_table(
+            ("field", "value"),
+            [
+                ("journal", stats["path"]),
+                ("bytes before", str(stats["bytes_before"])),
+                ("bytes after", str(stats["bytes_after"])),
+                ("events kept", str(stats["events_kept"])),
+                ("events dropped", str(stats["events_dropped"])),
+                ("snapshots dropped", str(stats["snapshots_dropped"])),
+                ("torn lines dropped", str(stats["torn_dropped"])),
+            ],
+            title="journal compaction",
+        )
+    )
     return 0
 
 
@@ -870,6 +932,7 @@ _COMMANDS = {
     "export": _cmd_export,
     "daemon": _cmd_daemon,
     "recover": _cmd_recover,
+    "compact": _cmd_compact,
     "metrics": _cmd_metrics,
     "top": _cmd_top,
     "dump": _cmd_dump,

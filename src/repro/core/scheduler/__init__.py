@@ -36,9 +36,12 @@ from repro.core.scheduler.liveness import (
 )
 from repro.core.scheduler.journal import (
     JOURNAL_VERSION,
+    JournalReader,
     SchedulerJournal,
+    compact_journal,
     journal_summary,
     read_journal,
+    read_meta,
     restore,
     serialize_state,
 )
@@ -126,11 +129,14 @@ __all__ = [
     "HeartbeatMonitor",
     "DEFAULT_HEARTBEAT_TIMEOUT",
     "SchedulerJournal",
+    "JournalReader",
     "JOURNAL_VERSION",
     "restore",
     "serialize_state",
     "read_journal",
+    "read_meta",
     "journal_summary",
+    "compact_journal",
     "snapshot",
     "format_snapshot",
     "SchedulerSnapshot",

@@ -36,6 +36,21 @@ thread briefly takes the scheduler lock with its queue drained — so the
 serialized state exactly matches the journal position — then writes and
 flushes the snapshot *outside* that lock.
 
+**Compaction** (DESIGN.md §14): snapshots bound *replay*, but the file
+itself grows with total history.  :meth:`SchedulerJournal.compact`
+rewrites the journal down to ``meta + newest snapshot + event tail``
+through a fsynced sidecar (``<path>.compact``) and one atomic
+``os.rename``, then re-opens the live append handle — producers and the
+writer thread never pause, because the only serialization point is the
+journal's internal ``_io_lock`` (file-handle I/O), which the scheduler
+lock never nests inside.  Compaction runs in three places: a background
+compactor thread armed from the writer's quiescent points when the file
+outgrows ``compact_at_bytes``; an explicit :meth:`compact` call; and the
+offline :func:`compact_journal` (the ``repro compact`` CLI) for journals
+with no live daemon.  A half-written sidecar is invisible to recovery —
+the live journal is authoritative until the rename — and a stale sidecar
+left by a crash is removed on the next :meth:`attach`.
+
 Replay never re-runs the scheduling *policy*: derived decisions
 (``MemoryAssigned``, ``ReservationReclaimed``, resumes) are applied
 verbatim from the journal via
@@ -54,8 +69,14 @@ What intentionally does **not** survive a crash:
 Journal format: one JSON object per line (same framing discipline as the
 wire protocol).  ``{"kind": "meta"}`` opens the file and pins the scheduler
 configuration; ``{"kind": "event"}`` records one scheduler event;
-``{"kind": "snapshot"}`` holds a compacted state.  A torn final line —
-the expected artifact of a crash mid-write — is detected and dropped.
+``{"kind": "snapshot"}`` holds a compacted state.  An *unterminated* final
+line — the expected artifact of a crash mid-write — is detected and
+dropped (and truncated away on re-attach, so new appends never concatenate
+onto the fragment).  A *terminated* unparseable line is real corruption
+and raises: a crash cannot manufacture a complete line of garbage ending
+in a newline.  All reading is streaming (:class:`JournalReader`): neither
+:func:`restore`, :func:`journal_summary` nor :meth:`SchedulerJournal.attach`
+ever loads the whole file into memory.
 """
 
 from __future__ import annotations
@@ -65,7 +86,7 @@ import json
 import os
 import threading
 import time
-from typing import Any, Callable, TextIO
+from typing import Any, BinaryIO, Callable, TextIO
 
 from repro.core.scheduler.core import GpuMemoryScheduler
 from repro.core.scheduler.events import (
@@ -85,7 +106,7 @@ from repro.core.scheduler.events import (
 )
 from repro.core.scheduler.policies import SchedulingPolicy, make_policy
 from repro.errors import JournalError
-from repro.obs.metrics import LATENCY_BUCKETS, REGISTRY
+from repro.obs.metrics import DURATION_BUCKETS, LATENCY_BUCKETS, REGISTRY
 from repro.obs.recorder import RECORDER
 
 # Flight-recorder events (module alias: the obs-overhead bench stub idiom).
@@ -94,6 +115,10 @@ _EV_FLUSH = RECORDER.declare(
     "journal.flush", a="items", b="fsync", x="seconds"
 )
 _EV_SNAPSHOT = RECORDER.declare("journal.snapshot")
+_EV_COMPACT = RECORDER.declare(
+    "journal.compact", a="bytes_before", b="bytes_after", x="seconds"
+)
+_EV_COMPACT_FAILED = RECORDER.declare("journal.compact_failed", s="error")
 
 _APPEND_SECONDS = REGISTRY.histogram(
     "convgpu_journal_append_seconds",
@@ -105,19 +130,42 @@ _FSYNC_SECONDS = REGISTRY.histogram(
     "Wall time of the fsync portion of journal appends (fsync=True only)",
     buckets=LATENCY_BUCKETS,
 )
+_COMPACTIONS = REGISTRY.counter(
+    "convgpu_journal_compactions_total",
+    "Journal compactions completed (sidecar rewrite + atomic rename)",
+)
+_COMPACT_FAILURES = REGISTRY.counter(
+    "convgpu_journal_compaction_failures_total",
+    "Journal compactions that failed before the rename (journal intact)",
+)
+_COMPACT_SECONDS = REGISTRY.histogram(
+    "convgpu_journal_compaction_seconds",
+    "Wall time of one journal compaction (snapshot + rewrite + rename + reopen)",
+    buckets=DURATION_BUCKETS,
+)
+_JOURNAL_BYTES = REGISTRY.gauge(
+    "convgpu_journal_size_bytes",
+    "Live journal file size, sampled at writer quiescent points",
+)
 
 __all__ = [
     "JOURNAL_VERSION",
+    "JournalReader",
     "SchedulerJournal",
+    "compact_journal",
     "encode_event",
     "decode_event",
     "serialize_state",
     "restore",
     "read_journal",
+    "read_meta",
     "journal_summary",
 ]
 
 JOURNAL_VERSION = 1
+
+#: Sidecar suffix for the compaction rewrite (``<journal>.compact``).
+COMPACT_SUFFIX = ".compact"
 
 #: Event-type registry for the codec (name -> dataclass).
 EVENT_TYPES: dict[str, type[SchedulerEvent]] = {
@@ -179,6 +227,146 @@ def serialize_state(scheduler: GpuMemoryScheduler) -> dict[str, Any]:
 
 
 # ---------------------------------------------------------------------------
+# the streaming reader
+# ---------------------------------------------------------------------------
+
+
+class JournalReader:
+    """Iterate a journal's records line-by-line, never slurping the file.
+
+    Yields one decoded record dict per *complete* line (meta included).
+    Crash-vs-corruption semantics:
+
+    - an **unterminated** final line is the expected artifact of a crash
+      mid-append: it is dropped, counted in :attr:`torn`, and iteration
+      ends;
+    - a **terminated** unparseable line is real corruption (a crash cannot
+      append a newline to garbage it never finished writing) and raises
+      :class:`~repro.errors.JournalError` wherever it sits in the file.
+
+    :attr:`offset` tracks the byte position just past the last complete
+    line consumed — the compactor's cut point: every byte before it is
+    covered by the records already yielded, every byte at or after it is
+    the delta to carry over verbatim.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.torn = 0
+        self.offset = 0
+        self.lineno = 0
+        #: Raw bytes (newline included) of the record last yielded.
+        self.raw: bytes = b""
+        try:
+            self._fh: BinaryIO | None = open(path, "rb")
+        except OSError as exc:
+            raise JournalError(f"cannot read journal {path}: {exc}") from exc
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "JournalReader":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __iter__(self) -> "JournalReader":
+        return self
+
+    def __next__(self) -> dict[str, Any]:
+        fh = self._fh
+        if fh is None:
+            raise JournalError(f"journal reader for {self.path} is closed")
+        raw = fh.readline()
+        if not raw:
+            raise StopIteration
+        if not raw.endswith(b"\n"):
+            # Unterminated tail: crash mid-append; drop and stop.
+            self.torn += 1
+            raise StopIteration
+        self.lineno += 1
+        try:
+            record = json.loads(raw.decode("utf-8"))
+            if not isinstance(record, dict) or "kind" not in record:
+                raise ValueError(f"not a journal record: {record!r}")
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise JournalError(
+                f"corrupt journal {self.path} at line {self.lineno}: {exc}"
+            ) from exc
+        self.raw = raw
+        self.offset += len(raw)
+        return record
+
+
+def read_meta(path: str) -> dict[str, Any] | None:
+    """The journal's meta record, reading no further than its line.
+
+    Streams from the top and stops at the first ``meta`` — O(1) for every
+    well-formed journal, where meta is the first line — instead of
+    parsing the whole file.  Returns ``None`` when the file has no meta
+    record at all.
+    """
+    with JournalReader(path) as reader:
+        for record in reader:
+            if record.get("kind") == "meta":
+                return record
+    return None
+
+
+def _truncate_torn_tail(path: str) -> int:
+    """Chop an unterminated final line left by a crash mid-append.
+
+    Returns the number of bytes dropped.  Appending to a journal whose
+    last line is torn would concatenate the first new record onto the
+    fragment, turning a tolerated crash artifact into mid-file corruption
+    — so :meth:`SchedulerJournal.attach` truncates before reopening.
+    """
+    try:
+        if os.path.getsize(path) == 0:
+            return 0
+    except OSError:
+        return 0
+    with open(path, "rb+") as fh:
+        fh.seek(0, os.SEEK_END)
+        end = fh.tell()
+        fh.seek(end - 1)
+        if fh.read(1) == b"\n":
+            return 0
+        # Scan backwards in chunks for the last newline; everything after
+        # it is the torn fragment.
+        cut = 0
+        pos = end
+        while pos > 0:
+            step = min(65536, pos)
+            fh.seek(pos - step)
+            chunk = fh.read(step)
+            newline = chunk.rfind(b"\n")
+            if newline != -1:
+                cut = pos - step + newline + 1
+                break
+            pos -= step
+        fh.truncate(cut)
+        return end - cut
+
+
+def _fsync_dir(directory: str) -> None:
+    """fsync a directory so a rename inside it survives power loss."""
+    try:
+        fd = os.open(directory or ".", os.O_RDONLY)
+    except OSError:
+        return  # platforms without directory fds
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass  # lint: fsync on a directory fd is advisory on some filesystems
+    finally:
+        os.close(fd)
+
+
+# ---------------------------------------------------------------------------
 # the journal writer
 # ---------------------------------------------------------------------------
 
@@ -189,8 +377,8 @@ class SchedulerJournal:
     Args:
         path: journal file (created on first attach).
         snapshot_interval: events between compacted snapshots; ``None``
-            disables compaction (pure event log — what the property tests
-            use so every prefix is replayable).
+            disables interval snapshots (pure event log — what the
+            property tests use so every prefix is replayable).
         fsync: force data to the platters on every append batch.  Off by
             default: the reproduction favours test throughput, a production
             deploy flips it on for durability across power loss (the write
@@ -200,6 +388,10 @@ class SchedulerJournal:
             group-commit writer so no disk I/O happens under the scheduler
             lock; ``"sync"`` writes synchronously inside the event-log
             listener — the seed behaviour, kept as the ablation baseline.
+        compact_at_bytes: arm the background compactor (group mode only)
+            when the live file exceeds this many bytes at a writer
+            quiescent point; ``None`` (default) disables auto-compaction.
+            :meth:`compact` can always be called explicitly.
     """
 
     def __init__(
@@ -209,6 +401,7 @@ class SchedulerJournal:
         snapshot_interval: int | None = 256,
         fsync: bool = False,
         mode: str = "group",
+        compact_at_bytes: int | None = None,
     ) -> None:
         if snapshot_interval is not None and snapshot_interval < 1:
             raise JournalError(
@@ -216,15 +409,22 @@ class SchedulerJournal:
             )
         if mode not in ("group", "sync"):
             raise JournalError(f"unknown journal mode {mode!r}")
+        if compact_at_bytes is not None and compact_at_bytes < 1:
+            raise JournalError(
+                f"compact_at_bytes must be >= 1 or None: {compact_at_bytes}"
+            )
         self.path = path
         self.snapshot_interval = snapshot_interval
         self.fsync = fsync
         self.mode = mode
+        self.compact_at_bytes = compact_at_bytes
         self._fh: TextIO | None = None
         self._scheduler: GpuMemoryScheduler | None = None
         self._events_since_snapshot = 0
         #: Appended event count this process lifetime (observability).
         self.events_written = 0
+        #: Completed compactions this process lifetime (observability).
+        self.compactions = 0
         # Group-commit machinery.  Lock ordering: scheduler lock, then
         # ``_cond`` — producers enqueue under both; the writer's quiescent
         # snapshot acquires them in the same order; never the reverse.
@@ -235,6 +435,20 @@ class SchedulerJournal:
         self._stop = False
         self._error: Exception | None = None
         self._writer: threading.Thread | None = None
+        # Compaction machinery.  ``_io_lock`` serializes file-handle I/O
+        # (writer batches vs the compactor's rename + reopen); it is a
+        # leaf lock: nothing else is ever acquired inside it, and the
+        # scheduler lock never nests around it on the producer path
+        # (producers only touch ``_cond``).
+        self._io_lock = threading.Lock()
+        self._compact_mutex = threading.Lock()  # one compaction at a time
+        self._compact_event = threading.Event()
+        self._compact_stop = False
+        self._compactor: threading.Thread | None = None
+        # Size after the last compaction: the auto-trigger requires the
+        # file to double past this floor so a live state larger than
+        # ``compact_at_bytes`` cannot thrash the compactor.
+        self._compact_floor = 0
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -245,14 +459,25 @@ class SchedulerJournal:
         scheduler's configuration; attaching an incompatible scheduler to
         an existing journal raises.  With ``compact=True`` (the recovery
         path) a snapshot of the current state is written immediately.  In
-        group mode the writer thread starts here, after the synchronous
-        meta/initial-snapshot writes.
+        group mode the writer thread (and, with ``compact_at_bytes``, the
+        compactor thread) starts here, after the synchronous meta/initial-
+        snapshot writes.
+
+        Re-attach hygiene: a stale ``<path>.compact`` sidecar (crash mid-
+        compaction) is deleted — the live journal is authoritative until
+        the rename — and an unterminated torn tail is truncated so new
+        appends start on a fresh line.  Only the meta line is read; attach
+        cost is O(1) in journal size.
         """
         if self._scheduler is not None:
             raise JournalError(f"journal {self.path} already attached")
+        sidecar = self.path + COMPACT_SUFFIX
+        if os.path.exists(sidecar):
+            os.remove(sidecar)
         existing_meta = None
         if os.path.exists(self.path) and os.path.getsize(self.path) > 0:
-            existing_meta, _, _ = read_journal(self.path)
+            _truncate_torn_tail(self.path)
+            existing_meta = read_meta(self.path)
         directory = os.path.dirname(self.path)
         if directory:
             os.makedirs(directory, exist_ok=True)
@@ -286,6 +511,15 @@ class SchedulerJournal:
                 target=self._run_writer, name="journal-writer", daemon=True
             )
             self._writer.start()
+            if self.compact_at_bytes is not None:
+                self._compact_stop = False
+                self._compact_event.clear()
+                self._compactor = threading.Thread(
+                    target=self._run_compactor,
+                    name="journal-compactor",
+                    daemon=True,
+                )
+                self._compactor.start()
 
     @staticmethod
     def _check_meta(meta: dict[str, Any], scheduler: GpuMemoryScheduler) -> None:
@@ -311,7 +545,12 @@ class SchedulerJournal:
             raise JournalError(f"journal/scheduler configuration mismatch: {detail}")
 
     def close(self) -> None:
-        """Detach, drain the writer, and close the file."""
+        """Detach, stop the compactor, drain the writer, close the file.
+
+        Order matters: the compactor goes first (an in-flight compaction
+        needs the writer alive for its quiescent snapshot), then the
+        writer drains, then the handle closes under ``_io_lock``.
+        """
         if self._scheduler is not None:
             try:
                 self._scheduler.log.listeners.remove(self.record)
@@ -319,6 +558,12 @@ class SchedulerJournal:
                 pass
             if getattr(self._scheduler, "journal", None) is self:
                 self._scheduler.journal = None
+        compactor = self._compactor
+        if compactor is not None:
+            self._compact_stop = True
+            self._compact_event.set()
+            compactor.join()
+            self._compactor = None
         writer = self._writer
         if writer is not None:
             with self._cond:
@@ -328,8 +573,9 @@ class SchedulerJournal:
             self._writer = None
         self._scheduler = None
         if self._fh is not None:
-            self._fh.close()
-            self._fh = None
+            with self._io_lock:
+                self._fh.close()
+                self._fh = None
 
     def __enter__(self) -> "SchedulerJournal":
         return self
@@ -370,6 +616,13 @@ class SchedulerJournal:
         and before any reply leaves — the group-commit half of the WAL
         ordering guarantee.  No-op in sync mode (appends were already
         durable when the listener returned) and when detached.
+
+        A dead writer thread is a durability failure, never a silent
+        success: if it died recording an error, that error is re-raised;
+        if it died without one (killed, interpreter teardown), a
+        :class:`~repro.errors.JournalError` is raised — returning normally
+        here would let a reply leave with its events stranded in the
+        queue.
         """
         writer = self._writer
         if writer is None:
@@ -380,7 +633,10 @@ class SchedulerJournal:
             target = self._enqueued
             while self._durable < target and self._error is None:
                 if not writer.is_alive():
-                    break
+                    raise JournalError(
+                        f"journal writer for {self.path} died with "
+                        f"{target - self._durable} record(s) not durable"
+                    )
                 self._cond.wait(0.05)
             if self._error is not None:
                 raise self._error
@@ -408,6 +664,159 @@ class SchedulerJournal:
                 self._cond.notify()
         self.wait_durable()
 
+    # -- compaction ----------------------------------------------------------
+
+    def compact(self) -> bool:
+        """Rewrite the journal to ``meta + newest snapshot + event tail``.
+
+        Safe to call from any thread while producers keep appending: the
+        scan and sidecar write are lock-free (the journal is append-only,
+        so every byte below the scan's stopping offset is immutable), and
+        only the final swap — delta copy, rename, reopen — holds the
+        journal's internal ``_io_lock``, briefly blocking the writer
+        thread's next flush but never a producer (producers only enqueue
+        under ``_cond``).  The scheduler lock is not held across any of
+        this I/O.
+
+        Returns ``True`` when a compaction ran, ``False`` when another one
+        is already in flight.  Crash safety: the live journal is
+        untouched until the atomic ``os.rename``; a half-written sidecar
+        is simply deleted on the next attach.
+        """
+        if self._fh is None or self._scheduler is None:
+            raise JournalError("journal not attached to a scheduler")
+        if not self._compact_mutex.acquire(blocking=False):
+            return False
+        try:
+            began = time.perf_counter()
+            bytes_before = os.path.getsize(self.path)
+            # A fresh quiescent snapshot makes the rewrite maximally
+            # effective (the tail after it is empty or nearly so) and is
+            # durable before the scan starts.
+            self.write_snapshot()
+            sidecar, offset = self._prepare_sidecar()
+            self._swap_in(sidecar, offset)
+            bytes_after = os.path.getsize(self.path)
+            elapsed = time.perf_counter() - began
+            self._compact_floor = bytes_after
+            self.compactions += 1
+            _COMPACTIONS.inc()
+            _COMPACT_SECONDS.observe(elapsed)
+            _JOURNAL_BYTES.set(bytes_after)
+            _REC.record(
+                _EV_COMPACT, a=bytes_before, b=bytes_after, x=elapsed
+            )
+            return True
+        finally:
+            self._compact_mutex.release()
+
+    def _prepare_sidecar(self) -> tuple[str, int]:
+        """Write ``meta + newest snapshot + tail`` to a fsynced sidecar.
+
+        Scans the live journal with no lock held: the file is append-only,
+        so every byte up to the scan's stopping offset is immutable.
+        Returns ``(sidecar_path, offset)`` where ``offset`` is the first
+        live-journal byte *not* covered by the sidecar — the start of the
+        delta :meth:`_swap_in` carries over.
+        """
+        meta_raw: bytes | None = None
+        snapshot_raw: bytes | None = None
+        tail: list[bytes] = []
+        with JournalReader(self.path) as reader:
+            for record in reader:
+                kind = record.get("kind")
+                if kind == "meta":
+                    meta_raw = reader.raw
+                elif kind == "snapshot":
+                    snapshot_raw = reader.raw
+                    tail.clear()
+                else:
+                    tail.append(reader.raw)
+            offset = reader.offset
+        if meta_raw is None:
+            raise JournalError(f"journal {self.path} has no meta record")
+        if snapshot_raw is None:
+            # compact() writes one first; reaching this means the journal
+            # was swapped out from under us — abort, nothing was touched.
+            raise JournalError(f"journal {self.path} has no snapshot to compact to")
+        sidecar = self.path + COMPACT_SUFFIX
+        with open(sidecar, "wb") as fh:
+            fh.write(meta_raw)
+            fh.write(snapshot_raw)
+            for raw in tail:
+                fh.write(raw)
+            fh.flush()
+            os.fsync(fh.fileno())
+        return sidecar, offset
+
+    def _swap_in(self, sidecar: str, offset: int) -> None:
+        """Atomically replace the live journal with the prepared sidecar.
+
+        Under ``_io_lock`` — so the writer thread cannot append mid-swap —
+        the delta (bytes appended past ``offset`` since the scan; always
+        whole lines, because batches flush under the same lock) is copied
+        onto the sidecar and fsynced, the sidecar is ``os.rename``d over
+        the live path (atomic within a filesystem), the directory entry is
+        fsynced, and the append handle re-opens on the new file.  A crash
+        before the rename leaves the old journal intact; after it, the new
+        one — there is no window where recovery sees neither.
+        """
+        with self._io_lock:
+            if self._fh is None:
+                raise JournalError(f"journal {self.path} is closed")
+            self._fh.flush()
+            with open(self.path, "rb") as live, open(sidecar, "ab") as out:
+                live.seek(offset)
+                while True:
+                    chunk = live.read(1 << 20)
+                    if not chunk:
+                        break
+                    out.write(chunk)
+                out.flush()
+                os.fsync(out.fileno())
+            os.rename(sidecar, self.path)
+            _fsync_dir(os.path.dirname(self.path))
+            old = self._fh
+            self._fh = open(self.path, "a", encoding="utf-8")
+            old.close()
+
+    def _run_compactor(self) -> None:
+        """Background compactor: waits for the writer's size trigger."""
+        while True:
+            self._compact_event.wait()
+            if self._compact_stop:
+                return
+            self._compact_event.clear()
+            try:
+                self.compact()
+            except (JournalError, OSError) as exc:
+                # The live journal is untouched until the rename, so a
+                # failed compaction is safe to retry at the next trigger.
+                _COMPACT_FAILURES.inc()
+                _REC.record(_EV_COMPACT_FAILED, s=type(exc).__name__)
+
+    def _maybe_request_compaction(self) -> None:
+        """Arm the compactor when the live file outgrows the threshold.
+
+        Runs on the writer thread at quiescent points (after each drained
+        batch), off the producers' path.  The ``2 × floor`` term keeps a
+        live state bigger than ``compact_at_bytes`` from re-arming the
+        compactor on every batch: each compaction must have had room to
+        halve the file before the next one is worth anything.
+        """
+        if self.compact_at_bytes is None or self._compactor is None:
+            return
+        fh = self._fh
+        if fh is None:
+            return
+        try:
+            size = os.fstat(fh.fileno()).st_size
+        except (OSError, ValueError):
+            return
+        _JOURNAL_BYTES.set(size)
+        if size >= self.compact_at_bytes and size >= 2 * self._compact_floor:
+            self._compact_event.set()
+
     # -- the group-commit writer thread --------------------------------------
 
     def _run_writer(self) -> None:
@@ -432,6 +841,7 @@ class SchedulerJournal:
                     self._cond.notify_all()
                 try:
                     self._maybe_snapshot_at_quiescent_point()
+                    self._maybe_request_compaction()
                 except Exception as exc:
                     with self._cond:
                         self._error = exc
@@ -441,33 +851,49 @@ class SchedulerJournal:
                 return
 
     def _write_items(self, items: list[tuple[str, Any]]) -> None:
-        """One batch: serialize + write every item, one flush, one fsync."""
-        if self._fh is None:
-            raise JournalError(f"journal {self.path} is closed")
+        """One batch: serialize + write every item, one flush, one fsync.
+
+        The file I/O holds ``_io_lock`` so a concurrent compaction swap
+        cannot rename the file out from under a half-written batch; the
+        serialization and metric observation stay outside it.
+        """
         began = time.perf_counter()
+        lines: list[str] = []
         snapshots = 0
+        events = 0
+        since_snapshot = self._events_since_snapshot
         for kind, payload in items:
             if kind == "event":
-                self._fh.write(
+                lines.append(
                     json.dumps(encode_event(payload), separators=(",", ":")) + "\n"
                 )
-                self.events_written += 1
-                self._events_since_snapshot += 1
+                events += 1
+                since_snapshot += 1
             else:  # snapshot (pre-serialized state)
-                self._fh.write(
+                lines.append(
                     json.dumps(
                         {"kind": "snapshot", "state": payload},
                         separators=(",", ":"),
                     )
                     + "\n"
                 )
-                self._events_since_snapshot = 0
                 snapshots += 1
-        self._fh.flush()
+                since_snapshot = 0
+        data = "".join(lines)
+        fsync_elapsed = 0.0
+        with self._io_lock:
+            if self._fh is None:
+                raise JournalError(f"journal {self.path} is closed")
+            self._fh.write(data)
+            self._fh.flush()
+            if self.fsync:
+                fsync_began = time.perf_counter()
+                os.fsync(self._fh.fileno())
+                fsync_elapsed = time.perf_counter() - fsync_began
+        self.events_written += events
+        self._events_since_snapshot = since_snapshot
         if self.fsync:
-            fsync_began = time.perf_counter()
-            os.fsync(self._fh.fileno())
-            _FSYNC_SECONDS.observe(time.perf_counter() - fsync_began)
+            _FSYNC_SECONDS.observe(fsync_elapsed)
         elapsed = time.perf_counter() - began
         _APPEND_SECONDS.observe(elapsed)
         _REC.record(
@@ -506,20 +932,106 @@ class SchedulerJournal:
     # -- low-level append (meta, sync mode, pre-writer snapshots) ------------
 
     def _write(self, record: dict[str, Any]) -> None:
-        if self._fh is None:
-            raise JournalError(f"journal {self.path} is closed")
         began = time.perf_counter()
-        self._fh.write(json.dumps(record, separators=(",", ":")) + "\n")
-        self._fh.flush()
+        data = json.dumps(record, separators=(",", ":")) + "\n"
+        fsync_elapsed = 0.0
+        with self._io_lock:
+            if self._fh is None:
+                raise JournalError(f"journal {self.path} is closed")
+            self._fh.write(data)
+            self._fh.flush()
+            if self.fsync:
+                fsync_began = time.perf_counter()
+                os.fsync(self._fh.fileno())
+                fsync_elapsed = time.perf_counter() - fsync_began
         if self.fsync:
-            fsync_began = time.perf_counter()
-            os.fsync(self._fh.fileno())
-            _FSYNC_SECONDS.observe(time.perf_counter() - fsync_began)
+            _FSYNC_SECONDS.observe(fsync_elapsed)
         elapsed = time.perf_counter() - began
         _APPEND_SECONDS.observe(elapsed)
         _REC.record(_EV_FLUSH, a=1, b=1 if self.fsync else 0, x=elapsed)
         if record.get("kind") == "snapshot":
             _REC.record(_EV_SNAPSHOT)
+
+
+# ---------------------------------------------------------------------------
+# offline compaction (the `repro compact` CLI)
+# ---------------------------------------------------------------------------
+
+
+def compact_journal(path: str) -> dict[str, Any]:
+    """Compact a journal with no live daemon attached (``repro compact``).
+
+    Rewrites ``path`` down to ``meta + newest snapshot + event tail``
+    through a fsynced sidecar and one atomic ``os.rename`` — the same
+    crash discipline as the online compactor.  A journal that has never
+    snapshotted gets one synthesized by replaying it, so the rewrite
+    always compacts instead of copying the event log.  A torn final line
+    is dropped (it would have been dropped at recovery anyway); real
+    corruption raises and leaves the file untouched.
+
+    Returns a stats dict: ``bytes_before``/``bytes_after``,
+    ``events_kept``/``events_dropped``, ``snapshots_dropped``,
+    ``torn_dropped``.
+    """
+    try:
+        bytes_before = os.path.getsize(path)
+    except OSError as exc:
+        raise JournalError(f"cannot read journal {path}: {exc}") from exc
+    meta_raw: bytes | None = None
+    snapshot_raw: bytes | None = None
+    tail: list[bytes] = []
+    events_total = 0
+    snapshots_seen = 0
+    with JournalReader(path) as reader:
+        for record in reader:
+            kind = record.get("kind")
+            if kind == "meta":
+                if meta_raw is not None:
+                    raise JournalError(f"duplicate meta record in {path}")
+                meta_raw = reader.raw
+            elif kind == "snapshot":
+                snapshots_seen += 1
+                snapshot_raw = reader.raw
+                tail.clear()
+            elif kind == "event":
+                events_total += 1
+                tail.append(reader.raw)
+            else:
+                raise JournalError(f"unknown journal record kind {kind!r} in {path}")
+        torn = reader.torn
+    if meta_raw is None:
+        raise JournalError(f"journal {path} has no meta record")
+    snapshots_kept = 1
+    if snapshot_raw is None:
+        snapshots_kept = 0
+        scheduler = restore(path)
+        snapshot_raw = (
+            json.dumps(
+                {"kind": "snapshot", "state": serialize_state(scheduler)},
+                separators=(",", ":"),
+            )
+            + "\n"
+        ).encode("utf-8")
+        tail = []
+    sidecar = path + COMPACT_SUFFIX
+    with open(sidecar, "wb") as fh:
+        fh.write(meta_raw)
+        fh.write(snapshot_raw)
+        for raw in tail:
+            fh.write(raw)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.rename(sidecar, path)
+    _fsync_dir(os.path.dirname(path))
+    return {
+        "path": path,
+        "bytes_before": bytes_before,
+        "bytes_after": os.path.getsize(path),
+        "events_kept": len(tail),
+        "events_dropped": events_total - len(tail),
+        "snapshots_dropped": snapshots_seen - snapshots_kept,
+        "torn_dropped": torn,
+    }
 
 
 # ---------------------------------------------------------------------------
@@ -530,47 +1042,53 @@ class SchedulerJournal:
 def read_journal(
     path: str,
 ) -> tuple[dict[str, Any] | None, list[dict[str, Any]], int]:
-    """Parse a journal file tolerantly.
+    """Parse a journal file into memory (streaming under the hood).
 
     Returns ``(meta, records, torn)`` where ``records`` excludes the meta
-    line and ``torn`` counts trailing unparseable/unterminated lines that
-    were dropped (the artifact of a crash mid-append).  Corruption anywhere
-    *before* the tail raises :class:`~repro.errors.JournalError`.
+    line and ``torn`` counts the dropped unterminated final line (the
+    artifact of a crash mid-append).  Any *terminated* unparseable line —
+    tail included — raises :class:`~repro.errors.JournalError`: a complete
+    line of garbage is real corruption, not a torn write.
+
+    Recovery and inspection paths (:func:`restore`,
+    :func:`journal_summary`) stream instead of calling this; it remains
+    for callers that genuinely need the full record list (``repro
+    doctor``'s merged timeline, tests).
     """
-    try:
-        with open(path, "rb") as fh:
-            raw = fh.read()
-    except OSError as exc:
-        raise JournalError(f"cannot read journal {path}: {exc}") from exc
-    lines = raw.split(b"\n")
-    # A well-formed file ends with a newline -> last split element is empty.
-    torn = 0
-    if lines and lines[-1] == b"":
-        lines.pop()
-    elif lines:
-        lines.pop()  # unterminated tail: torn write
-        torn += 1
     records: list[dict[str, Any]] = []
     meta: dict[str, Any] | None = None
-    for index, line in enumerate(lines):
-        try:
-            record = json.loads(line.decode("utf-8"))
-            if not isinstance(record, dict) or "kind" not in record:
-                raise ValueError(f"not a journal record: {record!r}")
-        except (ValueError, UnicodeDecodeError) as exc:
-            if index == len(lines) - 1:
-                torn += 1  # torn final line (crash mid-write)
-                break
-            raise JournalError(
-                f"corrupt journal {path} at line {index + 1}: {exc}"
-            ) from exc
-        if record["kind"] == "meta":
-            if meta is not None:
-                raise JournalError(f"duplicate meta record in {path}")
-            meta = record
-        else:
-            records.append(record)
+    with JournalReader(path) as reader:
+        for record in reader:
+            if record["kind"] == "meta":
+                if meta is not None:
+                    raise JournalError(f"duplicate meta record in {path}")
+                meta = record
+            else:
+                records.append(record)
+        torn = reader.torn
     return meta, records, torn
+
+
+def _build_scheduler(
+    path: str,
+    meta: dict[str, Any],
+    clock: Callable[[], float] | None,
+    policy: SchedulingPolicy | None,
+    rng,
+) -> GpuMemoryScheduler:
+    if meta.get("version") != JOURNAL_VERSION:
+        raise JournalError(
+            f"journal {path} version {meta.get('version')!r} != {JOURNAL_VERSION}"
+        )
+    if policy is None:
+        policy = make_policy(meta["policy"], rng)
+    return GpuMemoryScheduler(
+        meta["total_memory"],
+        policy,
+        clock=clock,
+        context_overhead=meta["context_overhead"],
+        resume_mode=meta["resume_mode"],
+    )
 
 
 def restore(
@@ -581,58 +1099,63 @@ def restore(
     rng=None,
     event_limit: int | None = None,
 ) -> GpuMemoryScheduler:
-    """Rebuild a scheduler from its journal.
+    """Rebuild a scheduler from its journal, streaming record by record.
 
     The result's :func:`~repro.core.scheduler.stats.snapshot` is identical
     to the crashed scheduler's at its last journaled event.  ``event_limit``
     replays only the first N events — the fault-injection suite uses it to
     model a crash at every event boundary without rewriting files.
 
-    ``policy``/``rng`` override the policy reconstructed from the meta
-    record (replay itself never consults the policy; these only matter for
-    post-recovery scheduling).  To *continue* journaling after recovery::
+    Memory stays flat in journal size: events are applied as they are
+    read (a snapshot record *replaces* the accumulated state wholesale via
+    ``load_snapshot``), never buffered.  ``policy``/``rng`` override the
+    policy reconstructed from the meta record (replay itself never
+    consults the policy; these only matter for post-recovery scheduling).
+    To *continue* journaling after recovery::
 
         scheduler = restore(path, clock=clock)
         SchedulerJournal(path).attach(scheduler, compact=True)
     """
-    meta, records, _torn = read_journal(path)
-    if meta is None:
-        raise JournalError(f"journal {path} has no meta record")
-    if meta.get("version") != JOURNAL_VERSION:
-        raise JournalError(
-            f"journal {path} version {meta.get('version')!r} != {JOURNAL_VERSION}"
-        )
-    if policy is None:
-        policy = make_policy(meta["policy"], rng)
-    scheduler = GpuMemoryScheduler(
-        meta["total_memory"],
-        policy,
-        clock=clock,
-        context_overhead=meta["context_overhead"],
-        resume_mode=meta["resume_mode"],
-    )
-    # Pick the newest snapshot whose position is within the event limit,
-    # then replay the event tail after it.
-    base_state: dict[str, Any] | None = None
-    tail: list[SchedulerEvent] = []
+    scheduler: GpuMemoryScheduler | None = None
+    # Records seen before the meta line (none, in a well-formed journal)
+    # are held until the scheduler can be built.
+    prelude: list[dict[str, Any]] | None = []
     events_seen = 0
-    for record in records:
+
+    def apply(record: dict[str, Any]) -> bool:
+        """Apply one record; False means the event limit was reached."""
+        nonlocal events_seen
         kind = record["kind"]
         if kind == "event":
             if event_limit is not None and events_seen >= event_limit:
-                break
-            tail.append(decode_event(record))
+                return False
+            event = decode_event(record)
+            scheduler.state.apply_event(event)
+            scheduler.log.append(event)
             events_seen += 1
         elif kind == "snapshot":
-            base_state = record["state"]
-            tail.clear()
+            scheduler.state.load_snapshot(record["state"])
+            scheduler.log.events.clear()
         else:
             raise JournalError(f"unknown journal record kind {kind!r} in {path}")
-    if base_state is not None:
-        scheduler.state.load_snapshot(base_state)
-    for event in tail:
-        scheduler.state.apply_event(event)
-        scheduler.log.append(event)
+        return True
+
+    with JournalReader(path) as reader:
+        for record in reader:
+            if record["kind"] == "meta":
+                if scheduler is not None:
+                    raise JournalError(f"duplicate meta record in {path}")
+                scheduler = _build_scheduler(path, record, clock, policy, rng)
+                for pending in prelude:
+                    if not apply(pending):
+                        break
+                prelude = None
+            elif scheduler is None:
+                prelude.append(record)
+            elif not apply(record):
+                break
+    if scheduler is None:
+        raise JournalError(f"journal {path} has no meta record")
     return scheduler
 
 
@@ -642,16 +1165,34 @@ def restore(
 
 
 def journal_summary(path: str) -> dict[str, Any]:
-    """Shape of a journal without restoring it: counts per record type."""
-    meta, records, torn = read_journal(path)
+    """Shape of a journal without restoring it: counts per record type.
+
+    Streams the file, so multi-GB journals cost O(1) memory.  Corruption
+    mid-file is *surfaced*, not raised: the scan stops there and the
+    summary's ``corrupt`` key carries the diagnostic (``repro recover`` /
+    ``repro doctor`` want to describe a damaged file, not die on it).  A
+    missing/unreadable file still raises.
+    """
+    meta: dict[str, Any] | None = None
     event_counts: dict[str, int] = {}
     snapshots = 0
-    for record in records:
-        if record["kind"] == "snapshot":
-            snapshots += 1
-        elif record["kind"] == "event":
-            name = record.get("event", "?")
-            event_counts[name] = event_counts.get(name, 0) + 1
+    corrupt: str | None = None
+    with JournalReader(path) as reader:
+        try:
+            for record in reader:
+                kind = record["kind"]
+                if kind == "meta":
+                    if meta is not None:
+                        raise JournalError(f"duplicate meta record in {path}")
+                    meta = record
+                elif kind == "snapshot":
+                    snapshots += 1
+                elif kind == "event":
+                    name = record.get("event", "?")
+                    event_counts[name] = event_counts.get(name, 0) + 1
+        except JournalError as exc:
+            corrupt = str(exc)
+        torn = reader.torn
     return {
         "path": path,
         "meta": meta,
@@ -659,4 +1200,5 @@ def journal_summary(path: str) -> dict[str, Any]:
         "event_counts": dict(sorted(event_counts.items())),
         "snapshots": snapshots,
         "torn_lines": torn,
+        "corrupt": corrupt,
     }

@@ -182,6 +182,58 @@ def test_lock_discipline_scoped_to_configured_modules(lint):
     assert findings == []
 
 
+def test_lock_discipline_flags_rename_under_scheduler_lock(lint):
+    # The compactor's atomic swap must never run under the scheduler
+    # lock — rename/fsync there stalls every producer on disk I/O.
+    findings = lint(
+        {
+            "mod.py": """\
+            import os
+            import threading
+
+            class Journal:
+                def __init__(self, path):
+                    self._lock = threading.Lock()
+                    self.path = path
+
+                def bad_swap(self, sidecar):
+                    with self._lock:
+                        os.rename(sidecar, self.path)
+            """
+        },
+        lock_module_suffixes=("mod.py",),
+    )
+    assert rules_of(findings) == ["lock-discipline"]
+    assert "rename()" in findings[0].message
+
+
+def test_lock_discipline_exempts_io_serialization_lock(lint):
+    # _io_lock exists *to* serialize file I/O (writer batches vs the
+    # compactor's swap); flush/fsync/rename under it are the point.
+    findings = lint(
+        {
+            "mod.py": """\
+            import os
+            import threading
+
+            class Journal:
+                def __init__(self, path, fh):
+                    self._io_lock = threading.Lock()
+                    self.path = path
+                    self._fh = fh
+
+                def swap(self, sidecar):
+                    with self._io_lock:
+                        self._fh.flush()
+                        os.fsync(self._fh.fileno())
+                        os.rename(sidecar, self.path)
+            """
+        },
+        lock_module_suffixes=("mod.py",),
+    )
+    assert findings == []
+
+
 # ---------------------------------------------------------------------------
 # double-lock
 # ---------------------------------------------------------------------------
@@ -238,6 +290,31 @@ def test_double_lock_accepts_single_consistent_snapshot(lint):
 """
     findings = lint(
         {"mod.py": _DOUBLE_LOCK_CLASS % body}, lock_module_suffixes=("mod.py",)
+    )
+    assert findings == []
+
+
+def test_double_lock_exempts_io_serialization_lock(lint):
+    # Repeated _io_lock regions are file-I/O serialization, not a torn
+    # scheduler-state read — only state-guarding locks count.
+    findings = lint(
+        {
+            "mod.py": """\
+            import threading
+
+            class Journal:
+                def __init__(self, fh):
+                    self._io_lock = threading.Lock()
+                    self._fh = fh
+
+                def write_twice(self, first, second):
+                    with self._io_lock:
+                        self._fh.write(first)
+                    with self._io_lock:
+                        self._fh.write(second)
+            """
+        },
+        lock_module_suffixes=("mod.py",),
     )
     assert findings == []
 

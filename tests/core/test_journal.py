@@ -7,15 +7,19 @@ behaviour, the torn-tail tolerance, and the orphan-adoption contract.
 
 import json
 import os
+import threading
+import time
 
 import pytest
 
 from repro.core.scheduler import (
     GpuMemoryScheduler,
     SchedulerJournal,
+    compact_journal,
     journal_summary,
     make_policy,
     read_journal,
+    read_meta,
     restore,
     serialize_state,
     snapshot,
@@ -134,15 +138,41 @@ class TestJournalFile:
         restored = restore(journal_path, clock=sched.test_clock)
         assert snapshot(restored) == snapshot(sched)
 
-    def test_torn_garbage_line_is_dropped(self, journal_path):
+    def test_terminated_garbage_final_line_raises(self, journal_path):
+        """A complete (newline-terminated) line of garbage is corruption.
+
+        A crash mid-append can only leave an *unterminated* fragment; it
+        cannot manufacture the trailing newline.  Dropping this line as
+        "torn" (the old behaviour) silently hid real corruption.
+        """
         sched = make_scheduler()
         with SchedulerJournal(journal_path) as journal:
             journal.attach(sched)
             sched.register_container("a", 1 * GiB)
         with open(journal_path, "ab") as fh:
             fh.write(b"\x00\xffgarbage\n")
-        _, records, torn = read_journal(journal_path)
-        assert torn == 1 and len(records) == 1
+        with pytest.raises(JournalError, match="corrupt journal"):
+            read_journal(journal_path)
+        with pytest.raises(JournalError, match="corrupt journal"):
+            restore(journal_path)
+        # journal_summary surfaces instead of raising (`repro recover`).
+        summary = journal_summary(journal_path)
+        assert summary["corrupt"] is not None
+        assert "corrupt journal" in summary["corrupt"]
+        assert summary["torn_lines"] == 0
+        assert summary["events"] == 1  # counts stop at the corruption
+
+    def test_garbage_then_torn_fragment_still_raises(self, journal_path):
+        """Terminated garbage followed by a torn fragment: still corruption."""
+        sched = make_scheduler()
+        with SchedulerJournal(journal_path) as journal:
+            journal.attach(sched)
+            sched.register_container("a", 1 * GiB)
+        with open(journal_path, "ab") as fh:
+            fh.write(b"\x00\xffgarbage\n")
+            fh.write(b'{"kind": "ev')  # torn tail after the corruption
+        with pytest.raises(JournalError, match="corrupt journal"):
+            read_journal(journal_path)
 
     def test_corruption_before_tail_raises(self, journal_path):
         sched = make_scheduler()
@@ -318,6 +348,225 @@ class TestOrphanAdoption:
         assert decision.paused
         assert restored.container("b").pending[0].resume is None
         assert len(restored.container("b").pending) == 2
+
+
+class TestWaitDurable:
+    def test_dead_writer_raises_instead_of_returning(self, journal_path):
+        """A writer thread that died without recording an error must not
+        let wait_durable() return as if the records were durable."""
+        sched = make_scheduler()
+        journal = SchedulerJournal(journal_path)
+        journal.attach(sched)
+        sched.register_container("a", 1 * GiB)
+        journal.wait_durable()  # healthy path drains fine
+        # Kill the writer without an error (the shape of an interpreter
+        # teardown or a stray SystemExit), leaving the thread object set.
+        with journal._cond:
+            journal._stop = True
+            journal._cond.notify_all()
+        journal._writer.join()
+        # The next transition's reply must not leave: the facade's
+        # durability wait surfaces the dead writer to the producer.
+        with pytest.raises(JournalError, match="died"):
+            sched.register_container("b", 1 * GiB)
+        with pytest.raises(JournalError, match="died"):
+            journal.wait_durable()
+        journal.close()
+
+
+class TestStreamingAttach:
+    def test_read_meta_stops_at_meta_line(self, journal_path):
+        """read_meta streams only as far as the meta record: corruption
+        after it is invisible to attach, visible to full reads."""
+        sched = make_scheduler(policy="BF")
+        with SchedulerJournal(journal_path) as journal:
+            journal.attach(sched)
+            sched.register_container("a", 1 * GiB)
+        with open(journal_path, "ab") as fh:
+            fh.write(b"\x00\xffgarbage\n")
+        assert read_meta(journal_path)["policy"] == "BF"
+        with pytest.raises(JournalError, match="corrupt journal"):
+            read_journal(journal_path)
+
+    def test_attach_truncates_torn_tail(self, journal_path):
+        """Re-attaching after a crash chops the torn fragment so the next
+        append starts a fresh line instead of corrupting it."""
+        sched = make_scheduler()
+        with SchedulerJournal(journal_path) as journal:
+            journal.attach(sched)
+            sched.register_container("a", 1 * GiB)
+        with open(journal_path, "ab") as fh:
+            fh.write(b'{"kind": "event", "event": "AllocationCom')  # torn
+        restored = restore(journal_path, clock=sched.test_clock)
+        journal2 = SchedulerJournal(journal_path)
+        journal2.attach(restored)
+        restored.register_container("b", 1 * GiB)
+        journal2.close()
+        meta, records, torn = read_journal(journal_path)
+        assert torn == 0  # fragment truncated at attach, not re-dropped
+        assert [r["kind"] for r in records] == ["event", "event"]
+        final = restore(journal_path, clock=sched.test_clock)
+        assert snapshot(final) == snapshot(restored)
+
+    def test_attach_removes_stale_sidecar(self, journal_path):
+        sched = make_scheduler()
+        with SchedulerJournal(journal_path) as journal:
+            journal.attach(sched)
+            sched.register_container("a", 1 * GiB)
+        sidecar = journal_path + ".compact"
+        with open(sidecar, "wb") as fh:
+            fh.write(b"half-written compaction sidecar")
+        restored = restore(journal_path, clock=sched.test_clock)
+        with SchedulerJournal(journal_path) as journal2:
+            journal2.attach(restored)
+            assert not os.path.exists(sidecar)
+
+
+def churn(sched, container_id, cycles, size=64 * MiB):
+    """One container's worth of alloc/commit/release history."""
+    sched.register_container(container_id, 2 * GiB)
+    for index in range(cycles):
+        pid = index + 1
+        decision = sched.request_allocation(container_id, pid, size)
+        if decision.granted:
+            sched.commit_allocation(container_id, pid, pid, size)
+            sched.release_allocation(container_id, pid, pid)
+
+
+class TestCompaction:
+    def test_explicit_compact_shrinks_file_and_preserves_state(
+        self, journal_path
+    ):
+        sched = make_scheduler()
+        journal = SchedulerJournal(journal_path, snapshot_interval=None)
+        journal.attach(sched)
+        churn(sched, "a", cycles=100)  # long history, tiny live state
+        journal.wait_durable()
+        size_before = os.path.getsize(journal_path)
+        assert journal.compact() is True
+        assert journal.compactions == 1
+        assert os.path.getsize(journal_path) < size_before
+        assert not os.path.exists(journal_path + ".compact")
+        # Byte-identical restore from the compacted file.
+        restored = restore(journal_path, clock=sched.test_clock)
+        assert serialize_state(restored) == serialize_state(sched)
+        # The re-opened handle keeps journaling.
+        sched.register_container("post", 1 * GiB)
+        journal.close()
+        final = restore(journal_path, clock=sched.test_clock)
+        assert serialize_state(final) == serialize_state(sched)
+
+    def test_compact_works_in_sync_mode(self, journal_path):
+        sched = make_scheduler()
+        journal = SchedulerJournal(journal_path, snapshot_interval=None,
+                                   mode="sync")
+        journal.attach(sched)
+        churn(sched, "a", cycles=50)
+        assert journal.compact() is True
+        restored = restore(journal_path, clock=sched.test_clock)
+        assert serialize_state(restored) == serialize_state(sched)
+        journal.close()
+
+    def test_compact_requires_attachment(self, journal_path):
+        journal = SchedulerJournal(journal_path)
+        with pytest.raises(JournalError, match="not attached"):
+            journal.compact()
+
+    def test_bad_compact_at_bytes(self, journal_path):
+        with pytest.raises(JournalError, match="compact_at_bytes"):
+            SchedulerJournal(journal_path, compact_at_bytes=0)
+
+    def test_auto_compaction_trigger(self, journal_path):
+        """The writer's quiescent-point byte trigger arms the compactor."""
+        sched = make_scheduler()
+        journal = SchedulerJournal(
+            journal_path, snapshot_interval=32, compact_at_bytes=8192
+        )
+        journal.attach(sched)
+        churn(sched, "a", cycles=300)
+        deadline = time.time() + 10.0
+        while journal.compactions == 0 and time.time() < deadline:
+            time.sleep(0.01)
+        assert journal.compactions >= 1
+        journal.close()
+        restored = restore(journal_path, clock=sched.test_clock)
+        assert serialize_state(restored) == serialize_state(sched)
+
+    def test_offline_compact_journal(self, journal_path):
+        sched = make_scheduler()
+        with SchedulerJournal(journal_path, snapshot_interval=32) as journal:
+            journal.attach(sched)
+            churn(sched, "a", cycles=100)
+        expected = serialize_state(sched)
+        stats = compact_journal(journal_path)
+        assert stats["bytes_after"] < stats["bytes_before"]
+        assert stats["events_dropped"] > 0
+        assert not os.path.exists(journal_path + ".compact")
+        summary = journal_summary(journal_path)
+        assert summary["snapshots"] == 1
+        restored = restore(journal_path, clock=sched.test_clock)
+        assert serialize_state(restored) == expected
+
+    def test_offline_compact_synthesizes_missing_snapshot(self, journal_path):
+        """A journal that never snapshotted is replayed to produce one."""
+        sched = make_scheduler()
+        with SchedulerJournal(journal_path, snapshot_interval=None) as journal:
+            journal.attach(sched)
+            churn(sched, "a", cycles=50)
+        stats = compact_journal(journal_path)
+        assert stats["events_kept"] == 0
+        assert stats["snapshots_dropped"] == 0
+        assert journal_summary(journal_path)["snapshots"] == 1
+        restored = restore(journal_path, clock=sched.test_clock)
+        assert serialize_state(restored) == serialize_state(sched)
+
+    def test_offline_compact_missing_file_raises(self, tmp_path):
+        with pytest.raises(JournalError, match="cannot read"):
+            compact_journal(str(tmp_path / "nope.journal"))
+
+
+class TestConcurrentCompaction:
+    def test_producers_keep_appending_while_compaction_renames(
+        self, journal_path
+    ):
+        """The churn gate: compaction must never stall or lose producers.
+
+        Four producer threads hammer alloc/commit/release cycles while the
+        background compactor repeatedly rewrites and renames the journal
+        underneath them; every producer must finish without an error and
+        the compacted journal must restore byte-identical to the live
+        scheduler.
+        """
+        sched = make_scheduler(total=16 * GiB)
+        journal = SchedulerJournal(
+            journal_path, snapshot_interval=64, compact_at_bytes=8192
+        )
+        journal.attach(sched)
+        errors = []
+
+        def worker(container_id):
+            try:
+                churn(sched, container_id, cycles=150)
+            except Exception as exc:  # noqa: BLE001 - surfaced via assert
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(f"c{index}",))
+            for index in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        deadline = time.time() + 10.0
+        while journal.compactions == 0 and time.time() < deadline:
+            time.sleep(0.01)
+        assert journal.compactions >= 1  # compaction ran under churn
+        journal.close()
+        restored = restore(journal_path, clock=sched.test_clock)
+        assert serialize_state(restored) == serialize_state(sched)
+        restored.check_invariants()
 
 
 class TestSerializeState:

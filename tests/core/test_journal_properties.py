@@ -71,12 +71,14 @@ OPERATIONS = st.lists(
 )
 
 
-def run_operations(scheduler, clock, ops):
+def run_operations(scheduler, clock, ops, after_op=None):
     """Drive the scheduler through one random schedule.
 
     Invalid operations (allocating in an unregistered container, releasing
     an address twice, ...) are simply skipped — the generator explores the
-    schedule space; the *scheduler* is the validity oracle.
+    schedule space; the *scheduler* is the validity oracle.  ``after_op``
+    (if given) is called with the op index after each op — the compaction
+    property uses it to compact at arbitrary points in the stream.
     """
     next_address = 1
     committed = []        # (container_id, pid, address) live on the device
@@ -88,7 +90,7 @@ def run_operations(scheduler, clock, ops):
                 resumed.append((container_id, pid, size))
         return on_resume
 
-    for op in ops:
+    for index, op in enumerate(ops):
         kind = op[0]
         try:
             if kind == "advance":
@@ -125,12 +127,20 @@ def run_operations(scheduler, clock, ops):
                 scheduler.container_exit(op[1])
                 committed[:] = [c for c in committed if c[0] != op[1]]
         except SchedulerError:
-            continue
+            pass
+        if after_op is not None:
+            after_op(index)
     scheduler.check_invariants()
 
 
-def journaled_run(policy_name, ops, *, snapshot_interval=None, seed=0):
-    """Execute ``ops`` under a journal; return (scheduler, clock, path)."""
+def journaled_run(policy_name, ops, *, snapshot_interval=None, seed=0,
+                  compact_after=()):
+    """Execute ``ops`` under a journal; return (scheduler, clock, path).
+
+    ``compact_after`` is a collection of op indices: after each one, the
+    journal is compacted in place (sidecar rewrite + atomic rename) while
+    the run keeps going — the compaction-invisibility property.
+    """
     clock = ManualClock()
     scheduler = GpuMemoryScheduler(
         TOTAL,
@@ -142,8 +152,14 @@ def journaled_run(policy_name, ops, *, snapshot_interval=None, seed=0):
     os.unlink(path)  # journal wants to create it
     journal = SchedulerJournal(path, snapshot_interval=snapshot_interval)
     journal.attach(scheduler)
+    compact_points = frozenset(compact_after)
+    after_op = None
+    if compact_points:
+        def after_op(index):
+            if index in compact_points:
+                assert journal.compact()
     try:
-        run_operations(scheduler, clock, ops)
+        run_operations(scheduler, clock, ops, after_op=after_op)
     finally:
         journal.close()
     return scheduler, clock, path
@@ -211,6 +227,89 @@ def test_snapshot_compaction_is_invisible(policy_name, ops):
                 cleanup(ipath)
     finally:
         cleanup(ref_path)
+
+
+@pytest.mark.parametrize("policy_name", ("FIFO", "Rand"))
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(ops=OPERATIONS, data=st.data())
+def test_compaction_at_random_points_is_invisible(policy_name, ops, data):
+    """Compacting mid-stream never changes what recovery reconstructs.
+
+    The journal is rewritten (snapshot + tail, atomic rename) after
+    arbitrary ops while the run continues on the re-opened handle; the
+    final restore must still be byte-identical to the live scheduler, and
+    every remaining crash boundary (event_limit over the surviving tail)
+    must restore a prefix of the live history with invariants intact.
+    """
+    reference, _, ref_path = journaled_run(policy_name, ops)
+    expected = serialize_state(reference)
+    cleanup(ref_path)
+    compact_points = data.draw(
+        st.sets(st.integers(min_value=0, max_value=len(ops) - 1), max_size=3),
+        label="compact_after",
+    )
+    live, clock, path = journaled_run(
+        policy_name, ops, compact_after=compact_points
+    )
+    try:
+        restored = restore(path, clock=clock)
+        assert serialize_state(restored) == expected
+        assert serialize_state(live) == expected
+        # The surviving tail is exactly the newest live-history suffix.
+        tail = restored.log.events
+        assert tail == live.log.events[len(live.log.events) - len(tail):]
+        for k in range(len(tail) + 1):
+            partial = restore(path, clock=clock, event_limit=k)
+            partial.check_invariants()
+            assert partial.log.events == tail[:k]
+    finally:
+        cleanup(path)
+
+
+@pytest.mark.parametrize("stage", ("mid_rewrite", "pre_rename", "post_rename"))
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(ops=OPERATIONS)
+def test_crash_at_compaction_boundary(stage, ops):
+    """Crashing anywhere inside a compaction never loses or forks state.
+
+    The compactor's three crash windows: mid-sidecar-rewrite (half-written
+    sidecar beside the intact journal), prepared-but-pre-rename (complete
+    sidecar beside the intact journal), and post-rename-pre-reopen (the
+    compacted file *is* the journal).  In every case restore must be
+    byte-identical, and the next attach must clean up any stale sidecar
+    and keep journaling.
+    """
+    live, clock, path = journaled_run("FIFO", ops)
+    expected = serialize_state(live)
+    sidecar = path + ".compact"
+    try:
+        # Recreate the compactor's on-disk artifacts by hand, then "crash".
+        scheduler = restore(path, clock=clock)
+        journal = SchedulerJournal(path, snapshot_interval=None, mode="sync")
+        journal.attach(scheduler, compact=True)  # guarantees a snapshot
+        journal.close()
+        prepared, _ = journal._prepare_sidecar()
+        assert prepared == sidecar
+        if stage == "mid_rewrite":
+            with open(sidecar, "rb+") as fh:
+                fh.truncate(max(1, os.path.getsize(sidecar) // 2))
+        elif stage == "post_rename":
+            os.rename(sidecar, path)
+        # pre_rename: the complete sidecar sits beside the intact journal.
+
+        restored = restore(path, clock=clock)
+        assert serialize_state(restored) == expected
+        # Recovery re-attach: stale sidecar removed, journaling continues.
+        journal2 = SchedulerJournal(path)
+        journal2.attach(restored, compact=True)
+        assert not os.path.exists(sidecar)
+        journal2.close()
+        assert serialize_state(restore(path, clock=clock)) == expected
+    finally:
+        cleanup(path)
+        cleanup(sidecar)
 
 
 @pytest.mark.stress
