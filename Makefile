@@ -2,7 +2,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test stress bench bench-concurrency bench-journal bench-recovery churn crash check lint analyze
+.PHONY: test stress bench bench-concurrency bench-journal bench-recovery bench-shards churn crash check lint analyze
 
 test:            ## tier-1: fast unit/integration/property tests
 	$(PYTHON) -m pytest -x -q
@@ -21,6 +21,9 @@ bench-journal:   ## journal ablation: fsync-under-lock vs group commit
 
 bench-recovery:  ## recovery at scale: compaction vs journal size / restore time
 	$(PYTHON) -m pytest benchmarks/test_bench_recovery.py -q -s
+
+bench-shards:    ## sharded control plane: direct vs routed aggregate throughput
+	$(PYTHON) -m pytest benchmarks/test_bench_shard_scaling.py -q -s
 
 churn:           ## connection-churn / lifecycle-leak lane under a hard deadline
 	timeout 600 $(PYTHON) -m pytest tests/ipc/test_connection_churn.py \

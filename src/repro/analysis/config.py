@@ -72,6 +72,9 @@ class LintConfig:
             "repro/core/scheduler/journal.py",
             "repro/core/scheduler/daemon.py",
             "repro/cluster/multigpu.py",
+            "repro/cluster/ring.py",
+            "repro/cluster/router.py",
+            "repro/cluster/supervisor.py",
         )
     )
     #: Call names (last dotted segment) that block or touch the outside
@@ -120,6 +123,12 @@ class LintConfig:
     lock_class_aliases: dict[str, str] = field(
         default_factory=lambda: {"scheduler": "GpuMemoryScheduler"}
     )
+    #: Lock attributes declared *leaf*: nothing — no other lock, no
+    #: blocking call — may be acquired while one is held.  The hash ring's
+    #: ``_ring_lock`` is the canonical case: the router's control handler
+    #: consults the ring on its hot path, so any edge out of the ring lock
+    #: risks an inversion against the placement tables.
+    lock_leaf_attrs: frozenset[str] = frozenset({"_ring_lock"})
 
     # -- loop-thread safety (DESIGN.md §10: the selector thread never blocks)
     #: suffix -> {class name -> selector-thread entry-point methods}.
@@ -191,5 +200,7 @@ class LintConfig:
             "repro/core/wrapper/",
             "repro/core/scheduler/service.py",
             "repro/core/scheduler/daemon.py",
+            "repro/cluster/router.py",
+            "repro/cluster/supervisor.py",
         )
     )

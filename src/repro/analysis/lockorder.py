@@ -14,6 +14,14 @@ acquisitions behind dynamic dispatch (the event-log listener path), but
 it pins the documented edges and catches the easy-to-write reversal —
 someone adding ``with self._cond: ... with scheduler._lock:`` to the
 writer thread.
+
+Locks named in ``LintConfig.lock_leaf_attrs`` are declared **leaf**: any
+edge *out* of one — acquiring anything else while it is held — is a
+finding on its own, cycle or not.  The hash ring's ``_ring_lock`` is the
+canonical leaf: the router consults the ring from its control handlers,
+so an edge out of the ring lock would order it against the router's
+placement tables and invite an inversion the cycle check could only see
+once both halves are written.
 """
 
 from __future__ import annotations
@@ -60,10 +68,19 @@ class LockOrderRule(Rule):
         state = ctx.state.get(self.id)
         if not state:
             return
+        leaf_attrs = getattr(ctx.config, "lock_leaf_attrs", frozenset())
         graph: dict[str, dict[str, tuple[SourceFile, ast.AST]]] = {}
         for src, dst, source, node in state["edges"]:
             if src == dst:
                 continue  # an RLock re-entering itself is fine
+            attr = src.rsplit(".", 1)[-1]
+            if attr in leaf_attrs:
+                yield source.finding(
+                    self.id, node,
+                    f"leaf lock {src} held while acquiring {dst} — "
+                    f"{attr} is declared a leaf (config.lock_leaf_attrs): "
+                    "nothing may be acquired under it",
+                )
             graph.setdefault(src, {}).setdefault(dst, (source, node))
         cycle = _find_cycle(graph)
         if cycle is None:

@@ -1,6 +1,10 @@
-"""Cluster extensions (§V future work): multi-GPU hosts and swarm dispatch."""
+"""Cluster extensions (§V future work): multi-GPU hosts, swarm dispatch,
+and the sharded multi-daemon control plane (ring / supervisor / router)."""
 
 from repro.cluster.multigpu import PLACEMENT_POLICIES, MultiGpuScheduler
+from repro.cluster.ring import HashRing
+from repro.cluster.router import ShardEndpoint, ShardRouter
+from repro.cluster.supervisor import ShardProcess, ShardSpec, ShardSupervisor
 from repro.cluster.swarm import (
     DISPATCH_STRATEGIES,
     SwarmCluster,
@@ -11,6 +15,12 @@ from repro.cluster.swarm import (
 __all__ = [
     "MultiGpuScheduler",
     "PLACEMENT_POLICIES",
+    "HashRing",
+    "ShardEndpoint",
+    "ShardRouter",
+    "ShardProcess",
+    "ShardSpec",
+    "ShardSupervisor",
     "SwarmCluster",
     "SwarmNode",
     "SwarmRunResult",

@@ -16,7 +16,16 @@ Placement policies provided:
 - ``most-free``  — the device with the most unreserved memory (spread);
 - ``best-fit``   — the device whose unreserved memory is the smallest that
   still fits the limit (binpack: keeps big devices free for big tenants);
-- ``round-robin``— cycle across devices that can fit the limit.
+- ``round-robin``— cycle across devices that can fit the limit;
+- ``hash``       — consistent-hash the container id onto the device set
+  (the :class:`~repro.cluster.ring.HashRing` the shard router uses), so a
+  single-process multi-GPU deployment and a sharded multi-daemon one
+  agree on where a container lives.
+
+A placement callable takes ``(schedulers, container_id, limit)`` and
+returns a device ordinal (or ``None`` when no device can ever fit the
+limit); only ``hash`` looks at the container id today, but the id is part
+of the contract so stateful policies can be deterministic per tenant.
 """
 
 from __future__ import annotations
@@ -24,6 +33,7 @@ from __future__ import annotations
 import threading
 from typing import Any, Callable
 
+from repro.cluster.ring import HashRing
 from repro.core.scheduler.core import GpuMemoryScheduler
 from repro.core.scheduler.policies import SchedulingPolicy, make_policy
 from repro.core.scheduler.records import ContainerRecord
@@ -34,7 +44,9 @@ from repro.units import format_size
 __all__ = ["PLACEMENT_POLICIES", "MultiGpuScheduler"]
 
 
-def _place_most_free(schedulers: list[GpuMemoryScheduler], limit: int) -> int | None:
+def _place_most_free(
+    schedulers: list[GpuMemoryScheduler], container_id: str, limit: int
+) -> int | None:
     candidates = [
         (s.unreserved, -i)
         for i, s in enumerate(schedulers)
@@ -46,7 +58,9 @@ def _place_most_free(schedulers: list[GpuMemoryScheduler], limit: int) -> int | 
     return -neg_index
 
 
-def _place_best_fit(schedulers: list[GpuMemoryScheduler], limit: int) -> int | None:
+def _place_best_fit(
+    schedulers: list[GpuMemoryScheduler], container_id: str, limit: int
+) -> int | None:
     fitting = [
         (s.unreserved, i)
         for i, s in enumerate(schedulers)
@@ -58,14 +72,16 @@ def _place_best_fit(schedulers: list[GpuMemoryScheduler], limit: int) -> int | N
         return index
     # Nobody can reserve fully right now: fall back to the device with the
     # most room (the container will be partially assigned + paused there).
-    return _place_most_free(schedulers, limit)
+    return _place_most_free(schedulers, container_id, limit)
 
 
 class _RoundRobin:
     def __init__(self) -> None:
         self._next = 0
 
-    def __call__(self, schedulers: list[GpuMemoryScheduler], limit: int) -> int | None:
+    def __call__(
+        self, schedulers: list[GpuMemoryScheduler], container_id: str, limit: int
+    ) -> int | None:
         n = len(schedulers)
         for offset in range(n):
             index = (self._next + offset) % n
@@ -75,11 +91,40 @@ class _RoundRobin:
         return None
 
 
+class _PlaceHash:
+    """Consistent-hash placement: ring-walk to the first device that fits.
+
+    The ring is built lazily on first use (the device count is only known
+    then) and is the same construction the shard router uses, so
+    ``hash``-placed ordinals equal the router's shard assignments for the
+    same container ids and device count.
+    """
+
+    def __init__(self) -> None:
+        self._ring: HashRing | None = None
+        self._size = 0
+
+    def __call__(
+        self, schedulers: list[GpuMemoryScheduler], container_id: str, limit: int
+    ) -> int | None:
+        if self._ring is None or self._size != len(schedulers):
+            ring = HashRing()
+            for ordinal in range(len(schedulers)):
+                ring.add(ordinal)
+            self._ring = ring
+            self._size = len(schedulers)
+        for ordinal in self._ring.preference(container_id):
+            if limit <= schedulers[ordinal].total_memory:
+                return ordinal
+        return None
+
+
 #: name -> factory producing a placement callable.
 PLACEMENT_POLICIES: dict[str, Callable[[], Callable]] = {
     "most-free": lambda: _place_most_free,
     "best-fit": lambda: _place_best_fit,
     "round-robin": _RoundRobin,
+    "hash": _PlaceHash,
 }
 
 
@@ -144,7 +189,7 @@ class MultiGpuScheduler:
         customized nvidia-docker would translate into the right
         ``--device /dev/nvidiaN`` option.
         """
-        ordinal = self._place(self.schedulers, limit)
+        ordinal = self._place(self.schedulers, container_id, limit)
         if ordinal is None:
             raise LimitExceededError(
                 f"no device can ever hold {format_size(limit)}"

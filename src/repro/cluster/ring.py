@@ -1,0 +1,158 @@
+"""Consistent-hash ring: the control plane's one placement data structure.
+
+The sharded control plane (DESIGN.md §15) runs one scheduler daemon per
+device behind a thin router; the router must send every message for a
+container to the *same* shard without keeping a synchronized placement
+table.  A consistent-hash ring gives that for free: placement is a pure
+function of the container id and the shard set, so the router, the
+supervisor, a recovering shard and an offline `repro recover` all agree
+on who owns what — and adding or removing a shard moves only ``1/n`` of
+the keys instead of reshuffling everything.
+
+Hashing is :func:`hashlib.blake2b` (not Python's ``hash``): placement
+must be identical across processes and runs, and ``PYTHONHASHSEED``
+randomizes ``str.__hash__`` per interpreter.
+
+Locking: :attr:`_ring_lock` is a **leaf** lock — nothing else is ever
+acquired while it is held, and no callback runs under it (enforced by
+the reprolint ``lock-order`` leaf check).  The router may therefore call
+into the ring from any of its paths without joining the ring into the
+forwarding lock order.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import threading
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import ClusterError
+
+__all__ = ["HashRing", "DEFAULT_REPLICAS"]
+
+#: Virtual nodes per shard.  64 points per shard keeps the worst-case
+#: load imbalance under ~20% for small shard counts (measured in
+#: tests/cluster/test_ring.py) while the ring stays a few hundred entries.
+DEFAULT_REPLICAS = 64
+
+
+def _point(key: str) -> int:
+    """Map a key to a 64-bit position on the ring (stable across runs)."""
+    return int.from_bytes(
+        hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest(), "big"
+    )
+
+
+class HashRing:
+    """Consistent hashing with virtual nodes over an ordered shard set.
+
+    Shard ids may be any ``str``-able hashable value (the control plane
+    uses small ints).  All methods are thread-safe; mutation cost is
+    O(replicas · log points) and lookup is one binary search.
+    """
+
+    def __init__(
+        self, shards: Iterable[object] = (), *, replicas: int = DEFAULT_REPLICAS
+    ) -> None:
+        if replicas < 1:
+            raise ClusterError("need at least one virtual node per shard")
+        self.replicas = replicas
+        self._ring_lock = threading.Lock()
+        self._points: list[int] = []  # sorted vnode positions
+        self._owners: dict[int, object] = {}  # position -> shard id
+        self._shards: list[object] = []  # insertion order, for repr/iteration
+        for shard in shards:
+            self.add(shard)
+
+    # -- membership ----------------------------------------------------------
+
+    def add(self, shard: object) -> None:
+        """Add a shard's virtual nodes (idempotent for a present shard)."""
+        with self._ring_lock:
+            if shard in self._shards:
+                return
+            for replica in range(self.replicas):
+                position = _point(f"{shard}#{replica}")
+                # blake2b collisions across distinct vnode labels are
+                # astronomically unlikely; first owner keeps the point so
+                # placement never silently flips if one ever happened.
+                if position in self._owners:
+                    continue
+                bisect.insort(self._points, position)
+                self._owners[position] = shard
+            self._shards.append(shard)
+
+    def remove(self, shard: object) -> None:
+        """Drop a shard; its keys redistribute to ring successors."""
+        with self._ring_lock:
+            if shard not in self._shards:
+                return
+            self._shards.remove(shard)
+            keep_points: list[int] = []
+            for position in self._points:
+                if self._owners[position] is shard or self._owners[position] == shard:
+                    del self._owners[position]
+                else:
+                    keep_points.append(position)
+            self._points = keep_points
+
+    def shards(self) -> tuple[object, ...]:
+        with self._ring_lock:
+            return tuple(self._shards)
+
+    def __len__(self) -> int:
+        with self._ring_lock:
+            return len(self._shards)
+
+    def __contains__(self, shard: object) -> bool:
+        with self._ring_lock:
+            return shard in self._shards
+
+    # -- placement -----------------------------------------------------------
+
+    def shard_of(self, key: str) -> object:
+        """The shard owning ``key`` (clockwise successor of its point)."""
+        with self._ring_lock:
+            if not self._points:
+                raise ClusterError("hash ring is empty")
+            index = bisect.bisect(self._points, _point(key))
+            if index == len(self._points):
+                index = 0  # wrap: the ring is circular
+            return self._owners[self._points[index]]
+
+    def preference(self, key: str) -> Iterator[object]:
+        """Distinct shards in ring-walk order starting at ``key``'s owner.
+
+        The first yielded shard is :meth:`shard_of`; the rest are the
+        fallback order a placement policy should try when the owner cannot
+        take the key (multi-GPU placement uses this to honor per-device
+        capacity while keeping the hash-preferred device first).
+        """
+        with self._ring_lock:
+            if not self._points:
+                return iter(())
+            start = bisect.bisect(self._points, _point(key))
+            seen: list[object] = []
+            for offset in range(len(self._points)):
+                position = self._points[(start + offset) % len(self._points)]
+                owner = self._owners[position]
+                if owner not in seen:
+                    seen.append(owner)
+        return iter(seen)
+
+    def spread(self, keys: Sequence[str]) -> dict[object, int]:
+        """Key count per shard — the balance diagnostic used by the tests."""
+        with self._ring_lock:
+            counts: dict[object, int] = {shard: 0 for shard in self._shards}
+            if not self._points:
+                return counts
+            for key in keys:
+                index = bisect.bisect(self._points, _point(key))
+                if index == len(self._points):
+                    index = 0
+                counts[self._owners[self._points[index]]] += 1
+        return counts
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"HashRing(shards={self.shards()!r}, replicas={self.replicas})"

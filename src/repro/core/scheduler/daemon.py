@@ -159,6 +159,14 @@ class SchedulerDaemon:
             watchdog thread when ``io="loop"``.
         watchdog_interval: seconds the shared I/O loop may go without an
             iteration before the watchdog declares a stall and dumps.
+        shard_id / shard_count: this daemon's identity in a sharded
+            control plane (DESIGN.md §15).  When set, every socket the
+            daemon serves announces ``shard``/``shards`` in its hello
+            reply, registration replies carry ``shard``, and ``/top.json``
+            rows are tagged — so the router (and any client) can verify
+            which shard actually answered.  ``None`` (the default) is the
+            unsharded daemon; its wire traffic is byte-identical to
+            pre-shard builds (golden traces pin this).
     """
 
     def __init__(
@@ -179,6 +187,8 @@ class SchedulerDaemon:
         tracer: Tracer | None = None,
         flight_dump: str | None = None,
         watchdog_interval: float = 5.0,
+        shard_id: int | None = None,
+        shard_count: int | None = None,
     ) -> None:
         if transport not in ("unix", "tcp"):
             raise SchedulerError(f"unknown transport {transport!r}")
@@ -186,16 +196,33 @@ class SchedulerDaemon:
             raise SchedulerError(f"unknown io backend {io!r}")
         if codec not in ("auto", protocol.CODEC_BINARY, protocol.CODEC_JSON):
             raise SchedulerError(f"unknown codec {codec!r}")
+        if (shard_id is None) != (shard_count is None):
+            raise SchedulerError("shard_id and shard_count go together")
+        if shard_id is not None and not 0 <= shard_id < (shard_count or 0):
+            raise SchedulerError(
+                f"shard_id {shard_id} out of range for {shard_count} shards"
+            )
         self.scheduler = scheduler
         self.journal = journal
         self.monitor = monitor
         self.reap_interval = reap_interval
         self.tracer = tracer
+        self.shard_id = shard_id
+        self.shard_count = shard_count
+        #: Handshake identity merged into every hello reply this daemon's
+        #: sockets send (empty for the unsharded daemon — hello replies are
+        #: then byte-identical to pre-shard builds).
+        self.identity: dict[str, Any] = (
+            {"shard": shard_id, "shards": shard_count}
+            if shard_id is not None
+            else {}
+        )
         self.log = get_logger("daemon")
         self.service = SchedulerService(
             scheduler,
             heartbeat_sink=monitor.beat if monitor is not None else None,
             tracer=tracer,
+            shard_id=shard_id,
         )
         self.transport = transport
         self.host = host
@@ -238,6 +265,7 @@ class SchedulerDaemon:
                 daemon._collect_gauges()
 
         self._collector = collect_gauges
+        self._collector_registered = True
         REGISTRY.add_collector(collect_gauges, owner=self)
 
     # -- recovery -------------------------------------------------------------
@@ -283,6 +311,9 @@ class SchedulerDaemon:
     def start(self) -> "SchedulerDaemon":
         if self._control_server is not None:
             raise SchedulerError("daemon already started")
+        if not self._collector_registered:
+            self._collector_registered = True
+            REGISTRY.add_collector(self._collector, owner=self)
         if self.io == "loop":
             self._io_loop = IoLoop(workers=self.io_workers).start()
         if self.transport == "unix":
@@ -291,6 +322,7 @@ class SchedulerDaemon:
                 self._control_handler,
                 loop=self._io_loop,
                 codec=self.codec,
+                identity=self.identity,
             )
             self._control_server.start()
         else:
@@ -300,6 +332,7 @@ class SchedulerDaemon:
                 port=self.control_port,
                 loop=self._io_loop,
                 codec=self.codec,
+                identity=self.identity,
             )
             server.start()
             self.control_port = server.port
@@ -386,6 +419,16 @@ class SchedulerDaemon:
         if self.metrics_server is not None:
             self.metrics_server.stop()
             self.metrics_server = None
+        # A dead process's collector dies with it; the in-process analogue
+        # must do the same.  Without this, every shard restart in one
+        # process (recover() builds a new daemon, each __init__ registers a
+        # collector, and the supervisor keeps the old daemon referenced)
+        # stacks collectors whose stale schedulers re-publish gauge rows —
+        # the metrics double-counting bug.  Idempotent, so stop() calling
+        # kill() twice is fine; start() re-registers for an in-process
+        # kill-then-start of the *same* daemon object.
+        REGISTRY.remove_collector(self._collector)
+        self._collector_registered = False
 
     def __enter__(self) -> "SchedulerDaemon":
         return self.start()
@@ -460,7 +503,11 @@ class SchedulerDaemon:
             # The service *object* (not its bound .handle) goes in so the
             # batch dispatcher finds the batch_begin/batch_commit hooks.
             server = UnixSocketServer(
-                socket_path, self.service, loop=self._io_loop, codec=self.codec
+                socket_path,
+                self.service,
+                loop=self._io_loop,
+                codec=self.codec,
+                identity=self.identity,
             )
             server.start()
         else:
@@ -470,6 +517,7 @@ class SchedulerDaemon:
                 port=0,
                 loop=self._io_loop,
                 codec=self.codec,
+                identity=self.identity,
             )
             server.start()
             self._container_ports[container_id] = server.port
@@ -592,6 +640,7 @@ class SchedulerDaemon:
         for record in self.scheduler.containers():
             rows.append(
                 {
+                    **({"shard": self.shard_id} if self.shard_id is not None else {}),
                     "container": record.container_id,
                     "limit": record.limit,
                     "reserved": record.assigned,

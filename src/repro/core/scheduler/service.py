@@ -57,6 +57,12 @@ class SchedulerService:
     ``tracer`` (optional, off by default) records one server-side span per
     handled message, parented on the trace context the wrapper put on the
     wire — the daemon half of a wrapper→daemon trace.
+
+    ``shard_id`` (optional) is this service's identity in a sharded
+    control plane: every ``register_container`` reply then carries a
+    ``shard`` field, so the router (and a reconnecting wrapper) can check
+    that the consistent-hash ring and the daemon that actually answered
+    agree.  ``None`` keeps replies byte-identical to the unsharded wire.
     """
 
     def __init__(
@@ -65,10 +71,12 @@ class SchedulerService:
         *,
         heartbeat_sink: Callable[[str], None] | None = None,
         tracer: Tracer | None = None,
+        shard_id: int | None = None,
     ) -> None:
         self.scheduler = scheduler
         self.heartbeat_sink = heartbeat_sink
         self.tracer = tracer
+        self.shard_id = shard_id
         # Label resolution takes the family lock; cache the children so the
         # per-message cost is one dict get plus the bare inc()/observe().
         self._message_counts: dict[str, Any] = {}
@@ -147,6 +155,9 @@ class SchedulerService:
     # -- per-message handlers --------------------------------------------
 
     def _on_register_container(self, message: dict[str, Any], reply_handle) -> Any:
+        # Registration replies carry the shard identity (when sharded) —
+        # the handshake field the router checks against its hash ring.
+        identity = {} if self.shard_id is None else {"shard": self.shard_id}
         try:
             result = self.scheduler.register_container(
                 message["container_id"], message["limit"]
@@ -163,18 +174,26 @@ class SchedulerService:
             if record.closed or record.limit != message["limit"]:
                 raise
             return protocol.make_reply(
-                message, assigned=record.assigned, limit=record.limit, reattached=True
+                message,
+                assigned=record.assigned,
+                limit=record.limit,
+                reattached=True,
+                **identity,
             )
         if isinstance(result, tuple):
             # Multi-GPU scheduler: placement decided at registration; the
             # reply tells nvidia-docker which /dev/nvidiaN to attach.
             ordinal, record = result
             return protocol.make_reply(
-                message, assigned=record.assigned, limit=record.limit, device=ordinal
+                message,
+                assigned=record.assigned,
+                limit=record.limit,
+                device=ordinal,
+                **identity,
             )
         record = result
         return protocol.make_reply(
-            message, assigned=record.assigned, limit=record.limit
+            message, assigned=record.assigned, limit=record.limit, **identity
         )
 
     def _on_container_exit(self, message: dict[str, Any], reply_handle) -> Any:

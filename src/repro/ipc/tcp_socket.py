@@ -48,8 +48,9 @@ class TcpSocketServer(_BaseSocketServer):
         *,
         loop: IoLoop | None = None,
         codec: str = "auto",
+        identity: dict | None = None,
     ) -> None:
-        super().__init__(handler, loop=loop, codec=codec)
+        super().__init__(handler, loop=loop, codec=codec, identity=identity)
         self.host = host
         self.port = port  # 0 = ephemeral; actual port published after start()
 

@@ -227,11 +227,17 @@ class _BaseSocketServer:
         *,
         loop: IoLoop | None = None,
         codec: str = "auto",
+        identity: Mapping[str, Any] | None = None,
     ) -> None:
         if codec not in ("auto", protocol.CODEC_BINARY, protocol.CODEC_JSON):
             raise TransportError(f"unknown codec {codec!r}")
         self.handler = handler
         self.codec = codec
+        #: Extra fields merged into every hello reply (shard identity in the
+        #: sharded control plane; empty keeps the handshake byte-identical
+        #: to pre-shard builds).  The hello reply is always JSON, so any
+        #: JSON-able mapping works without a schema change.
+        self._identity: dict[str, Any] = dict(identity or {})
         #: Codecs this server will agree to in the hello handshake.  JSON is
         #: always offered (the protocol floor); ``codec="json"`` yields a
         #: JSON-only server, the "old peer" of the downgrade rule.
@@ -635,7 +641,11 @@ class _BaseSocketServer:
             # batch's remaining frames — a pipelining client may follow its
             # hello with binary frames optimistically.
             chosen = protocol.negotiate_codec(message["codecs"], self._supported)
-            out.append(protocol.encode(protocol.make_reply(message, codec=chosen)))
+            out.append(
+                protocol.encode(
+                    protocol.make_reply(message, codec=chosen, **self._identity)
+                )
+            )
             ctx.codec = chosen
             _REC.record(_EV_HELLO, s=chosen)
             return
@@ -700,8 +710,9 @@ class UnixSocketServer(_BaseSocketServer):
         *,
         loop: IoLoop | None = None,
         codec: str = "auto",
+        identity: Mapping[str, Any] | None = None,
     ) -> None:
-        super().__init__(handler, loop=loop, codec=codec)
+        super().__init__(handler, loop=loop, codec=codec, identity=identity)
         self.path = path
 
     def _make_listener(self) -> socket.socket:
@@ -745,6 +756,10 @@ class _BaseSocketClient:
         self._seq = 0
         self._lock = threading.Lock()
         self.codec = protocol.CODEC_JSON
+        #: Extra fields the server attached to its hello reply (shard
+        #: identity in the sharded control plane); empty on JSON-pinned
+        #: connections (no handshake) and against pre-shard servers.
+        self.server_identity: dict[str, Any] = {}
 
     def _init_stream(self, codec: str) -> None:
         if codec not in ("auto", protocol.CODEC_BINARY, protocol.CODEC_JSON):
@@ -786,6 +801,11 @@ class _BaseSocketClient:
                 and chosen in protocol.SUPPORTED_CODECS
             ):
                 self.codec = chosen
+                self.server_identity = {
+                    key: value
+                    for key, value in reply.items()
+                    if key not in ("type", "seq", "status", "codec")
+                }
             # Anything else — an error reply from a JSON-only peer (possibly
             # with seq 0), an unknown codec name — downgrades to JSON; the
             # legacy peer answered exactly one frame, so the stream is back

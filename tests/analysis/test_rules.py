@@ -442,6 +442,59 @@ def test_lock_order_sees_call_into_acquiring_method(lint):
     assert rules_of(findings) == ["lock-order"]
 
 
+def test_lock_order_flags_acquisition_under_leaf_lock(lint):
+    # _ring_lock is declared a leaf: taking anything while holding it is
+    # a finding on its own, no cycle needed.
+    findings = lint(
+        {
+            "ring.py": """\
+            import threading
+
+            class Ring:
+                def __init__(self):
+                    self._ring_lock = threading.Lock()
+                    self._table_lock = threading.Lock()
+
+                def rebalance(self):
+                    with self._ring_lock:
+                        with self._table_lock:
+                            pass
+            """
+        },
+        lock_module_suffixes=("ring.py",),
+    )
+    assert rules_of(findings) == ["lock-order"]
+    assert "leaf lock Ring._ring_lock" in findings[0].message
+    assert "Ring._table_lock" in findings[0].message
+
+
+def test_lock_order_accepts_leaf_lock_as_innermost(lint):
+    # The legal direction: the leaf is taken last, nothing under it.
+    findings = lint(
+        {
+            "ring.py": """\
+            import threading
+
+            class Ring:
+                def __init__(self):
+                    self._ring_lock = threading.Lock()
+                    self._table_lock = threading.Lock()
+
+                def place(self):
+                    with self._table_lock:
+                        with self._ring_lock:
+                            pass
+
+                def lookup(self):
+                    with self._ring_lock:
+                        pass
+            """
+        },
+        lock_module_suffixes=("ring.py",),
+    )
+    assert findings == []
+
+
 # ---------------------------------------------------------------------------
 # loop-blocking
 # ---------------------------------------------------------------------------

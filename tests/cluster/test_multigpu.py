@@ -77,7 +77,9 @@ class TestPlacement:
             cluster.register_container("xxl", 2 * GiB)
 
     def test_all_policies_registered(self):
-        assert set(PLACEMENT_POLICIES) == {"most-free", "best-fit", "round-robin"}
+        assert set(PLACEMENT_POLICIES) == {
+            "most-free", "best-fit", "round-robin", "hash",
+        }
 
 
 class TestRouting:

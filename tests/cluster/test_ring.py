@@ -1,0 +1,110 @@
+"""HashRing: deterministic placement, balance, and minimal disruption."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.cluster import HashRing
+from repro.errors import ClusterError
+
+KEYS = [f"container-{i:04d}" for i in range(400)]
+
+
+def test_placement_is_deterministic_within_process():
+    a = HashRing([0, 1, 2, 3])
+    b = HashRing([0, 1, 2, 3])
+    assert [a.shard_of(k) for k in KEYS] == [b.shard_of(k) for k in KEYS]
+
+
+def test_placement_is_stable_across_interpreters():
+    # blake2b, not hash(): PYTHONHASHSEED must not move any key.
+    script = (
+        "from repro.cluster import HashRing\n"
+        "ring = HashRing([0, 1, 2, 3])\n"
+        "print(ring.shard_of('container-0007'), ring.shard_of('container-0042'))\n"
+    )
+    outs = set()
+    for seed in ("0", "12345"):
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            check=True,
+            env={"PYTHONPATH": "src", "PYTHONHASHSEED": seed},
+        )
+        outs.add(proc.stdout.strip())
+    assert len(outs) == 1
+    local = HashRing([0, 1, 2, 3])
+    expected = f"{local.shard_of('container-0007')} {local.shard_of('container-0042')}"
+    assert outs == {expected}
+
+
+def test_spread_is_roughly_balanced():
+    ring = HashRing([0, 1, 2, 3])
+    counts = ring.spread(KEYS)
+    assert sum(counts.values()) == len(KEYS)
+    ideal = len(KEYS) / 4
+    for shard, count in counts.items():
+        # 64 vnodes/shard keeps worst-case imbalance well under 2x ideal.
+        assert count > ideal * 0.4, (shard, counts)
+        assert count < ideal * 2.0, (shard, counts)
+
+
+def test_removing_a_shard_only_moves_its_keys():
+    ring = HashRing([0, 1, 2, 3])
+    before = {k: ring.shard_of(k) for k in KEYS}
+    ring.remove(2)
+    after = {k: ring.shard_of(k) for k in KEYS}
+    moved = [k for k in KEYS if before[k] != after[k]]
+    # Every moved key must have been owned by the removed shard, and no
+    # surviving key may land back on it.
+    assert all(before[k] == 2 for k in moved)
+    assert all(after[k] != 2 for k in KEYS)
+    # Keys on surviving shards did not reshuffle.
+    stayed = [k for k in KEYS if before[k] != 2]
+    assert all(before[k] == after[k] for k in stayed)
+
+
+def test_adding_a_shard_only_steals_keys():
+    ring = HashRing([0, 1, 2])
+    before = {k: ring.shard_of(k) for k in KEYS}
+    ring.add(3)
+    after = {k: ring.shard_of(k) for k in KEYS}
+    moved = [k for k in KEYS if before[k] != after[k]]
+    assert moved, "a new shard should take some keys"
+    assert all(after[k] == 3 for k in moved)
+
+
+def test_preference_starts_at_owner_and_covers_all_shards():
+    ring = HashRing([0, 1, 2, 3])
+    for key in KEYS[:32]:
+        order = list(ring.preference(key))
+        assert order[0] == ring.shard_of(key)
+        assert sorted(order) == [0, 1, 2, 3]
+
+
+def test_membership_helpers():
+    ring = HashRing(["a", "b"])
+    assert len(ring) == 2
+    assert "a" in ring and "c" not in ring
+    assert ring.shards() == ("a", "b")
+    ring.add("a")  # idempotent
+    assert len(ring) == 2
+    ring.remove("c")  # absent: no-op
+    assert ring.shards() == ("a", "b")
+
+
+def test_empty_ring_raises():
+    ring = HashRing()
+    with pytest.raises(ClusterError):
+        ring.shard_of("anything")
+    assert list(ring.preference("anything")) == []
+    assert ring.spread(["x"]) == {}
+
+
+def test_replicas_must_be_positive():
+    with pytest.raises(ClusterError):
+        HashRing([0], replicas=0)

@@ -1,0 +1,73 @@
+"""`repro recover` over a sharded deployment's journal directory/glob."""
+
+from __future__ import annotations
+
+import os
+
+from repro.cli import main
+from repro.core.scheduler import (
+    GpuMemoryScheduler,
+    SchedulerJournal,
+    make_policy,
+)
+from repro.units import GiB, MiB
+
+
+def _write_shard_journal(path: str, containers: int) -> None:
+    scheduler = GpuMemoryScheduler(4 * GiB, make_policy("FIFO"))
+    journal = SchedulerJournal(path)
+    journal.attach(scheduler)
+    for i in range(containers):
+        scheduler.register_container(f"cont-{i}", 256 * MiB)
+    journal.close()
+
+
+def _shard_dir(tmp_path) -> str:
+    base = tmp_path / "shards"
+    base.mkdir()
+    _write_shard_journal(str(base / "shard-0.journal"), containers=2)
+    _write_shard_journal(str(base / "shard-1.journal"), containers=3)
+    return str(base)
+
+
+def test_directory_prints_per_shard_table(tmp_path, capsys):
+    base = _shard_dir(tmp_path)
+    assert main(["recover", base]) == 0
+    out = capsys.readouterr().out
+    assert "shard journals (2)" in out
+    assert "shard-0.journal" in out
+    assert "shard-1.journal" in out
+    assert out.count("OK") == 2
+
+
+def test_glob_selects_journals(tmp_path, capsys):
+    base = _shard_dir(tmp_path)
+    assert main(["recover", os.path.join(base, "shard-*.journal")]) == 0
+    assert "shard journals (2)" in capsys.readouterr().out
+
+
+def test_corrupt_shard_fails_the_run_but_reports_all(tmp_path, capsys):
+    base = _shard_dir(tmp_path)
+    with open(os.path.join(base, "shard-1.journal"), "a", encoding="utf-8") as fh:
+        fh.write('{"event": "NoSuchEvent", "time": 0}\n')
+    assert main(["recover", base]) == 1
+    out = capsys.readouterr().out
+    assert "CORRUPT" in out
+    # The healthy shard is still summarized.
+    assert "shard-0.journal" in out
+    assert "OK" in out
+
+
+def test_empty_match_is_an_error(tmp_path, capsys):
+    empty = tmp_path / "nothing"
+    empty.mkdir()
+    assert main(["recover", str(empty)]) == 1
+    assert "no journals match" in capsys.readouterr().err
+
+
+def test_single_file_keeps_the_detailed_view(tmp_path, capsys):
+    base = _shard_dir(tmp_path)
+    assert main(["recover", os.path.join(base, "shard-0.journal")]) == 0
+    out = capsys.readouterr().out
+    assert "journal summary" in out
+    assert "invariants: OK" in out
