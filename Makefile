@@ -2,7 +2,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test stress bench bench-concurrency bench-journal bench-recovery bench-shards churn crash check lint analyze
+.PHONY: test stress bench bench-concurrency bench-journal bench-recovery bench-shards churn crash check lint analyze san
 
 test:            ## tier-1: fast unit/integration/property tests
 	$(PYTHON) -m pytest -x -q
@@ -37,5 +37,13 @@ lint:            ## ruff lint (same rules as CI; needs ruff installed)
 
 analyze:         ## reprolint: AST invariant checker (DESIGN.md §12); no deps
 	$(PYTHON) -m repro lint src
+
+san:             ## reprosan: churn + fault-injection suites under the lockset race sanitizer (DESIGN.md §16)
+	timeout 900 $(PYTHON) -m repro san -- -q \
+		tests/ipc/test_connection_churn.py \
+		tests/core/test_daemon_lifecycle.py \
+		tests/core/test_journal_properties.py \
+		tests/integration/test_failure_injection.py \
+		tests/integration/test_concurrency_stress.py
 
 check: test crash analyze  ## what CI runs: tier-1 tests + crash recovery + reprolint

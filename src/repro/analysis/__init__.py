@@ -22,12 +22,16 @@ from repro.analysis.baseline import (
     apply_baseline,
     assign_fingerprints,
     load_baseline,
+    load_baseline_entries,
+    prune_baseline,
+    stale_entries,
     write_baseline,
 )
 from repro.analysis.config import LintConfig
 from repro.analysis.core import Context, Finding, Rule, SourceFile
 from repro.analysis.engine import DEFAULT_RULES, analyze_paths, find_root
 from repro.analysis.report import render_json, render_text
+from repro.analysis.sarif import render_sarif
 
 __all__ = [
     "Context",
@@ -41,7 +45,11 @@ __all__ = [
     "assign_fingerprints",
     "find_root",
     "load_baseline",
+    "load_baseline_entries",
+    "prune_baseline",
     "render_json",
+    "render_sarif",
     "render_text",
+    "stale_entries",
     "write_baseline",
 ]

@@ -5,6 +5,15 @@ line it sits on — stable across unrelated edits that move the line, so a
 baseline does not churn with the file.  Duplicate (rule, file, line-text)
 triples get an occurrence index.
 
+A baseline can also go *stale*: the finding it grandfathers gets fixed,
+but the entry lingers and silently re-grandfathers the next regression
+at the same site.  ``--write-baseline`` therefore **merges**: entries in
+the scope of the current run (its analyzed files and its tool's rules)
+are replaced by the current findings — stale ones pruned — while
+out-of-scope entries (other directories, the other tool) are kept
+verbatim.  Normal runs warn when they see in-scope stale entries, and
+``--prune-baseline`` drops them without regrandfathering anything.
+
 The committed baseline for this repo is **empty by policy**: every real
 finding is fixed and every deliberate one carries an inline suppression
 with its reason (ISSUE 5 satellite 1).  The mechanism exists so a future
@@ -16,7 +25,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 from repro.analysis.core import Finding, refinding
 
@@ -24,10 +33,17 @@ __all__ = [
     "apply_baseline",
     "assign_fingerprints",
     "load_baseline",
+    "load_baseline_entries",
+    "prune_baseline",
+    "stale_entries",
     "write_baseline",
 ]
 
 _VERSION = 1
+
+#: ``scope(entry) -> bool`` — True when the current run re-derives this
+#: entry's finding (and may therefore prune or replace it).
+Scope = Callable[[dict], bool]
 
 
 def assign_fingerprints(findings: Sequence[Finding]) -> list[Finding]:
@@ -44,19 +60,40 @@ def assign_fingerprints(findings: Sequence[Finding]) -> list[Finding]:
     return out
 
 
-def load_baseline(path: str) -> set[str]:
-    """Fingerprints from a baseline file; empty set when absent."""
+def load_baseline_entries(path: str) -> list[dict]:
+    """Full baseline entries; empty list when the file is absent."""
     if not os.path.exists(path):
-        return set()
+        return []
     with open(path, "r", encoding="utf-8") as fh:
         data = json.load(fh)
     if not isinstance(data, dict) or data.get("version") != _VERSION:
         raise ValueError(f"unrecognized baseline format in {path}")
-    return {
-        entry["fingerprint"]
+    return [
+        entry
         for entry in data.get("findings", [])
         if isinstance(entry, dict) and "fingerprint" in entry
-    }
+    ]
+
+
+def load_baseline(path: str) -> set[str]:
+    """Fingerprints from a baseline file; empty set when absent."""
+    return {entry["fingerprint"] for entry in load_baseline_entries(path)}
+
+
+def stale_entries(
+    entries: Iterable[dict],
+    findings: Sequence[Finding],
+    scope: Scope | None = None,
+) -> list[dict]:
+    """In-scope entries whose finding no longer exists — dead weight
+    that would silently grandfather the next regression at that site."""
+    live = {finding.fingerprint for finding in findings}
+    return [
+        entry
+        for entry in entries
+        if entry["fingerprint"] not in live
+        and (scope is None or scope(entry))
+    ]
 
 
 def apply_baseline(
@@ -73,19 +110,57 @@ def apply_baseline(
     return fresh, grandfathered
 
 
-def write_baseline(path: str, findings: Sequence[Finding]) -> None:
-    payload = {
-        "version": _VERSION,
-        "findings": [
-            {
-                "fingerprint": finding.fingerprint,
-                "rule": finding.rule,
-                "path": finding.path,
-                "message": finding.message,
-            }
-            for finding in findings
-        ],
-    }
+def write_baseline(
+    path: str,
+    findings: Sequence[Finding],
+    scope: Scope | None = None,
+) -> tuple[int, int]:
+    """Merge ``findings`` into the baseline at ``path``.
+
+    Entries for which ``scope`` returns True are owned by this run:
+    they are replaced wholesale by the current findings, which prunes
+    the stale ones.  Out-of-scope entries survive untouched — ``repro
+    lint src/repro/ipc`` must not drop the core entries, and ``repro
+    san`` must not drop the static ones.  ``scope=None`` claims
+    everything (the pre-merge behaviour).
+
+    Returns ``(entries written, stale entries pruned)``.
+    """
+    existing = load_baseline_entries(path)
+    kept = [] if scope is None else [e for e in existing if not scope(e)]
+    in_scope = existing if scope is None else [e for e in existing if scope(e)]
+    live = {finding.fingerprint for finding in findings}
+    pruned = sum(1 for entry in in_scope if entry["fingerprint"] not in live)
+    entries = kept + [
+        {
+            "fingerprint": finding.fingerprint,
+            "rule": finding.rule,
+            "path": finding.path,
+            "message": finding.message,
+        }
+        for finding in findings
+    ]
+    _dump(path, entries)
+    return len(entries), pruned
+
+
+def prune_baseline(path: str, stale: Sequence[dict]) -> int:
+    """Drop ``stale`` entries from the baseline without grandfathering
+    anything new.  Returns the number of entries removed."""
+    dead = {entry["fingerprint"] for entry in stale}
+    entries = load_baseline_entries(path)
+    kept = [entry for entry in entries if entry["fingerprint"] not in dead]
+    if len(kept) != len(entries):
+        _dump(path, kept)
+    return len(entries) - len(kept)
+
+
+def _dump(path: str, entries: list[dict]) -> None:
+    entries = sorted(
+        entries, key=lambda e: (e.get("path", ""), e.get("rule", ""),
+                                e["fingerprint"])
+    )
+    payload = {"version": _VERSION, "findings": entries}
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
         fh.write("\n")

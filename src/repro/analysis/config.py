@@ -25,6 +25,12 @@ class LintConfig:
     #: looking for ``pyproject.toml``.
     root: str | None = None
 
+    # -- call graph (shared by loop-blocking / lock-discipline / reprosan) --
+    #: Bounded-depth closure over the whole-program call graph: how many
+    #: resolved frames beyond a checked region the blocking-reachability
+    #: walks follow (1 = only the called function's own body).
+    callgraph_max_depth: int = 6
+
     # -- purity (DESIGN.md §11: the transition core is pure) ---------------
     #: Modules that may not import/call I/O, time, threads or RNGs, and may
     #: not mutate module globals.
@@ -168,6 +174,12 @@ class LintConfig:
             "wait_durable",
         }
     )
+
+    # -- thread inventory (DESIGN.md §16: the set of threads is closed) ----
+    #: The doc holding the declared-threads table (between the
+    #: ``declared-threads:begin/end`` markers); ``None`` disables the
+    #: thread-spawn rule.  Resolved against the repo root unless absolute.
+    threads_doc_path: str | None = "DESIGN.md"
 
     # -- protocol drift (docs/PROTOCOL.md: one schema module) --------------
     #: The schema module: ``MSG_*`` constants + ``REQUEST_FIELDS`` +

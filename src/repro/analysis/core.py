@@ -131,6 +131,10 @@ class Rule:
     """One invariant.  Subclasses set ``id`` and override either hook."""
 
     id = ""
+    #: Whole-program rules reason across files (lock ordering, schema
+    #: sync, the thread inventory): change-scoped runs (``repro lint
+    #: --changed``) must never filter their findings to the changed set.
+    whole_program = False
 
     def check_file(self, source: SourceFile, ctx: Context) -> Iterable[Finding]:
         """Per-file pass; called once per analyzed module."""

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import os
+import subprocess
 from typing import Iterable, Sequence
 
 from repro.analysis.config import LintConfig
@@ -18,17 +19,27 @@ from repro.analysis.obsrules import (
 )
 from repro.analysis.protocolrules import ProtocolDriftRule
 from repro.analysis.purity import PurityRule
+from repro.analysis.structure import StateEscapeRule, ThreadSpawnRule
 
-__all__ = ["DEFAULT_RULES", "analyze_paths", "collect_files", "find_root"]
+__all__ = [
+    "DEFAULT_RULES",
+    "analyze_paths",
+    "changed_files",
+    "collect_files",
+    "find_root",
+    "scope_to_changed",
+]
 
 #: Every registered rule, instantiated fresh per run (rules may keep
 #: cross-file state in ``Context.state``).
 DEFAULT_RULES = (
     PurityRule,
+    StateEscapeRule,
     LockDisciplineRule,
     DoubleLockRule,
     LockOrderRule,
     LoopBlockingRule,
+    ThreadSpawnRule,
     ProtocolDriftRule,
     MetricDriftRule,
     EventDriftRule,
@@ -68,6 +79,50 @@ def find_root(paths: Sequence[str]) -> str:
         if parent == probe:
             return start if os.path.isdir(start) else os.path.dirname(start)
         probe = parent
+
+
+def changed_files(root: str, ref: str = "HEAD") -> set[str]:
+    """Repo-relative ``.py`` files touched since ``ref``: the committed
+    diff plus staged, unstaged and untracked work."""
+    changed: set[str] = set()
+    for cmd in (
+        ["git", "diff", "--name-only", ref],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        out = subprocess.run(
+            cmd, cwd=root, capture_output=True, text=True, check=True
+        ).stdout
+        changed.update(
+            line.strip()
+            for line in out.splitlines()
+            if line.strip().endswith(".py")
+        )
+    return changed
+
+
+def scope_to_changed(
+    findings: Sequence[Finding],
+    changed: set[str],
+    *,
+    rules: Iterable[type] | None = None,
+) -> list[Finding]:
+    """Keep findings in changed files — plus **every** finding of a
+    whole-program rule.  A lock-order cycle or a stale thread
+    declaration can sit entirely in unchanged files and still be caused
+    by the edit; change-scoping must never hide those.  ``parse-error``
+    findings always survive: an unparseable file poisons every
+    cross-file rule's view of the tree."""
+    keep_all = {
+        rule.id
+        for rule in (rules or DEFAULT_RULES)
+        if getattr(rule, "whole_program", False)
+    }
+    keep_all.add("parse-error")
+    return [
+        finding
+        for finding in findings
+        if finding.rule in keep_all or finding.path in changed
+    ]
 
 
 def analyze_paths(

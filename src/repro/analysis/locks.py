@@ -70,9 +70,11 @@ class LockDisciplineRule(Rule):
         cfg = ctx.config
         if not source.matches(cfg.lock_module_suffixes):
             return
-        for node in ast.walk(source.tree):
-            if not isinstance(node, ast.With):
-                continue
+        from repro.analysis.callgraph import callgraph_for
+
+        graph = callgraph_for(ctx)
+        blocking = frozenset(cfg.lock_blocking_calls)
+        for cls_name, func, node in _withs_with_owners(source.tree):
             locks = [
                 (recv, attr)
                 for recv, attr in lock_withitems(node)
@@ -82,6 +84,9 @@ class LockDisciplineRule(Rule):
                 continue
             held = ", ".join(
                 attr if recv is None else f"{recv}.{attr}" for recv, attr in locks
+            )
+            owner_key = (
+                graph.key_for(source, cls_name, func) if func is not None else None
             )
             for stmt in node.body:
                 # Nested defs are skipped: a closure built under the lock
@@ -102,12 +107,59 @@ class LockDisciplineRule(Rule):
                             "effectful work must run after the lock is "
                             "released (DESIGN.md §11)",
                         )
-                    elif name in cfg.lock_callback_names:
+                        continue
+                    if name in cfg.lock_callback_names:
                         yield source.finding(
                             self.id, child,
                             f"user callback {name}() invoked while holding "
                             f"{held}; callbacks are delivered post-release",
                         )
+                        continue
+                    # Transitive: does the called function reach a blocking
+                    # call within the bounded call-graph closure?
+                    if owner_key is None:
+                        continue
+                    for call_node, callee in graph.resolve_in_body(
+                        owner_key, child
+                    ):
+                        if call_node is not child:
+                            continue
+                        hit = graph.find_blocking(
+                            callee, blocking,
+                            max_depth=ctx.config.callgraph_max_depth,
+                        )
+                        if hit is None:
+                            continue
+                        chain, _terminal = hit
+                        route = " -> ".join((callee.label(),) + chain[:-1])
+                        yield source.finding(
+                            self.id, child,
+                            f"{chain[-1]} is reachable inside `with {held}:` "
+                            f"via {route} — blocking/effectful work must run "
+                            "after the lock is released (DESIGN.md §11)",
+                        )
+
+
+def _withs_with_owners(
+    tree: ast.Module,
+) -> Iterable[tuple[str | None, str | None, ast.With]]:
+    """Every ``with`` statement, tagged with its enclosing top-level
+    class/function (closures report their enclosing method — calls are
+    resolved in that method's namespace)."""
+
+    def walk(node: ast.AST, cls: str | None, func: str | None):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                yield from walk(child, child.name if func is None else cls, func)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from walk(child, cls, child.name if func is None else func)
+            else:
+                if isinstance(child, ast.With):
+                    yield cls, func, child
+                yield from walk(child, cls, func)
+
+    return walk(tree, None, None)
+
 
 
 class DoubleLockRule(Rule):

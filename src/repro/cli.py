@@ -319,7 +319,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="files/directories to analyze (default: src)",
     )
     lint_cmd.add_argument(
-        "--format", choices=("text", "json"), default="text", dest="fmt",
+        "--format", choices=("text", "json", "sarif"), default="text",
+        dest="fmt",
     )
     lint_cmd.add_argument(
         "--baseline", default=None, metavar="PATH",
@@ -331,7 +332,53 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint_cmd.add_argument(
         "--write-baseline", action="store_true",
-        help="rewrite the baseline with the current findings and exit 0",
+        help="merge the current findings into the baseline (pruning "
+             "stale in-scope entries) and exit 0",
+    )
+    lint_cmd.add_argument(
+        "--prune-baseline", action="store_true",
+        help="drop stale baseline entries without grandfathering "
+             "anything new, then report as usual",
+    )
+    lint_cmd.add_argument(
+        "--changed", nargs="?", const="HEAD", default=None, metavar="REF",
+        help="only report findings in files changed since REF (default "
+             "HEAD, including uncommitted work); whole-program rules "
+             "(lock-order, thread-spawn, drift) still report everywhere",
+    )
+
+    san_cmd = sub.add_parser(
+        "san",
+        help="reprosan: run pytest under the lockset race sanitizer "
+             "(DESIGN.md §16)",
+    )
+    san_cmd.add_argument(
+        "pytest_args", nargs="*", default=["tests/core"],
+        help="arguments forwarded to pytest (default: tests/core)",
+    )
+    san_cmd.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        dest="fmt",
+    )
+    san_cmd.add_argument(
+        "--backend", choices=("auto", "settrace", "monitoring"),
+        default="auto",
+        help="write tracer: sys.monitoring on 3.12+, sys.settrace below "
+             "(default: auto)",
+    )
+    san_cmd.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="baseline file shared with repro lint "
+             "(default: <root>/.reprolint.json)",
+    )
+    san_cmd.add_argument(
+        "--no-baseline", action="store_true",
+        help="report grandfathered findings too",
+    )
+    san_cmd.add_argument(
+        "--write-baseline", action="store_true",
+        help="merge current san findings into the baseline (pruning "
+             "stale san entries; lint entries untouched) and exit 0",
     )
     return parser
 
@@ -1076,37 +1123,160 @@ def _cmd_export(args) -> int:
     return 0
 
 
+def _analyzed_rels(paths, root: str) -> list[str]:
+    """Repo-relative names of every file a lint run covered — the scope
+    for baseline pruning must include the *clean* files too, or stale
+    entries for fixed findings would never be dropped."""
+    from repro.analysis.engine import collect_files
+
+    try:
+        files = collect_files(paths)
+    except FileNotFoundError:
+        return []
+    return [os.path.relpath(p, root).replace(os.sep, "/") for p in files]
+
+
+def _render_findings(fmt: str, findings, *, grandfathered: int, tool: str) -> str:
+    from repro.analysis import render_json, render_text
+    from repro.analysis.sarif import render_sarif
+
+    if fmt == "sarif":
+        return render_sarif(findings, tool_name=tool)
+    if fmt == "json":
+        return render_json(findings, grandfathered=grandfathered)
+    return render_text(findings, grandfathered=grandfathered)
+
+
 def _cmd_lint(args) -> int:
     from repro.analysis import (
         analyze_paths,
         apply_baseline,
         assign_fingerprints,
         find_root,
-        load_baseline,
-        render_json,
-        render_text,
+        load_baseline_entries,
+        prune_baseline,
+        stale_entries,
         write_baseline,
     )
+    from repro.analysis.engine import changed_files, scope_to_changed
 
     try:
         findings = assign_fingerprints(analyze_paths(args.paths))
     except FileNotFoundError as exc:
         print(f"no such file or directory: {exc}", file=sys.stderr)
         return 2
+    root = find_root(args.paths)
     baseline_path = args.baseline
     if baseline_path is None:
-        baseline_path = os.path.join(find_root(args.paths), ".reprolint.json")
+        baseline_path = os.path.join(root, ".reprolint.json")
+    analyzed = {finding.path for finding in findings}
+    for source_rel in _analyzed_rels(args.paths, root):
+        analyzed.add(source_rel)
+
+    def in_scope(entry: dict) -> bool:
+        # This run owns the entries it can re-derive: static rules over
+        # the analyzed files.  san-* entries belong to `repro san`.
+        return (
+            not entry.get("rule", "").startswith("san-")
+            and entry.get("path") in analyzed
+        )
+
     if args.write_baseline:
-        write_baseline(baseline_path, findings)
-        print(f"wrote {len(findings)} finding(s) to {baseline_path}")
+        total, pruned = write_baseline(baseline_path, findings, in_scope)
+        print(
+            f"wrote {total} finding(s) to {baseline_path}"
+            + (f" ({pruned} stale pruned)" if pruned else "")
+        )
+        return 0
+    entries = load_baseline_entries(baseline_path)
+    stale = stale_entries(entries, findings, in_scope)
+    if args.prune_baseline and stale:
+        removed = prune_baseline(baseline_path, stale)
+        print(f"pruned {removed} stale entr"
+              f"{'y' if removed == 1 else 'ies'} from {baseline_path}")
+        entries = load_baseline_entries(baseline_path)
+        stale = []
+    grandfathered = 0
+    if not args.no_baseline:
+        baseline = {entry["fingerprint"] for entry in entries}
+        findings, grandfathered = apply_baseline(findings, baseline)
+        if stale:
+            print(
+                f"warning: {len(stale)} stale baseline entr"
+                f"{'y' if len(stale) == 1 else 'ies'} in {baseline_path} "
+                "no longer match any finding; rerun with --write-baseline "
+                "or --prune-baseline",
+                file=sys.stderr,
+            )
+    if args.changed is not None:
+        findings = scope_to_changed(findings, changed_files(root, args.changed))
+    print(_render_findings(args.fmt, findings, grandfathered=grandfathered,
+                           tool="reprolint"))
+    return 1 if findings else 0
+
+
+def _cmd_san(args) -> int:
+    from repro.analysis import (
+        apply_baseline,
+        assign_fingerprints,
+        load_baseline,
+        write_baseline,
+    )
+    from repro.analysis.san import SanSession, apply_source_suppressions
+
+    try:
+        import pytest
+    except ImportError:  # pragma: no cover - pytest ships with dev envs
+        print("repro san needs pytest on the import path", file=sys.stderr)
+        return 2
+
+    try:
+        session = SanSession(backend=args.backend)
+    except RuntimeError as exc:
+        print(f"repro san: {exc}", file=sys.stderr)
+        return 2
+    with session:
+        if args.fmt == "text":
+            pytest_rc = pytest.main(list(args.pytest_args))
+        else:
+            # Machine-readable formats own stdout; pytest's progress
+            # moves to stderr so `repro san --format sarif > out.sarif`
+            # yields a parseable document.
+            import contextlib
+
+            with contextlib.redirect_stdout(sys.stderr):
+                pytest_rc = pytest.main(list(args.pytest_args))
+    report = session.report()
+    findings = report.findings(session.root)
+    findings, suppressed = apply_source_suppressions(findings, session.root)
+    findings = assign_fingerprints(findings)
+    baseline_path = args.baseline or os.path.join(
+        session.root, ".reprolint.json"
+    )
+
+    def in_scope(entry: dict) -> bool:
+        return entry.get("rule", "").startswith("san-")
+
+    if args.write_baseline:
+        total, pruned = write_baseline(baseline_path, findings, in_scope)
+        print(
+            f"wrote {total} finding(s) to {baseline_path}"
+            + (f" ({pruned} stale pruned)" if pruned else "")
+        )
         return 0
     grandfathered = 0
     if not args.no_baseline:
         findings, grandfathered = apply_baseline(
             findings, load_baseline(baseline_path)
         )
-    render = render_json if args.fmt == "json" else render_text
-    print(render(findings, grandfathered=grandfathered))
+    print(_render_findings(args.fmt, findings, grandfathered=grandfathered,
+                           tool="reprosan"))
+    if args.fmt == "text":
+        print(report.summary(), file=sys.stderr)
+        if suppressed:
+            print(f"({suppressed} suppressed inline)", file=sys.stderr)
+    if pytest_rc != 0:
+        return int(pytest_rc)
     return 1 if findings else 0
 
 
@@ -1127,6 +1297,7 @@ _COMMANDS = {
     "dump": _cmd_dump,
     "doctor": _cmd_doctor,
     "lint": _cmd_lint,
+    "san": _cmd_san,
 }
 
 

@@ -172,8 +172,13 @@ class SchedulerState:
         return self.total_memory - self._reserved
 
     def records(self) -> Iterable[ContainerRecord]:
-        """All container records (open and closed) in registration order."""
-        return self._containers.values()
+        """All container records (open and closed) in registration order.
+
+        A snapshot tuple, not a live view: callers iterate outside the
+        runtime lock (policy indexes hold one across transitions), and a
+        live ``.values()`` view would mutate under them (state-escape).
+        """
+        return tuple(self._containers.values())
 
     def container(self, container_id: str) -> ContainerRecord:
         record = self._containers.get(container_id)

@@ -1,0 +1,222 @@
+"""Unit tests for the whole-program call graph (repro.analysis.callgraph)."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis.callgraph import (
+    FuncKey,
+    build_callgraph,
+    module_name_of,
+)
+from repro.analysis.core import SourceFile
+
+
+def _graph(tmp_path, files):
+    sources = []
+    for rel, text in files.items():
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(text))
+        sources.append(SourceFile(str(target), rel, textwrap.dedent(text)))
+    return build_callgraph(sources)
+
+
+def test_module_name_of_strips_src_and_init():
+    assert module_name_of("src/repro/ipc/loop.py") == "repro.ipc.loop"
+    assert module_name_of("repro/ipc/__init__.py") == "repro.ipc"
+    assert module_name_of("mod.py") == "mod"
+
+
+def test_self_method_and_bare_function_resolution(tmp_path):
+    graph = _graph(
+        tmp_path,
+        {
+            "pkg/a.py": """\
+            def helper():
+                pass
+
+            class C:
+                def entry(self):
+                    self.step()
+                    helper()
+
+                def step(self):
+                    pass
+            """
+        },
+    )
+    entry = graph.functions[FuncKey("pkg.a", "C", "entry")]
+    callees = {callee for _, callee in entry.calls}
+    assert FuncKey("pkg.a", "C", "step") in callees
+    assert FuncKey("pkg.a", None, "helper") in callees
+
+
+def test_resolution_through_imports(tmp_path):
+    graph = _graph(
+        tmp_path,
+        {
+            "pkg/a.py": """\
+            import pkg.b
+            from pkg.b import direct
+            from pkg import b as alias
+
+            def caller():
+                pkg.b.target()
+                direct()
+                alias.target()
+            """,
+            "pkg/b.py": """\
+            def target():
+                pass
+
+            def direct():
+                pass
+            """,
+        },
+    )
+    caller = graph.functions[FuncKey("pkg.a", None, "caller")]
+    callees = [callee for _, callee in caller.calls]
+    assert callees.count(FuncKey("pkg.b", None, "target")) == 2
+    assert FuncKey("pkg.b", None, "direct") in callees
+
+
+def test_self_method_resolves_through_base_class(tmp_path):
+    graph = _graph(
+        tmp_path,
+        {
+            "pkg/base.py": """\
+            import os
+
+            class Base:
+                def flush_all(self):
+                    os.fsync(0)
+            """,
+            "pkg/sub.py": """\
+            from pkg.base import Base
+
+            class Sub(Base):
+                def entry(self):
+                    self.flush_all()
+            """,
+        },
+    )
+    entry = graph.functions[FuncKey("pkg.sub", "Sub", "entry")]
+    assert [c for _, c in entry.calls] == [FuncKey("pkg.base", "Base", "flush_all")]
+    hit = graph.find_blocking(
+        FuncKey("pkg.sub", "Sub", "entry"), frozenset({"fsync"}), max_depth=4
+    )
+    assert hit is not None
+    chain, terminal = hit
+    assert chain == ("Base.flush_all", "fsync()")
+    assert terminal == FuncKey("pkg.base", "Base", "flush_all")
+
+
+def test_find_blocking_respects_depth_bound(tmp_path):
+    graph = _graph(
+        tmp_path,
+        {
+            "m.py": """\
+            import time
+
+            def a():
+                b()
+
+            def b():
+                c()
+
+            def c():
+                time.sleep(1)
+            """
+        },
+    )
+    key = FuncKey("m", None, "a")
+    assert graph.find_blocking(key, frozenset({"sleep"}), max_depth=2) is None
+    hit = graph.find_blocking(key, frozenset({"sleep"}), max_depth=3)
+    assert hit is not None
+    assert hit[0] == ("b", "c", "sleep()")
+
+
+def test_find_blocking_is_cycle_safe(tmp_path):
+    graph = _graph(
+        tmp_path,
+        {
+            "m.py": """\
+            def a():
+                b()
+
+            def b():
+                a()
+            """
+        },
+    )
+    assert (
+        graph.find_blocking(FuncKey("m", None, "a"), frozenset({"sleep"}), max_depth=10)
+        is None
+    )
+
+
+def test_calls_inside_nested_defs_are_not_live(tmp_path):
+    graph = _graph(
+        tmp_path,
+        {
+            "m.py": """\
+            import time
+
+            def a():
+                def later():
+                    time.sleep(1)
+                return later
+            """
+        },
+    )
+    # The closure body does not run when a() runs.
+    assert (
+        graph.find_blocking(FuncKey("m", None, "a"), frozenset({"sleep"}), max_depth=5)
+        is None
+    )
+
+
+def test_shortest_chain_wins_over_longer_route(tmp_path):
+    graph = _graph(
+        tmp_path,
+        {
+            "m.py": """\
+            import time
+
+            def a():
+                long_route()
+                short()
+
+            def long_route():
+                short()
+
+            def short():
+                time.sleep(1)
+            """
+        },
+    )
+    hit = graph.find_blocking(FuncKey("m", None, "a"), frozenset({"sleep"}), max_depth=6)
+    assert hit is not None
+    assert hit[0] == ("short", "sleep()")
+
+
+@pytest.mark.parametrize("name", ["self", "cls"])
+def test_receiver_method_resolution(tmp_path, name):
+    graph = _graph(
+        tmp_path,
+        {
+            "m.py": f"""\
+            class C:
+                def entry({name}):
+                    {name}.step()
+
+                def step(self):
+                    pass
+            """
+        },
+    )
+    entry = graph.functions[FuncKey("m", "C", "entry")]
+    assert [c for _, c in entry.calls] == [FuncKey("m", "C", "step")]

@@ -182,6 +182,64 @@ def test_lock_discipline_scoped_to_configured_modules(lint):
     assert findings == []
 
 
+def test_lock_discipline_reaches_fsync_transitively(lint):
+    # "This handler eventually calls fsync three frames down": the call
+    # under the lock is innocuous by name; only the call-graph closure
+    # sees the blocking call behind it.
+    findings = lint(
+        {
+            "mod.py": """\
+            import os
+            import threading
+
+            class Scheduler:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def verb(self):
+                    with self._lock:
+                        self._bookkeep()
+
+                def _bookkeep(self):
+                    self._persist()
+
+                def _persist(self):
+                    os.fsync(0)
+            """
+        },
+        lock_module_suffixes=("mod.py",),
+    )
+    assert rules_of(findings) == ["lock-discipline"]
+    assert "fsync()" in findings[0].message
+    assert "Scheduler._bookkeep -> Scheduler._persist" in findings[0].message
+    # Reported at the call site under the lock, where the fix belongs.
+    assert findings[0].snippet == "self._bookkeep()"
+
+
+def test_lock_discipline_transitive_ignores_clean_helpers(lint):
+    findings = lint(
+        {
+            "mod.py": """\
+            import threading
+
+            class Scheduler:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.n = 0
+
+                def verb(self):
+                    with self._lock:
+                        self._bookkeep()
+
+                def _bookkeep(self):
+                    self.n += 1
+            """
+        },
+        lock_module_suffixes=("mod.py",),
+    )
+    assert findings == []
+
+
 def test_lock_discipline_flags_rename_under_scheduler_lock(lint):
     # The compactor's atomic swap must never run under the scheduler
     # lock — rename/fsync there stalls every producer on disk I/O.
@@ -502,7 +560,7 @@ def test_lock_order_accepts_leaf_lock_as_innermost(lint):
 _LOOP_ENTRY = {"loop.py": {"IoLoop": ("_run",)}}
 
 
-def test_loop_blocking_walks_one_level_of_helpers(lint):
+def test_loop_blocking_walks_helpers_transitively(lint):
     findings = lint(
         {
             "loop.py": """\
@@ -525,7 +583,69 @@ def test_loop_blocking_walks_one_level_of_helpers(lint):
     # shutdown() is not reachable from the selector thread: one finding.
     assert rules_of(findings) == ["loop-blocking"]
     assert "sleep()" in findings[0].message
-    assert "_run -> _step" in findings[0].message
+    assert "IoLoop._run -> IoLoop._step" in findings[0].message
+
+
+def test_loop_blocking_reaches_across_frames_and_modules(lint):
+    # Three frames down and through a bare-function call into a sibling
+    # module: the whole-program call graph closes over both.
+    findings = lint(
+        {
+            "loop.py": """\
+            import time
+
+            from helpers import drain
+
+            class IoLoop:
+                def _run(self):
+                    self._a()
+
+                def _a(self):
+                    self._b()
+
+                def _b(self):
+                    drain()
+            """,
+            "helpers.py": """\
+            import time
+
+            def drain():
+                time.sleep(0.5)
+            """,
+        },
+        loop_entry_points=_LOOP_ENTRY,
+    )
+    assert rules_of(findings) == ["loop-blocking"]
+    # Reported at the blocking call site in the *other* module, with the
+    # full reachability chain in the message.
+    assert findings[0].path == "helpers.py"
+    assert (
+        "IoLoop._run -> IoLoop._a -> IoLoop._b -> drain" in findings[0].message
+    )
+
+
+def test_loop_blocking_depth_bound_caps_the_walk(lint):
+    deep = "\n".join(
+        f"    def _h{i}(self):\n        self._h{i + 1}()" for i in range(8)
+    )
+    source = (
+        "import time\n\nclass IoLoop:\n"
+        "    def _run(self):\n        self._h0()\n"
+        f"{deep}\n"
+        "    def _h8(self):\n        time.sleep(1)\n"
+    )
+    findings = lint(
+        {"loop.py": source},
+        loop_entry_points=_LOOP_ENTRY,
+        callgraph_max_depth=4,
+    )
+    assert findings == []
+    findings = lint(
+        {"loop.py": source},
+        loop_entry_points=_LOOP_ENTRY,
+        callgraph_max_depth=16,
+    )
+    assert rules_of(findings) == ["loop-blocking"]
 
 
 def test_loop_blocking_covers_posted_op_closures(lint):
@@ -861,3 +981,207 @@ def test_event_drift_quiet_on_declared_tag_use(lint):
         }
     )
     assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# state-escape
+# ---------------------------------------------------------------------------
+
+_STATE_HEADER = """\
+class SchedulerState:
+    def __init__(self):
+        self._containers = {}
+        self._waiting = []
+        self.total = 0
+"""
+
+
+def test_state_escape_flags_bare_mutable_return(lint):
+    findings = lint(
+        {
+            "state.py": _STATE_HEADER
+            + """\
+
+    def all(self):
+        return self._waiting
+"""
+        },
+        pure_module_suffixes=("state.py",),
+    )
+    assert rules_of(findings) == ["state-escape"]
+    assert "live reference" in findings[0].message
+    assert "self._waiting" in findings[0].message
+
+
+def test_state_escape_flags_live_dict_view(lint):
+    findings = lint(
+        {
+            "state.py": _STATE_HEADER
+            + """\
+
+    def records(self):
+        return self._containers.values()
+"""
+        },
+        pure_module_suffixes=("state.py",),
+    )
+    assert rules_of(findings) == ["state-escape"]
+    assert ".values() view" in findings[0].message
+
+
+def test_state_escape_accepts_copies_and_scalars(lint):
+    findings = lint(
+        {
+            "state.py": _STATE_HEADER
+            + """\
+
+    def records(self):
+        return tuple(self._containers.values())
+
+    def waiting(self):
+        return list(self._waiting)
+
+    def count(self):
+        return self.total
+"""
+        },
+        pure_module_suffixes=("state.py",),
+    )
+    assert findings == []
+
+
+def test_state_escape_scoped_to_pure_modules(lint):
+    findings = lint(
+        {
+            "runtime.py": _STATE_HEADER
+            + """\
+
+    def all(self):
+        return self._waiting
+"""
+        },
+        pure_module_suffixes=("state.py",),
+    )
+    assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# thread-spawn
+# ---------------------------------------------------------------------------
+
+_THREADS_DOC = """\
+## Declared threads
+
+<!-- declared-threads:begin -->
+
+| thread | spawned in | target | purpose |
+|---|---|---|---|
+| worker | `mod.py` | `_run` | test fixture |
+
+<!-- declared-threads:end -->
+"""
+
+
+def _write_doc(tmp_path, text=_THREADS_DOC):
+    doc = tmp_path / "THREADS.md"
+    doc.write_text(text)
+    return str(doc)
+
+
+def test_thread_spawn_accepts_declared_target(lint, tmp_path):
+    findings = lint(
+        {
+            "mod.py": """\
+            import threading
+
+            class W:
+                def start(self):
+                    self._t = threading.Thread(target=self._run, daemon=True)
+
+                def _run(self):
+                    pass
+            """
+        },
+        threads_doc_path=_write_doc(tmp_path),
+    )
+    assert findings == []
+
+
+def test_thread_spawn_flags_undeclared_target(lint, tmp_path):
+    findings = lint(
+        {
+            "mod.py": """\
+            import threading
+
+            class W:
+                def start(self):
+                    self._t = threading.Thread(target=self._run, daemon=True)
+                    self._u = threading.Thread(target=self._sneaky)
+
+                def _run(self):
+                    pass
+
+                def _sneaky(self):
+                    pass
+            """
+        },
+        threads_doc_path=_write_doc(tmp_path),
+    )
+    assert rules_of(findings) == ["thread-spawn"]
+    assert "'_sneaky'" in findings[0].message
+    assert "declared-threads table" in findings[0].message
+
+
+def test_thread_spawn_sees_from_import_spelling(lint, tmp_path):
+    findings = lint(
+        {
+            "mod.py": """\
+            from threading import Thread
+
+            def go(fn):
+                return Thread(target=fn)
+            """
+        },
+        threads_doc_path=_write_doc(tmp_path),
+    )
+    # `fn` is a dynamic target — cannot be matched against the table.
+    assert rules_of(findings) == ["thread-spawn", "thread-spawn"]
+    assert any("'fn'" in f.message for f in findings)
+
+
+def test_thread_spawn_flags_stale_declaration(lint, tmp_path):
+    # mod.py is analyzed but no longer spawns `_run`: the row is stale.
+    findings = lint(
+        {"mod.py": "import threading\n"},
+        threads_doc_path=_write_doc(tmp_path),
+    )
+    assert rules_of(findings) == ["thread-spawn"]
+    assert "stale declaration" in findings[0].message
+
+
+def test_thread_spawn_ignores_undeclared_modules_rows(lint, tmp_path):
+    # The declared row points at other.py, which is not analyzed: the
+    # row is not judged stale (partial runs must not spam).
+    doc = _THREADS_DOC.replace("`mod.py`", "`other.py`")
+    findings = lint(
+        {"mod.py": "import threading\n"},
+        threads_doc_path=_write_doc(tmp_path, doc),
+    )
+    assert findings == []
+
+
+def test_thread_spawn_reports_missing_markers(lint, tmp_path):
+    doc = tmp_path / "THREADS.md"
+    doc.write_text("no table here\n")
+    findings = lint(
+        {
+            "mod.py": """\
+            import threading
+
+            t = threading.Thread(target=print)
+            """
+        },
+        threads_doc_path=str(doc),
+    )
+    assert rules_of(findings) == ["thread-spawn"]
+    assert "markers" in findings[0].message
